@@ -1,0 +1,154 @@
+//! Divide-and-conquer dominator computation over the PST (paper §6.3).
+//!
+//! "It is not difficult to design such an algorithm for computing the
+//! dominator tree of a control flow graph: first, build the dominator tree
+//! of each SESE region, and then piece together the local trees using
+//! global structure (nesting) information in the PST."
+//!
+//! The splice rule follows from the SESE conditions. For a node `n`
+//! interior to region `R`, compute the dominator tree of `R`'s *collapsed*
+//! graph (with a synthetic entry feeding the region head). Then
+//!
+//! * if `n`'s local idom is another interior node `m`, the global idom is
+//!   `m`;
+//! * if it is a collapsed child region `c`, every path to `n` runs through
+//!   all of `c`, and the last node common to those paths is the source of
+//!   `c`'s exit edge — the global idom;
+//! * if it is the synthetic entry (only possible for the region head), the
+//!   global idom is the source of `R`'s entry edge, which lives in the
+//!   parent region and is resolved there.
+//!
+//! The result is bit-for-bit the Lengauer–Tarjan tree; the property tests
+//! check that on random CFGs and generated programs.
+
+use pst_cfg::{Cfg, Graph, NodeId};
+use pst_core::{CollapsedNode, CollapsedRegion, ProgramStructureTree};
+use pst_dominators::{dominator_tree, DomTree};
+
+/// Computes the dominator tree of `cfg` region by region over the PST.
+///
+/// `collapsed` must come from [`pst_core::collapse_all`] on the same
+/// CFG/PST pair.
+///
+/// # Examples
+///
+/// ```
+/// use pst_cfg::parse_edge_list;
+/// use pst_core::{collapse_all, ProgramStructureTree};
+/// use pst_dominators::dominator_tree;
+/// use pst_apps::dominator_tree_via_pst;
+/// let cfg = parse_edge_list("0->1 1->2 2->1 1->3").unwrap();
+/// let pst = ProgramStructureTree::build(&cfg);
+/// let collapsed = collapse_all(&cfg, &pst);
+/// let ours = dominator_tree_via_pst(&cfg, &pst, &collapsed);
+/// let lt = dominator_tree(cfg.graph(), cfg.entry());
+/// for n in cfg.graph().nodes() {
+///     assert_eq!(ours.idom(n), lt.idom(n));
+/// }
+/// ```
+pub fn dominator_tree_via_pst(
+    cfg: &Cfg,
+    pst: &ProgramStructureTree,
+    collapsed: &[CollapsedRegion],
+) -> DomTree {
+    let graph = cfg.graph();
+    let n = graph.node_count();
+    let mut idom: Vec<Option<NodeId>> = vec![None; n];
+
+    for region in pst.regions() {
+        let mini = &collapsed[region.index()];
+        if mini.graph.node_count() == 0 {
+            continue;
+        }
+        // Local dominators on the collapsed graph + synthetic entry.
+        let mut local: Graph = mini.graph.clone();
+        let entry = local.add_node();
+        local.add_edge(entry, mini.head);
+        let lt = dominator_tree(&local, entry);
+
+        // The node "every path through a collapsed member passes last".
+        let last_node_of = |member: CollapsedNode| -> NodeId {
+            match member {
+                CollapsedNode::Interior(m) => m,
+                CollapsedNode::Child(c) => {
+                    let exit = pst.exit_edge(c).expect("canonical region has an exit");
+                    graph.source(exit)
+                }
+            }
+        };
+
+        for (mi, &member) in mini.members.iter().enumerate() {
+            let CollapsedNode::Interior(node) = member else {
+                continue; // children are resolved in their own region
+            };
+            let local_idom = lt
+                .idom(NodeId::from_index(mi))
+                .expect("interior nodes are dominated by the synthetic entry");
+            idom[node.index()] = if local_idom == entry {
+                // Only the region head: global idom is the entry edge's
+                // source (the CFG entry has none).
+                pst.entry_edge(region).map(|e| graph.source(e))
+            } else {
+                Some(last_node_of(mini.members[local_idom.index()]))
+            };
+        }
+    }
+
+    DomTree::from_immediate_dominators(cfg.entry(), idom, vec![true; n])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pst_core::collapse_all;
+    use pst_dominators::dominator_tree;
+
+    fn check(desc: &str) {
+        let cfg = pst_cfg::parse_edge_list(desc).unwrap();
+        let pst = ProgramStructureTree::build(&cfg);
+        let collapsed = collapse_all(&cfg, &pst);
+        let ours = dominator_tree_via_pst(&cfg, &pst, &collapsed);
+        let lt = dominator_tree(cfg.graph(), cfg.entry());
+        for n in cfg.graph().nodes() {
+            assert_eq!(ours.idom(n), lt.idom(n), "{desc}: idom of {n}");
+        }
+    }
+
+    #[test]
+    fn matches_lt_on_chains_and_diamonds() {
+        check("0->1 1->2 2->3");
+        check("0->1 0->2 1->3 2->3");
+        check("0->1 1->2 1->3 2->4 3->4 4->5");
+    }
+
+    #[test]
+    fn matches_lt_on_loops() {
+        check("0->1 1->2 2->1 1->3");
+        check("0->1 1->2 2->1 2->3");
+        check("0->1 1->2 2->3 3->2 3->1 1->4");
+        check("0->1 1->1 1->2");
+    }
+
+    #[test]
+    fn matches_lt_on_irreducible_graphs() {
+        check("0->1 0->2 1->2 2->1 1->3 2->3");
+        check("0->1 0->3 1->2 2->3 3->4 4->1 2->5 4->5");
+    }
+
+    #[test]
+    fn matches_lt_on_figure1_like_graph() {
+        check("0->1 1->2 2->3 2->4 3->5 4->5 5->6 6->7 7->6 6->8 8->9 8->10 9->11 10->11 11->8 8->12 12->13");
+    }
+
+    #[test]
+    fn dominance_queries_work_on_spliced_tree() {
+        let cfg = pst_cfg::parse_edge_list("0->1 1->2 2->1 1->3").unwrap();
+        let pst = ProgramStructureTree::build(&cfg);
+        let collapsed = collapse_all(&cfg, &pst);
+        let dt = dominator_tree_via_pst(&cfg, &pst, &collapsed);
+        let n = |i| NodeId::from_index(i);
+        assert!(dt.dominates(n(1), n(2)));
+        assert!(!dt.dominates(n(2), n(3)));
+        assert_eq!(dt.depth(n(3)), 2);
+    }
+}

@@ -1,0 +1,37 @@
+//! Applications of the Program Structure Tree (paper §6.3 and the parallel
+//! remarks of §6).
+//!
+//! The paper closes by sketching PST-driven algorithm designs beyond SSA
+//! and data flow; this crate implements them:
+//!
+//! * [`dominator_tree_via_pst`] — divide-and-conquer dominator computation:
+//!   local dominator trees per collapsed region, spliced through the
+//!   nesting structure (§6.3). Produces exactly the Lengauer–Tarjan tree.
+//! * [`place_phis_pst_parallel`] — per-region/per-variable φ-placement
+//!   fanned out over crossbeam scoped threads; no combining needed, the
+//!   property the paper highlights about this problem.
+//!
+//! Incremental PST maintenance (also anticipated in §6.3) lives in
+//! [`pst_core::insert_edge`], next to the tree internals it splices.
+//!
+//! # Examples
+//!
+//! ```
+//! use pst_cfg::parse_edge_list;
+//! use pst_core::{collapse_all, ProgramStructureTree};
+//! use pst_apps::dominator_tree_via_pst;
+//! let cfg = parse_edge_list("0->1 1->2 2->1 1->3").unwrap();
+//! let pst = ProgramStructureTree::build(&cfg);
+//! let collapsed = collapse_all(&cfg, &pst);
+//! let dt = dominator_tree_via_pst(&cfg, &pst, &collapsed);
+//! assert!(dt.dominates(pst_cfg::NodeId::from_index(1), pst_cfg::NodeId::from_index(2)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod domtree;
+mod parallel;
+
+pub use domtree::dominator_tree_via_pst;
+pub use parallel::place_phis_pst_parallel;

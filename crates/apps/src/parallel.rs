@@ -1,0 +1,250 @@
+//! Parallel divide-and-conquer φ-placement (paper §6.1).
+//!
+//! "The PST can even be distributed across the local memories of a
+//! parallel machine, and computations in SESE regions can be performed in
+//! parallel … the PST can be used to exploit parallelism in compilation
+//! since it tells us how to divide the work and how to combine partial
+//! results."
+//!
+//! Two embarrassingly parallel phases over crossbeam scoped threads:
+//! region analyses (dominator trees + frontiers of every collapsed region)
+//! are computed concurrently, then variables are partitioned across
+//! threads, each running the marking + local-IDF steps against the shared
+//! read-only analyses. No combining is needed (the paper's observation
+//! about this problem), so the result is identical to the sequential
+//! placement — asserted by the tests.
+
+use pst_cfg::{Graph, NodeId};
+use pst_core::{CollapsedNode, CollapsedRegion, ProgramStructureTree, RegionId};
+use pst_dominators::{dominance_frontiers, dominator_tree, iterated_dominance_frontier, Direction};
+use pst_lang::LoweredFunction;
+use pst_ssa::{PhiPlacement, PstPhiPlacement};
+
+struct RegionAnalysis {
+    entry: NodeId,
+    frontiers: Vec<Vec<NodeId>>,
+}
+
+fn analyze_region(mini: &CollapsedRegion) -> RegionAnalysis {
+    let mut graph: Graph = mini.graph.clone();
+    let entry = graph.add_node();
+    graph.add_edge(entry, mini.head);
+    let dt = dominator_tree(&graph, entry);
+    let frontiers = dominance_frontiers(&graph, &dt, Direction::Forward);
+    RegionAnalysis { entry, frontiers }
+}
+
+/// Places φ-functions for every variable, running region analyses and
+/// per-variable placement on `threads` worker threads.
+///
+/// The result equals [`pst_ssa::place_phis_pst`] (and hence, by
+/// Theorem 9, [`pst_ssa::place_phis_cytron`]).
+///
+/// # Panics
+///
+/// Panics if `threads == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use pst_core::{collapse_all, ProgramStructureTree};
+/// use pst_apps::place_phis_pst_parallel;
+/// use pst_ssa::place_phis_cytron;
+/// let p = pst_lang::parse_program(
+///     "fn f(n) { s = 0; while (n > 0) { s = s + n; n = n - 1; } return s; }"
+/// ).unwrap();
+/// let l = pst_lang::lower_function(&p.functions[0]).unwrap();
+/// let pst = ProgramStructureTree::build(&l.cfg);
+/// let collapsed = collapse_all(&l.cfg, &pst);
+/// let par = place_phis_pst_parallel(&l, &pst, &collapsed, 4);
+/// assert_eq!(par.placement, place_phis_cytron(&l));
+/// ```
+pub fn place_phis_pst_parallel(
+    function: &LoweredFunction,
+    pst: &ProgramStructureTree,
+    collapsed: &[CollapsedRegion],
+    threads: usize,
+) -> PstPhiPlacement {
+    assert!(threads > 0, "at least one worker thread required");
+    let total_regions = pst.region_count();
+
+    // Phase A: analyze every region concurrently (static chunking).
+    let mut analyses: Vec<Option<RegionAnalysis>> = (0..total_regions).map(|_| None).collect();
+    {
+        let chunk = total_regions.div_ceil(threads);
+        let mut slices: Vec<&mut [Option<RegionAnalysis>]> = Vec::new();
+        let mut rest = analyses.as_mut_slice();
+        while !rest.is_empty() {
+            let take = chunk.min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            slices.push(head);
+            rest = tail;
+        }
+        crossbeam::thread::scope(|scope| {
+            let mut offset = 0usize;
+            for slice in slices {
+                let base = offset;
+                offset += slice.len();
+                scope.spawn(move |_| {
+                    for (i, slot) in slice.iter_mut().enumerate() {
+                        *slot = Some(analyze_region(&collapsed[base + i]));
+                    }
+                });
+            }
+        })
+        .expect("worker threads never panic");
+    }
+    let analyses: Vec<RegionAnalysis> = analyses
+        .into_iter()
+        .map(|a| a.expect("all regions analyzed"))
+        .collect();
+
+    // Shared def-site table (one sequential pass, cheap).
+    let nvars = function.var_count();
+    let mut def_sites: Vec<Vec<NodeId>> = vec![Vec::new(); nvars];
+    for node in function.cfg.graph().nodes() {
+        for s in &function.blocks[node.index()].stmts {
+            if let Some(d) = s.def {
+                if def_sites[d.index()].last() != Some(&node) {
+                    def_sites[d.index()].push(node);
+                }
+            }
+        }
+    }
+
+    // Phase B: variables in parallel against the shared analyses.
+    let mut phis: Vec<Vec<NodeId>> = vec![Vec::new(); nvars];
+    let mut examined: Vec<usize> = vec![0; nvars];
+    {
+        let analyses = &analyses;
+        let def_sites = &def_sites;
+        let chunk = nvars.div_ceil(threads).max(1);
+        let phi_chunks: Vec<&mut [Vec<NodeId>]> = phis.chunks_mut(chunk).collect();
+        let exam_chunks: Vec<&mut [usize]> = examined.chunks_mut(chunk).collect();
+        crossbeam::thread::scope(|scope| {
+            for (ci, (phi_slice, exam_slice)) in phi_chunks.into_iter().zip(exam_chunks).enumerate()
+            {
+                scope.spawn(move |_| {
+                    for (off, (phi_slot, exam_slot)) in
+                        phi_slice.iter_mut().zip(exam_slice.iter_mut()).enumerate()
+                    {
+                        let v = ci * chunk + off;
+                        let (p, e) =
+                            place_one_variable(function, pst, collapsed, analyses, &def_sites[v]);
+                        *phi_slot = p;
+                        *exam_slot = e;
+                    }
+                });
+            }
+        })
+        .expect("worker threads never panic");
+    }
+
+    PstPhiPlacement {
+        placement: PhiPlacement::from_lists(phis),
+        regions_examined: examined,
+        total_regions,
+    }
+}
+
+/// The sequential per-variable step: mark, collapse, solve locally.
+fn place_one_variable(
+    function: &LoweredFunction,
+    pst: &ProgramStructureTree,
+    collapsed: &[CollapsedRegion],
+    analyses: &[RegionAnalysis],
+    raw_defs: &[NodeId],
+) -> (Vec<NodeId>, usize) {
+    let mut def_nodes: Vec<NodeId> = raw_defs.to_vec();
+    if !def_nodes.contains(&function.cfg.entry()) {
+        def_nodes.push(function.cfg.entry());
+    }
+    let mut marked: Vec<RegionId> = Vec::new();
+    let mut is_marked = vec![false; pst.region_count()];
+    for &d in &def_nodes {
+        let mut r = Some(pst.region_of_node(d));
+        while let Some(region) = r {
+            if is_marked[region.index()] {
+                break;
+            }
+            is_marked[region.index()] = true;
+            marked.push(region);
+            r = pst.parent(region);
+        }
+    }
+    let mut defines_here = vec![false; function.cfg.node_count()];
+    for &d in &def_nodes {
+        defines_here[d.index()] = true;
+    }
+
+    let mut result = Vec::new();
+    for &region in &marked {
+        let mini = &collapsed[region.index()];
+        let analysis = &analyses[region.index()];
+        let mut seeds: Vec<NodeId> = vec![analysis.entry];
+        for (i, &member) in mini.members.iter().enumerate() {
+            let is_def = match member {
+                CollapsedNode::Interior(n) => defines_here[n.index()],
+                CollapsedNode::Child(c) => is_marked[c.index()],
+            };
+            if is_def {
+                seeds.push(NodeId::from_index(i));
+            }
+        }
+        for m in iterated_dominance_frontier(&analysis.frontiers, &seeds) {
+            if let Some(&CollapsedNode::Interior(n)) = mini.members.get(m.index()) {
+                result.push(n);
+            }
+        }
+    }
+    (result, marked.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pst_core::collapse_all;
+    use pst_lang::{lower_function, parse_function_body};
+    use pst_ssa::{place_phis_cytron, place_phis_pst};
+
+    fn check(src: &str, threads: usize) {
+        let l = lower_function(&parse_function_body(src).unwrap()).unwrap();
+        let pst = ProgramStructureTree::build(&l.cfg);
+        let collapsed = collapse_all(&l.cfg, &pst);
+        let par = place_phis_pst_parallel(&l, &pst, &collapsed, threads);
+        let seq = place_phis_pst(&l, &pst, &collapsed);
+        assert_eq!(par.placement, seq.placement, "{src} with {threads} threads");
+        assert_eq!(par.regions_examined, seq.regions_examined);
+        assert_eq!(par.placement, place_phis_cytron(&l));
+    }
+
+    #[test]
+    fn matches_sequential_on_loops_and_branches() {
+        let src = "s = 0; while (n > 0) { if (n % 2 == 0) { s = s + n; } else { t = t + 1; } n = n - 1; } return s + t;";
+        for threads in [1, 2, 4, 7] {
+            check(src, threads);
+        }
+    }
+
+    #[test]
+    fn matches_sequential_on_unstructured_code() {
+        check(
+            "if (c) { goto b; } a: x = x + 1; goto c; b: x = x - 1; c: if (x > 0) { goto a; } return x;",
+            3,
+        );
+    }
+
+    #[test]
+    fn more_threads_than_variables_is_fine() {
+        check("x = 1; return x;", 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_panics() {
+        let l = lower_function(&parse_function_body("x = 1; return x;").unwrap()).unwrap();
+        let pst = ProgramStructureTree::build(&l.cfg);
+        let collapsed = collapse_all(&l.cfg, &pst);
+        let _ = place_phis_pst_parallel(&l, &pst, &collapsed, 0);
+    }
+}

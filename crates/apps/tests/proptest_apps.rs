@@ -1,0 +1,42 @@
+//! Property tests for the §6.3 applications.
+
+use proptest::prelude::*;
+use pst_core::{collapse_all, ProgramStructureTree};
+use pst_dominators::dominator_tree;
+use pst_workloads::{generate_function, random_cfg, ProgramGenConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Divide-and-conquer dominators equal Lengauer–Tarjan on random CFGs.
+    #[test]
+    fn pst_dominators_match_lt(n in 3usize..30, extra in 0usize..30, seed in 0u64..10_000) {
+        let cfg = random_cfg(n, extra, seed);
+        let pst = ProgramStructureTree::build(&cfg);
+        let collapsed = collapse_all(&cfg, &pst);
+        let ours = pst_apps::dominator_tree_via_pst(&cfg, &pst, &collapsed);
+        let lt = dominator_tree(cfg.graph(), cfg.entry());
+        for node in cfg.graph().nodes() {
+            prop_assert_eq!(ours.idom(node), lt.idom(node), "idom of {}", node);
+        }
+    }
+
+    /// Parallel φ-placement equals the sequential placement on generated
+    /// programs, across thread counts.
+    #[test]
+    fn parallel_phis_match_sequential(seed in 0u64..5_000, threads in 1usize..6) {
+        let config = ProgramGenConfig {
+            target_stmts: 40,
+            goto_prob: 0.08,
+            ..Default::default()
+        };
+        let f = generate_function("p", &config, seed);
+        let l = pst_lang::lower_function(&f).unwrap();
+        let pst = ProgramStructureTree::build(&l.cfg);
+        let collapsed = collapse_all(&l.cfg, &pst);
+        let par = pst_apps::place_phis_pst_parallel(&l, &pst, &collapsed, threads);
+        let seq = pst_ssa::place_phis_pst(&l, &pst, &collapsed);
+        prop_assert_eq!(&par.placement, &seq.placement);
+        prop_assert_eq!(&par.regions_examined, &seq.regions_examined);
+    }
+}

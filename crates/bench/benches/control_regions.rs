@@ -1,0 +1,28 @@
+//! Bench: §5 — linear-time control regions vs the O(E·N) baselines
+//! (Cytron–Ferrante–Sarkar refinement, FOW set hashing).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pst_controldep::{cfs_control_regions, fow_control_regions};
+use pst_core::ControlRegions;
+use pst_workloads::random_cfg;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("control_regions");
+    g.sample_size(15);
+    for &n in &[50usize, 200, 800, 2_000] {
+        let cfg = random_cfg(n, n / 2, 11);
+        g.bench_with_input(BenchmarkId::new("linear_ours", n), &n, |b, _| {
+            b.iter(|| ControlRegions::compute(&cfg))
+        });
+        g.bench_with_input(BenchmarkId::new("cfs_refinement", n), &n, |b, _| {
+            b.iter(|| cfs_control_regions(&cfg))
+        });
+        g.bench_with_input(BenchmarkId::new("fow_hashing", n), &n, |b, _| {
+            b.iter(|| fow_control_regions(&cfg))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+use pst_core::{classify_regions, collapse_all, CollapsedNode, ProgramStructureTree, RegionKind};
+use pst_workloads::{generate_function, ProgramGenConfig};
+
+fn main() {
+    let config = ProgramGenConfig { target_stmts: 60, goto_prob: 0.0, ..Default::default() };
+    for seed in 0..30u64 {
+        let f = generate_function("p", &config, seed);
+        let l = pst_lang::lower_function(&f).unwrap();
+        let pst = ProgramStructureTree::build(&l.cfg);
+        let c = classify_regions(&l.cfg, &pst);
+        let collapsed = collapse_all(&l.cfg, &pst);
+        for r in pst.regions() {
+            if c.kind(r) == RegionKind::Dag {
+                let mini = &collapsed[r.index()];
+                println!("seed {seed} region {r:?} head={:?} tail={:?}", mini.head, mini.tail);
+                for (i, m) in mini.members.iter().enumerate() {
+                    let tag = match m { CollapsedNode::Interior(n) => format!("int {n}"), CollapsedNode::Child(c) => format!("child {c}") };
+                    let outs: Vec<String> = mini.graph.successors(pst_cfg::NodeId::from_index(i)).map(|s| s.index().to_string()).collect();
+                    println!("  m{i} [{tag}] -> {}", outs.join(","));
+                }
+                println!();
+                return;
+            }
+        }
+    }
+}

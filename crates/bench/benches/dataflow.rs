@@ -1,0 +1,71 @@
+//! Bench: §6.2 — sparse data-flow via quick propagation graphs vs the
+//! full iterative solver, and the PST elimination solver.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pst_core::{collapse_all, ProgramStructureTree};
+use pst_dataflow::{
+    solve_elimination, solve_iterative, Qpg, ReachingDefinitions, SingleVariableReachingDefs,
+};
+use pst_lang::VarId;
+use pst_workloads::{generate_function, ProgramGenConfig};
+
+fn bench(c: &mut Criterion) {
+    let config = ProgramGenConfig {
+        target_stmts: 1_200,
+        num_vars: 30,
+        ..Default::default()
+    };
+    let f = generate_function("big", &config, 17);
+    let l = pst_lang::lower_function(&f).unwrap();
+    let pst = ProgramStructureTree::build(&l.cfg);
+    let collapsed = collapse_all(&l.cfg, &pst);
+
+    let mut g = c.benchmark_group("dataflow");
+    g.sample_size(12);
+    let rd = ReachingDefinitions::new(&l);
+    g.bench_function("all_vars_iterative", |b| {
+        b.iter(|| solve_iterative(&l.cfg, &rd))
+    });
+    g.bench_function("all_vars_elimination", |b| {
+        b.iter(|| solve_elimination(&l.cfg, &pst, &collapsed, &rd))
+    });
+    if pst_dataflow::derived_sequence(&l.cfg).reducible {
+        g.bench_function("all_vars_intervals", |b| {
+            b.iter(|| pst_dataflow::solve_intervals(&l.cfg, &rd))
+        });
+    }
+    let problems: Vec<SingleVariableReachingDefs> = (0..l.var_count())
+        .map(|v| SingleVariableReachingDefs::new(&l, VarId::from_index(v)))
+        .collect();
+    g.bench_function("per_var_iterative", |b| {
+        b.iter(|| {
+            for p in &problems {
+                criterion::black_box(solve_iterative(&l.cfg, p));
+            }
+        })
+    });
+    // The naive per-instance builder (scans the whole CFG per variable)…
+    g.bench_function("per_var_qpg_naive_build", |b| {
+        b.iter(|| {
+            for p in &problems {
+                let q = Qpg::build(&l.cfg, &pst, p);
+                criterion::black_box(q.solve(&l.cfg, &pst, p));
+            }
+        })
+    });
+    // …vs the amortized context, which is what the paper's "marking in
+    // time proportional to the marked regions" remark calls for.
+    let ctx = pst_dataflow::QpgContext::new(&l.cfg, &pst);
+    g.bench_function("per_var_qpg_amortized", |b| {
+        b.iter(|| {
+            for p in &problems {
+                let q = ctx.build_from_sites(p.sites());
+                criterion::black_box(ctx.solve(&q, p));
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

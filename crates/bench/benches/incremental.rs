@@ -1,0 +1,56 @@
+//! Bench: §6.3 extensions — incremental PST maintenance vs from-scratch
+//! rebuild, and parallel vs sequential PST φ-placement.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pst_core::{collapse_all, insert_edge, ProgramStructureTree};
+use pst_workloads::{generate_function, nested_while_loops, ProgramGenConfig};
+
+fn bench_incremental(c: &mut Criterion) {
+    let mut g = c.benchmark_group("incremental_insert");
+    g.sample_size(20);
+    for &depth in &[50usize, 200, 800] {
+        // Deep loop nest: a self-loop on the innermost body is maximally
+        // local, so the incremental path rebuilds O(1) nodes.
+        let cfg = nested_while_loops(depth);
+        let pst = ProgramStructureTree::build(&cfg);
+        let body = pst_cfg::NodeId::from_index(depth + 1); // innermost body block
+        g.bench_with_input(BenchmarkId::new("incremental", depth), &depth, |b, _| {
+            b.iter(|| insert_edge(&cfg, &pst, body, body).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("full_rebuild", depth), &depth, |b, _| {
+            b.iter(|| {
+                let mut graph = cfg.graph().clone();
+                graph.add_edge(body, body);
+                let grown = pst_cfg::Cfg::from_graph(graph, cfg.entry(), cfg.exit()).unwrap();
+                ProgramStructureTree::build(&grown)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_parallel_phi(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parallel_phi");
+    g.sample_size(10);
+    let config = ProgramGenConfig {
+        target_stmts: 3_000,
+        num_vars: 120,
+        ..Default::default()
+    };
+    let f = generate_function("big", &config, 5);
+    let l = pst_lang::lower_function(&f).unwrap();
+    let pst = ProgramStructureTree::build(&l.cfg);
+    let collapsed = collapse_all(&l.cfg, &pst);
+    g.bench_function("sequential", |b| {
+        b.iter(|| pst_ssa::place_phis_pst(&l, &pst, &collapsed))
+    });
+    for threads in [2usize, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("parallel", threads), &threads, |b, &t| {
+            b.iter(|| pst_apps::place_phis_pst_parallel(&l, &pst, &collapsed, t))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_incremental, bench_parallel_phi);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Bench: §6.1 — PST divide-and-conquer φ-placement vs the classical IDF
+//! algorithm, on the paper's worst case (nested repeat-until loops, whose
+//! dominance frontiers grow quadratically) and on a realistic program.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pst_core::{collapse_all, ProgramStructureTree};
+use pst_ssa::{place_phis_cytron, place_phis_pst};
+use pst_workloads::{generate_function, ProgramGenConfig};
+
+/// `depth` nested do-while loops with one assignment per level.
+fn nested_repeat_until_source(depth: usize) -> String {
+    let mut body = String::from("x0 = x0 + 1;");
+    for d in 1..depth {
+        body = format!("do {{ {body} x{d} = x{d} + 1; }} while (c{d} < 2);");
+    }
+    format!("fn f(k) {{ do {{ {body} }} while (k < 2); return x0; }}")
+}
+
+fn bench_nests(c: &mut Criterion) {
+    let mut g = c.benchmark_group("phi_nested_repeat_until");
+    g.sample_size(15);
+    for &depth in &[8usize, 32, 96] {
+        let src = nested_repeat_until_source(depth);
+        let p = pst_lang::parse_program(&src).unwrap();
+        let l = pst_lang::lower_function(&p.functions[0]).unwrap();
+        let pst = ProgramStructureTree::build(&l.cfg);
+        let collapsed = collapse_all(&l.cfg, &pst);
+        g.bench_with_input(BenchmarkId::new("cytron_idf", depth), &depth, |b, _| {
+            b.iter(|| place_phis_cytron(&l))
+        });
+        g.bench_with_input(BenchmarkId::new("pst_regions", depth), &depth, |b, _| {
+            b.iter(|| place_phis_pst(&l, &pst, &collapsed))
+        });
+    }
+    g.finish();
+}
+
+fn bench_generated(c: &mut Criterion) {
+    let mut g = c.benchmark_group("phi_generated_program");
+    g.sample_size(15);
+    let config = ProgramGenConfig {
+        target_stmts: 1_500,
+        num_vars: 40,
+        ..Default::default()
+    };
+    let f = generate_function("big", &config, 3);
+    let l = pst_lang::lower_function(&f).unwrap();
+    let pst = ProgramStructureTree::build(&l.cfg);
+    let collapsed = collapse_all(&l.cfg, &pst);
+    g.bench_function("cytron_idf", |b| b.iter(|| place_phis_cytron(&l)));
+    g.bench_function("pst_regions", |b| {
+        b.iter(|| place_phis_pst(&l, &pst, &collapsed))
+    });
+    g.bench_function("pst_build_plus_collapse", |b| {
+        b.iter(|| {
+            let pst = ProgramStructureTree::build(&l.cfg);
+            collapse_all(&l.cfg, &pst)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_nests, bench_generated);
+criterion_main!(benches);

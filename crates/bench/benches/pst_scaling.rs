@@ -1,0 +1,29 @@
+//! Bench: linearity of PST construction — time per edge should stay flat
+//! as graphs grow, across structured, branchy and random families.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pst_core::ProgramStructureTree;
+use pst_workloads::{diamond_ladder, linear_chain, nested_while_loops, random_cfg};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pst_build_scaling");
+    g.sample_size(15);
+    for &n in &[1_000usize, 4_000, 16_000] {
+        let families = [
+            ("chain", linear_chain(n)),
+            ("ladder", diamond_ladder(n / 3)),
+            ("loop_nest", nested_while_loops(n / 2)),
+            ("random", random_cfg(n, n / 2, 23)),
+        ];
+        for (name, cfg) in families {
+            g.throughput(Throughput::Elements(cfg.edge_count() as u64));
+            g.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+                b.iter(|| ProgramStructureTree::build(&cfg))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,355 @@
+//! Control flow graphs: a [`Graph`] with distinguished `entry`/`exit` nodes
+//! and the structural invariants of the paper's Definition 1.
+//!
+//! A valid [`Cfg`] guarantees that
+//! * `entry` has no predecessors,
+//! * `exit` has no successors, and
+//! * every node lies on some path from `entry` to `exit`.
+//!
+//! These are exactly the preconditions the PST algorithms rely on: adding a
+//! single `exit -> entry` edge then makes the graph strongly connected
+//! (Theorem 2 of the paper).
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{EdgeId, Graph, NodeId};
+
+/// Why a proposed control flow graph is not a valid [`Cfg`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ValidateCfgError {
+    /// The graph has no nodes at all.
+    Empty,
+    /// The designated entry node has at least one incoming edge.
+    EntryHasPredecessor(NodeId),
+    /// The designated exit node has at least one outgoing edge.
+    ExitHasSuccessor(NodeId),
+    /// Some node is not reachable from the entry node.
+    UnreachableFromEntry(NodeId),
+    /// Some node cannot reach the exit node.
+    CannotReachExit(NodeId),
+    /// Entry and exit are the same node.
+    EntryIsExit(NodeId),
+}
+
+impl fmt::Display for ValidateCfgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateCfgError::Empty => write!(f, "control flow graph has no nodes"),
+            ValidateCfgError::EntryHasPredecessor(n) => {
+                write!(f, "entry node {n} has a predecessor")
+            }
+            ValidateCfgError::ExitHasSuccessor(n) => write!(f, "exit node {n} has a successor"),
+            ValidateCfgError::UnreachableFromEntry(n) => {
+                write!(f, "node {n} is unreachable from entry")
+            }
+            ValidateCfgError::CannotReachExit(n) => write!(f, "node {n} cannot reach exit"),
+            ValidateCfgError::EntryIsExit(n) => {
+                write!(f, "entry and exit are the same node {n}")
+            }
+        }
+    }
+}
+
+impl Error for ValidateCfgError {}
+
+/// A validated control flow graph.
+///
+/// `Cfg` owns its underlying [`Graph`] and exposes it read-only; once
+/// validated, a `Cfg` can never be mutated back into an invalid state.
+/// Construct one with [`CfgBuilder`] or [`Cfg::from_graph`].
+///
+/// # Examples
+///
+/// Building the smallest interesting CFG, a diamond:
+///
+/// ```
+/// use pst_cfg::CfgBuilder;
+/// # fn main() -> Result<(), pst_cfg::ValidateCfgError> {
+/// let mut b = CfgBuilder::new();
+/// let [entry, t, e, exit] = [b.add_node(), b.add_node(), b.add_node(), b.add_node()];
+/// b.add_edge(entry, t);
+/// b.add_edge(entry, e);
+/// b.add_edge(t, exit);
+/// b.add_edge(e, exit);
+/// let cfg = b.finish(entry, exit)?;
+/// assert_eq!(cfg.entry(), entry);
+/// assert_eq!(cfg.exit(), exit);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cfg {
+    graph: Graph,
+    entry: NodeId,
+    exit: NodeId,
+}
+
+impl Cfg {
+    /// Validates `graph` as a control flow graph with the given entry/exit.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ValidateCfgError`] describing the first violated
+    /// invariant (see the module docs for the full list).
+    pub fn from_graph(graph: Graph, entry: NodeId, exit: NodeId) -> Result<Self, ValidateCfgError> {
+        if graph.is_empty() {
+            return Err(ValidateCfgError::Empty);
+        }
+        if entry == exit {
+            return Err(ValidateCfgError::EntryIsExit(entry));
+        }
+        if graph.in_degree(entry) != 0 {
+            return Err(ValidateCfgError::EntryHasPredecessor(entry));
+        }
+        if graph.out_degree(exit) != 0 {
+            return Err(ValidateCfgError::ExitHasSuccessor(exit));
+        }
+        let forward = graph.reachable_from(entry);
+        if let Some(n) = graph.nodes().find(|n| !forward[n.index()]) {
+            return Err(ValidateCfgError::UnreachableFromEntry(n));
+        }
+        let backward = graph.reversed().reachable_from(exit);
+        if let Some(n) = graph.nodes().find(|n| !backward[n.index()]) {
+            return Err(ValidateCfgError::CannotReachExit(n));
+        }
+        Ok(Cfg { graph, entry, exit })
+    }
+
+    /// The underlying graph.
+    #[inline]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The unique entry node (no predecessors).
+    #[inline]
+    pub fn entry(&self) -> NodeId {
+        self.entry
+    }
+
+    /// The unique exit node (no successors).
+    #[inline]
+    pub fn exit(&self) -> NodeId {
+        self.exit
+    }
+
+    /// Number of nodes. Convenience forward to the underlying graph.
+    pub fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Number of edges. Convenience forward to the underlying graph.
+    pub fn edge_count(&self) -> usize {
+        self.graph.edge_count()
+    }
+
+    /// Builds the strongly connected graph `S = G + (exit -> entry)` of
+    /// Theorem 2 and returns it together with the id of the added edge.
+    ///
+    /// Node and edge ids of `G` are preserved; the returned edge id is the
+    /// single fresh edge.
+    pub fn to_strongly_connected(&self) -> (Graph, EdgeId) {
+        let mut g = self.graph.clone();
+        let back = g.add_edge(self.exit, self.entry);
+        (g, back)
+    }
+
+    /// Consumes the CFG and returns the underlying graph.
+    pub fn into_graph(self) -> Graph {
+        self.graph
+    }
+}
+
+/// Incremental builder for [`Cfg`]s.
+///
+/// Mirrors [`Graph`]'s mutation API and performs validation in
+/// [`CfgBuilder::finish`]. See [`Cfg`] for an example.
+#[derive(Clone, Debug, Default)]
+pub struct CfgBuilder {
+    graph: Graph,
+}
+
+impl CfgBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        CfgBuilder::default()
+    }
+
+    /// Creates an empty builder with preallocated capacity.
+    pub fn with_capacity(nodes: usize, edges: usize) -> Self {
+        CfgBuilder {
+            graph: Graph::with_capacity(nodes, edges),
+        }
+    }
+
+    /// Adds a node. See [`Graph::add_node`].
+    pub fn add_node(&mut self) -> NodeId {
+        self.graph.add_node()
+    }
+
+    /// Adds `count` nodes. See [`Graph::add_nodes`].
+    pub fn add_nodes(&mut self, count: usize) -> Vec<NodeId> {
+        self.graph.add_nodes(count)
+    }
+
+    /// Adds an edge. See [`Graph::add_edge`].
+    pub fn add_edge(&mut self, source: NodeId, target: NodeId) -> EdgeId {
+        self.graph.add_edge(source, target)
+    }
+
+    /// Read access to the graph built so far.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Validates and returns the finished CFG.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ValidateCfgError`] if the built graph violates any CFG
+    /// invariant.
+    pub fn finish(self, entry: NodeId, exit: NodeId) -> Result<Cfg, ValidateCfgError> {
+        Cfg::from_graph(self.graph, entry, exit)
+    }
+}
+
+/// Parses a compact edge-list description into a [`Cfg`]; test/bench helper.
+///
+/// The description is a whitespace-separated list of `a->b` pairs of
+/// non-negative node numbers. Node 0 is the entry; the highest-numbered node
+/// is the exit. All nodes in `0..=max` are created.
+///
+/// # Errors
+///
+/// Returns an error string when the syntax is malformed, and a
+/// [`ValidateCfgError`] (stringified) when the edge list is not a valid CFG.
+///
+/// # Examples
+///
+/// ```
+/// let cfg = pst_cfg::parse_edge_list("0->1 1->2 0->2").unwrap();
+/// assert_eq!(cfg.node_count(), 3);
+/// assert_eq!(cfg.edge_count(), 3);
+/// ```
+pub fn parse_edge_list(description: &str) -> Result<Cfg, String> {
+    let mut pairs = Vec::new();
+    let mut max = 0usize;
+    for token in description.split_whitespace() {
+        let (a, b) = token
+            .split_once("->")
+            .ok_or_else(|| format!("malformed edge token `{token}`"))?;
+        let a: usize = a.parse().map_err(|_| format!("bad node number `{a}`"))?;
+        let b: usize = b.parse().map_err(|_| format!("bad node number `{b}`"))?;
+        max = max.max(a).max(b);
+        pairs.push((a, b));
+    }
+    if pairs.is_empty() {
+        return Err("empty edge list".to_string());
+    }
+    let mut builder = CfgBuilder::with_capacity(max + 1, pairs.len());
+    let nodes = builder.add_nodes(max + 1);
+    for (a, b) in pairs {
+        builder.add_edge(nodes[a], nodes[b]);
+    }
+    builder
+        .finish(nodes[0], nodes[max])
+        .map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accepts_diamond() {
+        let cfg = parse_edge_list("0->1 0->2 1->3 2->3").unwrap();
+        assert_eq!(cfg.node_count(), 4);
+        assert_eq!(cfg.entry().index(), 0);
+        assert_eq!(cfg.exit().index(), 3);
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert!(parse_edge_list("").is_err());
+        let b = CfgBuilder::new();
+        let g = b.graph().clone();
+        assert_eq!(
+            Cfg::from_graph(g, NodeId::from_index(0), NodeId::from_index(1)),
+            Err(ValidateCfgError::Empty)
+        );
+    }
+
+    #[test]
+    fn rejects_entry_with_predecessor() {
+        let err = parse_edge_list("0->1 1->0 0->2 1->2").unwrap_err();
+        assert!(err.contains("entry"), "{err}");
+    }
+
+    #[test]
+    fn rejects_exit_with_successor() {
+        let mut b = CfgBuilder::new();
+        let n = b.add_nodes(3);
+        b.add_edge(n[0], n[1]);
+        b.add_edge(n[1], n[2]);
+        b.add_edge(n[1], n[1]); // self-loop is fine
+        b.add_edge(n[2], n[1]);
+        let err = b.finish(n[0], n[2]).unwrap_err();
+        assert_eq!(err, ValidateCfgError::ExitHasSuccessor(n[2]));
+    }
+
+    #[test]
+    fn rejects_unreachable_node() {
+        let mut b = CfgBuilder::new();
+        let n = b.add_nodes(3);
+        b.add_edge(n[0], n[2]);
+        b.add_edge(n[1], n[2]); // n1 unreachable from entry
+        let err = b.finish(n[0], n[2]).unwrap_err();
+        assert_eq!(err, ValidateCfgError::UnreachableFromEntry(n[1]));
+    }
+
+    #[test]
+    fn rejects_node_that_cannot_reach_exit() {
+        let mut b = CfgBuilder::new();
+        let n = b.add_nodes(3);
+        b.add_edge(n[0], n[1]);
+        b.add_edge(n[0], n[2]);
+        // n1 is a dead end
+        let err = b.finish(n[0], n[2]).unwrap_err();
+        assert_eq!(err, ValidateCfgError::CannotReachExit(n[1]));
+    }
+
+    #[test]
+    fn rejects_entry_equals_exit() {
+        let mut b = CfgBuilder::new();
+        let n = b.add_node();
+        let err = b.finish(n, n).unwrap_err();
+        assert_eq!(err, ValidateCfgError::EntryIsExit(n));
+    }
+
+    #[test]
+    fn strongly_connected_closure() {
+        let cfg = parse_edge_list("0->1 1->2").unwrap();
+        let (s, back) = cfg.to_strongly_connected();
+        assert_eq!(s.edge_count(), cfg.edge_count() + 1);
+        assert_eq!(s.source(back), cfg.exit());
+        assert_eq!(s.target(back), cfg.entry());
+        // Now every node reaches every other.
+        for n in s.nodes() {
+            assert!(s.reachable_from(n).iter().all(|&r| r));
+        }
+    }
+
+    #[test]
+    fn error_messages_are_lowercase_prose() {
+        let msg = ValidateCfgError::EntryHasPredecessor(NodeId::from_index(0)).to_string();
+        assert!(msg.starts_with("entry node"));
+        assert!(!msg.ends_with('.'));
+    }
+
+    #[test]
+    fn parse_edge_list_reports_syntax_errors() {
+        assert!(parse_edge_list("0=>1").is_err());
+        assert!(parse_edge_list("a->b").is_err());
+    }
+}

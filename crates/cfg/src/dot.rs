@@ -1,0 +1,124 @@
+//! Graphviz DOT export for graphs and CFGs.
+//!
+//! Intended for debugging and for the `structure_explorer` example, which
+//! overlays SESE regions onto the CFG drawing. Attribute callbacks let
+//! callers color nodes or label edges (e.g. with cycle-equivalence classes)
+//! without this crate knowing anything about those analyses.
+
+use std::fmt::Write as _;
+
+use crate::{Cfg, EdgeId, Graph, NodeId};
+
+/// Renders `graph` in DOT syntax with default labels.
+///
+/// # Examples
+///
+/// ```
+/// use pst_cfg::{Graph, graph_to_dot};
+/// let mut g = Graph::new();
+/// let n = g.add_nodes(2);
+/// g.add_edge(n[0], n[1]);
+/// let dot = graph_to_dot(&g);
+/// assert!(dot.contains("digraph"));
+/// assert!(dot.contains("n0 -> n1"));
+/// ```
+pub fn graph_to_dot(graph: &Graph) -> String {
+    graph_to_dot_with(graph, |n| format!("label=\"{n}\""), |_| String::new())
+}
+
+/// Renders `graph` in DOT syntax with caller-supplied attribute strings.
+///
+/// `node_attrs`/`edge_attrs` return raw DOT attribute lists (without the
+/// surrounding brackets), e.g. `label="x", color=red`. Return an empty
+/// string for no attributes.
+pub fn graph_to_dot_with(
+    graph: &Graph,
+    node_attrs: impl Fn(NodeId) -> String,
+    edge_attrs: impl Fn(EdgeId) -> String,
+) -> String {
+    let mut out = String::new();
+    out.push_str("digraph cfg {\n");
+    out.push_str("  node [shape=box, fontname=\"monospace\"];\n");
+    for n in graph.nodes() {
+        let attrs = node_attrs(n);
+        if attrs.is_empty() {
+            let _ = writeln!(out, "  {n};");
+        } else {
+            let _ = writeln!(out, "  {n} [{attrs}];");
+        }
+    }
+    for e in graph.edges() {
+        let (s, t) = graph.endpoints(e);
+        let attrs = edge_attrs(e);
+        if attrs.is_empty() {
+            let _ = writeln!(out, "  {s} -> {t};");
+        } else {
+            let _ = writeln!(out, "  {s} -> {t} [{attrs}];");
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a [`Cfg`], highlighting entry and exit nodes.
+pub fn cfg_to_dot(cfg: &Cfg) -> String {
+    graph_to_dot_with(
+        cfg.graph(),
+        |n| {
+            if n == cfg.entry() {
+                format!("label=\"{n} (entry)\", style=bold")
+            } else if n == cfg.exit() {
+                format!("label=\"{n} (exit)\", style=bold")
+            } else {
+                format!("label=\"{n}\"")
+            }
+        },
+        |_| String::new(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_edge_list;
+
+    #[test]
+    fn emits_all_nodes_and_edges() {
+        let cfg = parse_edge_list("0->1 0->2 1->3 2->3").unwrap();
+        let dot = cfg_to_dot(&cfg);
+        for i in 0..4 {
+            assert!(dot.contains(&format!("n{i}")), "missing node n{i}");
+        }
+        assert_eq!(dot.matches(" -> ").count(), 4);
+    }
+
+    #[test]
+    fn marks_entry_and_exit() {
+        let cfg = parse_edge_list("0->1 1->2").unwrap();
+        let dot = cfg_to_dot(&cfg);
+        assert!(dot.contains("(entry)"));
+        assert!(dot.contains("(exit)"));
+    }
+
+    #[test]
+    fn custom_attributes_appear() {
+        let cfg = parse_edge_list("0->1").unwrap();
+        let dot = graph_to_dot_with(
+            cfg.graph(),
+            |_| "color=red".to_string(),
+            |_| "label=\"ce0\"".to_string(),
+        );
+        assert!(dot.contains("[color=red]"));
+        assert!(dot.contains("[label=\"ce0\"]"));
+    }
+
+    #[test]
+    fn parallel_edges_are_both_drawn() {
+        let mut g = Graph::new();
+        let n = g.add_nodes(2);
+        g.add_edge(n[0], n[1]);
+        g.add_edge(n[0], n[1]);
+        let dot = graph_to_dot(&g);
+        assert_eq!(dot.matches("n0 -> n1").count(), 2);
+    }
+}

@@ -1,0 +1,68 @@
+//! Control-flow-graph substrate for the Program Structure Tree workspace.
+//!
+//! This crate provides the graph data structures and elementary traversals
+//! that every other crate in the reproduction of Johnson, Pearson &
+//! Pingali's *"The Program Structure Tree: Computing Control Regions in
+//! Linear Time"* (PLDI 1994) builds upon:
+//!
+//! * [`Graph`] — an arena-based directed **multigraph** (parallel edges and
+//!   self-loops allowed) with dense [`NodeId`]/[`EdgeId`] indices,
+//! * [`Cfg`] — a validated control flow graph with unique `entry`/`exit`
+//!   satisfying the paper's Definition 1,
+//! * [`Dfs`] — directed depth-first search with full edge classification,
+//! * [`UndirectedDfs`] — the undirected traversal at the heart of the
+//!   linear-time cycle-equivalence algorithm (tree edges + backedges only),
+//! * [`Sccs`] — strongly connected components,
+//! * [`is_reducible`] — the T1/T2 reducibility test used by the region
+//!   classifier,
+//! * [`EdgeSplit`] — the edge-subdivision transform used as a definitional
+//!   oracle for edge dominance, and
+//! * DOT export helpers for debugging and the examples.
+//!
+//! # Examples
+//!
+//! Build the CFG of `if (c) { t } else { e }` and close it into the strongly
+//! connected graph `S` of the paper's Theorem 2:
+//!
+//! ```
+//! use pst_cfg::CfgBuilder;
+//! # fn main() -> Result<(), pst_cfg::ValidateCfgError> {
+//! let mut b = CfgBuilder::new();
+//! let (entry, cond, t, e, exit) = (
+//!     b.add_node(), b.add_node(), b.add_node(), b.add_node(), b.add_node(),
+//! );
+//! b.add_edge(entry, cond);
+//! b.add_edge(cond, t);
+//! b.add_edge(cond, e);
+//! b.add_edge(t, exit);
+//! b.add_edge(e, exit);
+//! let cfg = b.finish(entry, exit)?;
+//! let (s, back) = cfg.to_strongly_connected();
+//! assert!(pst_cfg::is_strongly_connected(&s));
+//! assert_eq!(s.source(back), exit);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cfg;
+mod dfs;
+mod dot;
+mod graph;
+mod ids;
+mod reducibility;
+mod scc;
+mod split;
+mod undirected;
+
+pub use cfg::{parse_edge_list, Cfg, CfgBuilder, ValidateCfgError};
+pub use dfs::{Dfs, DirectedEdgeKind};
+pub use dot::{cfg_to_dot, graph_to_dot, graph_to_dot_with};
+pub use graph::Graph;
+pub use ids::{EdgeId, NodeId};
+pub use reducibility::is_reducible;
+pub use scc::{is_strongly_connected, Sccs};
+pub use split::EdgeSplit;
+pub use undirected::{UndirectedDfs, UndirectedEdgeKind};

@@ -1,0 +1,199 @@
+//! Reducibility testing via T1/T2 interval reductions.
+//!
+//! A flow graph is *reducible* when repeated application of
+//! * **T1** — remove a self-loop, and
+//! * **T2** — merge a node that has a unique predecessor into that
+//!   predecessor,
+//!
+//! collapses it to a single node. The paper's Theorem 10 states that every
+//! SESE region of a reducible graph is itself reducible; the classifier in
+//! `pst-core` uses this test to separate "dag"/"loop" regions from truly
+//! unstructured cyclic ones.
+
+use std::collections::BTreeSet;
+
+use crate::{Graph, NodeId};
+
+/// Whether the subgraph of `graph` induced by `alive` (or the whole graph)
+/// is reducible when entered at `entry`.
+///
+/// Nodes unreachable from `entry` inside the induced subgraph are ignored —
+/// a region interior is always reachable from its entry, so this matches the
+/// classifier's needs while keeping the function total.
+///
+/// # Examples
+///
+/// A natural loop is reducible; the classic two-entry loop is not:
+///
+/// ```
+/// use pst_cfg::{parse_edge_list, is_reducible};
+/// let natural = parse_edge_list("0->1 1->2 2->1 2->3").unwrap();
+/// assert!(is_reducible(natural.graph(), natural.entry(), None));
+///
+/// // 0 branches to both 1 and 2, which form a cycle: irreducible.
+/// let irr = parse_edge_list("0->1 0->2 1->2 2->1 1->3 2->3").unwrap();
+/// assert!(!is_reducible(irr.graph(), irr.entry(), None));
+/// ```
+pub fn is_reducible(graph: &Graph, entry: NodeId, alive: Option<&[bool]>) -> bool {
+    let n = graph.node_count();
+    let in_scope = |node: NodeId| alive.map_or(true, |a| a[node.index()]);
+    if !in_scope(entry) {
+        return true;
+    }
+
+    // Collect reachable-in-scope nodes.
+    let mut reach = vec![false; n];
+    let mut stack = vec![entry];
+    reach[entry.index()] = true;
+    while let Some(v) = stack.pop() {
+        for s in graph.successors(v) {
+            if in_scope(s) && !reach[s.index()] {
+                reach[s.index()] = true;
+                stack.push(s);
+            }
+        }
+    }
+
+    // Mutable successor/predecessor sets over representative nodes.
+    // BTreeSet keeps iteration deterministic.
+    let mut succs: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
+    let mut preds: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
+    let mut live: Vec<bool> = vec![false; n];
+    let mut live_count = 0usize;
+    for v in graph.nodes() {
+        if !reach[v.index()] {
+            continue;
+        }
+        live[v.index()] = true;
+        live_count += 1;
+        for s in graph.successors(v) {
+            if reach[s.index()] && s != v {
+                succs[v.index()].insert(s.index());
+                preds[s.index()].insert(v.index());
+            }
+            // Self-loops are dropped immediately (T1).
+        }
+    }
+    if live_count <= 1 {
+        return true;
+    }
+
+    // Worklist of candidate nodes for T2.
+    let mut work: Vec<usize> = (0..n).filter(|&i| live[i]).collect();
+    while let Some(v) = work.pop() {
+        if !live[v] || v == entry.index() {
+            continue;
+        }
+        if preds[v].len() != 1 {
+            continue;
+        }
+        let p = *preds[v].iter().next().expect("unique predecessor");
+        // T2: merge v into p.
+        live[v] = false;
+        live_count -= 1;
+        preds[v].clear();
+        succs[p].remove(&v);
+        let v_succs: Vec<usize> = succs[v].iter().copied().collect();
+        succs[v].clear();
+        for s in v_succs {
+            preds[s].remove(&v);
+            if s == p {
+                // Would form a self-loop p -> p: apply T1 immediately.
+                continue;
+            }
+            succs[p].insert(s);
+            let newly_single = preds[s].insert(p) && preds[s].len() == 1;
+            if newly_single || preds[s].len() == 1 {
+                work.push(s);
+            }
+        }
+        // p's successor set changed; p's targets may have become mergeable.
+        if preds[p].len() == 1 {
+            work.push(p);
+        }
+        for &s in &succs[p] {
+            if preds[s].len() == 1 {
+                work.push(s);
+            }
+        }
+    }
+    live_count == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_edge_list;
+
+    fn check(desc: &str) -> bool {
+        let cfg = parse_edge_list(desc).unwrap();
+        is_reducible(cfg.graph(), cfg.entry(), None)
+    }
+
+    #[test]
+    fn straight_line_is_reducible() {
+        assert!(check("0->1 1->2 2->3"));
+    }
+
+    #[test]
+    fn diamond_is_reducible() {
+        assert!(check("0->1 0->2 1->3 2->3"));
+    }
+
+    #[test]
+    fn while_loop_is_reducible() {
+        assert!(check("0->1 1->2 2->1 1->3"));
+    }
+
+    #[test]
+    fn nested_loops_are_reducible() {
+        assert!(check("0->1 1->2 2->3 3->2 3->1 1->4"));
+    }
+
+    #[test]
+    fn self_loop_is_reducible() {
+        assert!(check("0->1 1->1 1->2"));
+    }
+
+    #[test]
+    fn classic_irreducible_triangle() {
+        assert!(!check("0->1 0->2 1->2 2->1 1->3 2->3"));
+    }
+
+    #[test]
+    fn bigger_irreducible() {
+        // Two headers entered from outside the cycle.
+        assert!(!check("0->1 0->3 1->2 2->3 3->4 4->1 2->5 4->5"));
+    }
+
+    #[test]
+    fn alive_mask_restricts_scope() {
+        // Whole graph irreducible, but the region {0,1,5} is fine.
+        let cfg = parse_edge_list("0->1 0->2 1->2 2->1 1->3 2->3 3->4").unwrap();
+        let mut alive = vec![false; cfg.node_count()];
+        alive[0] = true;
+        alive[3] = true;
+        alive[4] = true;
+        assert!(is_reducible(cfg.graph(), cfg.entry(), Some(&alive)));
+        assert!(!is_reducible(cfg.graph(), cfg.entry(), None));
+    }
+
+    #[test]
+    fn entry_outside_scope_is_vacuously_reducible() {
+        let cfg = parse_edge_list("0->1 1->2").unwrap();
+        let alive = vec![false; 3];
+        assert!(is_reducible(cfg.graph(), cfg.entry(), Some(&alive)));
+    }
+
+    #[test]
+    fn single_node_subgraph() {
+        let cfg = parse_edge_list("0->1 1->2").unwrap();
+        let mut alive = vec![false; 3];
+        alive[1] = true;
+        assert!(is_reducible(
+            cfg.graph(),
+            crate::NodeId::from_index(1),
+            Some(&alive)
+        ));
+    }
+}

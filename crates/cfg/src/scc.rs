@@ -1,0 +1,213 @@
+//! Strongly connected components (iterative Tarjan).
+//!
+//! Used to check the paper's precondition that cycle equivalence is defined
+//! within a strongly connected graph, and as a general substrate utility.
+
+use crate::{Graph, NodeId};
+
+/// Partition of a graph's nodes into strongly connected components.
+///
+/// Components are numbered in *reverse topological order* of the condensed
+/// graph: if there is an edge from a node of component `i` to a node of a
+/// different component `j`, then `i > j`.
+///
+/// # Examples
+///
+/// ```
+/// use pst_cfg::{Graph, Sccs};
+/// let mut g = Graph::new();
+/// let n = g.add_nodes(3);
+/// g.add_edge(n[0], n[1]);
+/// g.add_edge(n[1], n[0]); // {0,1} form a cycle
+/// g.add_edge(n[1], n[2]);
+/// let sccs = Sccs::new(&g);
+/// assert_eq!(sccs.count(), 2);
+/// assert_eq!(sccs.component(n[0]), sccs.component(n[1]));
+/// assert_ne!(sccs.component(n[0]), sccs.component(n[2]));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Sccs {
+    component: Vec<usize>,
+    count: usize,
+}
+
+impl Sccs {
+    /// Computes the strongly connected components of `graph`.
+    pub fn new(graph: &Graph) -> Self {
+        const UNVISITED: usize = usize::MAX;
+        let n = graph.node_count();
+        let mut index = vec![UNVISITED; n];
+        let mut lowlink = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut component = vec![UNVISITED; n];
+        let mut scc_stack: Vec<NodeId> = Vec::new();
+        let mut count = 0usize;
+        let mut next_index = 0usize;
+
+        // Explicit call stack: (node, next out-edge position).
+        let mut call: Vec<(NodeId, usize)> = Vec::new();
+        for start in graph.nodes() {
+            if index[start.index()] != UNVISITED {
+                continue;
+            }
+            index[start.index()] = next_index;
+            lowlink[start.index()] = next_index;
+            next_index += 1;
+            scc_stack.push(start);
+            on_stack[start.index()] = true;
+            call.push((start, 0));
+
+            while let Some(&mut (v, ref mut next)) = call.last_mut() {
+                let out = graph.out_edges(v);
+                if *next < out.len() {
+                    let w = graph.target(out[*next]);
+                    *next += 1;
+                    if index[w.index()] == UNVISITED {
+                        index[w.index()] = next_index;
+                        lowlink[w.index()] = next_index;
+                        next_index += 1;
+                        scc_stack.push(w);
+                        on_stack[w.index()] = true;
+                        call.push((w, 0));
+                    } else if on_stack[w.index()] {
+                        lowlink[v.index()] = lowlink[v.index()].min(index[w.index()]);
+                    }
+                } else {
+                    call.pop();
+                    if let Some(&(parent, _)) = call.last() {
+                        lowlink[parent.index()] = lowlink[parent.index()].min(lowlink[v.index()]);
+                    }
+                    if lowlink[v.index()] == index[v.index()] {
+                        loop {
+                            let w = scc_stack.pop().expect("scc stack underflow");
+                            on_stack[w.index()] = false;
+                            component[w.index()] = count;
+                            if w == v {
+                                break;
+                            }
+                        }
+                        count += 1;
+                    }
+                }
+            }
+        }
+        Sccs { component, count }
+    }
+
+    /// Number of components.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Component number of `node` (reverse topological order).
+    pub fn component(&self, node: NodeId) -> usize {
+        self.component[node.index()]
+    }
+
+    /// Whether the whole graph is one strongly connected component.
+    pub fn is_strongly_connected(&self) -> bool {
+        self.count <= 1
+    }
+}
+
+/// Convenience: whether `graph` is strongly connected.
+///
+/// # Examples
+///
+/// ```
+/// use pst_cfg::{Graph, is_strongly_connected};
+/// let mut g = Graph::new();
+/// let n = g.add_nodes(2);
+/// g.add_edge(n[0], n[1]);
+/// assert!(!is_strongly_connected(&g));
+/// g.add_edge(n[1], n[0]);
+/// assert!(is_strongly_connected(&g));
+/// ```
+pub fn is_strongly_connected(graph: &Graph) -> bool {
+    if graph.is_empty() {
+        return true;
+    }
+    Sccs::new(graph).is_strongly_connected()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dag_has_singleton_components() {
+        let mut g = Graph::new();
+        let n = g.add_nodes(4);
+        g.add_edge(n[0], n[1]);
+        g.add_edge(n[1], n[2]);
+        g.add_edge(n[1], n[3]);
+        let sccs = Sccs::new(&g);
+        assert_eq!(sccs.count(), 4);
+        let mut comps: Vec<_> = n.iter().map(|&x| sccs.component(x)).collect();
+        comps.dedup();
+        assert_eq!(comps.len(), 4);
+    }
+
+    #[test]
+    fn reverse_topological_numbering() {
+        let mut g = Graph::new();
+        let n = g.add_nodes(3);
+        g.add_edge(n[0], n[1]);
+        g.add_edge(n[1], n[2]);
+        let sccs = Sccs::new(&g);
+        // Edges go from higher to lower component numbers.
+        assert!(sccs.component(n[0]) > sccs.component(n[1]));
+        assert!(sccs.component(n[1]) > sccs.component(n[2]));
+    }
+
+    #[test]
+    fn two_cycles_bridge() {
+        let mut g = Graph::new();
+        let n = g.add_nodes(5);
+        g.add_edge(n[0], n[1]);
+        g.add_edge(n[1], n[0]);
+        g.add_edge(n[1], n[2]);
+        g.add_edge(n[2], n[3]);
+        g.add_edge(n[3], n[4]);
+        g.add_edge(n[4], n[2]);
+        let sccs = Sccs::new(&g);
+        assert_eq!(sccs.count(), 2);
+        assert_eq!(sccs.component(n[2]), sccs.component(n[4]));
+        assert_ne!(sccs.component(n[0]), sccs.component(n[2]));
+    }
+
+    #[test]
+    fn self_loop_is_its_own_scc() {
+        let mut g = Graph::new();
+        let n = g.add_nodes(2);
+        g.add_edge(n[0], n[0]);
+        g.add_edge(n[0], n[1]);
+        let sccs = Sccs::new(&g);
+        assert_eq!(sccs.count(), 2);
+    }
+
+    #[test]
+    fn strongly_connected_cycle() {
+        let mut g = Graph::new();
+        let n = g.add_nodes(4);
+        for i in 0..4 {
+            g.add_edge(n[i], n[(i + 1) % 4]);
+        }
+        assert!(is_strongly_connected(&g));
+    }
+
+    #[test]
+    fn empty_graph_is_trivially_strongly_connected() {
+        assert!(is_strongly_connected(&Graph::new()));
+    }
+
+    #[test]
+    fn large_cycle_is_stack_safe() {
+        let mut g = Graph::new();
+        let n = g.add_nodes(60_000);
+        for i in 0..n.len() {
+            g.add_edge(n[i], n[(i + 1) % n.len()]);
+        }
+        assert!(is_strongly_connected(&g));
+    }
+}

@@ -1,0 +1,273 @@
+//! `pst` — command-line front door to the Program Structure Tree library.
+//!
+//! ```text
+//! pst <command> <file.mini | ->
+//!
+//! commands:
+//!   regions          print each function's PST and shape statistics
+//!   kinds            classify every SESE region (block/if/case/loop/dag/…)
+//!   dot              Graphviz DOT dump, nodes colored by innermost region
+//!   clusters         Graphviz DOT dump with regions as nested clusters
+//!   control-regions  control-dependence equivalence classes (§5)
+//!   ssa              φ-placement and SSA renaming (§6.1)
+//!   dataflow         per-variable reaching definitions via QPGs (§6.2)
+//!   loops            natural-loop nesting forest (dominator view)
+//!   intervals        Allen–Cocke derived sequence and reducibility
+//! ```
+//!
+//! `-` reads the program from stdin. Exit codes: 0 ok, 1 analysis error,
+//! 2 usage error.
+
+use std::io::Read as _;
+use std::process::ExitCode;
+
+use pst_cfg::graph_to_dot_with;
+use pst_controldep::fow_control_regions;
+use pst_core::{classify_regions, collapse_all, ControlRegions, ProgramStructureTree, PstStats};
+use pst_dataflow::{solve_iterative, QpgContext, SingleVariableReachingDefs};
+use pst_lang::{lower_program, parse_program, LoweredFunction, VarId};
+use pst_ssa::{place_phis_cytron, place_phis_pst, rename};
+
+const USAGE: &str =
+    "usage: pst <regions|kinds|dot|clusters|control-regions|ssa|dataflow> <file.mini | ->";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (command, path) = match (args.first(), args.get(1)) {
+        (Some(c), Some(p)) => (c.as_str(), p.as_str()),
+        _ => {
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let source = match read_source(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("pst: cannot read `{path}`: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(command, &source) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(Failure::Usage(msg)) => {
+            eprintln!("pst: {msg}\n{USAGE}");
+            ExitCode::from(2)
+        }
+        Err(Failure::Analysis(msg)) => {
+            eprintln!("pst: {msg}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+enum Failure {
+    Usage(String),
+    Analysis(String),
+}
+
+fn read_source(path: &str) -> std::io::Result<String> {
+    if path == "-" {
+        let mut buf = String::new();
+        std::io::stdin().read_to_string(&mut buf)?;
+        Ok(buf)
+    } else {
+        std::fs::read_to_string(path)
+    }
+}
+
+fn run(command: &str, source: &str) -> Result<(), Failure> {
+    let program =
+        parse_program(source).map_err(|e| Failure::Analysis(format!("parse error: {e}")))?;
+    let lowered =
+        lower_program(&program).map_err(|e| Failure::Analysis(format!("lowering error: {e}")))?;
+    for function in &lowered {
+        match command {
+            "regions" => regions(function),
+            "kinds" => kinds(function),
+            "dot" => dot(function),
+            "clusters" => clusters(function),
+            "control-regions" => control_regions(function),
+            "ssa" => ssa(function),
+            "dataflow" => dataflow(function),
+            "loops" => loops(function),
+            "intervals" => intervals(function),
+            other => return Err(Failure::Usage(format!("unknown command `{other}`"))),
+        }
+        println!();
+    }
+    Ok(())
+}
+
+fn regions(f: &LoweredFunction) {
+    let pst = ProgramStructureTree::build(&f.cfg);
+    let stats = PstStats::of(&pst);
+    println!(
+        "fn {}: {} blocks, {} edges, {} statements",
+        f.name,
+        f.cfg.node_count(),
+        f.cfg.edge_count(),
+        f.statement_count()
+    );
+    print!("{}", pst.render());
+    println!(
+        "{} canonical regions, max depth {}, average depth {:.2}, max collapsed size {}",
+        stats.region_count,
+        stats.max_depth,
+        stats.average_depth(),
+        stats.max_collapsed_size
+    );
+}
+
+fn kinds(f: &LoweredFunction) {
+    let pst = ProgramStructureTree::build(&f.cfg);
+    let classification = classify_regions(&f.cfg, &pst);
+    println!("fn {}:", f.name);
+    for r in pst.regions() {
+        let indent = "  ".repeat(pst.depth(r) + 1);
+        println!("{indent}{r}: {}", classification.kind(r));
+    }
+    println!(
+        "  completely structured: {}",
+        classification.is_completely_structured()
+    );
+}
+
+const PALETTE: &[&str] = &[
+    "lightblue",
+    "lightyellow",
+    "lightpink",
+    "lightgreen",
+    "lavender",
+    "mistyrose",
+    "honeydew",
+    "thistle",
+];
+
+fn dot(f: &LoweredFunction) {
+    let pst = ProgramStructureTree::build(&f.cfg);
+    println!("// fn {}", f.name);
+    let rendered = graph_to_dot_with(
+        f.cfg.graph(),
+        |n| {
+            let r = pst.region_of_node(n);
+            let text: Vec<&str> = f.blocks[n.index()]
+                .stmts
+                .iter()
+                .map(|s| s.text.as_str())
+                .collect();
+            format!(
+                "label=\"{n} [{r}]\\n{}\", style=filled, fillcolor={}",
+                text.join("\\n"),
+                PALETTE[r.index() % PALETTE.len()]
+            )
+        },
+        |_| String::new(),
+    );
+    print!("{rendered}");
+}
+
+fn clusters(f: &LoweredFunction) {
+    let pst = ProgramStructureTree::build(&f.cfg);
+    println!("// fn {} — regions as nested clusters", f.name);
+    print!("{}", pst_core::pst_to_dot(&f.cfg, &pst));
+}
+
+fn control_regions(f: &LoweredFunction) {
+    let fast = ControlRegions::compute(&f.cfg);
+    debug_assert_eq!(fast, fow_control_regions(&f.cfg));
+    println!("fn {}: {} control regions", f.name, fast.num_classes());
+    for (class, nodes) in fast.groups().iter().enumerate() {
+        let labels: Vec<String> = nodes.iter().map(|n| n.to_string()).collect();
+        println!("  class {class}: {}", labels.join(" "));
+    }
+}
+
+fn ssa(f: &LoweredFunction) {
+    let pst = ProgramStructureTree::build(&f.cfg);
+    let collapsed = collapse_all(&f.cfg, &pst);
+    let sparse = place_phis_pst(f, &pst, &collapsed);
+    let baseline = place_phis_cytron(f);
+    assert_eq!(baseline, sparse.placement, "Theorem 9");
+    let form = rename(f, &baseline);
+    println!("fn {}: {} φ-functions", f.name, form.total_phis());
+    for node in f.cfg.graph().nodes() {
+        if form.phi_nodes[node.index()].is_empty() && form.statements[node.index()].is_empty() {
+            continue;
+        }
+        println!("  block {node}:");
+        for phi in &form.phi_nodes[node.index()] {
+            let args: Vec<String> = phi
+                .args
+                .iter()
+                .map(|(p, v)| format!("{}_{v}@{p}", f.var_name(phi.var)))
+                .collect();
+            println!(
+                "    {}_{} = φ({})",
+                f.var_name(phi.var),
+                phi.result,
+                args.join(", ")
+            );
+        }
+        for (stmt, info) in form.statements[node.index()]
+            .iter()
+            .zip(&f.blocks[node.index()].stmts)
+        {
+            match stmt.def {
+                Some((d, v)) => println!("    {}_{v}   // {}", f.var_name(d), info.text),
+                None => println!("    //: {}", info.text),
+            }
+        }
+    }
+}
+
+fn loops(f: &LoweredFunction) {
+    let forest = pst_dominators::LoopForest::compute(&f.cfg);
+    println!("fn {}: {} natural loops", f.name, forest.loops().len());
+    for (i, l) in forest.loops().iter().enumerate() {
+        let body: Vec<String> = l.body.iter().map(|n| n.to_string()).collect();
+        let parent = match l.parent {
+            Some(p) => format!(" (inside loop {p})"),
+            None => String::new(),
+        };
+        println!("  loop {i}: header {}{} body {{{}}}", l.header, parent, body.join(", "));
+    }
+}
+
+fn intervals(f: &LoweredFunction) {
+    let seq = pst_dataflow::derived_sequence(&f.cfg);
+    println!(
+        "fn {}: derived sequence {:?} -> {}",
+        f.name,
+        seq.interval_counts,
+        if seq.reducible { "reducible" } else { "IRREDUCIBLE" }
+    );
+}
+
+fn dataflow(f: &LoweredFunction) {
+    let pst = ProgramStructureTree::build(&f.cfg);
+    let ctx = QpgContext::new(&f.cfg, &pst);
+    println!(
+        "fn {}: per-variable reaching definitions via quick propagation graphs",
+        f.name
+    );
+    for v in 0..f.var_count() {
+        let var = VarId::from_index(v);
+        let problem = SingleVariableReachingDefs::new(f, var);
+        let qpg = ctx.build_from_sites(problem.sites());
+        let sparse = ctx.solve(&qpg, &problem);
+        let full = solve_iterative(&f.cfg, &problem);
+        let ok = if sparse == full { "ok" } else { "MISMATCH" };
+        let exit_defs: Vec<String> = sparse
+            .value_in(f.cfg.exit())
+            .iter()
+            .map(|i| format!("{}", problem.sites()[i]))
+            .collect();
+        println!(
+            "  {:>6}: QPG {:>3}/{} nodes, defs reaching exit: [{}] ({ok})",
+            f.var_name(var),
+            qpg.node_count(),
+            f.cfg.node_count(),
+            exit_defs.join(", ")
+        );
+    }
+}

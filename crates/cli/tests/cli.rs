@@ -1,0 +1,155 @@
+//! End-to-end tests of the `pst` binary: every subcommand over a sample
+//! program, plus error handling and exit codes.
+
+use std::io::Write as _;
+use std::process::{Command, Stdio};
+
+const SAMPLE: &str = "
+fn sample(n) {
+    s = 0;
+    while (n > 0) {
+        if (n % 2 == 0) { s = s + n; }
+        n = n - 1;
+    }
+    return s;
+}
+";
+
+fn run(args: &[&str], stdin: Option<&str>) -> (String, String, i32) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_pst"));
+    cmd.args(args).stdout(Stdio::piped()).stderr(Stdio::piped());
+    if stdin.is_some() {
+        cmd.stdin(Stdio::piped());
+    }
+    let mut child = cmd.spawn().expect("binary runs");
+    if let Some(input) = stdin {
+        child
+            .stdin
+            .as_mut()
+            .expect("stdin piped")
+            .write_all(input.as_bytes())
+            .expect("write stdin");
+    }
+    let out = child.wait_with_output().expect("wait");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code().unwrap_or(-1),
+    )
+}
+
+fn sample_file() -> std::path::PathBuf {
+    let path = std::env::temp_dir().join("pst_cli_sample.mini");
+    std::fs::write(&path, SAMPLE).expect("write sample");
+    path
+}
+
+#[test]
+fn regions_prints_tree_and_stats() {
+    let f = sample_file();
+    let (out, _, code) = run(&["regions", f.to_str().unwrap()], None);
+    assert_eq!(code, 0);
+    assert!(out.contains("fn sample"));
+    assert!(out.contains("<procedure>"));
+    assert!(out.contains("canonical regions"));
+}
+
+#[test]
+fn kinds_reports_structure() {
+    let f = sample_file();
+    let (out, _, code) = run(&["kinds", f.to_str().unwrap()], None);
+    assert_eq!(code, 0);
+    assert!(out.contains("loop"));
+    assert!(out.contains("if-then-else"));
+    assert!(out.contains("completely structured: true"));
+}
+
+#[test]
+fn dot_emits_graphviz() {
+    let f = sample_file();
+    let (out, _, code) = run(&["dot", f.to_str().unwrap()], None);
+    assert_eq!(code, 0);
+    assert!(out.contains("digraph"));
+    assert!(out.contains("fillcolor"));
+}
+
+#[test]
+fn control_regions_partitions_blocks() {
+    let f = sample_file();
+    let (out, _, code) = run(&["control-regions", f.to_str().unwrap()], None);
+    assert_eq!(code, 0);
+    assert!(out.contains("control regions"));
+    assert!(out.contains("class 0:"));
+}
+
+#[test]
+fn ssa_places_phis() {
+    let f = sample_file();
+    let (out, _, code) = run(&["ssa", f.to_str().unwrap()], None);
+    assert_eq!(code, 0);
+    assert!(out.contains("φ-functions"));
+    assert!(out.contains("= φ("));
+}
+
+#[test]
+fn dataflow_verifies_qpg_solutions() {
+    let f = sample_file();
+    let (out, _, code) = run(&["dataflow", f.to_str().unwrap()], None);
+    assert_eq!(code, 0);
+    assert!(out.contains("(ok)"));
+    assert!(!out.contains("MISMATCH"));
+}
+
+#[test]
+fn reads_from_stdin() {
+    let (out, _, code) = run(&["regions", "-"], Some(SAMPLE));
+    assert_eq!(code, 0);
+    assert!(out.contains("fn sample"));
+}
+
+#[test]
+fn parse_errors_exit_1_with_position() {
+    let (_, err, code) = run(&["regions", "-"], Some("fn broken( { }"));
+    assert_eq!(code, 1);
+    assert!(err.contains("parse error"), "{err}");
+}
+
+#[test]
+fn usage_errors_exit_2() {
+    let (_, err, code) = run(&["frobnicate", "-"], Some(SAMPLE));
+    assert_eq!(code, 2);
+    assert!(err.contains("unknown command"), "{err}");
+
+    let (_, err, code) = run(&[], None);
+    assert_eq!(code, 2);
+    assert!(err.contains("usage"), "{err}");
+}
+
+#[test]
+fn missing_file_exits_2() {
+    let (_, err, code) = run(&["regions", "/nonexistent/x.mini"], None);
+    assert_eq!(code, 2);
+    assert!(err.contains("cannot read"), "{err}");
+}
+
+#[test]
+fn clusters_emits_nested_subgraphs() {
+    let f = sample_file();
+    let (out, _, code) = run(&["clusters", f.to_str().unwrap()], None);
+    assert_eq!(code, 0);
+    assert!(out.contains("subgraph cluster_r1"));
+    assert_eq!(out.matches('{').count(), out.matches('}').count());
+}
+
+#[test]
+fn loops_and_intervals_commands() {
+    let f = sample_file();
+    let (out, _, code) = run(&["loops", f.to_str().unwrap()], None);
+    assert_eq!(code, 0);
+    assert!(out.contains("natural loops"), "{out}");
+    assert!(out.contains("header"), "{out}");
+
+    let (out, _, code) = run(&["intervals", f.to_str().unwrap()], None);
+    assert_eq!(code, 0);
+    assert!(out.contains("reducible"), "{out}");
+}

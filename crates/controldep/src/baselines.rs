@@ -1,0 +1,192 @@
+//! Baseline control-region algorithms the paper compares against.
+//!
+//! * [`fow_control_regions`] — the Ferrante–Ottenstein–Warren approach:
+//!   materialize every node's control-dependence set and group nodes by
+//!   hashing the sets. `O(N·E)` time and space in the worst case.
+//! * [`cfs_control_regions`] — Cytron–Ferrante–Sarkar partition
+//!   refinement: start with all nodes in one class and refine by the
+//!   dependent-set of each control-dependence edge. `O(E·N)` worst-case
+//!   time, `O(E + N)` space.
+//!
+//! Both produce exactly the partition of
+//! [`pst_core::ControlRegions`](https://docs.rs/pst-core) (cross-validated
+//! in tests), but asymptotically slower — reproducing the paper's §5
+//! comparison.
+
+use std::collections::HashMap;
+
+use pst_cfg::{Cfg, NodeId};
+
+use crate::ControlDependence;
+
+/// A control-region partition, structurally identical to the one produced
+/// by the linear-time algorithm so results compare with `==`.
+pub use pst_core::ControlRegions;
+
+/// FOW-style control regions: hash full control-dependence sets.
+///
+/// # Examples
+///
+/// ```
+/// use pst_cfg::parse_edge_list;
+/// use pst_controldep::fow_control_regions;
+/// let cfg = parse_edge_list("0->1 0->2 1->3 2->3").unwrap();
+/// let cr = fow_control_regions(&cfg);
+/// assert_eq!(cr.num_classes(), 3);
+/// ```
+pub fn fow_control_regions(cfg: &Cfg) -> ControlRegions {
+    let cd = ControlDependence::compute(cfg);
+    fow_from_dependence(cfg, &cd)
+}
+
+/// FOW grouping over a precomputed relation (so benches can time the
+/// grouping and the relation separately).
+pub fn fow_from_dependence(cfg: &Cfg, cd: &ControlDependence) -> ControlRegions {
+    let mut class_of_set: HashMap<&[pst_cfg::EdgeId], u32> = HashMap::new();
+    let mut next = 0u32;
+    let raw: Vec<u32> = cfg
+        .graph()
+        .nodes()
+        .map(|n| {
+            *class_of_set.entry(cd.deps_of(n)).or_insert_with(|| {
+                let c = next;
+                next += 1;
+                c
+            })
+        })
+        .collect();
+    ControlRegions::from_classes(raw)
+}
+
+/// Cytron–Ferrante–Sarkar control regions: iterated partition refinement.
+///
+/// All nodes start in a single class; for every control-dependence edge,
+/// the class of each node is split according to membership in that edge's
+/// dependent set. Two nodes end in the same class iff no edge ever
+/// separated them, i.e. iff their CD sets are equal.
+///
+/// # Examples
+///
+/// ```
+/// use pst_cfg::parse_edge_list;
+/// use pst_controldep::{cfs_control_regions, fow_control_regions};
+/// let cfg = parse_edge_list("0->1 1->2 2->1 1->3").unwrap();
+/// assert_eq!(cfs_control_regions(&cfg), fow_control_regions(&cfg));
+/// ```
+pub fn cfs_control_regions(cfg: &Cfg) -> ControlRegions {
+    let cd = ControlDependence::compute(cfg);
+    cfs_from_dependence(cfg, &cd)
+}
+
+/// CFS refinement over a precomputed relation.
+pub fn cfs_from_dependence(cfg: &Cfg, cd: &ControlDependence) -> ControlRegions {
+    let n = cfg.node_count();
+    let mut class: Vec<u32> = vec![0; n];
+    let mut next = 1u32;
+    // Scratch: for each class touched by the current dependent set, the
+    // fresh class its members move to.
+    let mut split_to: HashMap<u32, u32> = HashMap::new();
+
+    for dependents in cd.dependents_by_edge() {
+        if dependents.is_empty() || dependents.len() == n {
+            continue; // cannot split anything
+        }
+        split_to.clear();
+        // Count members per touched class to skip classes fully inside the
+        // set (splitting those would be a no-op renaming).
+        let mut touched: HashMap<u32, usize> = HashMap::new();
+        for &node in &dependents {
+            *touched.entry(class[node.index()]).or_insert(0) += 1;
+        }
+        let mut class_sizes: HashMap<u32, usize> = HashMap::new();
+        for &c in class.iter() {
+            *class_sizes.entry(c).or_insert(0) += 1;
+        }
+        for &node in &dependents {
+            let c = class[node.index()];
+            if touched[&c] == class_sizes[&c] {
+                continue; // whole class inside the set: no split
+            }
+            let fresh = *split_to.entry(c).or_insert_with(|| {
+                let f = next;
+                next += 1;
+                f
+            });
+            class[node.index()] = fresh;
+        }
+    }
+    ControlRegions::from_classes(class)
+}
+
+/// Convenience: the linear-time algorithm re-exported next to its
+/// baselines so benches and tests compare all three from one import.
+pub fn linear_control_regions(cfg: &Cfg) -> ControlRegions {
+    ControlRegions::compute(cfg)
+}
+
+/// Groups `nodes` by an arbitrary partition — test helper comparing
+/// partitions irrespective of class numbering. Kept public for the
+/// integration tests.
+pub fn partition_signature(cr: &ControlRegions, node_count: usize) -> Vec<Vec<usize>> {
+    let mut groups: Vec<Vec<usize>> = vec![Vec::new(); cr.num_classes()];
+    for i in 0..node_count {
+        groups[cr.class(NodeId::from_index(i)) as usize].push(i);
+    }
+    groups.sort();
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pst_cfg::parse_edge_list;
+
+    fn all_three_agree(desc: &str) {
+        let cfg = parse_edge_list(desc).unwrap();
+        let fow = fow_control_regions(&cfg);
+        let cfs = cfs_control_regions(&cfg);
+        let fast = linear_control_regions(&cfg);
+        // ControlRegions renumbers densely in node order, so equal
+        // partitions are structurally equal.
+        assert_eq!(fow, cfs, "fow vs cfs on {desc}");
+        assert_eq!(fow, fast, "fow vs linear on {desc}");
+    }
+
+    #[test]
+    fn agreement_on_structured_graphs() {
+        all_three_agree("0->1 1->2 2->3");
+        all_three_agree("0->1 0->2 1->3 2->3");
+        all_three_agree("0->1 1->2 2->1 1->3");
+        all_three_agree("0->1 1->2 2->3 3->2 3->1 1->4");
+        all_three_agree("0->1 1->2 1->3 2->4 3->4 4->1 4->5");
+    }
+
+    #[test]
+    fn agreement_on_unstructured_graphs() {
+        all_three_agree("0->1 0->2 1->2 2->1 1->3 2->3");
+        all_three_agree("0->1 1->2 2->3 3->4 4->5 3->1 5->2 5->6");
+        all_three_agree("0->1 0->3 1->2 2->3 3->4 4->1 2->5 4->5");
+    }
+
+    #[test]
+    fn agreement_with_self_loops_and_parallel_edges() {
+        all_three_agree("0->1 1->1 1->2");
+        all_three_agree("0->1 0->1 1->2");
+        all_three_agree("0->1 1->1 1->2 2->2 2->3");
+    }
+
+    #[test]
+    fn diamond_partition_content() {
+        let cfg = parse_edge_list("0->1 0->2 1->3 2->3").unwrap();
+        let cr = cfs_control_regions(&cfg);
+        let sig = partition_signature(&cr, cfg.node_count());
+        assert_eq!(sig, vec![vec![0, 3], vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn refinement_skips_whole_class_splits() {
+        // A graph where one dependent set covers an entire class; the
+        // result must still match FOW.
+        all_three_agree("0->1 1->2 1->3 2->3 3->4");
+    }
+}

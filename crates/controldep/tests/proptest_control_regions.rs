@@ -1,0 +1,33 @@
+//! Property tests: the linear-time control-region algorithm (node-expanded
+//! cycle equivalence, Theorems 7–8) agrees with the FOW hashing and CFS
+//! refinement baselines on random CFGs and on generated programs.
+
+use proptest::prelude::*;
+use pst_controldep::{cfs_control_regions, fow_control_regions, linear_control_regions};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    #[test]
+    fn all_three_algorithms_agree(n in 3usize..24, extra in 0usize..24, seed in 0u64..10_000) {
+        let cfg = pst_workloads::random_cfg(n, extra, seed);
+        let fow = fow_control_regions(&cfg);
+        let cfs = cfs_control_regions(&cfg);
+        let fast = linear_control_regions(&cfg);
+        prop_assert_eq!(&fow, &cfs);
+        prop_assert_eq!(&fow, &fast);
+    }
+
+    #[test]
+    fn agree_on_generated_programs(seed in 0u64..500) {
+        let f = pst_workloads::generate_function(
+            "p",
+            &pst_workloads::ProgramGenConfig { goto_prob: 0.1, ..Default::default() },
+            seed,
+        );
+        let lowered = pst_lang::lower_function(&f).unwrap();
+        let fow = fow_control_regions(&lowered.cfg);
+        let fast = linear_control_regions(&lowered.cfg);
+        prop_assert_eq!(&fow, &fast);
+    }
+}

@@ -1,0 +1,369 @@
+//! The `BracketList` abstract data type of the paper's §3.5.
+//!
+//! The fast cycle-equivalence algorithm maintains, per tree node, a list of
+//! *brackets* — backedges that span the tree edge into that node — with the
+//! operations `create`, `size`, `push`, `top`, `delete`, `concat`, all in
+//! constant time. Following the paper, the concrete representation is a
+//! doubly-linked list (here arena-backed, with indices instead of pointers)
+//! plus an explicit size; every bracket records the list cell it occupies so
+//! deletion from the middle is O(1).
+//!
+//! Brackets also carry the bookkeeping fields of the paper's Figure 4:
+//! `recentSize` and `recentClass` (the compact `<top bracket, set size>`
+//! naming device) and `class` (for the backedge itself).
+
+use pst_cfg::EdgeId;
+
+/// Index of a bracket in a [`BracketArena`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct BracketId(u32);
+
+impl BracketId {
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Sentinel-free linked-list cell plus the algorithm's per-bracket fields.
+#[derive(Clone, Debug)]
+struct BracketCell {
+    prev: Option<BracketId>,
+    next: Option<BracketId>,
+    /// Real backedge this bracket stands for; `None` for capping backedges.
+    edge: Option<EdgeId>,
+    /// `e.recentSize` of Figure 4.
+    recent_size: usize,
+    /// `e.recentClass` of Figure 4 (`u32::MAX` = undefined).
+    recent_class: u32,
+    /// `e.class` of Figure 4 (`u32::MAX` = undefined).
+    class: u32,
+}
+
+/// Sentinel for "no class assigned yet".
+pub(crate) const UNDEFINED_CLASS: u32 = u32::MAX;
+
+/// Arena owning every bracket cell created during one run of the
+/// cycle-equivalence algorithm.
+///
+/// Lists ([`BracketList`]) are lightweight handles (head, tail, size) into
+/// this arena. All list operations take the arena explicitly, which keeps
+/// the borrow checker happy without `Rc<RefCell<_>>` overhead.
+///
+/// # Examples
+///
+/// ```
+/// use pst_core::bracket::{BracketArena, BracketList};
+/// let mut arena = BracketArena::new();
+/// let mut list = BracketList::new();
+/// let a = arena.new_bracket(None);
+/// let b = arena.new_bracket(None);
+/// arena.push(&mut list, a);
+/// arena.push(&mut list, b);
+/// assert_eq!(list.size(), 2);
+/// assert_eq!(arena.top(&list), Some(b));
+/// arena.delete(&mut list, a); // delete from the *bottom*
+/// assert_eq!(list.size(), 1);
+/// assert_eq!(arena.top(&list), Some(b));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct BracketArena {
+    cells: Vec<BracketCell>,
+}
+
+/// A handle to one bracket list: head (top), tail (bottom) and size.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BracketList {
+    head: Option<BracketId>,
+    tail: Option<BracketId>,
+    size: usize,
+}
+
+impl BracketArena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        BracketArena::default()
+    }
+
+    /// Creates an empty arena sized for `n` brackets.
+    pub fn with_capacity(n: usize) -> Self {
+        BracketArena {
+            cells: Vec::with_capacity(n),
+        }
+    }
+
+    /// Allocates a fresh bracket. `edge` is the CFG edge it represents, or
+    /// `None` for a capping backedge.
+    pub fn new_bracket(&mut self, edge: Option<EdgeId>) -> BracketId {
+        let id = BracketId(u32::try_from(self.cells.len()).expect("too many brackets"));
+        self.cells.push(BracketCell {
+            prev: None,
+            next: None,
+            edge,
+            recent_size: usize::MAX,
+            recent_class: UNDEFINED_CLASS,
+            class: UNDEFINED_CLASS,
+        });
+        id
+    }
+
+    /// The CFG edge a bracket represents (`None` for capping brackets).
+    pub fn edge_of(&self, b: BracketId) -> Option<EdgeId> {
+        self.cells[b.index()].edge
+    }
+
+    /// `recentSize` bookkeeping field.
+    pub fn recent_size(&self, b: BracketId) -> usize {
+        self.cells[b.index()].recent_size
+    }
+
+    /// Updates `recentSize`.
+    pub fn set_recent_size(&mut self, b: BracketId, size: usize) {
+        self.cells[b.index()].recent_size = size;
+    }
+
+    /// `recentClass` bookkeeping field (`u32::MAX` = undefined).
+    pub fn recent_class(&self, b: BracketId) -> u32 {
+        self.cells[b.index()].recent_class
+    }
+
+    /// Updates `recentClass`.
+    pub fn set_recent_class(&mut self, b: BracketId, class: u32) {
+        self.cells[b.index()].recent_class = class;
+    }
+
+    /// The backedge's own equivalence class (`u32::MAX` = undefined).
+    pub fn class(&self, b: BracketId) -> u32 {
+        self.cells[b.index()].class
+    }
+
+    /// Sets the backedge's own equivalence class.
+    pub fn set_class(&mut self, b: BracketId, class: u32) {
+        self.cells[b.index()].class = class;
+    }
+
+    /// Pushes `b` on top of `list`. O(1).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `b` is already linked into some list.
+    pub fn push(&mut self, list: &mut BracketList, b: BracketId) {
+        debug_assert!(
+            self.cells[b.index()].prev.is_none() && self.cells[b.index()].next.is_none(),
+            "bracket already linked"
+        );
+        match list.head {
+            Some(old) => {
+                self.cells[b.index()].next = Some(old);
+                self.cells[old.index()].prev = Some(b);
+            }
+            None => list.tail = Some(b),
+        }
+        list.head = Some(b);
+        list.size += 1;
+    }
+
+    /// The topmost bracket of `list`, if any. O(1).
+    pub fn top(&self, list: &BracketList) -> Option<BracketId> {
+        list.head
+    }
+
+    /// Deletes `b` from anywhere inside `list`. O(1).
+    ///
+    /// The caller must ensure `b` is currently an element of `list` (the
+    /// algorithm guarantees this: a backedge is deleted exactly once, at its
+    /// upper endpoint, from the one list that has absorbed it).
+    pub fn delete(&mut self, list: &mut BracketList, b: BracketId) {
+        let (prev, next) = {
+            let c = &self.cells[b.index()];
+            (c.prev, c.next)
+        };
+        match prev {
+            Some(p) => self.cells[p.index()].next = next,
+            None => list.head = next,
+        }
+        match next {
+            Some(n) => self.cells[n.index()].prev = prev,
+            None => list.tail = prev,
+        }
+        let c = &mut self.cells[b.index()];
+        c.prev = None;
+        c.next = None;
+        debug_assert!(list.size > 0, "delete from empty bracket list");
+        list.size -= 1;
+    }
+
+    /// Concatenates two lists in O(1): `upper` ends up on top of `lower`.
+    /// Both inputs are consumed.
+    pub fn concat(&mut self, upper: BracketList, lower: BracketList) -> BracketList {
+        match (upper.tail, lower.head) {
+            (Some(ut), Some(lh)) => {
+                self.cells[ut.index()].next = Some(lh);
+                self.cells[lh.index()].prev = Some(ut);
+                BracketList {
+                    head: upper.head,
+                    tail: lower.tail,
+                    size: upper.size + lower.size,
+                }
+            }
+            (None, _) => lower,
+            (_, None) => upper,
+        }
+    }
+
+    /// The elements of `list` from top to bottom (O(n); test helper).
+    pub fn elements(&self, list: &BracketList) -> Vec<BracketId> {
+        let mut out = Vec::with_capacity(list.size);
+        let mut cur = list.head;
+        while let Some(b) = cur {
+            out.push(b);
+            cur = self.cells[b.index()].next;
+        }
+        out
+    }
+}
+
+impl BracketList {
+    /// Creates an empty list (`create()` of the paper).
+    pub fn new() -> Self {
+        BracketList::default()
+    }
+
+    /// Number of brackets in the list (`size()` of the paper). O(1).
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.size == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fresh(arena: &mut BracketArena, n: usize) -> Vec<BracketId> {
+        (0..n).map(|_| arena.new_bracket(None)).collect()
+    }
+
+    #[test]
+    fn push_top_size() {
+        let mut a = BracketArena::new();
+        let mut l = BracketList::new();
+        assert!(l.is_empty());
+        assert_eq!(a.top(&l), None);
+        let bs = fresh(&mut a, 3);
+        for &b in &bs {
+            a.push(&mut l, b);
+        }
+        assert_eq!(l.size(), 3);
+        assert_eq!(a.top(&l), Some(bs[2]));
+        assert_eq!(a.elements(&l), vec![bs[2], bs[1], bs[0]]);
+    }
+
+    #[test]
+    fn delete_from_middle() {
+        let mut a = BracketArena::new();
+        let mut l = BracketList::new();
+        let bs = fresh(&mut a, 3);
+        for &b in &bs {
+            a.push(&mut l, b);
+        }
+        a.delete(&mut l, bs[1]);
+        assert_eq!(l.size(), 2);
+        assert_eq!(a.elements(&l), vec![bs[2], bs[0]]);
+    }
+
+    #[test]
+    fn delete_top_and_bottom() {
+        let mut a = BracketArena::new();
+        let mut l = BracketList::new();
+        let bs = fresh(&mut a, 3);
+        for &b in &bs {
+            a.push(&mut l, b);
+        }
+        a.delete(&mut l, bs[2]); // top
+        assert_eq!(a.top(&l), Some(bs[1]));
+        a.delete(&mut l, bs[0]); // bottom
+        assert_eq!(a.elements(&l), vec![bs[1]]);
+        a.delete(&mut l, bs[1]);
+        assert!(l.is_empty());
+        assert_eq!(a.top(&l), None);
+    }
+
+    #[test]
+    fn concat_order_and_size() {
+        let mut a = BracketArena::new();
+        let mut upper = BracketList::new();
+        let mut lower = BracketList::new();
+        let bs = fresh(&mut a, 4);
+        a.push(&mut lower, bs[0]);
+        a.push(&mut lower, bs[1]);
+        a.push(&mut upper, bs[2]);
+        a.push(&mut upper, bs[3]);
+        let l = a.concat(upper, lower);
+        assert_eq!(l.size(), 4);
+        assert_eq!(a.elements(&l), vec![bs[3], bs[2], bs[1], bs[0]]);
+    }
+
+    #[test]
+    fn concat_with_empty() {
+        let mut a = BracketArena::new();
+        let mut only = BracketList::new();
+        let b = a.new_bracket(None);
+        a.push(&mut only, b);
+        let l = a.concat(BracketList::new(), only);
+        assert_eq!(l.size(), 1);
+        let l2 = a.concat(l, BracketList::new());
+        assert_eq!(l2.size(), 1);
+        assert_eq!(a.top(&l2), Some(b));
+    }
+
+    #[test]
+    fn delete_after_concat() {
+        let mut a = BracketArena::new();
+        let mut upper = BracketList::new();
+        let mut lower = BracketList::new();
+        let bs = fresh(&mut a, 4);
+        a.push(&mut lower, bs[0]);
+        a.push(&mut lower, bs[1]);
+        a.push(&mut upper, bs[2]);
+        a.push(&mut upper, bs[3]);
+        let mut l = a.concat(upper, lower);
+        // Delete one element from what used to be each constituent list.
+        a.delete(&mut l, bs[1]);
+        a.delete(&mut l, bs[3]);
+        assert_eq!(a.elements(&l), vec![bs[2], bs[0]]);
+        assert_eq!(l.size(), 2);
+    }
+
+    #[test]
+    fn reuse_after_delete() {
+        // A bracket deleted from one list can be pushed onto another — the
+        // algorithm never does this, but the cell state must stay clean.
+        let mut a = BracketArena::new();
+        let mut l1 = BracketList::new();
+        let mut l2 = BracketList::new();
+        let b = a.new_bracket(None);
+        a.push(&mut l1, b);
+        a.delete(&mut l1, b);
+        a.push(&mut l2, b);
+        assert_eq!(a.elements(&l2), vec![b]);
+    }
+
+    #[test]
+    fn bookkeeping_fields_roundtrip() {
+        let mut a = BracketArena::new();
+        let e = EdgeId::from_index(9);
+        let b = a.new_bracket(Some(e));
+        assert_eq!(a.edge_of(b), Some(e));
+        assert_eq!(a.class(b), UNDEFINED_CLASS);
+        a.set_class(b, 4);
+        a.set_recent_size(b, 2);
+        a.set_recent_class(b, 7);
+        assert_eq!(a.class(b), 4);
+        assert_eq!(a.recent_size(b), 2);
+        assert_eq!(a.recent_class(b), 7);
+    }
+}

@@ -1,0 +1,234 @@
+//! Region collapsing: each SESE region as a small CFG of its own.
+//!
+//! The paper's divide-and-conquer applications (§6) all view a region
+//! through the same lens: its *interior* nodes plus its immediately nested
+//! regions contracted to single statements. [`collapse_all`] materializes
+//! that view for every region of a PST in one pass over the CFG's edges
+//! (`O(E · depth)`), and both the region classifier and the PST-based SSA
+//! construction consume it.
+
+use std::collections::HashMap;
+
+use pst_cfg::{Cfg, Graph, NodeId};
+
+use crate::{ProgramStructureTree, RegionId};
+
+/// What a node of a collapsed region graph stands for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CollapsedNode {
+    /// An interior CFG node of the region.
+    Interior(NodeId),
+    /// An immediately nested region contracted to one statement.
+    Child(RegionId),
+}
+
+/// One region's collapsed control flow graph.
+///
+/// Mini-graph node `i` stands for `members[i]`. `head` is the
+/// representative of the region's first node (the target of its entry
+/// edge; the CFG entry for the root region); `tail` is the representative
+/// of the exit edge's source (the CFG exit for the root).
+#[derive(Clone, Debug)]
+pub struct CollapsedRegion {
+    /// The mini multigraph.
+    pub graph: Graph,
+    /// Meaning of each mini node.
+    pub members: Vec<CollapsedNode>,
+    /// Mini node the region is entered at.
+    pub head: NodeId,
+    /// Mini node the region is left from.
+    pub tail: NodeId,
+}
+
+impl CollapsedRegion {
+    /// Mini node standing for the given CFG node or containing child, if
+    /// the node belongs to this region's scope.
+    pub fn mini_of(&self, member: CollapsedNode) -> Option<NodeId> {
+        self.members
+            .iter()
+            .position(|&m| m == member)
+            .map(NodeId::from_index)
+    }
+}
+
+/// Collapses every region of `pst` (indexed by [`RegionId`]).
+///
+/// # Examples
+///
+/// ```
+/// use pst_cfg::parse_edge_list;
+/// use pst_core::{collapse_all, ProgramStructureTree};
+/// let cfg = parse_edge_list("0->1 1->2 2->1 1->3").unwrap();
+/// let pst = ProgramStructureTree::build(&cfg);
+/// let collapsed = collapse_all(&cfg, &pst);
+/// // Root region: interior nodes 0 and 3, one child (the loop region).
+/// let root = &collapsed[pst.root().index()];
+/// assert_eq!(root.graph.node_count(), 3);
+/// ```
+pub fn collapse_all(cfg: &Cfg, pst: &ProgramStructureTree) -> Vec<CollapsedRegion> {
+    let graph = cfg.graph();
+
+    // Representative of `node` as seen from `region`.
+    let rep_in = |region: RegionId, node: NodeId| -> CollapsedNode {
+        if pst.region_of_node(node) == region {
+            CollapsedNode::Interior(node)
+        } else {
+            CollapsedNode::Child(
+                pst.child_containing(region, node)
+                    .expect("node is inside the region"),
+            )
+        }
+    };
+
+    // Lowest common ancestor of two regions (owner of a crossing edge).
+    let lca = |a: RegionId, b: RegionId| -> RegionId {
+        let (mut x, mut y) = (a, b);
+        while pst.depth(x) > pst.depth(y) {
+            x = pst.parent(x).expect("non-root has parent");
+        }
+        while pst.depth(y) > pst.depth(x) {
+            y = pst.parent(y).expect("non-root has parent");
+        }
+        while x != y {
+            x = pst.parent(x).expect("non-root has parent");
+            y = pst.parent(y).expect("non-root has parent");
+        }
+        x
+    };
+
+    // Seed every region with its members so mini node ids are stable:
+    // interior nodes first (ascending), then children (PST order).
+    let mut regions: Vec<(Graph, Vec<CollapsedNode>, HashMap<CollapsedNode, NodeId>)> = pst
+        .regions()
+        .map(|r| {
+            let mut g = Graph::new();
+            let mut members = Vec::new();
+            let mut index = HashMap::new();
+            for n in pst.interior_nodes(r) {
+                let m = CollapsedNode::Interior(n);
+                index.insert(m, g.add_node());
+                members.push(m);
+            }
+            for &c in pst.children(r) {
+                let m = CollapsedNode::Child(c);
+                index.insert(m, g.add_node());
+                members.push(m);
+            }
+            (g, members, index)
+        })
+        .collect();
+
+    // Distribute every CFG edge to its owning region's mini graph.
+    for e in graph.edges() {
+        let (u, v) = graph.endpoints(e);
+        let owner = lca(pst.region_of_node(u), pst.region_of_node(v));
+        let ru = rep_in(owner, u);
+        let rv = rep_in(owner, v);
+        if ru == rv {
+            if let CollapsedNode::Child(_) = ru {
+                continue; // fully internal to a child; owned deeper (defensive)
+            }
+        }
+        let (g, _, index) = &mut regions[owner.index()];
+        let a = index[&ru];
+        let b = index[&rv];
+        g.add_edge(a, b);
+    }
+
+    // Assemble with head/tail.
+    pst.regions()
+        .zip(regions)
+        .map(|(r, (graph_r, members, index))| {
+            let head_node = match pst.entry_edge(r) {
+                Some(e) => graph.target(e),
+                None => cfg.entry(),
+            };
+            let tail_node = match pst.exit_edge(r) {
+                Some(e) => graph.source(e),
+                None => cfg.exit(),
+            };
+            let head = index[&rep_in(r, head_node)];
+            let tail = index[&rep_in(r, tail_node)];
+            CollapsedRegion {
+                graph: graph_r,
+                members,
+                head,
+                tail,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pst_cfg::parse_edge_list;
+
+    #[test]
+    fn chain_root_is_a_chain_of_children() {
+        let cfg = parse_edge_list("0->1 1->2 2->3").unwrap();
+        let pst = ProgramStructureTree::build(&cfg);
+        let c = collapse_all(&cfg, &pst);
+        let root = &c[pst.root().index()];
+        // interior: 0 and 3; children: the two chain regions.
+        assert_eq!(root.graph.node_count(), 4);
+        assert_eq!(root.graph.edge_count(), 3);
+        // head is node 0's rep, tail node 3's rep.
+        assert_eq!(
+            root.members[root.head.index()],
+            CollapsedNode::Interior(cfg.entry())
+        );
+        assert_eq!(
+            root.members[root.tail.index()],
+            CollapsedNode::Interior(cfg.exit())
+        );
+    }
+
+    #[test]
+    fn loop_region_collapse() {
+        let cfg = parse_edge_list("0->1 1->2 2->1 1->3").unwrap();
+        let pst = ProgramStructureTree::build(&cfg);
+        let c = collapse_all(&cfg, &pst);
+        let outer = pst.region_of_node(NodeId::from_index(1));
+        let mini = &c[outer.index()];
+        // Interior: header node 1. Child: the body region. Edges: 1->body,
+        // body->1 (the backedge).
+        assert_eq!(mini.graph.node_count(), 2);
+        assert_eq!(mini.graph.edge_count(), 2);
+        assert_eq!(mini.head, mini.tail); // entered and left at the header
+    }
+
+    #[test]
+    fn edge_counts_partition_cfg_edges() {
+        let cfg = parse_edge_list(
+            "0->1 1->2 2->3 2->4 3->5 4->5 5->6 6->7 7->6 6->8 8->9 8->10 9->11 10->11 11->8 8->12 12->13",
+        )
+        .unwrap();
+        let pst = ProgramStructureTree::build(&cfg);
+        let c = collapse_all(&cfg, &pst);
+        let total_mini_edges: usize = c.iter().map(|m| m.graph.edge_count()).sum();
+        assert_eq!(total_mini_edges, cfg.edge_count());
+        let total_mini_nodes: usize = c.iter().map(|m| m.graph.node_count()).sum();
+        // Every CFG node appears exactly once as Interior, every region
+        // exactly once as Child.
+        assert_eq!(
+            total_mini_nodes,
+            cfg.node_count() + pst.canonical_region_count()
+        );
+    }
+
+    #[test]
+    fn mini_of_finds_members() {
+        let cfg = parse_edge_list("0->1 1->2 2->1 1->3").unwrap();
+        let pst = ProgramStructureTree::build(&cfg);
+        let c = collapse_all(&cfg, &pst);
+        let outer = pst.region_of_node(NodeId::from_index(1));
+        let mini = &c[outer.index()];
+        assert!(mini
+            .mini_of(CollapsedNode::Interior(NodeId::from_index(1)))
+            .is_some());
+        assert!(mini
+            .mini_of(CollapsedNode::Interior(NodeId::from_index(3)))
+            .is_none());
+    }
+}

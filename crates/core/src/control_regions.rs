@@ -1,0 +1,243 @@
+//! Control regions in linear time (paper §5).
+//!
+//! Two nodes are in the same *control region* when they have the same set
+//! of control dependences. Theorem 7 reduces this to **node** cycle
+//! equivalence in `S = G + (end→start)`, and Theorem 8 reduces node cycle
+//! equivalence to **edge** cycle equivalence of *representative edges* in
+//! the node-expanded graph `T(S)`: every node `n` becomes a pair
+//! `nᵢ → nₒ` joined by its representative edge, and every original edge
+//! `n → m` becomes `nₒ → mᵢ`.
+//!
+//! The expansion is explicit here (the paper notes an implicit variant as a
+//! constant-factor optimization); it doubles the node count and adds `N`
+//! edges, preserving the `O(E)` bound. Previous algorithms for this problem
+//! were `O(EN)` (Cytron–Ferrante–Sarkar) or restricted to reducible graphs
+//! (Ball) — both are implemented in `pst-controldep` as baselines, and the
+//! three are cross-validated in the integration tests.
+
+use pst_cfg::{Cfg, EdgeId, Graph, NodeId};
+
+use crate::CycleEquiv;
+
+/// Partition of a CFG's nodes into control regions (control-dependence
+/// equivalence classes).
+///
+/// Class ids are dense and renumbered in node-id order.
+///
+/// # Examples
+///
+/// In a diamond, the two arms are separate control regions while entry and
+/// exit share one (both execute unconditionally):
+///
+/// ```
+/// use pst_cfg::{parse_edge_list, NodeId};
+/// use pst_core::ControlRegions;
+/// let cfg = parse_edge_list("0->1 0->2 1->3 2->3").unwrap();
+/// let cr = ControlRegions::compute(&cfg);
+/// let n = |i| NodeId::from_index(i);
+/// assert_eq!(cr.class(n(0)), cr.class(n(3)));
+/// assert_ne!(cr.class(n(1)), cr.class(n(2)));
+/// assert_eq!(cr.num_classes(), 3);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ControlRegions {
+    class_of: Vec<u32>,
+    num_classes: u32,
+}
+
+impl ControlRegions {
+    /// Computes control regions of `cfg` in `O(E)` time via node-expanded
+    /// cycle equivalence.
+    pub fn compute(cfg: &Cfg) -> Self {
+        let (s, _back) = cfg.to_strongly_connected();
+        let (t, representative) = node_expand(&s);
+        let ce = CycleEquiv::compute(&t, input_half(cfg.entry()));
+        let raw: Vec<u32> = cfg
+            .graph()
+            .nodes()
+            .map(|n| ce.class(representative[n.index()]))
+            .collect();
+        Self::renumber(raw)
+    }
+
+    fn renumber(raw: Vec<u32>) -> Self {
+        let mut map = std::collections::HashMap::new();
+        let mut class_of = Vec::with_capacity(raw.len());
+        let mut next = 0u32;
+        for label in raw {
+            let dense = *map.entry(label).or_insert_with(|| {
+                let c = next;
+                next += 1;
+                c
+            });
+            class_of.push(dense);
+        }
+        ControlRegions {
+            class_of,
+            num_classes: next,
+        }
+    }
+
+    /// Builds directly from raw per-node labels (used by the baseline
+    /// algorithms in `pst-controldep` so results compare with `==`).
+    pub fn from_classes(raw: Vec<u32>) -> Self {
+        Self::renumber(raw)
+    }
+
+    /// Control-region class of `node`.
+    pub fn class(&self, node: NodeId) -> u32 {
+        self.class_of[node.index()]
+    }
+
+    /// Number of distinct control regions.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes as usize
+    }
+
+    /// Whether two nodes share all their control dependences.
+    pub fn same_region(&self, a: NodeId, b: NodeId) -> bool {
+        self.class(a) == self.class(b)
+    }
+
+    /// The classes as a slice indexed by node.
+    pub fn classes(&self) -> &[u32] {
+        &self.class_of
+    }
+
+    /// Groups node ids by class.
+    pub fn groups(&self) -> Vec<Vec<NodeId>> {
+        let mut out = vec![Vec::new(); self.num_classes()];
+        for (i, &c) in self.class_of.iter().enumerate() {
+            out[c as usize].push(NodeId::from_index(i));
+        }
+        out
+    }
+}
+
+/// The input half `nᵢ` of node `n` in the expanded graph.
+fn input_half(n: NodeId) -> NodeId {
+    NodeId::from_index(2 * n.index())
+}
+
+/// The node-expanding transformation `T` of Definition 9.
+///
+/// Returns the expanded graph and, per original node, the id of its
+/// representative edge. Expanded node `2n` is `nᵢ`, `2n + 1` is `nₒ`;
+/// representative edges are created first so their ids equal the original
+/// node ids.
+pub fn node_expand(graph: &Graph) -> (Graph, Vec<EdgeId>) {
+    let n = graph.node_count();
+    let mut t = Graph::with_capacity(2 * n, n + graph.edge_count());
+    t.add_nodes(2 * n);
+    let mut representative = Vec::with_capacity(n);
+    for node in graph.nodes() {
+        let ni = NodeId::from_index(2 * node.index());
+        let no = NodeId::from_index(2 * node.index() + 1);
+        representative.push(t.add_edge(ni, no));
+    }
+    for e in graph.edges() {
+        let (u, v) = graph.endpoints(e);
+        t.add_edge(
+            NodeId::from_index(2 * u.index() + 1),
+            NodeId::from_index(2 * v.index()),
+        );
+    }
+    (t, representative)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pst_cfg::parse_edge_list;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::from_index(i)
+    }
+
+    fn classes(desc: &str) -> ControlRegions {
+        ControlRegions::compute(&parse_edge_list(desc).unwrap())
+    }
+
+    #[test]
+    fn straight_line_is_one_region() {
+        let cr = classes("0->1 1->2 2->3");
+        assert_eq!(cr.num_classes(), 1);
+    }
+
+    #[test]
+    fn diamond_three_regions() {
+        let cr = classes("0->1 0->2 1->3 2->3");
+        assert_eq!(cr.num_classes(), 3);
+        assert!(cr.same_region(n(0), n(3)));
+        assert!(!cr.same_region(n(1), n(2)));
+        assert!(!cr.same_region(n(0), n(1)));
+    }
+
+    #[test]
+    fn if_then_two_regions() {
+        let cr = classes("0->1 0->2 1->2");
+        assert_eq!(cr.num_classes(), 2);
+        assert!(cr.same_region(n(0), n(2)));
+        assert!(!cr.same_region(n(0), n(1)));
+    }
+
+    #[test]
+    fn while_loop_three_regions() {
+        // Header is conditionally re-executed, body more so, entry/exit
+        // unconditional.
+        let cr = classes("0->1 1->2 2->1 1->3");
+        assert_eq!(cr.num_classes(), 3);
+        assert!(cr.same_region(n(0), n(3)));
+        assert!(!cr.same_region(n(1), n(2)));
+        assert!(!cr.same_region(n(0), n(1)));
+    }
+
+    #[test]
+    fn same_branch_nodes_share_region() {
+        // Two nodes in sequence on the same branch arm.
+        let cr = classes("0->1 1->2 0->3 2->3");
+        assert!(cr.same_region(n(1), n(2)));
+        assert!(cr.same_region(n(0), n(3)));
+        assert_eq!(cr.num_classes(), 2);
+    }
+
+    #[test]
+    fn nested_conditionals() {
+        // if (a) { if (b) {x} } : x deeper than the outer arm.
+        let cr = classes("0->1 0->4 1->2 1->3 2->3 3->4");
+        // 0 and 4 unconditional; 1 and 3 in the outer arm; 2 innermost.
+        assert!(cr.same_region(n(0), n(4)));
+        assert!(cr.same_region(n(1), n(3)));
+        assert!(!cr.same_region(n(1), n(2)));
+        assert_eq!(cr.num_classes(), 3);
+    }
+
+    #[test]
+    fn irreducible_graph_is_handled() {
+        let cr = classes("0->1 0->2 1->2 2->1 1->3 2->3");
+        // No restriction to reducible graphs (unlike Ball's algorithm).
+        assert!(cr.same_region(n(0), n(3)));
+        assert!(!cr.same_region(n(1), n(2)));
+    }
+
+    #[test]
+    fn node_expand_shape() {
+        let cfg = parse_edge_list("0->1 1->2").unwrap();
+        let (t, rep) = node_expand(cfg.graph());
+        assert_eq!(t.node_count(), 6);
+        assert_eq!(t.edge_count(), 3 + 2);
+        for node in cfg.graph().nodes() {
+            let e = rep[node.index()];
+            assert_eq!(t.source(e).index(), 2 * node.index());
+            assert_eq!(t.target(e).index(), 2 * node.index() + 1);
+        }
+    }
+
+    #[test]
+    fn self_loop_node_is_its_own_region() {
+        let cr = classes("0->1 1->1 1->2");
+        assert!(cr.same_region(n(0), n(2)));
+        assert!(!cr.same_region(n(0), n(1)));
+        assert_eq!(cr.num_classes(), 2);
+    }
+}

@@ -1,0 +1,593 @@
+//! Cycle equivalence of edges — the paper's core algorithmic contribution.
+//!
+//! Two edges of a strongly connected graph are *cycle equivalent* iff every
+//! cycle contains both or neither (Definition 4). Theorem 3 lets the
+//! computation run on the **undirected** multigraph, where one depth-first
+//! search suffices: every non-tree edge is a backedge, a tree edge's cycle
+//! class is named by its set of *brackets* (Theorem 5), and bracket sets
+//! get compact `<top bracket, size>` names maintained with O(1)
+//! [`BracketList`](crate::bracket::BracketList) operations and *capping
+//! backedges* at branch points (§3.4–3.5, Figure 4).
+//!
+//! [`CycleEquiv::compute`] implements the linear-time algorithm;
+//! [`cycle_equiv_slow_directed`] and [`cycle_equiv_slow_undirected`] are the
+//! quadratic reachability-based oracles used to validate it.
+
+use pst_cfg::{EdgeId, Graph, NodeId, UndirectedDfs, UndirectedEdgeKind};
+
+use crate::bracket::{BracketArena, BracketId, BracketList, UNDEFINED_CLASS};
+
+/// A partition of a graph's edges into cycle-equivalence classes.
+///
+/// Class ids are dense (`0..num_classes()`), renumbered in edge-id order so
+/// that results are deterministic and easy to compare across algorithms.
+///
+/// # Examples
+///
+/// In a simple cycle, all edges are equivalent; a chord splits them:
+///
+/// ```
+/// use pst_cfg::Graph;
+/// use pst_core::CycleEquiv;
+/// let mut g = Graph::new();
+/// let n = g.add_nodes(3);
+/// let e01 = g.add_edge(n[0], n[1]);
+/// let e12 = g.add_edge(n[1], n[2]);
+/// let e20 = g.add_edge(n[2], n[0]);
+/// let ce = CycleEquiv::compute(&g, n[0]);
+/// assert_eq!(ce.class(e01), ce.class(e12));
+/// assert_eq!(ce.class(e12), ce.class(e20));
+/// assert_eq!(ce.num_classes(), 1);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CycleEquiv {
+    class_of: Vec<u32>,
+    num_classes: u32,
+}
+
+impl CycleEquiv {
+    /// Runs the linear-time cycle-equivalence algorithm (paper Figure 4)
+    /// over `graph`, starting the undirected DFS at `root`.
+    ///
+    /// `graph` must be *connected* when viewed as an undirected multigraph
+    /// (a strongly connected directed graph always is). For strongly
+    /// connected inputs the result equals directed cycle equivalence
+    /// (Theorem 3); for merely connected inputs it is the undirected
+    /// notion: bridges (edges on no cycle) share one vacuous class and each
+    /// self-loop is a singleton class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the undirected graph is not connected.
+    pub fn compute(graph: &Graph, root: NodeId) -> Self {
+        let dfs = UndirectedDfs::new(graph, root);
+        assert!(
+            dfs.is_connected(),
+            "cycle equivalence requires an undirected-connected graph"
+        );
+        let n = graph.node_count();
+        const INF: usize = usize::MAX;
+
+        let mut arena = BracketArena::with_capacity(graph.edge_count());
+        // Bracket allocated for each real backedge, indexed by edge.
+        let mut bracket_of_edge: Vec<Option<BracketId>> = vec![None; graph.edge_count()];
+        for e in graph.edges() {
+            if dfs.edge_kind(e) == UndirectedEdgeKind::Back {
+                bracket_of_edge[e.index()] = Some(arena.new_bracket(Some(e)));
+            }
+        }
+
+        let mut next_class: u32 = 0;
+        let mut new_class = || {
+            let c = next_class;
+            next_class += 1;
+            c
+        };
+
+        let mut hi = vec![INF; n];
+        let mut blist: Vec<BracketList> = vec![BracketList::new(); n];
+        // Capping brackets to delete at their (ancestor) destination node.
+        let mut capping_down: Vec<Vec<BracketId>> = vec![Vec::new(); n];
+        let mut class_of_edge: Vec<u32> = vec![UNDEFINED_CLASS; graph.edge_count()];
+
+        // Reverse depth-first (descending dfsnum) order: every node is
+        // processed after all of its tree descendants.
+        for &node in dfs.nodes_by_dfsnum().iter().rev() {
+            let ni = node.index();
+            let my_dfsnum = dfs.dfsnum(node);
+
+            // hi0: highest (minimum dfsnum) destination among backedges
+            // whose lower endpoint is this node.
+            let mut hi0 = INF;
+            for &b in dfs.backedges_up(node) {
+                hi0 = hi0.min(dfs.dfsnum(dfs.back_upper(graph, b)));
+            }
+            // hi1/hi2: best and second-best `hi` among the children.
+            let mut hi1 = INF;
+            let mut hi2 = INF;
+            for &c in dfs.children(node) {
+                let h = hi[c.index()];
+                if h < hi1 {
+                    hi2 = hi1;
+                    hi1 = h;
+                } else if h < hi2 {
+                    hi2 = h;
+                }
+            }
+            hi[ni] = hi0.min(hi1);
+
+            // Merge the children's bracket lists (child lists on top, in
+            // discovery order; the order is arbitrary per the paper).
+            let mut list = BracketList::new();
+            for &c in dfs.children(node) {
+                let child_list = std::mem::take(&mut blist[c.index()]);
+                list = arena.concat(child_list, list);
+            }
+            // Delete capping backedges that end here.
+            for b in std::mem::take(&mut capping_down[ni]) {
+                arena.delete(&mut list, b);
+            }
+            // Delete real backedges from descendants that end here; a
+            // backedge that never became a compact name gets a fresh class.
+            for &e in dfs.backedges_down(node) {
+                let b = bracket_of_edge[e.index()].expect("backedge has a bracket");
+                arena.delete(&mut list, b);
+                if arena.class(b) == UNDEFINED_CLASS {
+                    arena.set_class(b, new_class());
+                }
+                class_of_edge[e.index()] = arena.class(b);
+            }
+            // Push backedges from this node to ancestors.
+            for &e in dfs.backedges_up(node) {
+                let b = bracket_of_edge[e.index()].expect("backedge has a bracket");
+                arena.push(&mut list, b);
+            }
+            // Capping backedge: needed when brackets of two different
+            // subtrees survive past this node and no own backedge already
+            // tops them both. (`hi2 < my_dfsnum` guards the degenerate case
+            // where the second subtree's backedges all end at or below this
+            // node — the paper's Figure 4 elides that guard.)
+            if hi2 < hi0 && hi2 < my_dfsnum {
+                let d = arena.new_bracket(None);
+                capping_down[dfs.node_with_dfsnum(hi2).index()].push(d);
+                arena.push(&mut list, d);
+            }
+
+            // Determine the class of the tree edge from parent(node).
+            if let Some(e) = dfs.parent_edge(node) {
+                if let Some(b) = arena.top(&list) {
+                    if arena.recent_size(b) != list.size() {
+                        arena.set_recent_size(b, list.size());
+                        arena.set_recent_class(b, new_class());
+                    }
+                    class_of_edge[e.index()] = arena.recent_class(b);
+                    // A tree edge with exactly one bracket is cycle
+                    // equivalent to that backedge (Theorem 4).
+                    if arena.recent_size(b) == 1 {
+                        arena.set_class(b, arena.recent_class(b));
+                    }
+                } else {
+                    // Bridge: on no cycle at all. All bridges are vacuously
+                    // cycle equivalent to each other; mark with a shared
+                    // sentinel resolved during renumbering.
+                    class_of_edge[e.index()] = BRIDGE_SENTINEL;
+                }
+            }
+            blist[ni] = list;
+        }
+
+        // Self-loops: each is a singleton class.
+        for &e in dfs.self_loops() {
+            class_of_edge[e.index()] = new_class();
+        }
+
+        Self::renumber(class_of_edge)
+    }
+
+    /// Renumbers raw class labels densely in edge-id order. The
+    /// `BRIDGE_SENTINEL` label maps to a single shared class.
+    fn renumber(raw: Vec<u32>) -> Self {
+        // Raw labels are either small counter values (bounded by the edge
+        // count in practice) or the bridge sentinel, so a dense side table
+        // beats hashing.
+        let bound = raw
+            .iter()
+            .filter(|&&l| l != BRIDGE_SENTINEL)
+            .max()
+            .map_or(0, |&m| m as usize + 1);
+        let mut map = vec![UNDEFINED_CLASS; bound];
+        let mut bridge_class = UNDEFINED_CLASS;
+        let mut class_of = Vec::with_capacity(raw.len());
+        let mut next = 0u32;
+        for label in raw {
+            debug_assert_ne!(label, UNDEFINED_CLASS, "edge left unclassified");
+            let slot = if label == BRIDGE_SENTINEL {
+                &mut bridge_class
+            } else {
+                &mut map[label as usize]
+            };
+            if *slot == UNDEFINED_CLASS {
+                *slot = next;
+                next += 1;
+            }
+            class_of.push(*slot);
+        }
+        CycleEquiv {
+            class_of,
+            num_classes: next,
+        }
+    }
+
+    /// Builds a `CycleEquiv` directly from a class array (used by the slow
+    /// oracles and tests); labels are renumbered densely.
+    pub fn from_classes(raw: Vec<u32>) -> Self {
+        Self::renumber(raw)
+    }
+
+    /// The class of `edge`.
+    pub fn class(&self, edge: EdgeId) -> u32 {
+        self.class_of[edge.index()]
+    }
+
+    /// Number of distinct classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes as usize
+    }
+
+    /// Whether two edges are cycle equivalent.
+    pub fn same_class(&self, a: EdgeId, b: EdgeId) -> bool {
+        self.class(a) == self.class(b)
+    }
+
+    /// The classes as a slice indexed by edge.
+    pub fn classes(&self) -> &[u32] {
+        &self.class_of
+    }
+
+    /// Groups edge ids by class: `groups()[c]` lists the edges of class
+    /// `c` in edge-id order.
+    pub fn groups(&self) -> Vec<Vec<EdgeId>> {
+        let mut out = vec![Vec::new(); self.num_classes()];
+        for (i, &c) in self.class_of.iter().enumerate() {
+            out[c as usize].push(EdgeId::from_index(i));
+        }
+        out
+    }
+}
+
+/// Raw label shared by all bridge edges before renumbering.
+const BRIDGE_SENTINEL: u32 = u32::MAX - 1;
+
+/// Quadratic oracle for **directed** cycle equivalence.
+///
+/// Edges `a`, `b` are inequivalent iff some directed cycle contains exactly
+/// one of them; a cycle through `a` avoiding `b` exists iff `target(a)`
+/// reaches `source(a)` in the graph without `b`. Intended for testing on
+/// small graphs (O(E²·(N+E)) time).
+///
+/// On a strongly connected graph this agrees with [`CycleEquiv::compute`]
+/// (Theorem 3); the property tests check exactly that.
+pub fn cycle_equiv_slow_directed(graph: &Graph) -> CycleEquiv {
+    let m = graph.edge_count();
+    // on_cycle_avoiding[a][b] = exists directed cycle through a avoiding b.
+    let mut next_label = 0u32;
+    let mut labels = vec![UNDEFINED_CLASS; m];
+    let in_cycle_avoiding = |a: EdgeId, b: Option<EdgeId>| -> bool {
+        if Some(a) == b {
+            return false;
+        }
+        let reach = graph.reachable_from_avoiding(graph.target(a), b);
+        reach[graph.source(a).index()]
+    };
+    for i in 0..m {
+        if labels[i] != UNDEFINED_CLASS {
+            continue;
+        }
+        let a = EdgeId::from_index(i);
+        labels[i] = next_label;
+        for j in (i + 1)..m {
+            if labels[j] != UNDEFINED_CLASS {
+                continue;
+            }
+            let b = EdgeId::from_index(j);
+            let cyc_a_not_b = in_cycle_avoiding(a, Some(b));
+            let cyc_b_not_a = in_cycle_avoiding(b, Some(a));
+            if !cyc_a_not_b && !cyc_b_not_a {
+                labels[j] = next_label;
+            }
+        }
+        next_label += 1;
+    }
+    CycleEquiv::from_classes(labels)
+}
+
+/// Quadratic oracle for **undirected** cycle equivalence (the notion the
+/// fast algorithm computes on arbitrary connected graphs).
+///
+/// An undirected cycle through edge `a` avoiding edge `b` exists iff, in
+/// the multigraph without `b`, `a` is a self-loop or a non-bridge. Bridge
+/// detection is done per removed edge with a DFS, giving O(E²) total.
+pub fn cycle_equiv_slow_undirected(graph: &Graph) -> CycleEquiv {
+    let m = graph.edge_count();
+    let mut labels = vec![UNDEFINED_CLASS; m];
+    let mut next_label = 0u32;
+
+    // in_cycle_without[b.index()][a.index()] = a lies on an undirected
+    // cycle of G - {b}. Precompute per removed edge.
+    let mut in_cycle_without: Vec<Vec<bool>> = Vec::with_capacity(m);
+    for i in 0..m {
+        in_cycle_without.push(edges_on_cycles(graph, Some(EdgeId::from_index(i))));
+    }
+
+    for i in 0..m {
+        if labels[i] != UNDEFINED_CLASS {
+            continue;
+        }
+        let a = EdgeId::from_index(i);
+        labels[i] = next_label;
+        for j in (i + 1)..m {
+            if labels[j] != UNDEFINED_CLASS {
+                continue;
+            }
+            let b = EdgeId::from_index(j);
+            let cyc_a_not_b = in_cycle_without[j][a.index()];
+            let cyc_b_not_a = in_cycle_without[i][b.index()];
+            if !cyc_a_not_b && !cyc_b_not_a {
+                labels[j] = next_label;
+            }
+        }
+        next_label += 1;
+    }
+    CycleEquiv::from_classes(labels)
+}
+
+/// For each edge: does it lie on some undirected cycle of `graph` minus
+/// `removed`? Self-loops always do; other edges do iff they are not
+/// bridges of their component.
+fn edges_on_cycles(graph: &Graph, removed: Option<EdgeId>) -> Vec<bool> {
+    let n = graph.node_count();
+    let m = graph.edge_count();
+    let mut result = vec![false; m];
+    let mut disc = vec![usize::MAX; n];
+    let mut low = vec![usize::MAX; n];
+    let mut clock = 0usize;
+
+    // Self-loops are one-edge cycles.
+    for e in graph.edges() {
+        if Some(e) != removed && graph.is_self_loop(e) {
+            result[e.index()] = true;
+        }
+    }
+
+    let incident = |v: NodeId| -> Vec<EdgeId> {
+        graph
+            .incident_edges(v)
+            .filter(|&e| Some(e) != removed && !graph.is_self_loop(e))
+            .collect()
+    };
+
+    // Iterative undirected DFS computing bridges via low-links. `via` is
+    // the exact edge id used to enter a node: a second, parallel edge to
+    // the parent is a genuine backedge and correctly prevents bridge-hood.
+    for start in graph.nodes() {
+        if disc[start.index()] != usize::MAX {
+            continue;
+        }
+        let mut stack: Vec<(NodeId, Option<EdgeId>, Vec<EdgeId>, usize)> = Vec::new();
+        disc[start.index()] = clock;
+        low[start.index()] = clock;
+        clock += 1;
+        stack.push((start, None, incident(start), 0));
+        while let Some(&mut (v, via, ref inc, ref mut idx)) = stack.last_mut() {
+            if *idx < inc.len() {
+                let e = inc[*idx];
+                *idx += 1;
+                if Some(e) == via {
+                    continue; // the tree edge we came through (appears once here)
+                }
+                let w = graph.other_endpoint(e, v);
+                if disc[w.index()] == usize::MAX {
+                    disc[w.index()] = clock;
+                    low[w.index()] = clock;
+                    clock += 1;
+                    let next_inc = incident(w);
+                    stack.push((w, Some(e), next_inc, 0));
+                } else {
+                    // Non-tree edge: it closes a cycle, and its other
+                    // endpoint bounds our low-link.
+                    result[e.index()] = true;
+                    low[v.index()] = low[v.index()].min(disc[w.index()]);
+                }
+            } else {
+                let (child, entering) = (v, via);
+                stack.pop();
+                if let Some(&mut (p, _, _, _)) = stack.last_mut() {
+                    low[p.index()] = low[p.index()].min(low[child.index()]);
+                    if let Some(te) = entering {
+                        // Tree edge (p, child): on a cycle iff not a bridge.
+                        if low[child.index()] <= disc[p.index()] {
+                            result[te.index()] = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pst_cfg::parse_edge_list;
+
+    /// Checks the fast algorithm against both oracles on a strongly
+    /// connected closure of a CFG description.
+    fn check(desc: &str) {
+        let cfg = parse_edge_list(desc).unwrap();
+        let (s, _) = cfg.to_strongly_connected();
+        let fast = CycleEquiv::compute(&s, cfg.entry());
+        let slow_d = cycle_equiv_slow_directed(&s);
+        let slow_u = cycle_equiv_slow_undirected(&s);
+        assert_eq!(fast, slow_d, "fast vs directed oracle on {desc}");
+        assert_eq!(fast, slow_u, "fast vs undirected oracle on {desc}");
+    }
+
+    #[test]
+    fn straight_line() {
+        check("0->1 1->2 2->3");
+    }
+
+    #[test]
+    fn diamond() {
+        check("0->1 0->2 1->3 2->3");
+    }
+
+    #[test]
+    fn while_loop() {
+        check("0->1 1->2 2->1 1->3");
+    }
+
+    #[test]
+    fn repeat_loop() {
+        check("0->1 1->2 2->1 2->3");
+    }
+
+    #[test]
+    fn nested_loops() {
+        check("0->1 1->2 2->3 3->2 3->1 1->4");
+    }
+
+    #[test]
+    fn irreducible() {
+        check("0->1 0->2 1->2 2->1 1->3 2->3");
+    }
+
+    #[test]
+    fn self_loop() {
+        check("0->1 1->1 1->2");
+    }
+
+    #[test]
+    fn parallel_edges() {
+        check("0->1 0->1 1->2");
+    }
+
+    #[test]
+    fn overlapping_loops_unstructured() {
+        // Figure 3(b)-style: backedges not properly nested.
+        check("0->1 1->2 2->3 3->4 4->5 3->1 5->2 5->6");
+    }
+
+    #[test]
+    fn branchy_graph_with_caps() {
+        // Figure 3(c)-style: a node with multiple children whose bracket
+        // sets must be merged with a capping backedge.
+        check("0->1 1->2 1->3 2->4 3->4 2->2 3->5 4->5 2->5");
+    }
+
+    #[test]
+    fn straight_line_classes_chain() {
+        let cfg = parse_edge_list("0->1 1->2 2->3").unwrap();
+        let (s, back) = cfg.to_strongly_connected();
+        let ce = CycleEquiv::compute(&s, cfg.entry());
+        // All four CFG edges plus the virtual backedge lie on the single
+        // cycle: one class.
+        assert_eq!(ce.num_classes(), 1);
+        assert_eq!(ce.class(back), 0);
+    }
+
+    #[test]
+    fn diamond_classes() {
+        let cfg = parse_edge_list("0->1 0->2 1->3 2->3").unwrap();
+        let (s, back) = cfg.to_strongly_connected();
+        let g = cfg.graph();
+        let ce = CycleEquiv::compute(&s, cfg.entry());
+        let e = |a: usize, b: usize| {
+            g.edges()
+                .find(|&e| g.source(e).index() == a && g.target(e).index() == b)
+                .unwrap()
+        };
+        // The two arm pairs are equivalent within themselves.
+        assert!(ce.same_class(e(0, 1), e(1, 3)));
+        assert!(ce.same_class(e(0, 2), e(2, 3)));
+        assert!(!ce.same_class(e(0, 1), e(0, 2)));
+        // The virtual backedge is in its own class here (every cycle
+        // through it uses one arm or the other).
+        assert!(!ce.same_class(back, e(0, 1)));
+    }
+
+    #[test]
+    fn two_self_loops_are_distinct_singletons() {
+        let cfg = parse_edge_list("0->1 1->1 1->2 2->2 2->3").unwrap();
+        let (s, _) = cfg.to_strongly_connected();
+        let g = cfg.graph();
+        let ce = CycleEquiv::compute(&s, cfg.entry());
+        let loops: Vec<EdgeId> = g.edges().filter(|&e| g.is_self_loop(e)).collect();
+        assert_eq!(loops.len(), 2);
+        assert!(!ce.same_class(loops[0], loops[1]));
+        check("0->1 1->1 1->2 2->2 2->3");
+    }
+
+    #[test]
+    fn bridges_share_a_vacuous_class() {
+        // A bare tree (undirected) has only bridges.
+        let mut g = Graph::new();
+        let n = g.add_nodes(4);
+        let e1 = g.add_edge(n[0], n[1]);
+        let e2 = g.add_edge(n[0], n[2]);
+        let e3 = g.add_edge(n[2], n[3]);
+        let ce = CycleEquiv::compute(&g, n[0]);
+        assert_eq!(ce.num_classes(), 1);
+        assert!(ce.same_class(e1, e2) && ce.same_class(e2, e3));
+        let slow = cycle_equiv_slow_undirected(&g);
+        assert_eq!(ce, slow);
+    }
+
+    #[test]
+    fn mixed_bridges_and_cycles() {
+        // bridge into a cycle: undirected semantics.
+        let mut g = Graph::new();
+        let n = g.add_nodes(4);
+        let bridge = g.add_edge(n[0], n[1]);
+        let c1 = g.add_edge(n[1], n[2]);
+        let c2 = g.add_edge(n[2], n[3]);
+        let c3 = g.add_edge(n[3], n[1]);
+        let ce = CycleEquiv::compute(&g, n[0]);
+        let slow = cycle_equiv_slow_undirected(&g);
+        assert_eq!(ce, slow);
+        assert!(ce.same_class(c1, c2) && ce.same_class(c2, c3));
+        assert!(!ce.same_class(bridge, c1));
+    }
+
+    #[test]
+    #[should_panic(expected = "connected")]
+    fn disconnected_graph_panics() {
+        let mut g = Graph::new();
+        let n = g.add_nodes(3);
+        g.add_edge(n[0], n[1]);
+        let _ = CycleEquiv::compute(&g, n[0]);
+    }
+
+    #[test]
+    fn groups_partition_edges() {
+        let cfg = parse_edge_list("0->1 1->2 2->1 1->3").unwrap();
+        let (s, _) = cfg.to_strongly_connected();
+        let ce = CycleEquiv::compute(&s, cfg.entry());
+        let groups = ce.groups();
+        let total: usize = groups.iter().map(|g| g.len()).sum();
+        assert_eq!(total, s.edge_count());
+        for (c, group) in groups.iter().enumerate() {
+            for &e in group {
+                assert_eq!(ce.class(e) as usize, c);
+            }
+        }
+    }
+
+    #[test]
+    fn figure1_paper_graph() {
+        // An approximation of the paper's Figure 1 control flow graph:
+        // start -> a-chain with nested conditional and a loop region.
+        check("0->1 1->2 2->3 2->4 3->5 4->5 5->6 6->7 7->6 6->8 8->9 8->10 9->11 10->11 11->8 8->12 12->13");
+    }
+}

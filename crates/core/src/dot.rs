@@ -1,0 +1,121 @@
+//! Graphviz rendering of a CFG with its PST overlaid as nested clusters.
+//!
+//! Each SESE region becomes a `subgraph cluster_…` containing its interior
+//! nodes and, recursively, its child regions — the visual counterpart of
+//! the paper's Figure 1(a), where regions are drawn as dashed boxes around
+//! the flow graph.
+
+use std::fmt::Write as _;
+
+use pst_cfg::Cfg;
+
+use crate::{ProgramStructureTree, RegionId};
+
+/// Renders `cfg` in DOT syntax with regions as nested clusters.
+///
+/// Pipe through `dot -Tsvg` to draw. Node labels are plain node ids;
+/// callers wanting statement text can post-process or use the plain
+/// [`pst_cfg::graph_to_dot_with`] export.
+///
+/// # Examples
+///
+/// ```
+/// use pst_cfg::parse_edge_list;
+/// use pst_core::{pst_to_dot, ProgramStructureTree};
+/// let cfg = parse_edge_list("0->1 1->2 2->1 1->3").unwrap();
+/// let pst = ProgramStructureTree::build(&cfg);
+/// let dot = pst_to_dot(&cfg, &pst);
+/// assert!(dot.contains("subgraph cluster_r1"));
+/// ```
+pub fn pst_to_dot(cfg: &Cfg, pst: &ProgramStructureTree) -> String {
+    let mut out = String::new();
+    out.push_str("digraph pst {\n");
+    out.push_str("  compound=true;\n  node [shape=box, fontname=\"monospace\"];\n");
+    render_region(cfg, pst, pst.root(), 1, &mut out);
+    for e in cfg.graph().edges() {
+        let (s, t) = cfg.graph().endpoints(e);
+        let _ = writeln!(out, "  {s} -> {t} [label=\"{e}\"];");
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn render_region(
+    cfg: &Cfg,
+    pst: &ProgramStructureTree,
+    region: RegionId,
+    depth: usize,
+    out: &mut String,
+) {
+    let pad = "  ".repeat(depth);
+    if region != pst.root() {
+        let bounds = pst.bounds(region).expect("canonical region");
+        let _ = writeln!(out, "{pad}subgraph cluster_{region} {{");
+        let _ = writeln!(
+            out,
+            "{pad}  label=\"{region} ({} .. {})\"; style=dashed;",
+            bounds.entry, bounds.exit
+        );
+    }
+    let inner_pad = if region == pst.root() {
+        pad.clone()
+    } else {
+        format!("{pad}  ")
+    };
+    for node in pst.interior_nodes(region) {
+        let marker = if node == cfg.entry() {
+            " (entry)"
+        } else if node == cfg.exit() {
+            " (exit)"
+        } else {
+            ""
+        };
+        let _ = writeln!(out, "{inner_pad}{node} [label=\"{node}{marker}\"];");
+    }
+    for &child in pst.children(region) {
+        render_region(cfg, pst, child, depth + 1, out);
+    }
+    if region != pst.root() {
+        let _ = writeln!(out, "{pad}}}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pst_cfg::parse_edge_list;
+
+    #[test]
+    fn clusters_nest_like_the_tree() {
+        let cfg = parse_edge_list("0->1 1->2 2->1 1->3").unwrap();
+        let pst = ProgramStructureTree::build(&cfg);
+        let dot = pst_to_dot(&cfg, &pst);
+        // Loop region cluster contains the body region cluster.
+        let outer = dot.find("subgraph cluster_r1").expect("outer cluster");
+        let inner = dot.find("subgraph cluster_r2").expect("inner cluster");
+        assert!(outer < inner);
+        // All nodes and edges appear.
+        for i in 0..4 {
+            assert!(dot.contains(&format!("n{i}")));
+        }
+        assert_eq!(dot.matches(" -> ").count(), cfg.edge_count());
+    }
+
+    #[test]
+    fn entry_and_exit_are_marked() {
+        let cfg = parse_edge_list("0->1 1->2").unwrap();
+        let pst = ProgramStructureTree::build(&cfg);
+        let dot = pst_to_dot(&cfg, &pst);
+        assert!(dot.contains("(entry)"));
+        assert!(dot.contains("(exit)"));
+    }
+
+    #[test]
+    fn braces_balance() {
+        let cfg =
+            parse_edge_list("0->1 1->2 2->3 2->4 3->5 4->5 5->6 6->7 7->6 6->8 8->9").unwrap();
+        let pst = ProgramStructureTree::build(&cfg);
+        let dot = pst_to_dot(&cfg, &pst);
+        assert_eq!(dot.matches('{').count(), dot.matches('}').count(),);
+    }
+}

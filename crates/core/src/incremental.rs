@@ -1,0 +1,398 @@
+//! Incremental PST maintenance under edge insertion (paper §6.3).
+//!
+//! "Such an approach might lead to fast incremental algorithms for
+//! analysis problems since the PST can be used to isolate regions of the
+//! graph where information must be recomputed."
+//!
+//! Inserting an edge `u → v` can only *refine* cycle-equivalence classes
+//! (more cycles make equivalence harder), and the new cycles it creates
+//! stay confined: let `R₀` be the innermost region containing both `u` and
+//! `v`. Then
+//!
+//! * every region that is **not** a strict descendant of `R₀` keeps its
+//!   boundary pair, its canonicality and its membership (any new cycle
+//!   that leaves `R₀` crosses each enclosing boundary through both of its
+//!   edges, and the outside trace of any new path is the outside trace of
+//!   an old path);
+//! * the class of an edge interior to a canonical region never contains
+//!   edges outside it (otherwise Theorem 1 would give a partial overlap),
+//!   so no region with one boundary inside `R₀` and one outside can exist
+//!   before or after the change.
+//!
+//! Hence only `R₀`'s strict subtree needs recomputation: we rebuild the
+//! PST of `R₀`'s interior sub-CFG (entry/exit edges replaced by synthetic
+//! boundary nodes) and splice it back. The property tests check the splice
+//! against a from-scratch rebuild on random CFGs and insertions.
+
+use std::collections::HashMap;
+
+use pst_cfg::{Cfg, CfgBuilder, EdgeId, NodeId, ValidateCfgError};
+
+use crate::pst::rebuild_from_parts;
+use crate::{ProgramStructureTree, RegionId, SeseRegion};
+
+/// Result of an incremental edge insertion.
+#[derive(Clone, Debug)]
+pub struct EdgeInsertion {
+    /// The CFG with the edge added (node ids unchanged; old edge ids
+    /// unchanged; the new edge has id `old_edge_count`).
+    pub cfg: Cfg,
+    /// The id of the inserted edge.
+    pub new_edge: EdgeId,
+    /// The updated program structure tree.
+    pub pst: ProgramStructureTree,
+    /// How many CFG nodes were inside the recomputed region (the full node
+    /// count when the change touched the root region) — the incremental
+    /// win is `rebuilt_nodes / cfg.node_count()`.
+    pub rebuilt_nodes: usize,
+}
+
+/// Why an edge cannot be inserted.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum InsertEdgeError {
+    /// The source is the CFG exit (which must have no successors).
+    SourceIsExit,
+    /// The target is the CFG entry (which must have no predecessors).
+    TargetIsEntry,
+    /// The grown graph failed CFG validation (cannot happen for in-range
+    /// nodes; kept for robustness).
+    Validate(ValidateCfgError),
+}
+
+impl std::fmt::Display for InsertEdgeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InsertEdgeError::SourceIsExit => write!(f, "cannot add an edge out of the exit"),
+            InsertEdgeError::TargetIsEntry => write!(f, "cannot add an edge into the entry"),
+            InsertEdgeError::Validate(e) => write!(f, "grown graph is invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for InsertEdgeError {}
+
+/// Inserts `u → v` into `cfg` and updates `pst` by recomputing only the
+/// innermost region containing both endpoints.
+///
+/// # Errors
+///
+/// Returns [`InsertEdgeError`] if the edge would violate the entry/exit
+/// degree invariants.
+///
+/// # Examples
+///
+/// ```
+/// use pst_cfg::{parse_edge_list, NodeId};
+/// use pst_core::{insert_edge, ProgramStructureTree};
+/// // Straight line; add a backedge 2 -> 1 to create a loop.
+/// let cfg = parse_edge_list("0->1 1->2 2->3").unwrap();
+/// let pst = ProgramStructureTree::build(&cfg);
+/// let grown = insert_edge(&cfg, &pst, NodeId::from_index(2), NodeId::from_index(1)).unwrap();
+/// assert_eq!(grown.cfg.edge_count(), 4);
+/// // The spliced tree matches a from-scratch rebuild.
+/// let fresh = ProgramStructureTree::build(&grown.cfg);
+/// assert_eq!(grown.pst.signature(), fresh.signature());
+/// ```
+pub fn insert_edge(
+    cfg: &Cfg,
+    pst: &ProgramStructureTree,
+    u: NodeId,
+    v: NodeId,
+) -> Result<EdgeInsertion, InsertEdgeError> {
+    if u == cfg.exit() {
+        return Err(InsertEdgeError::SourceIsExit);
+    }
+    if v == cfg.entry() {
+        return Err(InsertEdgeError::TargetIsEntry);
+    }
+    let mut graph = cfg.graph().clone();
+    let new_edge = graph.add_edge(u, v);
+    let grown =
+        Cfg::from_graph(graph, cfg.entry(), cfg.exit()).map_err(InsertEdgeError::Validate)?;
+
+    // Innermost region containing both endpoints (tree LCA).
+    let r0 = region_lca(pst, pst.region_of_node(u), pst.region_of_node(v));
+
+    if r0 == pst.root() {
+        let pst = ProgramStructureTree::build(&grown);
+        let rebuilt_nodes = grown.node_count();
+        return Ok(EdgeInsertion {
+            cfg: grown,
+            new_edge,
+            pst,
+            rebuilt_nodes,
+        });
+    }
+
+    // ---- Local rebuild of R0's interior. -------------------------------
+    let bounds = pst.bounds(r0).expect("non-root region");
+    let inside: Vec<NodeId> = grown
+        .graph()
+        .nodes()
+        .filter(|&n| pst.contains_node(r0, n))
+        .collect();
+    let rebuilt_nodes = inside.len();
+
+    // Sub-CFG: synthetic entry/exit stand in for the boundary edges.
+    let mut b = CfgBuilder::with_capacity(inside.len() + 2, inside.len() * 2);
+    let sub_entry = b.add_node();
+    let mut to_local: HashMap<NodeId, NodeId> = HashMap::new();
+    for &n in &inside {
+        to_local.insert(n, b.add_node());
+    }
+    let sub_exit = b.add_node();
+    // local edge index -> real edge id (synthetic boundary edges map to
+    // the region's own entry/exit edges).
+    let mut to_real_edge: Vec<EdgeId> = Vec::new();
+    let head = grown.graph().target(bounds.entry);
+    let tail = grown.graph().source(bounds.exit);
+    b.add_edge(sub_entry, to_local[&head]);
+    to_real_edge.push(bounds.entry);
+    for e in grown.graph().edges() {
+        if e == bounds.entry || e == bounds.exit {
+            continue;
+        }
+        let (s, t) = grown.graph().endpoints(e);
+        if let (Some(&ls), Some(&lt)) = (to_local.get(&s), to_local.get(&t)) {
+            b.add_edge(ls, lt);
+            to_real_edge.push(e);
+        }
+    }
+    b.add_edge(to_local[&tail], sub_exit);
+    to_real_edge.push(bounds.exit);
+    let sub_cfg = b
+        .finish(sub_entry, sub_exit)
+        .expect("region interior forms a valid sub-CFG");
+    let sub_pst = ProgramStructureTree::build(&sub_cfg);
+
+    // The sub-region bounded by the two synthetic edges IS R0; it always
+    // exists because the boundary edges stay cycle equivalent and
+    // adjacent.
+    let syn_entry_edge = EdgeId::from_index(0);
+    let sub_r0 = sub_pst
+        .regions()
+        .skip(1)
+        .find(|&r| {
+            let b = sub_pst.bounds(r).expect("canonical");
+            b.entry == syn_entry_edge
+        })
+        .expect("synthetic boundary pair forms a region");
+
+    // ---- Splice. --------------------------------------------------------
+    // Keep: every old region that is not a strict descendant of R0.
+    // Add: every sub-region strictly inside sub_r0, with edges remapped.
+    let local_nodes: Vec<NodeId> = inside.clone();
+    let mut kept: Vec<RegionId> = pst
+        .regions()
+        .filter(|&r| r == r0 || !pst.region_contains(r0, r))
+        .collect();
+    kept.sort_unstable();
+    let mut new_id_of_old: HashMap<RegionId, usize> = HashMap::new();
+    for (i, &r) in kept.iter().enumerate() {
+        new_id_of_old.insert(r, i);
+    }
+    let spliced: Vec<RegionId> = sub_pst
+        .regions()
+        .filter(|&r| r != sub_pst.root() && r != sub_r0 && sub_pst.region_contains(sub_r0, r))
+        .collect();
+    let mut new_id_of_sub: HashMap<RegionId, usize> = HashMap::new();
+    for (i, &r) in spliced.iter().enumerate() {
+        new_id_of_sub.insert(r, kept.len() + i);
+    }
+
+    // Region records: (bounds, parent) in new-id space.
+    let mut records: Vec<(Option<SeseRegion>, Option<usize>)> = Vec::new();
+    for &r in &kept {
+        let parent = pst.parent(r).map(|p| new_id_of_old[&p]);
+        records.push((pst.bounds(r), parent));
+    }
+    for &r in &spliced {
+        let b = sub_pst.bounds(r).expect("canonical");
+        let real = SeseRegion {
+            entry: to_real_edge[b.entry.index()],
+            exit: to_real_edge[b.exit.index()],
+        };
+        let parent_sub = sub_pst.parent(r).expect("non-root");
+        let parent = if parent_sub == sub_r0 {
+            new_id_of_old[&r0]
+        } else {
+            new_id_of_sub[&parent_sub]
+        };
+        records.push((Some(real), Some(parent)));
+    }
+
+    // Node membership.
+    let mut node_region: Vec<usize> = (0..grown.node_count())
+        .map(|i| {
+            let n = NodeId::from_index(i);
+            let old = pst.region_of_node(n);
+            if pst.region_contains(r0, old) {
+                usize::MAX // filled from the sub tree below
+            } else {
+                new_id_of_old[&old]
+            }
+        })
+        .collect();
+    for &real in &local_nodes {
+        let local = to_local[&real];
+        let sub_region = sub_pst.region_of_node(local);
+        node_region[real.index()] =
+            map_sub_region(sub_region, sub_r0, &new_id_of_old[&r0], &new_id_of_sub);
+    }
+    node_region[grown.entry().index()] = new_id_of_old[&pst.region_of_node(grown.entry())];
+    debug_assert!(node_region.iter().all(|&r| r != usize::MAX));
+
+    // Edge membership.
+    let mut edge_region: Vec<usize> = vec![usize::MAX; grown.edge_count()];
+    for e in cfg.graph().edges() {
+        let old = pst.region_of_edge(e);
+        if !pst.region_contains(r0, old) || old == r0 {
+            edge_region[e.index()] = new_id_of_old[&old];
+        }
+    }
+    for (local_idx, &real) in to_real_edge.iter().enumerate() {
+        let local_edge = EdgeId::from_index(local_idx);
+        let sub_region = sub_pst.region_of_edge(local_edge);
+        let mapped = map_sub_region(sub_region, sub_r0, &new_id_of_old[&r0], &new_id_of_sub);
+        // Boundary edges keep their old (kept) assignment: the sub view
+        // assigns them relative to sub_r0, which coincides with R0 anyway
+        // for the entry and with R0's parent handling for the exit.
+        if real == bounds.entry || real == bounds.exit {
+            continue;
+        }
+        edge_region[real.index()] = mapped;
+    }
+    // Boundary edges: entry belongs to R0, exit to R0's parent — exactly
+    // their old assignments.
+    edge_region[bounds.entry.index()] = new_id_of_old[&pst.region_of_edge(bounds.entry)];
+    edge_region[bounds.exit.index()] = new_id_of_old[&pst.region_of_edge(bounds.exit)];
+    debug_assert!(edge_region.iter().all(|&r| r != usize::MAX));
+
+    let pst = rebuild_from_parts(records, node_region, edge_region);
+    Ok(EdgeInsertion {
+        cfg: grown,
+        new_edge,
+        pst,
+        rebuilt_nodes,
+    })
+}
+
+fn map_sub_region(
+    sub: RegionId,
+    sub_r0: RegionId,
+    r0_new: &usize,
+    new_id_of_sub: &HashMap<RegionId, usize>,
+) -> usize {
+    if sub == sub_r0 || sub.index() == 0 {
+        *r0_new
+    } else {
+        new_id_of_sub[&sub]
+    }
+}
+
+/// Lowest common ancestor of two regions in the PST.
+fn region_lca(pst: &ProgramStructureTree, a: RegionId, b: RegionId) -> RegionId {
+    let (mut x, mut y) = (a, b);
+    while pst.depth(x) > pst.depth(y) {
+        x = pst.parent(x).expect("non-root has parent");
+    }
+    while pst.depth(y) > pst.depth(x) {
+        y = pst.parent(y).expect("non-root has parent");
+    }
+    while x != y {
+        x = pst.parent(x).expect("non-root has parent");
+        y = pst.parent(y).expect("non-root has parent");
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pst_cfg::parse_edge_list;
+
+    fn check_insert(desc: &str, u: usize, v: usize) -> EdgeInsertion {
+        let cfg = parse_edge_list(desc).unwrap();
+        let pst = ProgramStructureTree::build(&cfg);
+        let grown = insert_edge(&cfg, &pst, NodeId::from_index(u), NodeId::from_index(v))
+            .unwrap_or_else(|e| panic!("{desc} +{u}->{v}: {e}"));
+        let fresh = ProgramStructureTree::build(&grown.cfg);
+        assert_eq!(grown.pst.signature(), fresh.signature(), "{desc} +{u}->{v}");
+        grown
+    }
+
+    #[test]
+    fn insert_inside_loop_body_is_local() {
+        // Loop with a two-block body; new edge inside the body region.
+        let desc = "0->1 1->2 2->3 3->1 1->4";
+        let grown = check_insert(desc, 2, 3);
+        // Only the loop-internal region gets rebuilt, not the whole graph.
+        assert!(grown.rebuilt_nodes < grown.cfg.node_count());
+    }
+
+    #[test]
+    fn insert_backedge_in_chain_hits_root() {
+        let grown = check_insert("0->1 1->2 2->3", 2, 1);
+        assert_eq!(grown.rebuilt_nodes, grown.cfg.node_count());
+    }
+
+    #[test]
+    fn insert_forward_skip_in_diamond() {
+        check_insert("0->1 0->2 1->3 2->3 3->4", 1, 3);
+        check_insert("0->1 0->2 1->3 2->3 3->4", 0, 3);
+    }
+
+    #[test]
+    fn insert_parallel_and_self_loop() {
+        check_insert("0->1 1->2 2->3", 1, 2); // parallel to an existing edge
+        check_insert("0->1 1->2 2->3", 1, 1); // self-loop
+        check_insert("0->1 1->2 2->1 1->3", 2, 2); // self-loop inside a loop
+    }
+
+    #[test]
+    fn insert_cross_region_edge_destroys_siblings() {
+        // Sequential conditionals; an edge from inside the first into the
+        // second forces both (and their parent chain region) to rebuild.
+        let desc = "0->1 1->2 1->3 2->4 3->4 4->5 5->6 5->7 6->8 7->8 8->9";
+        check_insert(desc, 2, 7);
+    }
+
+    #[test]
+    fn insert_into_nested_loop_keeps_outer_structure() {
+        let desc = "0->1 1->2 2->3 3->2 3->1 1->4";
+        let cfg = parse_edge_list(desc).unwrap();
+        let pst = ProgramStructureTree::build(&cfg);
+        let grown = insert_edge(&cfg, &pst, NodeId::from_index(2), NodeId::from_index(2)).unwrap();
+        let fresh = ProgramStructureTree::build(&grown.cfg);
+        assert_eq!(grown.pst.signature(), fresh.signature());
+        assert!(grown.rebuilt_nodes <= 2, "self-loop is maximally local");
+    }
+
+    #[test]
+    fn rejects_degree_violations() {
+        let cfg = parse_edge_list("0->1 1->2").unwrap();
+        let pst = ProgramStructureTree::build(&cfg);
+        assert_eq!(
+            insert_edge(&cfg, &pst, cfg.exit(), NodeId::from_index(1)).unwrap_err(),
+            InsertEdgeError::SourceIsExit
+        );
+        assert_eq!(
+            insert_edge(&cfg, &pst, NodeId::from_index(1), cfg.entry()).unwrap_err(),
+            InsertEdgeError::TargetIsEntry
+        );
+    }
+
+    #[test]
+    fn repeated_insertions_compose() {
+        let mut cfg = parse_edge_list("0->1 1->2 2->3 3->4 4->5").unwrap();
+        let mut pst = ProgramStructureTree::build(&cfg);
+        for (u, v) in [(2, 1), (3, 2), (4, 1)] {
+            let grown =
+                insert_edge(&cfg, &pst, NodeId::from_index(u), NodeId::from_index(v)).unwrap();
+            cfg = grown.cfg;
+            pst = grown.pst;
+            let fresh = ProgramStructureTree::build(&cfg);
+            assert_eq!(pst.signature(), fresh.signature(), "after +{u}->{v}");
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Property tests: the linear-time cycle-equivalence algorithm agrees with
+//! the quadratic reachability oracles on random graphs.
+
+use proptest::prelude::*;
+use pst_cfg::{Graph, NodeId};
+use pst_core::{cycle_equiv_slow_directed, cycle_equiv_slow_undirected, CycleEquiv};
+
+/// Random strongly connected multigraph: a spanning cycle over a random
+/// permutation plus random extra edges (self-loops and parallels allowed).
+fn strongly_connected_graph(max_nodes: usize, max_extra: usize) -> impl Strategy<Value = Graph> {
+    (2..max_nodes)
+        .prop_flat_map(move |n| {
+            (
+                Just(n),
+                proptest::sample::subsequence((0..n).collect::<Vec<_>>(), 0..n),
+                proptest::collection::vec((0..n, 0..n), 0..max_extra),
+            )
+        })
+        .prop_map(|(n, perm_seed, extra)| {
+            let mut g = Graph::new();
+            let nodes = g.add_nodes(n);
+            // Spanning cycle in a permuted order derived from perm_seed.
+            let mut order: Vec<usize> = perm_seed;
+            for i in 0..n {
+                if !order.contains(&i) {
+                    order.push(i);
+                }
+            }
+            for i in 0..n {
+                g.add_edge(nodes[order[i]], nodes[order[(i + 1) % n]]);
+            }
+            for (a, b) in extra {
+                g.add_edge(nodes[a], nodes[b]);
+            }
+            g
+        })
+}
+
+/// Random connected (but not necessarily strongly connected) multigraph:
+/// a random spanning tree plus random extra edges.
+fn connected_graph(max_nodes: usize, max_extra: usize) -> impl Strategy<Value = Graph> {
+    (2..max_nodes)
+        .prop_flat_map(move |n| {
+            (
+                Just(n),
+                proptest::collection::vec(0..1_000_000usize, n - 1),
+                proptest::collection::vec((0..n, 0..n), 0..max_extra),
+            )
+        })
+        .prop_map(|(n, parents, extra)| {
+            let mut g = Graph::new();
+            let nodes = g.add_nodes(n);
+            for i in 1..n {
+                let p = parents[i - 1] % i;
+                g.add_edge(nodes[p], nodes[i]);
+            }
+            for (a, b) in extra {
+                g.add_edge(nodes[a], nodes[b]);
+            }
+            g
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Theorem 3 + Figure 4: on strongly connected graphs the fast
+    /// algorithm, the directed oracle, and the undirected oracle agree.
+    #[test]
+    fn fast_matches_oracles_on_strongly_connected(g in strongly_connected_graph(14, 20)) {
+        let fast = CycleEquiv::compute(&g, NodeId::from_index(0));
+        let slow_u = cycle_equiv_slow_undirected(&g);
+        prop_assert_eq!(&fast, &slow_u);
+        let slow_d = cycle_equiv_slow_directed(&g);
+        prop_assert_eq!(&fast, &slow_d);
+    }
+
+    /// On arbitrary connected graphs the fast algorithm computes the
+    /// undirected notion (bridges in one vacuous class, self-loops
+    /// singletons).
+    #[test]
+    fn fast_matches_undirected_oracle_on_connected(g in connected_graph(14, 16)) {
+        let fast = CycleEquiv::compute(&g, NodeId::from_index(0));
+        let slow_u = cycle_equiv_slow_undirected(&g);
+        prop_assert_eq!(&fast, &slow_u);
+    }
+
+    /// The DFS root must not influence the partition.
+    #[test]
+    fn root_independence(g in strongly_connected_graph(12, 16), root_seed in 0usize..100) {
+        let a = CycleEquiv::compute(&g, NodeId::from_index(0));
+        let root = NodeId::from_index(root_seed % g.node_count());
+        let b = CycleEquiv::compute(&g, root);
+        // Class ids are renumbered in edge order, so equal partitions give
+        // equal arrays.
+        prop_assert_eq!(a, b);
+    }
+
+    /// Classes are well-formed: dense ids, every edge classified.
+    #[test]
+    fn classes_are_dense(g in strongly_connected_graph(14, 20)) {
+        let ce = CycleEquiv::compute(&g, NodeId::from_index(0));
+        let mut seen = vec![false; ce.num_classes()];
+        for e in g.edges() {
+            let c = ce.class(e) as usize;
+            prop_assert!(c < ce.num_classes());
+            seen[c] = true;
+        }
+        prop_assert!(seen.into_iter().all(|s| s));
+    }
+}

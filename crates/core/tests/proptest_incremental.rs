@@ -1,0 +1,89 @@
+//! Property tests: incremental PST maintenance under edge insertion
+//! produces exactly the tree a from-scratch rebuild produces, on random
+//! CFGs and random (valid) insertions — including repeated insertions.
+
+use proptest::prelude::*;
+use pst_cfg::NodeId;
+use pst_core::{insert_edge, ProgramStructureTree};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    #[test]
+    fn spliced_tree_equals_rebuilt_tree(
+        n in 4usize..24,
+        extra in 0usize..24,
+        seed in 0u64..10_000,
+        us in 0usize..1000,
+        vs in 0usize..1000,
+    ) {
+        // pst-core cannot depend on pst-workloads (cycle), so inline the
+        // same seeded generator via the public helper in pst-cfg.
+        let cfg = build_random_cfg(n, extra, seed);
+        let pst = ProgramStructureTree::build(&cfg);
+        // Any non-exit source, non-entry target is a valid insertion.
+        let u = NodeId::from_index(us % (cfg.node_count() - 1)); // never exit? exit = n-1
+        let u = if u == cfg.exit() { cfg.entry() } else { u };
+        let v = NodeId::from_index(1 + vs % (cfg.node_count() - 1));
+        let grown = insert_edge(&cfg, &pst, u, v).expect("valid insertion");
+        let fresh = ProgramStructureTree::build(&grown.cfg);
+        prop_assert_eq!(grown.pst.signature(), fresh.signature());
+        prop_assert!(grown.rebuilt_nodes <= grown.cfg.node_count());
+    }
+
+    #[test]
+    fn three_insertions_in_sequence(
+        n in 4usize..16,
+        extra in 0usize..12,
+        seed in 0u64..5_000,
+        picks in proptest::collection::vec((0usize..1000, 0usize..1000), 3),
+    ) {
+        let mut cfg = build_random_cfg(n, extra, seed);
+        let mut pst = ProgramStructureTree::build(&cfg);
+        for (us, vs) in picks {
+            let u = NodeId::from_index(us % (cfg.node_count() - 1));
+            let u = if u == cfg.exit() { cfg.entry() } else { u };
+            let v = NodeId::from_index(1 + vs % (cfg.node_count() - 1));
+            let grown = insert_edge(&cfg, &pst, u, v).expect("valid insertion");
+            cfg = grown.cfg;
+            pst = grown.pst;
+            let fresh = ProgramStructureTree::build(&cfg);
+            prop_assert_eq!(pst.signature(), fresh.signature());
+        }
+    }
+}
+
+/// Seeded random valid CFG (same construction as `pst_workloads::random_cfg`,
+/// duplicated here to avoid a dependency cycle).
+fn build_random_cfg(n: usize, extra: usize, seed: u64) -> pst_cfg::Cfg {
+    use pst_cfg::CfgBuilder;
+    // Tiny deterministic PRNG (xorshift) — no rand dependency games.
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    let mut next = move |bound: usize| {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state as usize) % bound.max(1)
+    };
+    let mut b = CfgBuilder::new();
+    let nodes = b.add_nodes(n);
+    b.add_edge(nodes[0], nodes[1]);
+    for i in 2..n {
+        let p = 1 + next(i - 1);
+        b.add_edge(nodes[p], nodes[i]);
+    }
+    b.add_edge(nodes[n - 2], nodes[n - 1]);
+    for _ in 0..extra {
+        let s = 1 + next(n - 2);
+        let t = 1 + next(n - 1);
+        b.add_edge(nodes[s], nodes[t]);
+    }
+    let g = b.graph().clone();
+    let back = g.reversed().reachable_from(nodes[n - 1]);
+    for i in 1..n - 1 {
+        if !back[i] {
+            b.add_edge(nodes[i], nodes[n - 1]);
+        }
+    }
+    b.finish(nodes[0], nodes[n - 1]).expect("valid CFG")
+}

@@ -1,0 +1,190 @@
+//! Property tests for SESE detection and PST construction, validated
+//! against definitional oracles built from dominator trees on the
+//! edge-split graph.
+
+use proptest::prelude::*;
+use pst_cfg::{Cfg, CfgBuilder, EdgeSplit, NodeId};
+use pst_core::ProgramStructureTree;
+use pst_dominators::{dominator_tree, dominator_tree_in, Direction};
+
+/// Random *valid* CFG: a random graph over `n` nodes repaired so that node
+/// 0 is the entry, node `n-1` the exit, every node is reachable from the
+/// entry and reaches the exit, and the entry/exit degree invariants hold.
+fn random_cfg(max_nodes: usize, max_extra: usize) -> impl Strategy<Value = Cfg> {
+    (3..max_nodes)
+        .prop_flat_map(move |n| {
+            (
+                Just(n),
+                proptest::collection::vec((1..n - 1, 1..n), 0..max_extra),
+                proptest::collection::vec(0..1_000_000usize, n),
+            )
+        })
+        .prop_map(|(n, extra, seeds)| {
+            let mut b = CfgBuilder::new();
+            let nodes = b.add_nodes(n);
+            // Skeleton: entry -> 1, random tree over middle nodes, with a
+            // path onwards to exit so validity is guaranteed.
+            b.add_edge(nodes[0], nodes[1]);
+            for i in 2..n {
+                let p = 1 + seeds[i] % (i - 1); // parent among 1..i
+                b.add_edge(nodes[p], nodes[i]);
+            }
+            // Everyone (except entry) must reach the exit.
+            for i in 1..n - 1 {
+                if seeds[i] % 3 == 0 || i == n - 2 {
+                    b.add_edge(nodes[i], nodes[n - 1]);
+                }
+            }
+            // Guarantee at least one edge into exit exists even if the
+            // modular condition never fired.
+            b.add_edge(nodes[n - 2], nodes[n - 1]);
+            // Random extra edges among interior nodes (may create loops,
+            // parallel edges, self-loops, irreducible shapes).
+            for (a, t) in extra {
+                if t < n - 1 || a != t {
+                    b.add_edge(nodes[a], nodes[t.min(n - 2).max(1)]);
+                }
+            }
+            let g = b.graph().clone();
+            // Repair "cannot reach exit" by linking dead ends forward.
+            let mut b2 = CfgBuilder::new();
+            let nodes2 = b2.add_nodes(n);
+            for e in g.edges() {
+                b2.add_edge(g.source(e), g.target(e));
+            }
+            let back = g.reversed().reachable_from(nodes2[n - 1]);
+            for i in 1..n - 1 {
+                if !back[i] {
+                    b2.add_edge(nodes2[i], nodes2[n - 1]);
+                }
+            }
+            b2.finish(nodes2[0], nodes2[n - 1])
+                .expect("repaired graph is a valid CFG")
+        })
+}
+
+/// Definitional SESE membership: `entry` dominates `n` and `exit`
+/// postdominates `n`, with edge dominance reduced to node dominance on the
+/// edge-split graph.
+struct MembershipOracle {
+    split: EdgeSplit,
+    dom: pst_dominators::DomTree,
+    pdom: pst_dominators::DomTree,
+}
+
+impl MembershipOracle {
+    fn new(cfg: &Cfg) -> Self {
+        let split = EdgeSplit::of_cfg(cfg);
+        let dom = dominator_tree(split.graph(), cfg.entry());
+        let pdom = dominator_tree_in(split.graph(), cfg.exit(), Direction::Backward);
+        MembershipOracle { split, dom, pdom }
+    }
+
+    fn contains(&self, region: pst_core::SeseRegion, n: NodeId) -> bool {
+        self.dom.dominates(self.split.midpoint(region.entry), n)
+            && self.pdom.dominates(self.split.midpoint(region.exit), n)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(150))]
+
+    /// Every reported canonical region satisfies all three conditions of
+    /// Definition 3.
+    #[test]
+    fn regions_satisfy_sese_definition(cfg in random_cfg(12, 14)) {
+        let pst = ProgramStructureTree::build(&cfg);
+        let oracle = MembershipOracle::new(&cfg);
+        let ce = &pst.detection().expect("built tree").cycle_equiv;
+        for r in pst.regions().skip(1) {
+            let b = pst.bounds(r).unwrap();
+            prop_assert!(oracle.dom.dominates(
+                oracle.split.midpoint(b.entry),
+                oracle.split.midpoint(b.exit)
+            ), "entry must dominate exit");
+            prop_assert!(oracle.pdom.dominates(
+                oracle.split.midpoint(b.exit),
+                oracle.split.midpoint(b.entry)
+            ), "exit must postdominate entry");
+            prop_assert!(ce.same_class(b.entry, b.exit));
+        }
+    }
+
+    /// PST node membership coincides exactly with Definition 6.
+    #[test]
+    fn membership_matches_definition(cfg in random_cfg(12, 14)) {
+        let pst = ProgramStructureTree::build(&cfg);
+        let oracle = MembershipOracle::new(&cfg);
+        for node in cfg.graph().nodes() {
+            for r in pst.regions().skip(1) {
+                let b = pst.bounds(r).unwrap();
+                prop_assert_eq!(
+                    pst.contains_node(r, node),
+                    oracle.contains(b, node),
+                    "node {:?} region {:?} ({:?})", node, r, b
+                );
+            }
+        }
+    }
+
+    /// The innermost region reported for each node really is the deepest
+    /// region containing it.
+    #[test]
+    fn innermost_region_is_deepest(cfg in random_cfg(12, 14)) {
+        let pst = ProgramStructureTree::build(&cfg);
+        let oracle = MembershipOracle::new(&cfg);
+        for node in cfg.graph().nodes() {
+            let mine = pst.region_of_node(node);
+            let best = pst
+                .regions()
+                .skip(1)
+                .filter(|&r| oracle.contains(pst.bounds(r).unwrap(), node))
+                .max_by_key(|&r| pst.depth(r));
+            match best {
+                Some(r) => prop_assert_eq!(mine, r),
+                None => prop_assert_eq!(mine, pst.root()),
+            }
+        }
+    }
+
+    /// Theorem 1: canonical regions are disjoint or nested — verified on
+    /// the membership sets, and the PST parent is the closest container.
+    #[test]
+    fn regions_nest_per_theorem1(cfg in random_cfg(11, 12)) {
+        let pst = ProgramStructureTree::build(&cfg);
+        let oracle = MembershipOracle::new(&cfg);
+        let nodesets: Vec<Vec<bool>> = pst
+            .regions()
+            .map(|r| match pst.bounds(r) {
+                Some(b) => cfg.graph().nodes().map(|n| oracle.contains(b, n)).collect(),
+                None => vec![true; cfg.node_count()],
+            })
+            .collect();
+        for i in 1..nodesets.len() {
+            for j in (i + 1)..nodesets.len() {
+                let a = &nodesets[i];
+                let b = &nodesets[j];
+                let inter = a.iter().zip(b).filter(|(x, y)| **x && **y).count();
+                let asz = a.iter().filter(|x| **x).count();
+                let bsz = b.iter().filter(|x| **x).count();
+                if inter > 0 {
+                    prop_assert!(
+                        inter == asz || inter == bsz,
+                        "regions {} and {} partially overlap", i, j
+                    );
+                }
+            }
+        }
+        // Parent containment on the tree matches set containment.
+        for r in pst.regions().skip(1) {
+            let p = pst.parent(r).unwrap();
+            let rset = &nodesets[r.index()];
+            let pset = &nodesets[p.index()];
+            for k in 0..rset.len() {
+                if rset[k] {
+                    prop_assert!(pset[k], "parent region must contain child nodes");
+                }
+            }
+        }
+    }
+}

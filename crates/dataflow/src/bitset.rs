@@ -1,0 +1,240 @@
+//! A fixed-universe bit set for bit-vector data-flow analysis.
+
+/// A set over a fixed universe `0..len`, packed 64 facts per word.
+///
+/// # Examples
+///
+/// ```
+/// use pst_dataflow::BitSet;
+/// let mut a = BitSet::new(130);
+/// a.insert(0);
+/// a.insert(129);
+/// let mut b = BitSet::new(130);
+/// b.insert(129);
+/// assert!(a.is_superset(&b));
+/// a.subtract(&b);
+/// assert_eq!(a.iter().collect::<Vec<_>>(), vec![0]);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// Creates an empty set over the universe `0..len`.
+    pub fn new(len: usize) -> Self {
+        BitSet {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Creates a full set over the universe `0..len`.
+    pub fn full(len: usize) -> Self {
+        let mut s = BitSet {
+            words: vec![!0u64; len.div_ceil(64)],
+            len,
+        };
+        s.trim();
+        s
+    }
+
+    fn trim(&mut self) {
+        let extra = self.words.len() * 64 - self.len;
+        if extra > 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= !0u64 >> extra;
+            }
+        }
+    }
+
+    /// Universe size.
+    pub fn universe(&self) -> usize {
+        self.len
+    }
+
+    /// Adds `bit`; returns whether it was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit` is outside the universe.
+    pub fn insert(&mut self, bit: usize) -> bool {
+        assert!(bit < self.len, "bit {bit} outside universe {}", self.len);
+        let w = &mut self.words[bit / 64];
+        let mask = 1u64 << (bit % 64);
+        let fresh = *w & mask == 0;
+        *w |= mask;
+        fresh
+    }
+
+    /// Removes `bit`.
+    pub fn remove(&mut self, bit: usize) {
+        assert!(bit < self.len);
+        self.words[bit / 64] &= !(1u64 << (bit % 64));
+    }
+
+    /// Membership test.
+    pub fn contains(&self, bit: usize) -> bool {
+        bit < self.len && self.words[bit / 64] & (1u64 << (bit % 64)) != 0
+    }
+
+    /// Number of elements.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// `self ∪= other`; returns whether `self` changed.
+    pub fn union(&mut self, other: &BitSet) -> bool {
+        debug_assert_eq!(self.len, other.len);
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let new = *a | b;
+            changed |= new != *a;
+            *a = new;
+        }
+        changed
+    }
+
+    /// `self ∩= other`; returns whether `self` changed.
+    pub fn intersect(&mut self, other: &BitSet) -> bool {
+        debug_assert_eq!(self.len, other.len);
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let new = *a & b;
+            changed |= new != *a;
+            *a = new;
+        }
+        changed
+    }
+
+    /// `self ∖= other`.
+    pub fn subtract(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.len, other.len);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// Whether `self ⊇ other`.
+    pub fn is_superset(&self, other: &BitSet) -> bool {
+        debug_assert_eq!(self.len, other.len);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & b == *b)
+    }
+
+    /// Applies a gen/kill transfer: `self = gen ∪ (self ∖ kill)`.
+    pub fn apply(&mut self, gen: &BitSet, kill: &BitSet) {
+        self.subtract(kill);
+        self.union(gen);
+    }
+
+    /// Iterates over the elements in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    /// Collects bits into a set sized to the maximum element + 1.
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let items: Vec<usize> = iter.into_iter().collect();
+        let len = items.iter().max().map_or(0, |m| m + 1);
+        let mut s = BitSet::new(len);
+        for i in items {
+            s.insert(i);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new(100);
+        assert!(s.insert(63));
+        assert!(s.insert(64));
+        assert!(!s.insert(63));
+        assert!(s.contains(63) && s.contains(64));
+        assert!(!s.contains(65));
+        s.remove(63);
+        assert!(!s.contains(63));
+        assert_eq!(s.count(), 1);
+    }
+
+    #[test]
+    fn full_respects_universe_boundary() {
+        let s = BitSet::full(70);
+        assert_eq!(s.count(), 70);
+        assert!(!s.contains(70));
+        let e = BitSet::full(0);
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn set_algebra() {
+        let mut a: BitSet = [1usize, 3, 5].into_iter().collect();
+        // Align universes manually.
+        let mut b = BitSet::new(6);
+        b.insert(3);
+        b.insert(4);
+        let mut u = a.clone();
+        assert!(u.union(&b));
+        assert_eq!(u.iter().collect::<Vec<_>>(), vec![1, 3, 4, 5]);
+        assert!(!u.union(&b));
+        let mut i = a.clone();
+        assert!(i.intersect(&b));
+        assert_eq!(i.iter().collect::<Vec<_>>(), vec![3]);
+        a.subtract(&b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 5]);
+    }
+
+    #[test]
+    fn superset() {
+        let a: BitSet = [1usize, 2, 3].into_iter().collect();
+        let mut b = BitSet::new(4);
+        b.insert(2);
+        assert!(a.is_superset(&b));
+        assert!(!b.is_superset(&a));
+        assert!(a.is_superset(&a.clone()));
+    }
+
+    #[test]
+    fn gen_kill_application() {
+        let mut x: BitSet = [0usize, 1, 2].into_iter().collect();
+        let mut gen = BitSet::new(3);
+        gen.insert(1);
+        let mut kill = BitSet::new(3);
+        kill.insert(0);
+        kill.insert(1);
+        x.apply(&gen, &kill);
+        assert_eq!(x.iter().collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside universe")]
+    fn insert_out_of_range_panics() {
+        BitSet::new(4).insert(4);
+    }
+}

@@ -1,0 +1,210 @@
+//! The classical worklist (iterative) solver.
+
+use pst_cfg::{Cfg, Dfs, NodeId};
+
+use crate::{Confluence, DataflowProblem, Flow, Solution};
+
+/// Solves `problem` over `cfg` by worklist iteration to the least (union)
+/// or greatest (intersection) fixed point.
+///
+/// Nodes are seeded in reverse postorder of the flow direction, the order
+/// that minimizes iteration count on reducible graphs.
+///
+/// # Examples
+///
+/// ```
+/// use pst_lang::{parse_program, lower_function};
+/// use pst_dataflow::{solve_iterative, ReachingDefinitions};
+/// let p = parse_program("fn f(n) { x = 1; if (n) { x = 2; } return x; }").unwrap();
+/// let l = lower_function(&p.functions[0]).unwrap();
+/// let rd = ReachingDefinitions::new(&l);
+/// let sol = solve_iterative(&l.cfg, &rd);
+/// // Both definitions of x reach the exit block's entry.
+/// let x = l.var_id("x").unwrap();
+/// let reaching = rd.reaching_defs_of_var(sol.value_in(l.cfg.exit()), x);
+/// assert_eq!(reaching.len(), 2);
+/// ```
+pub fn solve_iterative(cfg: &Cfg, problem: &impl DataflowProblem) -> Solution {
+    let graph = cfg.graph();
+    let n = graph.node_count();
+    let (root, flow_preds): (NodeId, fn(&pst_cfg::Graph, NodeId) -> Vec<NodeId>) =
+        match problem.flow() {
+            Flow::Forward => (cfg.entry(), |g, v| g.predecessors(v).collect()),
+            Flow::Backward => (cfg.exit(), |g, v| g.successors(v).collect()),
+        };
+
+    let mut inp: Vec<_> = (0..n).map(|_| problem.top()).collect();
+    let mut out: Vec<_> = (0..n).map(|_| problem.top()).collect();
+    inp[root.index()] = problem.boundary();
+    {
+        let mut v = problem.boundary();
+        problem.transfer(root).apply(&mut v);
+        out[root.index()] = v;
+    }
+
+    // Iteration order: reverse postorder in flow direction.
+    let order: Vec<NodeId> = match problem.flow() {
+        Flow::Forward => Dfs::new(graph, cfg.entry()).reverse_postorder(),
+        Flow::Backward => {
+            let mut o = Dfs::new(&graph.reversed(), cfg.exit()).reverse_postorder();
+            if o.len() != n {
+                // Defensive: a valid Cfg always reaches everything.
+                o = graph.nodes().collect();
+            }
+            o
+        }
+    };
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &node in &order {
+            if node == root {
+                continue;
+            }
+            let preds = flow_preds(graph, node);
+            let mut meet = match problem.confluence() {
+                Confluence::Union => {
+                    let mut m = crate::BitSet::new(problem.universe());
+                    for p in &preds {
+                        m.union(&out[p.index()]);
+                    }
+                    m
+                }
+                Confluence::Intersection => {
+                    let mut m = problem.top();
+                    for p in &preds {
+                        m.intersect(&out[p.index()]);
+                    }
+                    m
+                }
+            };
+            if meet != inp[node.index()] {
+                inp[node.index()] = meet.clone();
+                changed = true;
+            }
+            problem.transfer(node).apply(&mut meet);
+            if meet != out[node.index()] {
+                out[node.index()] = meet;
+                changed = true;
+            }
+        }
+    }
+    Solution { inp, out }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BitSet, GenKill};
+    use pst_cfg::parse_edge_list;
+
+    /// A toy forward union problem with explicit transfer table.
+    struct Toy {
+        transfers: Vec<GenKill>,
+        universe: usize,
+        flow: Flow,
+        confluence: Confluence,
+        boundary: BitSet,
+    }
+
+    impl DataflowProblem for Toy {
+        fn flow(&self) -> Flow {
+            self.flow
+        }
+        fn confluence(&self) -> Confluence {
+            self.confluence
+        }
+        fn universe(&self) -> usize {
+            self.universe
+        }
+        fn boundary(&self) -> BitSet {
+            self.boundary.clone()
+        }
+        fn transfer(&self, node: NodeId) -> &GenKill {
+            &self.transfers[node.index()]
+        }
+    }
+
+    fn toy(
+        cfg_desc: &str,
+        gens: &[(usize, usize)],
+        kills: &[(usize, usize)],
+    ) -> (pst_cfg::Cfg, Toy) {
+        let cfg = parse_edge_list(cfg_desc).unwrap();
+        let u = 8;
+        let mut transfers: Vec<GenKill> = (0..cfg.node_count())
+            .map(|_| GenKill::identity(u))
+            .collect();
+        for &(n, b) in gens {
+            transfers[n].gen.insert(b);
+        }
+        for &(n, b) in kills {
+            transfers[n].kill.insert(b);
+        }
+        let toy = Toy {
+            transfers,
+            universe: u,
+            flow: Flow::Forward,
+            confluence: Confluence::Union,
+            boundary: BitSet::new(u),
+        };
+        (cfg, toy)
+    }
+
+    #[test]
+    fn facts_flow_down_a_chain() {
+        let (cfg, p) = toy("0->1 1->2", &[(0, 3)], &[]);
+        let sol = solve_iterative(&cfg, &p);
+        assert!(sol.value_in(NodeId::from_index(2)).contains(3));
+    }
+
+    #[test]
+    fn kill_stops_a_fact() {
+        let (cfg, p) = toy("0->1 1->2", &[(0, 3)], &[(1, 3)]);
+        let sol = solve_iterative(&cfg, &p);
+        assert!(sol.value_in(NodeId::from_index(1)).contains(3));
+        assert!(!sol.value_in(NodeId::from_index(2)).contains(3));
+    }
+
+    #[test]
+    fn union_merges_branches() {
+        let (cfg, p) = toy("0->1 0->2 1->3 2->3", &[(1, 1), (2, 2)], &[]);
+        let sol = solve_iterative(&cfg, &p);
+        let at3 = sol.value_in(NodeId::from_index(3));
+        assert!(at3.contains(1) && at3.contains(2));
+    }
+
+    #[test]
+    fn intersection_requires_both_branches() {
+        let (cfg, mut p) = toy(
+            "0->1 0->2 1->3 2->3",
+            &[(1, 1), (2, 2), (1, 5), (2, 5)],
+            &[],
+        );
+        p.confluence = Confluence::Intersection;
+        let sol = solve_iterative(&cfg, &p);
+        let at3 = sol.value_in(NodeId::from_index(3));
+        assert!(!at3.contains(1) && !at3.contains(2));
+        assert!(at3.contains(5));
+    }
+
+    #[test]
+    fn loop_reaches_fixed_point() {
+        let (cfg, p) = toy("0->1 1->2 2->1 1->3", &[(2, 7)], &[]);
+        let sol = solve_iterative(&cfg, &p);
+        // The fact generated in the loop body reaches the header and exit.
+        assert!(sol.value_in(NodeId::from_index(1)).contains(7));
+        assert!(sol.value_in(NodeId::from_index(3)).contains(7));
+        assert!(!sol.value_in(NodeId::from_index(0)).contains(7));
+    }
+
+    #[test]
+    fn backward_flow() {
+        let (cfg, mut p) = toy("0->1 1->2", &[(2, 4)], &[]);
+        p.flow = Flow::Backward;
+        let sol = solve_iterative(&cfg, &p);
+        // Backward: the fact generated at node 2 flows toward node 0.
+        assert!(sol.value_in(NodeId::from_index(0)).contains(4));
+    }
+}

@@ -1,0 +1,398 @@
+//! Concrete data-flow problems over lowered functions.
+//!
+//! * [`ReachingDefinitions`] — forward/union over the universe of
+//!   definition statements.
+//! * [`LiveVariables`] — backward/union over the universe of variables.
+//! * [`DefiniteAssignment`] — forward/intersection over variables ("is `v`
+//!   assigned on *every* path from the entry?").
+//! * [`SingleVariableReachingDefs`] — the per-variable instance family the
+//!   paper's sparse (QPG) evaluation uses: most regions are transparent
+//!   for any one variable.
+
+use pst_cfg::NodeId;
+use pst_lang::{LoweredFunction, VarId};
+
+use crate::{BitSet, Confluence, DataflowProblem, Flow, GenKill};
+
+/// A definition site: `(block, statement index within block)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct DefSite {
+    /// Block containing the definition.
+    pub node: NodeId,
+    /// Statement position inside the block.
+    pub stmt: usize,
+    /// The variable defined.
+    pub var: VarId,
+}
+
+/// Classic reaching definitions.
+#[derive(Clone, Debug)]
+pub struct ReachingDefinitions {
+    sites: Vec<DefSite>,
+    transfers: Vec<GenKill>,
+}
+
+impl ReachingDefinitions {
+    /// Builds the problem for `function`: enumerates definition sites and
+    /// per-block gen/kill sets.
+    pub fn new(function: &LoweredFunction) -> Self {
+        let mut sites = Vec::new();
+        for node in function.cfg.graph().nodes() {
+            for (i, s) in function.blocks[node.index()].stmts.iter().enumerate() {
+                if let Some(var) = s.def {
+                    sites.push(DefSite { node, stmt: i, var });
+                }
+            }
+        }
+        let universe = sites.len();
+        // Per-variable site sets, for kill computation and shadowing.
+        let mut var_sites: Vec<BitSet> = (0..function.var_count())
+            .map(|_| BitSet::new(universe))
+            .collect();
+        for (i, s) in sites.iter().enumerate() {
+            var_sites[s.var.index()].insert(i);
+        }
+        let transfers = function
+            .cfg
+            .graph()
+            .nodes()
+            .map(|node| {
+                let mut gen = BitSet::new(universe);
+                let mut kill = BitSet::new(universe);
+                // Process this block's definitions in statement order: a
+                // later def of the same variable shadows an earlier one.
+                for (i, site) in sites.iter().enumerate() {
+                    if site.node != node {
+                        continue;
+                    }
+                    let same_var = &var_sites[site.var.index()];
+                    kill.union(same_var);
+                    gen.subtract(same_var);
+                    gen.insert(i);
+                }
+                // A def surviving the block is not killed by the block.
+                let mut k = kill;
+                k.subtract(&gen);
+                GenKill { gen, kill: k }
+            })
+            .collect();
+        ReachingDefinitions { sites, transfers }
+    }
+
+    /// The definition sites, indexed by fact number.
+    pub fn sites(&self) -> &[DefSite] {
+        &self.sites
+    }
+
+    /// Filters a solution value down to the sites of one variable.
+    pub fn reaching_defs_of_var(&self, value: &BitSet, var: VarId) -> Vec<DefSite> {
+        value
+            .iter()
+            .map(|i| self.sites[i])
+            .filter(|s| s.var == var)
+            .collect()
+    }
+}
+
+impl DataflowProblem for ReachingDefinitions {
+    fn flow(&self) -> Flow {
+        Flow::Forward
+    }
+    fn confluence(&self) -> Confluence {
+        Confluence::Union
+    }
+    fn universe(&self) -> usize {
+        self.sites.len()
+    }
+    fn boundary(&self) -> BitSet {
+        BitSet::new(self.sites.len())
+    }
+    fn transfer(&self, node: NodeId) -> &GenKill {
+        &self.transfers[node.index()]
+    }
+}
+
+/// Classic backward liveness over variables.
+#[derive(Clone, Debug)]
+pub struct LiveVariables {
+    universe: usize,
+    transfers: Vec<GenKill>,
+}
+
+impl LiveVariables {
+    /// Builds the problem: per block, `gen` = variables used before being
+    /// defined (upward-exposed uses, including the branch condition),
+    /// `kill` = variables defined.
+    pub fn new(function: &LoweredFunction) -> Self {
+        let universe = function.var_count();
+        let transfers = function
+            .cfg
+            .graph()
+            .nodes()
+            .map(|node| {
+                let block = &function.blocks[node.index()];
+                let mut gen = BitSet::new(universe);
+                let mut kill = BitSet::new(universe);
+                for s in &block.stmts {
+                    for &u in &s.uses {
+                        if !kill.contains(u.index()) {
+                            gen.insert(u.index());
+                        }
+                    }
+                    if let Some(d) = s.def {
+                        kill.insert(d.index());
+                    }
+                }
+                // The terminating branch reads its condition variables
+                // after all statements.
+                for &u in &block.branch_uses {
+                    if !kill.contains(u.index()) {
+                        gen.insert(u.index());
+                    }
+                }
+                let mut k = kill;
+                k.subtract(&gen);
+                // Liveness kill must not cancel upward-exposed uses; keep
+                // gen/kill disjoint for a canonical representation.
+                GenKill { gen, kill: k }
+            })
+            .collect();
+        LiveVariables {
+            universe,
+            transfers,
+        }
+    }
+}
+
+impl DataflowProblem for LiveVariables {
+    fn flow(&self) -> Flow {
+        Flow::Backward
+    }
+    fn confluence(&self) -> Confluence {
+        Confluence::Union
+    }
+    fn universe(&self) -> usize {
+        self.universe
+    }
+    fn boundary(&self) -> BitSet {
+        BitSet::new(self.universe) // nothing live after the exit
+    }
+    fn transfer(&self, node: NodeId) -> &GenKill {
+        &self.transfers[node.index()]
+    }
+}
+
+/// Forward *must* analysis: a variable is definitely assigned at a point
+/// iff every entry→point path writes it.
+#[derive(Clone, Debug)]
+pub struct DefiniteAssignment {
+    universe: usize,
+    transfers: Vec<GenKill>,
+}
+
+impl DefiniteAssignment {
+    /// Builds the problem; parameters (defined in the entry block) are
+    /// definitely assigned from the start.
+    pub fn new(function: &LoweredFunction) -> Self {
+        let universe = function.var_count();
+        let transfers = function
+            .cfg
+            .graph()
+            .nodes()
+            .map(|node| {
+                let mut gen = BitSet::new(universe);
+                for s in &function.blocks[node.index()].stmts {
+                    if let Some(d) = s.def {
+                        gen.insert(d.index());
+                    }
+                }
+                GenKill {
+                    gen,
+                    kill: BitSet::new(universe),
+                }
+            })
+            .collect();
+        DefiniteAssignment {
+            universe,
+            transfers,
+        }
+    }
+}
+
+impl DataflowProblem for DefiniteAssignment {
+    fn flow(&self) -> Flow {
+        Flow::Forward
+    }
+    fn confluence(&self) -> Confluence {
+        Confluence::Intersection
+    }
+    fn universe(&self) -> usize {
+        self.universe
+    }
+    fn boundary(&self) -> BitSet {
+        BitSet::new(self.universe) // nothing assigned before the entry
+    }
+    fn transfer(&self, node: NodeId) -> &GenKill {
+        &self.transfers[node.index()]
+    }
+}
+
+/// Reaching definitions restricted to a single variable — the sparse
+/// instance family of the paper's §6.2: for any one variable, most blocks
+/// (and hence most SESE regions) have identity transfer and can be
+/// bypassed by the quick propagation graph.
+#[derive(Clone, Debug)]
+pub struct SingleVariableReachingDefs {
+    /// Definition blocks of the variable, in fact order.
+    sites: Vec<NodeId>,
+    transfers: Vec<GenKill>,
+}
+
+impl SingleVariableReachingDefs {
+    /// Builds the instance for `var`.
+    pub fn new(function: &LoweredFunction, var: VarId) -> Self {
+        let sites = function.definition_sites(var);
+        let universe = sites.len();
+        let transfers = function
+            .cfg
+            .graph()
+            .nodes()
+            .map(|node| {
+                if let Some(pos) = sites.iter().position(|&s| s == node) {
+                    let mut gen = BitSet::new(universe);
+                    gen.insert(pos);
+                    GenKill {
+                        gen,
+                        kill: {
+                            let mut k = BitSet::full(universe);
+                            k.remove(pos);
+                            k
+                        },
+                    }
+                } else {
+                    GenKill::identity(universe)
+                }
+            })
+            .collect();
+        SingleVariableReachingDefs { sites, transfers }
+    }
+
+    /// The variable's defining blocks (fact `i` = `sites()[i]`).
+    pub fn sites(&self) -> &[NodeId] {
+        &self.sites
+    }
+}
+
+impl DataflowProblem for SingleVariableReachingDefs {
+    fn flow(&self) -> Flow {
+        Flow::Forward
+    }
+    fn confluence(&self) -> Confluence {
+        Confluence::Union
+    }
+    fn universe(&self) -> usize {
+        self.sites.len()
+    }
+    fn boundary(&self) -> BitSet {
+        BitSet::new(self.sites.len())
+    }
+    fn transfer(&self, node: NodeId) -> &GenKill {
+        &self.transfers[node.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solve_iterative;
+    use pst_lang::{lower_function, parse_function_body};
+
+    fn lowered(src: &str) -> LoweredFunction {
+        lower_function(&parse_function_body(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn reaching_definitions_through_branch() {
+        let l = lowered("x = 1; if (c) { x = 2; } y = x; return y;");
+        let rd = ReachingDefinitions::new(&l);
+        let sol = solve_iterative(&l.cfg, &rd);
+        let x = l.var_id("x").unwrap();
+        // At the block containing `y = x`, both defs of x reach.
+        let use_block = l
+            .cfg
+            .graph()
+            .nodes()
+            .find(|&n| {
+                l.blocks[n.index()]
+                    .stmts
+                    .iter()
+                    .any(|s| s.def == Some(l.var_id("y").unwrap()))
+            })
+            .unwrap();
+        assert_eq!(rd.reaching_defs_of_var(sol.value_in(use_block), x).len(), 2);
+    }
+
+    #[test]
+    fn within_block_shadowing() {
+        let l = lowered("x = 1; x = 2; return x;");
+        let rd = ReachingDefinitions::new(&l);
+        let sol = solve_iterative(&l.cfg, &rd);
+        let x = l.var_id("x").unwrap();
+        // Only the second definition leaves the block.
+        let reaching = rd.reaching_defs_of_var(sol.value_out(l.cfg.entry()), x);
+        assert_eq!(reaching.len(), 1);
+        assert_eq!(reaching[0].stmt, 1);
+    }
+
+    #[test]
+    fn liveness_of_loop_variable() {
+        let l = lowered("s = 0; while (n > 0) { s = s + n; n = n - 1; } return s;");
+        let lv = LiveVariables::new(&l);
+        let sol = solve_iterative(&l.cfg, &lv);
+        let n = l.var_id("n").unwrap();
+        let s = l.var_id("s").unwrap();
+        // Both n and s are live entering the loop header; nothing is live
+        // at the exit.
+        assert!(sol.value_in(l.cfg.entry()).contains(n.index()));
+        assert!(!sol.value_in(l.cfg.exit()).contains(s.index()));
+    }
+
+    #[test]
+    fn dead_variable_is_not_live() {
+        let l = lowered("d = 1; x = 2; return x;");
+        let lv = LiveVariables::new(&l);
+        let sol = solve_iterative(&l.cfg, &lv);
+        let d = l.var_id("d").unwrap();
+        // d is never used: not live anywhere before its def either.
+        assert!(!sol.value_in(l.cfg.entry()).contains(d.index()));
+    }
+
+    #[test]
+    fn definite_assignment_through_branches() {
+        let l = lowered("if (c) { x = 1; } else { x = 2; y = 3; } z = x; return z;");
+        let da = DefiniteAssignment::new(&l);
+        let sol = solve_iterative(&l.cfg, &da);
+        let x = l.var_id("x").unwrap();
+        let y = l.var_id("y").unwrap();
+        // x assigned on both arms: definite at exit; y only on one arm.
+        assert!(sol.value_in(l.cfg.exit()).contains(x.index()));
+        assert!(!sol.value_in(l.cfg.exit()).contains(y.index()));
+    }
+
+    #[test]
+    fn single_variable_instance_is_mostly_transparent() {
+        let l = lowered(
+            "x = 1; while (a) { y = y + 1; } while (b) { z = z + 1; } x = x + 2; return x;",
+        );
+        let x = l.var_id("x").unwrap();
+        let p = SingleVariableReachingDefs::new(&l, x);
+        let transparent = l
+            .cfg
+            .graph()
+            .nodes()
+            .filter(|&n| p.is_transparent(n))
+            .count();
+        assert!(transparent >= l.cfg.node_count() - 2);
+        assert_eq!(p.sites().len(), 2);
+    }
+}

@@ -1,0 +1,161 @@
+//! Property tests: all three solving strategies agree on generated
+//! programs, for every problem they support.
+
+use proptest::prelude::*;
+use pst_core::{collapse_all, ProgramStructureTree};
+use pst_dataflow::{
+    solve_elimination, solve_iterative, DefiniteAssignment, LiveVariables, Qpg,
+    ReachingDefinitions, SingleVariableReachingDefs,
+};
+use pst_lang::VarId;
+use pst_workloads::{generate_function, ProgramGenConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(120))]
+
+    #[test]
+    fn elimination_matches_iterative(seed in 0u64..50_000, goto in 0usize..2) {
+        let config = ProgramGenConfig {
+            target_stmts: 50,
+            goto_prob: if goto == 1 { 0.1 } else { 0.0 },
+            ..Default::default()
+        };
+        let f = generate_function("p", &config, seed);
+        let l = pst_lang::lower_function(&f).unwrap();
+        let pst = ProgramStructureTree::build(&l.cfg);
+        let collapsed = collapse_all(&l.cfg, &pst);
+
+        let rd = ReachingDefinitions::new(&l);
+        prop_assert_eq!(
+            solve_elimination(&l.cfg, &pst, &collapsed, &rd),
+            solve_iterative(&l.cfg, &rd)
+        );
+        let da = DefiniteAssignment::new(&l);
+        prop_assert_eq!(
+            solve_elimination(&l.cfg, &pst, &collapsed, &da),
+            solve_iterative(&l.cfg, &da)
+        );
+    }
+
+    #[test]
+    fn qpg_matches_iterative_per_variable(seed in 0u64..50_000) {
+        let config = ProgramGenConfig { target_stmts: 50, ..Default::default() };
+        let f = generate_function("p", &config, seed);
+        let l = pst_lang::lower_function(&f).unwrap();
+        let pst = ProgramStructureTree::build(&l.cfg);
+        for v in 0..l.var_count() {
+            let var = VarId::from_index(v);
+            let problem = SingleVariableReachingDefs::new(&l, var);
+            let qpg = Qpg::build(&l.cfg, &pst, &problem);
+            prop_assert!(qpg.node_count() <= l.cfg.node_count());
+            prop_assert_eq!(
+                qpg.solve(&l.cfg, &pst, &problem),
+                solve_iterative(&l.cfg, &problem),
+                "variable {}", v
+            );
+        }
+    }
+
+    #[test]
+    fn liveness_is_consistent_with_reaching_defs(seed in 0u64..20_000) {
+        // Smoke property: a variable with no definition sites is never
+        // "reached", and a variable never used is dead at the entry of the
+        // exit block.
+        let f = generate_function("p", &ProgramGenConfig::default(), seed);
+        let l = pst_lang::lower_function(&f).unwrap();
+        let lv = LiveVariables::new(&l);
+        let sol = solve_iterative(&l.cfg, &lv);
+        prop_assert!(sol.value_in(l.cfg.exit()).is_empty());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(120))]
+
+    /// The intersection problems also agree across solvers, and the
+    /// amortized QPG context matches the plain builder.
+    #[test]
+    fn expression_problems_agree_across_solvers(seed in 50_000u64..100_000) {
+        use pst_dataflow::{AvailableExpressions, Qpg, QpgContext, VeryBusyExpressions};
+        let config = ProgramGenConfig { target_stmts: 40, ..Default::default() };
+        let f = generate_function("p", &config, seed);
+        let l = pst_lang::lower_function(&f).unwrap();
+        let pst = ProgramStructureTree::build(&l.cfg);
+        let collapsed = collapse_all(&l.cfg, &pst);
+
+        let avail = AvailableExpressions::new(&l);
+        prop_assert_eq!(
+            solve_elimination(&l.cfg, &pst, &collapsed, &avail),
+            solve_iterative(&l.cfg, &avail)
+        );
+        let vb = VeryBusyExpressions::new(&l);
+        let _ = solve_iterative(&l.cfg, &vb); // backward: iterative only
+
+        // QPG builders agree with each other and with the full solve
+        // (available expressions are usually dense, so also try them).
+        let ctx = QpgContext::new(&l.cfg, &pst);
+        for v in (0..l.var_count()).step_by(4) {
+            let var = VarId::from_index(v);
+            let p = SingleVariableReachingDefs::new(&l, var);
+            let via_ctx = ctx.build_from_sites(p.sites());
+            let via_build = Qpg::build(&l.cfg, &pst, &p);
+            prop_assert_eq!(via_ctx.node_count(), via_build.node_count());
+            prop_assert_eq!(
+                ctx.solve(&via_ctx, &p),
+                via_build.solve(&l.cfg, &pst, &p)
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(150))]
+
+    /// On structured (reducible) programs, the Allen–Cocke interval solver
+    /// agrees with the iterative and PST elimination solvers.
+    #[test]
+    fn interval_solver_matches_on_reducible_programs(seed in 0u64..30_000) {
+        use pst_dataflow::solve_intervals;
+        let config = ProgramGenConfig {
+            target_stmts: 45,
+            goto_prob: 0.0, // structured → reducible
+            ..Default::default()
+        };
+        let f = generate_function("p", &config, seed);
+        let l = pst_lang::lower_function(&f).unwrap();
+        let rd = ReachingDefinitions::new(&l);
+        let reference = solve_iterative(&l.cfg, &rd);
+        prop_assert_eq!(solve_intervals(&l.cfg, &rd), reference.clone());
+        let pst = ProgramStructureTree::build(&l.cfg);
+        let collapsed = collapse_all(&l.cfg, &pst);
+        prop_assert_eq!(solve_elimination(&l.cfg, &pst, &collapsed, &rd), reference);
+
+        let da = DefiniteAssignment::new(&l);
+        prop_assert_eq!(solve_intervals(&l.cfg, &da), solve_iterative(&l.cfg, &da));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(120))]
+
+    /// SEGs (Choi–Cytron–Ferrante) solve every sparse instance to the
+    /// same solution as the full iterative solver and the QPG — and the
+    /// paper's §6.3 size comparison (SEG ≤ QPG nodes) holds.
+    #[test]
+    fn seg_matches_iterative_and_qpg(seed in 100_000u64..150_000) {
+        use pst_dataflow::{Qpg, Seg};
+        let config = ProgramGenConfig { target_stmts: 45, goto_prob: 0.05, ..Default::default() };
+        let f = generate_function("p", &config, seed);
+        let l = pst_lang::lower_function(&f).unwrap();
+        let pst = ProgramStructureTree::build(&l.cfg);
+        for v in (0..l.var_count()).step_by(3) {
+            let var = VarId::from_index(v);
+            let p = SingleVariableReachingDefs::new(&l, var);
+            let reference = solve_iterative(&l.cfg, &p);
+            let seg = Seg::build(&l.cfg, &p);
+            prop_assert_eq!(seg.solve(&l.cfg, &p), reference.clone());
+            let qpg = Qpg::build(&l.cfg, &pst, &p);
+            prop_assert_eq!(qpg.solve(&l.cfg, &pst, &p), reference);
+        }
+    }
+}

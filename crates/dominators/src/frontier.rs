@@ -1,0 +1,209 @@
+//! Dominance frontiers and iterated dominance frontiers.
+//!
+//! The frontier computation follows Cooper–Harvey–Kennedy: for every join
+//! node, walk each predecessor's dominator chain up to the join's immediate
+//! dominator. The iterated frontier `DF⁺(S)` is the fixed point used by
+//! Cytron et al.'s φ-placement, which the paper's §6.1 accelerates with the
+//! PST; both the baseline and the PST version in `pst-ssa` call into this
+//! module.
+
+use pst_cfg::{Graph, NodeId};
+
+use crate::{Direction, DomTree};
+
+/// Per-node dominance frontiers of `graph` under `tree`.
+///
+/// `dir` must match the direction the tree was computed for
+/// ([`Direction::Backward`] yields *postdominance* frontiers, i.e. control
+/// dependence information). Each frontier is sorted and duplicate-free.
+///
+/// # Examples
+///
+/// ```
+/// use pst_cfg::{parse_edge_list, NodeId};
+/// use pst_dominators::{dominator_tree, dominance_frontiers, Direction};
+/// let cfg = parse_edge_list("0->1 0->2 1->3 2->3").unwrap();
+/// let dt = dominator_tree(cfg.graph(), cfg.entry());
+/// let df = dominance_frontiers(cfg.graph(), &dt, Direction::Forward);
+/// // The join node 3 is in the frontier of both branch arms.
+/// assert_eq!(df[1], vec![NodeId::from_index(3)]);
+/// assert_eq!(df[2], vec![NodeId::from_index(3)]);
+/// assert!(df[0].is_empty());
+/// ```
+pub fn dominance_frontiers(graph: &Graph, tree: &DomTree, dir: Direction) -> Vec<Vec<NodeId>> {
+    let n = graph.node_count();
+    let mut df: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    for b in graph.nodes() {
+        if !tree.is_reachable(b) {
+            continue;
+        }
+        let preds: Vec<NodeId> = dir.predecessors(graph, b).collect();
+        if preds.len() < 2 {
+            continue;
+        }
+        let Some(idom_b) = tree.idom(b) else {
+            continue;
+        };
+        for p in preds {
+            if !tree.is_reachable(p) {
+                continue;
+            }
+            let mut runner = p;
+            while runner != idom_b {
+                // Avoid immediate duplicates: b is pushed at most once per
+                // runner per predecessor; a final sort+dedup catches the
+                // cross-predecessor repeats.
+                if df[runner.index()].last() != Some(&b) {
+                    df[runner.index()].push(b);
+                }
+                match tree.idom(runner) {
+                    Some(next) => runner = next,
+                    None => break, // runner is the root; can happen on self-loops at the root
+                }
+            }
+        }
+    }
+    for f in &mut df {
+        f.sort_unstable();
+        f.dedup();
+    }
+    df
+}
+
+/// Iterated dominance frontier `DF⁺(seeds)`.
+///
+/// Returns a sorted, duplicate-free list of nodes. With
+/// `frontiers = dominance_frontiers(..)` this is the classical worklist
+/// closure: `DF₁ = DF(S)`, `DFᵢ₊₁ = DF(S ∪ DFᵢ)`.
+///
+/// # Examples
+///
+/// φ-placement for a variable defined in both arms of a conditional inside
+/// a loop:
+///
+/// ```
+/// use pst_cfg::{parse_edge_list, NodeId};
+/// use pst_dominators::{dominator_tree, dominance_frontiers,
+///                      iterated_dominance_frontier, Direction};
+/// let cfg = parse_edge_list("0->1 1->2 1->3 2->4 3->4 4->1 4->5").unwrap();
+/// let dt = dominator_tree(cfg.graph(), cfg.entry());
+/// let df = dominance_frontiers(cfg.graph(), &dt, Direction::Forward);
+/// let n = |i| NodeId::from_index(i);
+/// let idf = iterated_dominance_frontier(&df, &[n(2), n(3)]);
+/// // Join at 4, and — because 4's frontier feeds the loop header — at 1.
+/// assert_eq!(idf, vec![n(1), n(4)]);
+/// ```
+pub fn iterated_dominance_frontier(frontiers: &[Vec<NodeId>], seeds: &[NodeId]) -> Vec<NodeId> {
+    let mut in_result = vec![false; frontiers.len()];
+    let mut queued = vec![false; frontiers.len()];
+    let mut work: Vec<NodeId> = Vec::with_capacity(seeds.len());
+    for &s in seeds {
+        if !queued[s.index()] {
+            queued[s.index()] = true;
+            work.push(s);
+        }
+    }
+    while let Some(x) = work.pop() {
+        for &y in &frontiers[x.index()] {
+            if !in_result[y.index()] {
+                in_result[y.index()] = true;
+                if !queued[y.index()] {
+                    queued[y.index()] = true;
+                    work.push(y);
+                }
+            }
+        }
+    }
+    let mut out: Vec<NodeId> = (0..frontiers.len())
+        .filter(|&i| in_result[i])
+        .map(NodeId::from_index)
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dominator_tree;
+    use pst_cfg::parse_edge_list;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::from_index(i)
+    }
+
+    fn frontiers(desc: &str) -> Vec<Vec<usize>> {
+        let cfg = parse_edge_list(desc).unwrap();
+        let dt = dominator_tree(cfg.graph(), cfg.entry());
+        dominance_frontiers(cfg.graph(), &dt, Direction::Forward)
+            .into_iter()
+            .map(|f| f.into_iter().map(|x| x.index()).collect())
+            .collect()
+    }
+
+    #[test]
+    fn straight_line_has_empty_frontiers() {
+        let df = frontiers("0->1 1->2");
+        assert!(df.iter().all(|f| f.is_empty()));
+    }
+
+    #[test]
+    fn loop_header_is_its_own_frontier() {
+        // while loop: 1 is the header, 2 the body.
+        let df = frontiers("0->1 1->2 2->1 1->3");
+        assert_eq!(df[1], vec![1]);
+        assert_eq!(df[2], vec![1]);
+        assert!(df[0].is_empty());
+        assert!(df[3].is_empty());
+    }
+
+    #[test]
+    fn nested_loops_quadratic_frontier_shape() {
+        // Two nested repeat-until loops: inner body's frontier includes
+        // both headers.
+        let df = frontiers("0->1 1->2 2->3 3->2 3->1 1->4");
+        assert!(df[3].contains(&1));
+        assert!(df[3].contains(&2));
+    }
+
+    #[test]
+    fn idf_reaches_fixed_point() {
+        let cfg = parse_edge_list("0->1 1->2 1->3 2->4 3->4 4->1 4->5").unwrap();
+        let dt = dominator_tree(cfg.graph(), cfg.entry());
+        let df = dominance_frontiers(cfg.graph(), &dt, Direction::Forward);
+        let idf = iterated_dominance_frontier(&df, &[n(2)]);
+        assert_eq!(idf, vec![n(1), n(4)]);
+    }
+
+    #[test]
+    fn idf_of_empty_seed_is_empty() {
+        let cfg = parse_edge_list("0->1 0->2 1->3 2->3").unwrap();
+        let dt = dominator_tree(cfg.graph(), cfg.entry());
+        let df = dominance_frontiers(cfg.graph(), &dt, Direction::Forward);
+        assert!(iterated_dominance_frontier(&df, &[]).is_empty());
+    }
+
+    #[test]
+    fn postdominance_frontier_gives_control_dependence() {
+        use crate::{dominator_tree_in, Direction};
+        let cfg = parse_edge_list("0->1 1->2 1->3 2->4 3->4 4->5").unwrap();
+        let pdom = dominator_tree_in(cfg.graph(), cfg.exit(), Direction::Backward);
+        let pdf = dominance_frontiers(cfg.graph(), &pdom, Direction::Backward);
+        // Branch arms 2 and 3 are control dependent on the branch node 1.
+        assert_eq!(pdf[2], vec![n(1)]);
+        assert_eq!(pdf[3], vec![n(1)]);
+        assert!(pdf[4].is_empty());
+    }
+
+    #[test]
+    fn duplicate_suppression() {
+        // Node with three predecessors converging: frontier lists stay
+        // duplicate-free.
+        let df = frontiers("0->1 0->2 0->3 1->4 2->4 3->4 4->5");
+        for f in &df {
+            let mut sorted = f.clone();
+            sorted.dedup();
+            assert_eq!(&sorted, f);
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Iterative (data-flow) dominator computation, after Cooper, Harvey &
+//! Kennedy's *"A Simple, Fast Dominance Algorithm"*.
+//!
+//! Asymptotically worse than Lengauer–Tarjan but very fast in practice; we
+//! keep it both as an independent oracle for the LT implementation and as a
+//! second baseline for the paper's timing comparison.
+
+use pst_cfg::{Graph, NodeId};
+
+use crate::{Direction, DomTree};
+
+const UNDEF: usize = usize::MAX;
+
+/// Computes the dominator tree of `graph` from `root` following `dir`
+/// using the Cooper–Harvey–Kennedy iterative algorithm.
+///
+/// Produces exactly the same tree as
+/// [`dominator_tree_in`](crate::dominator_tree_in); the two implementations
+/// cross-validate each other in the property tests.
+///
+/// # Examples
+///
+/// ```
+/// use pst_cfg::parse_edge_list;
+/// use pst_dominators::{dominator_tree, iterative_dominator_tree, Direction};
+/// let cfg = parse_edge_list("0->1 1->2 2->1 1->3").unwrap();
+/// let a = dominator_tree(cfg.graph(), cfg.entry());
+/// let b = iterative_dominator_tree(cfg.graph(), cfg.entry(), Direction::Forward);
+/// for n in cfg.graph().nodes() {
+///     assert_eq!(a.idom(n), b.idom(n));
+/// }
+/// ```
+pub fn iterative_dominator_tree(graph: &Graph, root: NodeId, dir: Direction) -> DomTree {
+    let n = graph.node_count();
+    // Postorder numbering of reachable nodes (iterative DFS).
+    let mut postorder_of = vec![UNDEF; n]; // node -> postorder number
+    let mut by_postorder: Vec<usize> = Vec::new(); // postorder number -> node
+    {
+        let mut visited = vec![false; n];
+        let mut stack: Vec<(usize, Vec<NodeId>, usize)> = Vec::new();
+        visited[root.index()] = true;
+        let succs: Vec<NodeId> = dir.successors(graph, root).collect();
+        stack.push((root.index(), succs, 0));
+        while let Some(&mut (v, ref succs, ref mut next)) = stack.last_mut() {
+            if *next < succs.len() {
+                let s = succs[*next];
+                *next += 1;
+                if !visited[s.index()] {
+                    visited[s.index()] = true;
+                    let ss: Vec<NodeId> = dir.successors(graph, s).collect();
+                    stack.push((s.index(), ss, 0));
+                }
+            } else {
+                postorder_of[v] = by_postorder.len();
+                by_postorder.push(v);
+                stack.pop();
+            }
+        }
+    }
+    let reached = by_postorder.len();
+
+    // idoms in postorder-number space.
+    let mut idom = vec![UNDEF; reached];
+    let root_po = postorder_of[root.index()];
+    idom[root_po] = root_po;
+
+    let intersect = |idom: &[usize], mut a: usize, mut b: usize| -> usize {
+        while a != b {
+            while a < b {
+                a = idom[a];
+            }
+            while b < a {
+                b = idom[b];
+            }
+        }
+        a
+    };
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        // Reverse postorder, skipping the root.
+        for po in (0..reached).rev() {
+            if po == root_po {
+                continue;
+            }
+            let node = by_postorder[po];
+            let mut new_idom = UNDEF;
+            for p in dir.predecessors(graph, NodeId::from_index(node)) {
+                let ppo = postorder_of[p.index()];
+                if ppo == UNDEF || idom[ppo] == UNDEF {
+                    continue; // unreachable or not yet processed
+                }
+                new_idom = if new_idom == UNDEF {
+                    ppo
+                } else {
+                    intersect(&idom, new_idom, ppo)
+                };
+            }
+            if new_idom != UNDEF && idom[po] != new_idom {
+                idom[po] = new_idom;
+                changed = true;
+            }
+        }
+    }
+
+    let mut out = vec![None; n];
+    let mut reachable = vec![false; n];
+    for po in 0..reached {
+        reachable[by_postorder[po]] = true;
+    }
+    for po in 0..reached {
+        if po != root_po {
+            out[by_postorder[po]] = Some(NodeId::from_index(by_postorder[idom[po]]));
+        }
+    }
+    DomTree::from_idoms(root, out, reachable)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dominator_tree_in;
+    use pst_cfg::parse_edge_list;
+
+    fn agree(desc: &str) {
+        let cfg = parse_edge_list(desc).unwrap();
+        for dir in [Direction::Forward, Direction::Backward] {
+            let root = match dir {
+                Direction::Forward => cfg.entry(),
+                Direction::Backward => cfg.exit(),
+            };
+            let lt = dominator_tree_in(cfg.graph(), root, dir);
+            let it = iterative_dominator_tree(cfg.graph(), root, dir);
+            for node in cfg.graph().nodes() {
+                assert_eq!(lt.idom(node), it.idom(node), "{desc} {dir:?} {node:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_lt_on_small_graphs() {
+        agree("0->1 1->2");
+        agree("0->1 0->2 1->3 2->3");
+        agree("0->1 1->2 2->1 1->3");
+        agree("0->1 0->2 1->2 2->1 1->3 2->3");
+        agree("0->1 0->2 1->3 2->3 3->4 4->5 4->6 5->7 6->7 7->4 7->8");
+        agree("0->1 1->1 1->2");
+        agree("0->1 0->1 1->2");
+    }
+
+    #[test]
+    fn root_has_no_idom() {
+        let cfg = parse_edge_list("0->1 1->2").unwrap();
+        let dt = iterative_dominator_tree(cfg.graph(), cfg.entry(), Direction::Forward);
+        assert_eq!(dt.idom(cfg.entry()), None);
+        assert_eq!(dt.root(), cfg.entry());
+    }
+
+    #[test]
+    fn handles_unreachable_nodes() {
+        let mut g = Graph::new();
+        let nodes = g.add_nodes(4);
+        g.add_edge(nodes[0], nodes[1]);
+        g.add_edge(nodes[2], nodes[3]); // island
+        let dt = iterative_dominator_tree(&g, nodes[0], Direction::Forward);
+        assert!(!dt.is_reachable(nodes[2]));
+        assert!(!dt.is_reachable(nodes[3]));
+        assert_eq!(dt.idom(nodes[1]), Some(nodes[0]));
+    }
+}

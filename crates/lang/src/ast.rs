@@ -1,0 +1,247 @@
+//! Abstract syntax of the mini imperative language.
+//!
+//! The language is deliberately small but covers every control construct
+//! the paper's workloads exercise: conditionals, `switch`, three loop
+//! forms, `break`/`continue`, `return`, and — crucially for *unstructured*
+//! and *irreducible* regions — `goto`/labels.
+
+use std::fmt;
+
+/// A whole translation unit: one or more functions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Program {
+    /// The functions, in source order.
+    pub functions: Vec<Function>,
+}
+
+/// One function definition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Function {
+    /// Function name.
+    pub name: String,
+    /// Parameter names (parameters count as definitions at entry).
+    pub params: Vec<String>,
+    /// The body.
+    pub body: Block,
+}
+
+/// A `{ … }` sequence of statements.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Block {
+    /// The statements, in order.
+    pub stmts: Vec<Stmt>,
+}
+
+/// A statement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Stmt {
+    /// `x = e;`
+    Assign {
+        /// Variable being written.
+        target: String,
+        /// Right-hand side.
+        value: Expr,
+    },
+    /// `if (c) { … } else { … }` (else optional).
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then_branch: Block,
+        /// Optional else branch.
+        else_branch: Option<Block>,
+    },
+    /// `while (c) { … }`
+    While {
+        /// Loop condition, tested before each iteration.
+        cond: Expr,
+        /// Loop body.
+        body: Block,
+    },
+    /// `do { … } while (c);`
+    DoWhile {
+        /// Loop body, executed at least once.
+        body: Block,
+        /// Loop condition, tested after each iteration.
+        cond: Expr,
+    },
+    /// `for (x = e1; c; x = e2) { … }`
+    For {
+        /// Initialization assignment.
+        init: Box<Stmt>,
+        /// Loop condition.
+        cond: Expr,
+        /// Step assignment, run after the body.
+        step: Box<Stmt>,
+        /// Loop body.
+        body: Block,
+    },
+    /// `switch (e) { case k: { … } … default: { … } }`
+    ///
+    /// Cases do not fall through (each arm is a block).
+    Switch {
+        /// Scrutinee.
+        scrutinee: Expr,
+        /// `(constant, arm)` pairs.
+        cases: Vec<(i64, Block)>,
+        /// Optional default arm.
+        default: Option<Block>,
+    },
+    /// `break;` — exits the innermost loop or switch.
+    Break,
+    /// `continue;` — next iteration of the innermost loop.
+    Continue,
+    /// `return;` or `return e;`
+    Return(Option<Expr>),
+    /// `goto lbl;`
+    Goto(String),
+    /// `lbl:` — a jump target.
+    Label(String),
+    /// An expression evaluated for effect, e.g. a call: `f(x);`
+    Expr(Expr),
+}
+
+/// An expression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal.
+    Num(i64),
+    /// Variable reference.
+    Var(String),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Function call.
+    Call(String, Vec<Expr>),
+}
+
+/// Binary operators, loosest-binding last.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `&&`
+    And,
+    /// `||`
+    Or,
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// `-`
+    Neg,
+    /// `!`
+    Not,
+}
+
+impl BinOp {
+    /// Binding power (higher binds tighter); used by the parser and the
+    /// pretty printer.
+    pub fn precedence(self) -> u8 {
+        match self {
+            BinOp::Or => 1,
+            BinOp::And => 2,
+            BinOp::Eq | BinOp::Ne => 3,
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => 4,
+            BinOp::Add | BinOp::Sub => 5,
+            BinOp::Mul | BinOp::Div | BinOp::Mod => 6,
+        }
+    }
+
+    /// Source token for the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+        }
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+impl Expr {
+    /// Collects the variables read by this expression, in occurrence
+    /// order (duplicates preserved).
+    pub fn variables(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Num(_) => {}
+            Expr::Var(v) => out.push(v.clone()),
+            Expr::Binary(_, a, b) => {
+                a.variables(out);
+                b.variables(out);
+            }
+            Expr::Unary(_, a) => a.variables(out),
+            Expr::Call(_, args) => {
+                for a in args {
+                    a.variables(out);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precedence_ordering() {
+        assert!(BinOp::Mul.precedence() > BinOp::Add.precedence());
+        assert!(BinOp::Add.precedence() > BinOp::Lt.precedence());
+        assert!(BinOp::Lt.precedence() > BinOp::Eq.precedence());
+        assert!(BinOp::Eq.precedence() > BinOp::And.precedence());
+        assert!(BinOp::And.precedence() > BinOp::Or.precedence());
+    }
+
+    #[test]
+    fn expr_variables_in_order() {
+        let e = Expr::Binary(
+            BinOp::Add,
+            Box::new(Expr::Var("a".into())),
+            Box::new(Expr::Call(
+                "f".into(),
+                vec![Expr::Var("b".into()), Expr::Num(1)],
+            )),
+        );
+        let mut vars = Vec::new();
+        e.variables(&mut vars);
+        assert_eq!(vars, vec!["a", "b"]);
+    }
+}

@@ -1,0 +1,324 @@
+//! Hand-written lexer for the mini language.
+
+use std::error::Error;
+use std::fmt;
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Token {
+    /// Integer literal.
+    Num(i64),
+    /// Identifier.
+    Ident(String),
+    /// A keyword (`fn`, `if`, `else`, `while`, `do`, `for`, `switch`,
+    /// `case`, `default`, `break`, `continue`, `return`, `goto`).
+    Keyword(Keyword),
+    /// Punctuation or operator.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+/// Reserved words.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Keyword {
+    Fn,
+    If,
+    Else,
+    While,
+    Do,
+    For,
+    Switch,
+    Case,
+    Default,
+    Break,
+    Continue,
+    Return,
+    Goto,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Num(n) => write!(f, "{n}"),
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Keyword(k) => write!(f, "{k:?}"),
+            Token::Punct(p) => write!(f, "{p}"),
+            Token::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A token plus its source position (1-based line and column).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// Line number, 1-based.
+    pub line: u32,
+    /// Column number, 1-based.
+    pub col: u32,
+}
+
+/// A lexical error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LexError {
+    /// Explanation of what went wrong.
+    pub message: String,
+    /// Line number, 1-based.
+    pub line: u32,
+    /// Column number, 1-based.
+    pub col: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl Error for LexError {}
+
+fn keyword(s: &str) -> Option<Keyword> {
+    Some(match s {
+        "fn" => Keyword::Fn,
+        "if" => Keyword::If,
+        "else" => Keyword::Else,
+        "while" => Keyword::While,
+        "do" => Keyword::Do,
+        "for" => Keyword::For,
+        "switch" => Keyword::Switch,
+        "case" => Keyword::Case,
+        "default" => Keyword::Default,
+        "break" => Keyword::Break,
+        "continue" => Keyword::Continue,
+        "return" => Keyword::Return,
+        "goto" => Keyword::Goto,
+        _ => return None,
+    })
+}
+
+/// Tokenizes `source`.
+///
+/// Supports `//` line comments. The returned vector always ends with an
+/// [`Token::Eof`] entry.
+///
+/// # Errors
+///
+/// Returns a [`LexError`] on unknown characters or malformed numbers.
+///
+/// # Examples
+///
+/// ```
+/// use pst_lang::lexer::{lex, Token};
+/// let toks = lex("x = 1;").unwrap();
+/// assert_eq!(toks[0].token, Token::Ident("x".into()));
+/// assert_eq!(toks[1].token, Token::Punct("="));
+/// ```
+pub fn lex(source: &str) -> Result<Vec<Spanned>, LexError> {
+    let mut out = Vec::new();
+    let bytes = source.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! push {
+        ($tok:expr, $l:expr, $c:expr) => {
+            out.push(Spanned {
+                token: $tok,
+                line: $l,
+                col: $c,
+            })
+        };
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let (tl, tc) = (line, col);
+        match c {
+            '\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            ' ' | '\t' | '\r' => {
+                i += 1;
+                col += 1;
+            }
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                    col += 1;
+                }
+                let text = &source[start..i];
+                let n: i64 = text.parse().map_err(|_| LexError {
+                    message: format!("integer literal `{text}` out of range"),
+                    line: tl,
+                    col: tc,
+                })?;
+                push!(Token::Num(n), tl, tc);
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                    col += 1;
+                }
+                let text = &source[start..i];
+                match keyword(text) {
+                    Some(k) => push!(Token::Keyword(k), tl, tc),
+                    None => push!(Token::Ident(text.to_string()), tl, tc),
+                }
+            }
+            _ => {
+                // Two-character operators first.
+                let two = if i + 1 < bytes.len() {
+                    &source[i..i + 2]
+                } else {
+                    ""
+                };
+                let two_tok = match two {
+                    "==" => Some("=="),
+                    "!=" => Some("!="),
+                    "<=" => Some("<="),
+                    ">=" => Some(">="),
+                    "&&" => Some("&&"),
+                    "||" => Some("||"),
+                    _ => None,
+                };
+                if let Some(op) = two_tok {
+                    push!(Token::Punct(op), tl, tc);
+                    i += 2;
+                    col += 2;
+                    continue;
+                }
+                let one = match c {
+                    '+' => "+",
+                    '-' => "-",
+                    '*' => "*",
+                    '/' => "/",
+                    '%' => "%",
+                    '<' => "<",
+                    '>' => ">",
+                    '=' => "=",
+                    '!' => "!",
+                    '(' => "(",
+                    ')' => ")",
+                    '{' => "{",
+                    '}' => "}",
+                    ';' => ";",
+                    ':' => ":",
+                    ',' => ",",
+                    _ => {
+                        return Err(LexError {
+                            message: format!("unexpected character `{c}`"),
+                            line: tl,
+                            col: tc,
+                        })
+                    }
+                };
+                push!(Token::Punct(one), tl, tc);
+                i += 1;
+                col += 1;
+            }
+        }
+    }
+    push!(Token::Eof, line, col);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn lexes_assignment() {
+        assert_eq!(
+            toks("x = 42;"),
+            vec![
+                Token::Ident("x".into()),
+                Token::Punct("="),
+                Token::Num(42),
+                Token::Punct(";"),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_keywords_vs_idents() {
+        assert_eq!(
+            toks("while whilex"),
+            vec![
+                Token::Keyword(Keyword::While),
+                Token::Ident("whilex".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn two_char_operators() {
+        assert_eq!(
+            toks("a <= b == c && d"),
+            vec![
+                Token::Ident("a".into()),
+                Token::Punct("<="),
+                Token::Ident("b".into()),
+                Token::Punct("=="),
+                Token::Ident("c".into()),
+                Token::Punct("&&"),
+                Token::Ident("d".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            toks("x = 1; // set x\ny = 2;"),
+            vec![
+                Token::Ident("x".into()),
+                Token::Punct("="),
+                Token::Num(1),
+                Token::Punct(";"),
+                Token::Ident("y".into()),
+                Token::Punct("="),
+                Token::Num(2),
+                Token::Punct(";"),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let spanned = lex("x\n  y").unwrap();
+        assert_eq!((spanned[0].line, spanned[0].col), (1, 1));
+        assert_eq!((spanned[1].line, spanned[1].col), (2, 3));
+    }
+
+    #[test]
+    fn rejects_unknown_character() {
+        let err = lex("x @ y").unwrap_err();
+        assert!(err.message.contains('@'));
+        assert_eq!(err.col, 3);
+    }
+
+    #[test]
+    fn rejects_huge_literal() {
+        assert!(lex("99999999999999999999").is_err());
+    }
+}

@@ -1,0 +1,42 @@
+//! Mini imperative language front-end for the Program Structure Tree
+//! workspace.
+//!
+//! The reproduced paper gathered its empirical data by running a FORTRAN
+//! front-end over the Perfect Club and SPEC89 suites. This crate plays that
+//! role for the synthetic corpus: a small imperative language with
+//! conditionals, `switch`, three loop forms, `break`/`continue`, `return`,
+//! and `goto` (the source of unstructured and irreducible control flow),
+//! compiled down to the block-level CFGs that every analysis in the
+//! workspace consumes.
+//!
+//! Pipeline: [`parse_program`] → [`ast`] → [`lower_function`] →
+//! [`LoweredFunction`] (a [`pst_cfg::Cfg`] plus per-block def/use tables).
+//! [`pretty_program`] inverts parsing, which the workload generator uses to
+//! emit its corpus as real source text.
+//!
+//! # Examples
+//!
+//! ```
+//! use pst_lang::{parse_program, lower_function};
+//! let src = "fn sum(n) { s = 0; while (n > 0) { s = s + n; n = n - 1; } return s; }";
+//! let program = parse_program(src).unwrap();
+//! let lowered = lower_function(&program.functions[0]).unwrap();
+//! let s = lowered.var_id("s").unwrap();
+//! assert_eq!(lowered.definition_sites(s).len(), 2); // s = 0 and s = s + n
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod lexer;
+mod lower;
+mod parser;
+mod pretty;
+
+pub use ast::{BinOp, Block, Expr, Function, Program, Stmt, UnOp};
+pub use lower::{
+    lower_function, lower_program, BlockInfo, LowerError, LoweredFunction, StmtInfo, VarId,
+};
+pub use parser::{parse_function_body, parse_program, ParseError};
+pub use pretty::{pretty_expr, pretty_function, pretty_program, stmt_head};

@@ -1,0 +1,589 @@
+//! Recursive-descent parser for the mini language.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::ast::{BinOp, Block, Expr, Function, Program, Stmt, UnOp};
+use crate::lexer::{lex, Keyword, LexError, Spanned, Token};
+
+/// A syntax error with source position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Explanation.
+    pub message: String,
+    /// Line number, 1-based.
+    pub line: u32,
+    /// Column number, 1-based.
+    pub col: u32,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            message: e.message,
+            line: e.line,
+            col: e.col,
+        }
+    }
+}
+
+/// Parses a whole program (one or more `fn` definitions).
+///
+/// # Errors
+///
+/// Returns the first [`ParseError`] encountered.
+///
+/// # Examples
+///
+/// ```
+/// let src = "fn main(n) { s = 0; while (n > 0) { s = s + n; n = n - 1; } return s; }";
+/// let program = pst_lang::parse_program(src).unwrap();
+/// assert_eq!(program.functions.len(), 1);
+/// assert_eq!(program.functions[0].name, "main");
+/// ```
+pub fn parse_program(source: &str) -> Result<Program, ParseError> {
+    let tokens = lex(source)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut functions = Vec::new();
+    while !p.at_eof() {
+        functions.push(p.function()?);
+    }
+    if functions.is_empty() {
+        return Err(p.error("expected at least one function"));
+    }
+    Ok(Program { functions })
+}
+
+/// Parses a single function body given as a bare statement list (test and
+/// generator convenience: wraps the source in `fn f() { … }`).
+///
+/// # Errors
+///
+/// Returns the first [`ParseError`] encountered.
+pub fn parse_function_body(source: &str) -> Result<Function, ParseError> {
+    let wrapped = format!("fn f() {{ {source} }}");
+    let mut program = parse_program(&wrapped)?;
+    Ok(program.functions.remove(0))
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos].token
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek(), Token::Eof)
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        let s = &self.tokens[self.pos.min(self.tokens.len() - 1)];
+        ParseError {
+            message: message.into(),
+            line: s.line,
+            col: s.col,
+        }
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].token.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if matches!(self.peek(), Token::Punct(q) if *q == p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<(), ParseError> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{p}`, found `{}`", self.peek())))
+        }
+    }
+
+    fn eat_keyword(&mut self, k: Keyword) -> bool {
+        if matches!(self.peek(), Token::Keyword(q) if *q == k) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, k: Keyword) -> Result<(), ParseError> {
+        if self.eat_keyword(k) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{k:?}`, found `{}`", self.peek())))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            Token::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.error(format!("expected identifier, found `{other}`"))),
+        }
+    }
+
+    fn function(&mut self) -> Result<Function, ParseError> {
+        self.expect_keyword(Keyword::Fn)?;
+        let name = self.ident()?;
+        self.expect_punct("(")?;
+        let mut params = Vec::new();
+        if !self.eat_punct(")") {
+            loop {
+                params.push(self.ident()?);
+                if self.eat_punct(")") {
+                    break;
+                }
+                self.expect_punct(",")?;
+            }
+        }
+        let body = self.block()?;
+        Ok(Function { name, params, body })
+    }
+
+    fn block(&mut self) -> Result<Block, ParseError> {
+        self.expect_punct("{")?;
+        let mut stmts = Vec::new();
+        while !self.eat_punct("}") {
+            if self.at_eof() {
+                return Err(self.error("unterminated block"));
+            }
+            stmts.push(self.stmt()?);
+        }
+        Ok(Block { stmts })
+    }
+
+    fn assign_stmt(&mut self) -> Result<Stmt, ParseError> {
+        let target = self.ident()?;
+        self.expect_punct("=")?;
+        let value = self.expr()?;
+        Ok(Stmt::Assign { target, value })
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        match self.peek().clone() {
+            Token::Keyword(Keyword::If) => {
+                self.bump();
+                self.expect_punct("(")?;
+                let cond = self.expr()?;
+                self.expect_punct(")")?;
+                let then_branch = self.block()?;
+                let else_branch = if self.eat_keyword(Keyword::Else) {
+                    // `else if …` sugar: wrap the chained conditional in a
+                    // single-statement block.
+                    if matches!(self.peek(), Token::Keyword(Keyword::If)) {
+                        let chained = self.stmt()?;
+                        Some(Block {
+                            stmts: vec![chained],
+                        })
+                    } else {
+                        Some(self.block()?)
+                    }
+                } else {
+                    None
+                };
+                Ok(Stmt::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                })
+            }
+            Token::Keyword(Keyword::While) => {
+                self.bump();
+                self.expect_punct("(")?;
+                let cond = self.expr()?;
+                self.expect_punct(")")?;
+                let body = self.block()?;
+                Ok(Stmt::While { cond, body })
+            }
+            Token::Keyword(Keyword::Do) => {
+                self.bump();
+                let body = self.block()?;
+                self.expect_keyword(Keyword::While)?;
+                self.expect_punct("(")?;
+                let cond = self.expr()?;
+                self.expect_punct(")")?;
+                self.expect_punct(";")?;
+                Ok(Stmt::DoWhile { body, cond })
+            }
+            Token::Keyword(Keyword::For) => {
+                self.bump();
+                self.expect_punct("(")?;
+                let init = self.assign_stmt()?;
+                self.expect_punct(";")?;
+                let cond = self.expr()?;
+                self.expect_punct(";")?;
+                let step = self.assign_stmt()?;
+                self.expect_punct(")")?;
+                let body = self.block()?;
+                Ok(Stmt::For {
+                    init: Box::new(init),
+                    cond,
+                    step: Box::new(step),
+                    body,
+                })
+            }
+            Token::Keyword(Keyword::Switch) => {
+                self.bump();
+                self.expect_punct("(")?;
+                let scrutinee = self.expr()?;
+                self.expect_punct(")")?;
+                self.expect_punct("{")?;
+                let mut cases = Vec::new();
+                let mut default = None;
+                while !self.eat_punct("}") {
+                    if self.eat_keyword(Keyword::Case) {
+                        let neg = self.eat_punct("-");
+                        let k = match self.bump() {
+                            Token::Num(n) => {
+                                if neg {
+                                    -n
+                                } else {
+                                    n
+                                }
+                            }
+                            other => {
+                                return Err(
+                                    self.error(format!("expected case constant, found `{other}`"))
+                                )
+                            }
+                        };
+                        self.expect_punct(":")?;
+                        cases.push((k, self.block()?));
+                    } else if self.eat_keyword(Keyword::Default) {
+                        self.expect_punct(":")?;
+                        if default.is_some() {
+                            return Err(self.error("duplicate default arm"));
+                        }
+                        default = Some(self.block()?);
+                    } else {
+                        return Err(self.error(format!(
+                            "expected `case` or `default`, found `{}`",
+                            self.peek()
+                        )));
+                    }
+                }
+                Ok(Stmt::Switch {
+                    scrutinee,
+                    cases,
+                    default,
+                })
+            }
+            Token::Keyword(Keyword::Break) => {
+                self.bump();
+                self.expect_punct(";")?;
+                Ok(Stmt::Break)
+            }
+            Token::Keyword(Keyword::Continue) => {
+                self.bump();
+                self.expect_punct(";")?;
+                Ok(Stmt::Continue)
+            }
+            Token::Keyword(Keyword::Return) => {
+                self.bump();
+                if self.eat_punct(";") {
+                    Ok(Stmt::Return(None))
+                } else {
+                    let e = self.expr()?;
+                    self.expect_punct(";")?;
+                    Ok(Stmt::Return(Some(e)))
+                }
+            }
+            Token::Keyword(Keyword::Goto) => {
+                self.bump();
+                let l = self.ident()?;
+                self.expect_punct(";")?;
+                Ok(Stmt::Goto(l))
+            }
+            Token::Ident(name) => {
+                // Could be `x = e;`, `lbl:`, or an expression statement
+                // like `f(x);`.
+                if matches!(
+                    self.tokens.get(self.pos + 1).map(|s| &s.token),
+                    Some(Token::Punct(":"))
+                ) {
+                    self.bump();
+                    self.bump();
+                    return Ok(Stmt::Label(name));
+                }
+                if matches!(
+                    self.tokens.get(self.pos + 1).map(|s| &s.token),
+                    Some(Token::Punct("="))
+                ) {
+                    let s = self.assign_stmt()?;
+                    self.expect_punct(";")?;
+                    return Ok(s);
+                }
+                let e = self.expr()?;
+                self.expect_punct(";")?;
+                Ok(Stmt::Expr(e))
+            }
+            // Expression statements can also start with a literal, a
+            // parenthesis, or a unary operator.
+            Token::Num(_) | Token::Punct("(") | Token::Punct("-") | Token::Punct("!") => {
+                let e = self.expr()?;
+                self.expect_punct(";")?;
+                Ok(Stmt::Expr(e))
+            }
+            other => Err(self.error(format!("expected statement, found `{other}`"))),
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.binary_expr(0)
+    }
+
+    fn peek_binop(&self) -> Option<BinOp> {
+        let Token::Punct(p) = self.peek() else {
+            return None;
+        };
+        Some(match *p {
+            "+" => BinOp::Add,
+            "-" => BinOp::Sub,
+            "*" => BinOp::Mul,
+            "/" => BinOp::Div,
+            "%" => BinOp::Mod,
+            "<" => BinOp::Lt,
+            "<=" => BinOp::Le,
+            ">" => BinOp::Gt,
+            ">=" => BinOp::Ge,
+            "==" => BinOp::Eq,
+            "!=" => BinOp::Ne,
+            "&&" => BinOp::And,
+            "||" => BinOp::Or,
+            _ => return None,
+        })
+    }
+
+    fn binary_expr(&mut self, min_prec: u8) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary_expr()?;
+        while let Some(op) = self.peek_binop() {
+            let prec = op.precedence();
+            if prec < min_prec {
+                break;
+            }
+            self.bump();
+            // Left associative: require strictly higher precedence on the
+            // right.
+            let rhs = self.binary_expr(prec + 1)?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        if self.eat_punct("-") {
+            // Fold negated literals so `-3` is a single `Num(-3)` node:
+            // keeps printer/parser round-trips exact.
+            return Ok(match self.unary_expr()? {
+                Expr::Num(n) => Expr::Num(-n),
+                e => Expr::Unary(UnOp::Neg, Box::new(e)),
+            });
+        }
+        if self.eat_punct("!") {
+            return Ok(Expr::Unary(UnOp::Not, Box::new(self.unary_expr()?)));
+        }
+        self.primary_expr()
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            Token::Num(n) => {
+                self.bump();
+                Ok(Expr::Num(n))
+            }
+            Token::Ident(name) => {
+                self.bump();
+                if self.eat_punct("(") {
+                    let mut args = Vec::new();
+                    if !self.eat_punct(")") {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.eat_punct(")") {
+                                break;
+                            }
+                            self.expect_punct(",")?;
+                        }
+                    }
+                    Ok(Expr::Call(name, args))
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            Token::Punct("(") => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            other => Err(self.error(format!("expected expression, found `{other}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_function() {
+        let p = parse_program(
+            "fn f(a, b) { c = a + b * 2; if (c > 0) { c = c - 1; } else { c = 0; } return c; }",
+        )
+        .unwrap();
+        assert_eq!(p.functions[0].params, vec!["a", "b"]);
+        assert_eq!(p.functions[0].body.stmts.len(), 3);
+    }
+
+    #[test]
+    fn precedence_is_respected() {
+        let f = parse_function_body("x = 1 + 2 * 3;").unwrap();
+        match &f.body.stmts[0] {
+            Stmt::Assign { value, .. } => match value {
+                Expr::Binary(BinOp::Add, _, rhs) => {
+                    assert!(matches!(**rhs, Expr::Binary(BinOp::Mul, _, _)));
+                }
+                other => panic!("unexpected tree {other:?}"),
+            },
+            other => panic!("unexpected stmt {other:?}"),
+        }
+    }
+
+    #[test]
+    fn left_associativity() {
+        let f = parse_function_body("x = 1 - 2 - 3;").unwrap();
+        match &f.body.stmts[0] {
+            Stmt::Assign { value, .. } => match value {
+                Expr::Binary(BinOp::Sub, lhs, _) => {
+                    assert!(matches!(**lhs, Expr::Binary(BinOp::Sub, _, _)));
+                }
+                other => panic!("unexpected tree {other:?}"),
+            },
+            other => panic!("unexpected stmt {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_all_loop_forms() {
+        let f = parse_function_body(
+            "while (x) { x = x - 1; } do { y = y + 1; } while (y < 3); for (i = 0; i < 9; i = i + 1) { s = s + i; }",
+        )
+        .unwrap();
+        assert!(matches!(f.body.stmts[0], Stmt::While { .. }));
+        assert!(matches!(f.body.stmts[1], Stmt::DoWhile { .. }));
+        assert!(matches!(f.body.stmts[2], Stmt::For { .. }));
+    }
+
+    #[test]
+    fn parses_switch() {
+        let f = parse_function_body(
+            "switch (x) { case 0: { y = 1; } case -2: { y = 2; } default: { y = 3; } }",
+        )
+        .unwrap();
+        match &f.body.stmts[0] {
+            Stmt::Switch { cases, default, .. } => {
+                assert_eq!(cases.len(), 2);
+                assert_eq!(cases[1].0, -2);
+                assert!(default.is_some());
+            }
+            other => panic!("unexpected stmt {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_goto_and_labels() {
+        let f = parse_function_body("top: x = x + 1; if (x < 3) { goto top; } return x;").unwrap();
+        assert!(matches!(f.body.stmts[0], Stmt::Label(_)));
+        match &f.body.stmts[2] {
+            Stmt::If { then_branch, .. } => {
+                assert!(matches!(then_branch.stmts[0], Stmt::Goto(_)));
+            }
+            other => panic!("unexpected stmt {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_calls_and_unary() {
+        let f = parse_function_body("x = -f(a, b + 1) + !g();").unwrap();
+        assert!(matches!(f.body.stmts[0], Stmt::Assign { .. }));
+    }
+
+    #[test]
+    fn error_on_missing_semicolon() {
+        let err = parse_function_body("x = 1").unwrap_err();
+        assert!(err.message.contains("expected `;`"), "{err}");
+    }
+
+    #[test]
+    fn error_on_bad_case_token() {
+        let err = parse_function_body("switch (x) { case y: { } }").unwrap_err();
+        assert!(err.message.contains("case constant"), "{err}");
+    }
+
+    #[test]
+    fn error_on_unterminated_block() {
+        let err = parse_program("fn f() { x = 1;").unwrap_err();
+        assert!(err.message.contains("unterminated"), "{err}");
+    }
+
+    #[test]
+    fn error_has_position() {
+        let err = parse_program("fn f() {\n  x = ;\n}").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+}
+
+#[cfg(test)]
+mod else_if_tests {
+    use super::*;
+    use crate::ast::Stmt;
+
+    #[test]
+    fn else_if_chains_parse() {
+        let f = parse_function_body(
+            "if (a) { x = 1; } else if (b) { x = 2; } else { x = 3; } return x;",
+        )
+        .unwrap();
+        let Stmt::If { else_branch, .. } = &f.body.stmts[0] else {
+            panic!("expected if");
+        };
+        let chained = &else_branch.as_ref().unwrap().stmts[0];
+        assert!(matches!(chained, Stmt::If { .. }));
+    }
+
+    #[test]
+    fn else_if_lowers_and_analyzes() {
+        let f = parse_function_body(
+            "if (a) { x = 1; } else if (b) { x = 2; } else if (c) { x = 3; } else { x = 4; } return x;",
+        )
+        .unwrap();
+        let l = crate::lower_function(&f).unwrap();
+        assert!(l.cfg.node_count() >= 8);
+    }
+}

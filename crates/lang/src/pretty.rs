@@ -1,0 +1,266 @@
+//! Pretty printer: AST back to parseable source text.
+//!
+//! The printer and parser round-trip (`parse(print(ast)) == ast`), which
+//! the workload generator relies on to emit its synthetic corpus as real
+//! source files.
+
+use std::fmt::Write as _;
+
+use crate::ast::{Block, Expr, Function, Program, Stmt, UnOp};
+
+/// Renders a whole program.
+///
+/// # Examples
+///
+/// ```
+/// let src = "fn f(x) { return x; }";
+/// let p = pst_lang::parse_program(src).unwrap();
+/// let printed = pst_lang::pretty_program(&p);
+/// let reparsed = pst_lang::parse_program(&printed).unwrap();
+/// assert_eq!(p, reparsed);
+/// ```
+pub fn pretty_program(p: &Program) -> String {
+    let mut out = String::new();
+    for (i, f) in p.functions.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        out.push_str(&pretty_function(f));
+    }
+    out
+}
+
+/// Renders one function.
+pub fn pretty_function(f: &Function) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "fn {}({}) ", f.name, f.params.join(", "));
+    pretty_block(&f.body, 0, &mut out);
+    out.push('\n');
+    out
+}
+
+fn pretty_block(b: &Block, indent: usize, out: &mut String) {
+    out.push_str("{\n");
+    for s in &b.stmts {
+        pretty_stmt(s, indent + 1, out);
+    }
+    out.push_str(&"  ".repeat(indent));
+    out.push('}');
+}
+
+fn pretty_stmt(s: &Stmt, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    match s {
+        Stmt::Assign { .. } => {
+            let _ = writeln!(out, "{pad}{};", stmt_head(s));
+        }
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            let _ = write!(out, "{pad}if ({}) ", pretty_expr(cond));
+            pretty_block(then_branch, indent, out);
+            if let Some(e) = else_branch {
+                out.push_str(" else ");
+                pretty_block(e, indent, out);
+            }
+            out.push('\n');
+        }
+        Stmt::While { cond, body } => {
+            let _ = write!(out, "{pad}while ({}) ", pretty_expr(cond));
+            pretty_block(body, indent, out);
+            out.push('\n');
+        }
+        Stmt::DoWhile { body, cond } => {
+            let _ = write!(out, "{pad}do ");
+            pretty_block(body, indent, out);
+            let _ = writeln!(out, " while ({});", pretty_expr(cond));
+        }
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
+            let _ = write!(
+                out,
+                "{pad}for ({}; {}; {}) ",
+                stmt_head(init),
+                pretty_expr(cond),
+                stmt_head(step)
+            );
+            pretty_block(body, indent, out);
+            out.push('\n');
+        }
+        Stmt::Switch {
+            scrutinee,
+            cases,
+            default,
+        } => {
+            let _ = writeln!(out, "{pad}switch ({}) {{", pretty_expr(scrutinee));
+            for (k, b) in cases {
+                let _ = write!(out, "{pad}  case {k}: ");
+                pretty_block(b, indent + 1, out);
+                out.push('\n');
+            }
+            if let Some(b) = default {
+                let _ = write!(out, "{pad}  default: ");
+                pretty_block(b, indent + 1, out);
+                out.push('\n');
+            }
+            let _ = writeln!(out, "{pad}}}");
+        }
+        Stmt::Break => {
+            let _ = writeln!(out, "{pad}break;");
+        }
+        Stmt::Continue => {
+            let _ = writeln!(out, "{pad}continue;");
+        }
+        Stmt::Return(None) => {
+            let _ = writeln!(out, "{pad}return;");
+        }
+        Stmt::Return(Some(e)) => {
+            let _ = writeln!(out, "{pad}return {};", pretty_expr(e));
+        }
+        Stmt::Goto(l) => {
+            let _ = writeln!(out, "{pad}goto {l};");
+        }
+        Stmt::Label(l) => {
+            let _ = writeln!(out, "{pad}{l}:");
+        }
+        Stmt::Expr(e) => {
+            let _ = writeln!(out, "{pad}{};", pretty_expr(e));
+        }
+    }
+}
+
+/// One-line rendering of a simple statement (assignments, used in `for`
+/// headers and in CFG block dumps).
+pub fn stmt_head(s: &Stmt) -> String {
+    match s {
+        Stmt::Assign { target, value } => format!("{target} = {}", pretty_expr(value)),
+        Stmt::Expr(e) => pretty_expr(e),
+        Stmt::Return(Some(e)) => format!("return {}", pretty_expr(e)),
+        Stmt::Return(None) => "return".to_string(),
+        other => format!("{other:?}"),
+    }
+}
+
+/// Renders an expression with minimal parentheses.
+pub fn pretty_expr(e: &Expr) -> String {
+    render_expr(e, 0)
+}
+
+fn render_expr(e: &Expr, parent_prec: u8) -> String {
+    match e {
+        Expr::Num(n) => {
+            if *n < 0 {
+                format!("({n})")
+            } else {
+                n.to_string()
+            }
+        }
+        Expr::Var(v) => v.clone(),
+        Expr::Unary(op, a) => {
+            let sym = match op {
+                UnOp::Neg => "-",
+                UnOp::Not => "!",
+            };
+            format!("{sym}{}", render_expr(a, 7))
+        }
+        Expr::Binary(op, a, b) => {
+            let prec = op.precedence();
+            // Left associative: the right child needs parens at equal
+            // precedence.
+            let s = format!(
+                "{} {} {}",
+                render_expr(a, prec),
+                op.symbol(),
+                render_expr(b, prec + 1)
+            );
+            if prec < parent_prec {
+                format!("({s})")
+            } else {
+                s
+            }
+        }
+        Expr::Call(f, args) => {
+            let rendered: Vec<String> = args.iter().map(|a| render_expr(a, 0)).collect();
+            format!("{f}({})", rendered.join(", "))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_function_body, parse_program};
+
+    fn roundtrip(src: &str) {
+        let p = parse_program(src).unwrap();
+        let printed = pretty_program(&p);
+        let again = parse_program(&printed)
+            .unwrap_or_else(|e| panic!("re-parse failed: {e}\n--- printed ---\n{printed}"));
+        assert_eq!(p, again, "--- printed ---\n{printed}");
+    }
+
+    #[test]
+    fn roundtrips_simple_function() {
+        roundtrip("fn f(a, b) { c = a + b; return c; }");
+    }
+
+    #[test]
+    fn roundtrips_all_statements() {
+        roundtrip(
+            "fn g(n) {
+                s = 0;
+                for (i = 0; i < n; i = i + 1) {
+                    if (i % 2 == 0) { s = s + i; } else { s = s - 1; }
+                }
+                while (s > 10) { s = s / 2; }
+                do { s = s + 1; } while (s < 3);
+                switch (s) { case 0: { s = 1; } case 1: { } default: { s = 9; } }
+                top:
+                s = s - 1;
+                if (s > 0) { goto top; }
+                h(s);
+                return s;
+            }",
+        );
+    }
+
+    #[test]
+    fn roundtrips_tricky_expressions() {
+        roundtrip("fn f(a, b, c) { x = (a + b) * c; y = a - (b - c); z = -a + !b; w = a < b == (c > 1); v = f(a, g(b), (-1)); return x + y + z + w + v; }");
+    }
+
+    #[test]
+    fn roundtrips_break_continue() {
+        roundtrip(
+            "fn f(n) { while (n > 0) { if (n == 3) { break; } if (n == 5) { continue; } n = n - 1; } return n; }",
+        );
+    }
+
+    #[test]
+    fn minimal_parentheses() {
+        let f = parse_function_body("x = a + b * c;").unwrap();
+        match &f.body.stmts[0] {
+            crate::ast::Stmt::Assign { value, .. } => {
+                assert_eq!(pretty_expr(value), "a + b * c");
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn parenthesizes_when_needed() {
+        let f = parse_function_body("x = (a + b) * c;").unwrap();
+        match &f.body.stmts[0] {
+            crate::ast::Stmt::Assign { value, .. } => {
+                assert_eq!(pretty_expr(value), "(a + b) * c");
+            }
+            _ => unreachable!(),
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Property tests: PST-based φ-placement equals the IDF baseline
+//! (Theorem 9) on generated programs, and renaming stays consistent.
+
+use proptest::prelude::*;
+use pst_core::{collapse_all, ProgramStructureTree};
+use pst_ssa::{place_phis_cytron, place_phis_pst, rename};
+use pst_workloads::{generate_function, ProgramGenConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(250))]
+
+    #[test]
+    fn pst_placement_equals_cytron(seed in 0u64..100_000, goto in 0usize..2) {
+        let config = ProgramGenConfig {
+            target_stmts: 60,
+            goto_prob: if goto == 1 { 0.12 } else { 0.0 },
+            ..Default::default()
+        };
+        let f = generate_function("p", &config, seed);
+        let l = pst_lang::lower_function(&f).unwrap();
+        let baseline = place_phis_cytron(&l);
+        let pst = ProgramStructureTree::build(&l.cfg);
+        let collapsed = collapse_all(&l.cfg, &pst);
+        let sparse = place_phis_pst(&l, &pst, &collapsed);
+        prop_assert_eq!(&baseline, &sparse.placement);
+        // Sparsity accounting is sane.
+        for v in 0..l.var_count() {
+            prop_assert!(sparse.regions_examined[v] >= 1);
+            prop_assert!(sparse.regions_examined[v] <= sparse.total_regions);
+        }
+    }
+
+    #[test]
+    fn renaming_has_well_formed_phis(seed in 0u64..20_000) {
+        let f = generate_function("p", &ProgramGenConfig::default(), seed);
+        let l = pst_lang::lower_function(&f).unwrap();
+        let placement = place_phis_cytron(&l);
+        let ssa = rename(&l, &placement);
+        for node in l.cfg.graph().nodes() {
+            for phi in &ssa.phi_nodes[node.index()] {
+                prop_assert_eq!(phi.args.len(), l.cfg.graph().in_degree(node));
+                for &(_, version) in &phi.args {
+                    prop_assert!(version < ssa.version_count[phi.var.index()]);
+                }
+            }
+        }
+    }
+}

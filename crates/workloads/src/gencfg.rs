@@ -1,0 +1,239 @@
+//! Direct CFG family generators.
+//!
+//! These produce the parameterized graph families used by the scaling
+//! benchmarks: straight-line chains (the worst case for region *count*),
+//! diamond ladders, nested repeat-until loops (the paper's quadratic
+//! dominance-frontier example from §6.1), irreducible meshes (exercising
+//! the "arbitrary flow graphs" claim), and seeded random CFGs.
+
+use pst_cfg::{Cfg, CfgBuilder, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A straight-line chain of `n ≥ 2` nodes.
+///
+/// Every edge is cycle equivalent to every other, so the PST is a maximal
+/// chain of sequentially composed regions — the stress case for region
+/// bookkeeping.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn linear_chain(n: usize) -> Cfg {
+    assert!(n >= 2, "a CFG needs at least entry and exit");
+    let mut b = CfgBuilder::with_capacity(n, n - 1);
+    let nodes = b.add_nodes(n);
+    for w in nodes.windows(2) {
+        b.add_edge(w[0], w[1]);
+    }
+    b.finish(nodes[0], nodes[n - 1]).expect("chain is valid")
+}
+
+/// `k` sequential if-then-else diamonds.
+pub fn diamond_ladder(k: usize) -> Cfg {
+    let mut b = CfgBuilder::with_capacity(3 * k + 2, 4 * k + 1);
+    let entry = b.add_node();
+    let mut prev = entry;
+    for _ in 0..k {
+        let cond = prev;
+        let t = b.add_node();
+        let e = b.add_node();
+        let join = b.add_node();
+        b.add_edge(cond, t);
+        b.add_edge(cond, e);
+        b.add_edge(t, join);
+        b.add_edge(e, join);
+        prev = join;
+    }
+    let exit = b.add_node();
+    b.add_edge(prev, exit);
+    b.finish(entry, exit).expect("ladder is valid")
+}
+
+/// `depth` nested while loops with a single innermost body block.
+pub fn nested_while_loops(depth: usize) -> Cfg {
+    let mut b = CfgBuilder::new();
+    let entry = b.add_node();
+    let mut headers = Vec::with_capacity(depth);
+    let mut prev = entry;
+    for _ in 0..depth {
+        let h = b.add_node();
+        b.add_edge(prev, h);
+        headers.push(h);
+        prev = h;
+    }
+    let body = b.add_node();
+    b.add_edge(prev, body);
+    let mut inner = body;
+    // Close the loops inside-out: body -> innermost header, and each
+    // header's "done" edge steps to the enclosing header or onwards.
+    let exit_chain: Vec<NodeId> = (0..depth).map(|_| b.add_node()).collect();
+    for (i, &h) in headers.iter().enumerate().rev() {
+        b.add_edge(inner, h); // backedge
+        b.add_edge(h, exit_chain[i]); // loop exit
+        inner = exit_chain[i];
+    }
+    let exit = b.add_node();
+    b.add_edge(exit_chain[0], exit);
+    b.finish(entry, exit).expect("nest is valid")
+}
+
+/// `depth` nested repeat-until (do-while) loops — the shape whose
+/// dominance frontiers grow quadratically (Cytron et al., cited in §6.1),
+/// which the PST-based SSA construction sidesteps.
+pub fn nested_repeat_until(depth: usize) -> Cfg {
+    assert!(depth >= 1);
+    let mut b = CfgBuilder::new();
+    let entry = b.add_node();
+    // Headers going down: h1 .. hd, then latches coming back up l_d .. l_1;
+    // latch l_i has a backedge to h_i and continues to l_{i-1} (or exit).
+    let headers: Vec<NodeId> = (0..depth).map(|_| b.add_node()).collect();
+    b.add_edge(entry, headers[0]);
+    for w in headers.windows(2) {
+        b.add_edge(w[0], w[1]);
+    }
+    let mut prev = headers[depth - 1];
+    let mut latches = Vec::with_capacity(depth);
+    for i in (0..depth).rev() {
+        let l = b.add_node();
+        b.add_edge(prev, l);
+        b.add_edge(l, headers[i]); // repeat
+        latches.push(l);
+        prev = l;
+    }
+    let exit = b.add_node();
+    b.add_edge(prev, exit);
+    b.finish(entry, exit).expect("repeat-until nest is valid")
+}
+
+/// An irreducible "mesh": `k` nodes forming a clique-like cycle entered at
+/// two different points from the entry.
+pub fn irreducible_mesh(k: usize) -> Cfg {
+    assert!(k >= 2);
+    let mut b = CfgBuilder::new();
+    let entry = b.add_node();
+    let ring: Vec<NodeId> = (0..k).map(|_| b.add_node()).collect();
+    // Two entries into the ring: classic irreducibility.
+    b.add_edge(entry, ring[0]);
+    b.add_edge(entry, ring[k / 2]);
+    for i in 0..k {
+        b.add_edge(ring[i], ring[(i + 1) % k]);
+    }
+    let exit = b.add_node();
+    b.add_edge(ring[k - 1], exit);
+    b.add_edge(ring[k / 2], exit);
+    b.finish(entry, exit).expect("mesh is valid")
+}
+
+/// A seeded random valid CFG over `n` nodes with roughly `extra` additional
+/// edges beyond a guaranteed skeleton.
+///
+/// Node 0 is the entry and node `n-1` the exit; extra edges may create
+/// loops, parallel edges, self-loops and irreducible shapes. The same
+/// `(n, extra, seed)` triple always yields the same graph.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn random_cfg(n: usize, extra: usize, seed: u64) -> Cfg {
+    assert!(n >= 3, "need entry, exit and at least one interior node");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = CfgBuilder::new();
+    let nodes = b.add_nodes(n);
+    // Skeleton tree from the entry over interior nodes.
+    b.add_edge(nodes[0], nodes[1]);
+    for i in 2..n {
+        let p = 1 + rng.gen_range(0..i - 1);
+        b.add_edge(nodes[p], nodes[i]);
+    }
+    b.add_edge(nodes[n - 2], nodes[n - 1]);
+    // Random extra edges between interior nodes (never from exit, never
+    // into entry).
+    for _ in 0..extra {
+        let s = rng.gen_range(1..n - 1);
+        let t = rng.gen_range(1..n);
+        b.add_edge(nodes[s], nodes[t]);
+    }
+    // Repair: link forward any interior node that cannot reach the exit.
+    let g = b.graph().clone();
+    let back = g.reversed().reachable_from(nodes[n - 1]);
+    for i in 1..n - 1 {
+        if !back[i] {
+            b.add_edge(nodes[i], nodes[n - 1]);
+        }
+    }
+    b.finish(nodes[0], nodes[n - 1])
+        .expect("repaired random graph is a valid CFG")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pst_cfg::is_reducible;
+
+    #[test]
+    fn chain_shape() {
+        let c = linear_chain(10);
+        assert_eq!(c.node_count(), 10);
+        assert_eq!(c.edge_count(), 9);
+    }
+
+    #[test]
+    fn ladder_shape() {
+        let c = diamond_ladder(3);
+        assert_eq!(c.node_count(), 3 * 3 + 2);
+        assert_eq!(c.edge_count(), 4 * 3 + 1);
+        assert!(is_reducible(c.graph(), c.entry(), None));
+    }
+
+    #[test]
+    fn while_nest_is_reducible_and_cyclic() {
+        let c = nested_while_loops(4);
+        assert!(is_reducible(c.graph(), c.entry(), None));
+        let dfs = pst_cfg::Dfs::new(c.graph(), c.entry());
+        let backs = c
+            .graph()
+            .edges()
+            .filter(|&e| dfs.edge_kind(e) == Some(pst_cfg::DirectedEdgeKind::Back))
+            .count();
+        assert_eq!(backs, 4);
+    }
+
+    #[test]
+    fn repeat_until_nest_shape() {
+        let c = nested_repeat_until(5);
+        assert!(is_reducible(c.graph(), c.entry(), None));
+        let dfs = pst_cfg::Dfs::new(c.graph(), c.entry());
+        let backs = c
+            .graph()
+            .edges()
+            .filter(|&e| dfs.edge_kind(e) == Some(pst_cfg::DirectedEdgeKind::Back))
+            .count();
+        assert_eq!(backs, 5);
+    }
+
+    #[test]
+    fn mesh_is_irreducible() {
+        let c = irreducible_mesh(6);
+        assert!(!is_reducible(c.graph(), c.entry(), None));
+    }
+
+    #[test]
+    fn random_cfg_is_deterministic() {
+        let a = random_cfg(20, 15, 42);
+        let b = random_cfg(20, 15, 42);
+        assert_eq!(a, b);
+        let c = random_cfg(20, 15, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn random_cfgs_are_valid_across_seeds() {
+        for seed in 0..50 {
+            let c = random_cfg(4 + (seed as usize % 30), seed as usize % 40, seed);
+            // CfgBuilder::finish already validated; sanity-check entry/exit.
+            assert_eq!(c.graph().in_degree(c.entry()), 0);
+            assert_eq!(c.graph().out_degree(c.exit()), 0);
+        }
+    }
+}

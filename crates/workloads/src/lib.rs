@@ -1,0 +1,38 @@
+//! Workload generation for the Program Structure Tree reproduction.
+//!
+//! The paper's evaluation (§4, §6) runs on 254 FORTRAN procedures from the
+//! Perfect Club, SPEC89 and Linpack suites. Those inputs are not
+//! redistributable, so this crate provides the substitution documented in
+//! DESIGN.md:
+//!
+//! * [`generate_function`] — a seeded random program generator over the
+//!   `pst-lang` AST with a realistic structured/unstructured mix,
+//! * [`paper_corpus`] — a deterministic 254-procedure corpus matching the
+//!   paper's per-program procedure counts and size distribution
+//!   ([`PAPER_TABLE`]), and
+//! * the `gencfg` family generators ([`linear_chain`], [`diamond_ladder`],
+//!   [`nested_while_loops`], [`nested_repeat_until`], [`irreducible_mesh`],
+//!   [`random_cfg`]) used by the scaling and ablation benchmarks.
+//!
+//! # Examples
+//!
+//! ```
+//! use pst_workloads::paper_corpus;
+//! let corpus = paper_corpus(1994);
+//! let total_nodes: usize = corpus.iter().map(|p| p.lowered.cfg.node_count()).sum();
+//! assert!(total_nodes > 1000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod corpus;
+mod gencfg;
+mod genprog;
+
+pub use corpus::{paper_corpus, Corpus, Procedure, PAPER_TABLE};
+pub use gencfg::{
+    diamond_ladder, irreducible_mesh, linear_chain, nested_repeat_until, nested_while_loops,
+    random_cfg,
+};
+pub use genprog::{generate_function, ProgramGenConfig};

@@ -1,0 +1,126 @@
+//! Corpus-wide invariants: the synthetic Perfect/SPEC89 stand-in has the
+//! paper's shape, and every analysis holds over all 254 procedures.
+
+use pst_core::{classify_regions, ProgramStructureTree, PstStats};
+use pst_workloads::{paper_corpus, PAPER_TABLE};
+
+#[test]
+fn corpus_matches_paper_shape() {
+    let corpus = paper_corpus(1994);
+    assert_eq!(corpus.len(), 254);
+    for &(_, program, _, procs) in PAPER_TABLE {
+        assert_eq!(
+            corpus.iter().filter(|p| p.program == program).count(),
+            procs,
+            "{program}"
+        );
+    }
+
+    let mut all_stats = Vec::new();
+    let mut structured = 0usize;
+    for p in corpus.iter() {
+        let pst = ProgramStructureTree::build(&p.lowered.cfg);
+        all_stats.push(PstStats::of(&pst));
+        if classify_regions(&p.lowered.cfg, &pst).is_completely_structured() {
+            structured += 1;
+        }
+    }
+    let merged = PstStats::merge(&all_stats);
+
+    // Figure 5's qualitative claims.
+    assert!(merged.region_count > 5_000, "corpus is region-rich");
+    let avg = merged.average_depth();
+    assert!((2.0..4.0).contains(&avg), "broad and shallow (got {avg})");
+    assert!(
+        merged.cumulative_at_depth(6) > 0.95,
+        "~97% of regions at depth <= 6"
+    );
+
+    // §4: most procedures completely structured, but not all.
+    assert!(structured > 254 / 2, "mostly structured ({structured})");
+    assert!(structured < 254, "some unstructured procedures exist");
+}
+
+#[test]
+fn pst_size_grows_with_procedure_size_but_depth_does_not() {
+    let corpus = paper_corpus(1994);
+    let mut small = Vec::new();
+    let mut large = Vec::new();
+    for p in corpus.iter() {
+        let pst = ProgramStructureTree::build(&p.lowered.cfg);
+        let s = PstStats::of(&pst);
+        if s.procedure_size < 30 {
+            small.push(s);
+        } else if s.procedure_size > 100 {
+            large.push(s);
+        }
+    }
+    assert!(!small.is_empty() && !large.is_empty());
+    let avg = |v: &[PstStats], f: &dyn Fn(&PstStats) -> f64| {
+        v.iter().map(f).sum::<f64>() / v.len() as f64
+    };
+    // Figure 6(a): region count grows.
+    let small_regions = avg(&small, &|s| s.region_count as f64);
+    let large_regions = avg(&large, &|s| s.region_count as f64);
+    assert!(large_regions > 2.0 * small_regions);
+    // Figure 6(b): depth stays flat (within 2x).
+    let small_depth = avg(&small, &|s| s.average_depth());
+    let large_depth = avg(&large, &|s| s.average_depth());
+    assert!(large_depth < 2.0 * small_depth + 1.0);
+    // Figure 9: max region size grows sublinearly vs procedure size.
+    let small_max = avg(&small, &|s| s.max_collapsed_size as f64);
+    let large_max = avg(&large, &|s| s.max_collapsed_size as f64);
+    let size_ratio =
+        avg(&large, &|s| s.procedure_size as f64) / avg(&small, &|s| s.procedure_size as f64);
+    assert!(large_max / small_max < size_ratio / 1.5);
+}
+
+#[test]
+fn corpus_is_reproducible_across_builds() {
+    let a = paper_corpus(1994);
+    let b = paper_corpus(1994);
+    for (x, y) in a.iter().zip(b.iter()) {
+        assert_eq!(x.lowered.cfg, y.lowered.cfg);
+    }
+}
+
+/// The quantitative claims of §6.1/§6.2, enforced with tolerances: the
+/// sparsity distribution of Figure 10 and the QPG size economy. Uses a
+/// corpus subsample so the test stays fast in debug builds.
+#[test]
+fn sparsity_claims_hold_on_a_subsample() {
+    use pst_core::collapse_all;
+    use pst_dataflow::{QpgContext, SingleVariableReachingDefs};
+    use pst_lang::VarId;
+    use pst_ssa::{place_phis_cytron, place_phis_pst};
+
+    let corpus = paper_corpus(1994);
+    let mut fractions = Vec::new();
+    let mut qpg_ratios = Vec::new();
+    for p in corpus.iter().step_by(4) {
+        let l = &p.lowered;
+        let pst = ProgramStructureTree::build(&l.cfg);
+        let collapsed = collapse_all(&l.cfg, &pst);
+        let sparse = place_phis_pst(l, &pst, &collapsed);
+        assert_eq!(sparse.placement, place_phis_cytron(l), "Theorem 9");
+        for v in 0..l.var_count() {
+            fractions.push(sparse.fraction_examined(VarId::from_index(v)));
+        }
+        let ctx = QpgContext::new(&l.cfg, &pst);
+        let stmt_size = l.statement_count().max(l.cfg.node_count());
+        for v in 0..l.var_count() {
+            let problem = SingleVariableReachingDefs::new(l, VarId::from_index(v));
+            let qpg = ctx.build_from_sites(problem.sites());
+            qpg_ratios.push(qpg.node_count() as f64 / stmt_size as f64);
+        }
+    }
+    // Figure 10: most variables examine under a fifth of the regions
+    // (paper: ~70 %; require a solid majority on the subsample).
+    let below_fifth =
+        fractions.iter().filter(|&&f| f < 0.2).count() as f64 / fractions.len() as f64;
+    assert!(below_fifth > 0.55, "only {below_fifth:.2} below 1/5");
+    // §6.2: QPGs are a small fraction of the statement-level CFG
+    // (paper: < 10 %; allow 20 % for the smaller synthetic procedures).
+    let avg_ratio = qpg_ratios.iter().sum::<f64>() / qpg_ratios.len() as f64;
+    assert!(avg_ratio < 0.2, "average QPG ratio {avg_ratio:.2}");
+}

@@ -1,0 +1,99 @@
+//! End-to-end pipeline test: source text → CFG → PST → classification →
+//! control regions → SSA → data flow, with cross-crate consistency checks
+//! at every stage.
+
+use pst_controldep::{cfs_control_regions, fow_control_regions};
+use pst_core::{classify_regions, collapse_all, ControlRegions, ProgramStructureTree, PstStats};
+use pst_dataflow::{
+    solve_elimination, solve_iterative, QpgContext, ReachingDefinitions, SingleVariableReachingDefs,
+};
+use pst_lang::{lower_function, parse_program, VarId};
+use pst_ssa::{place_phis_cytron, place_phis_pst, rename};
+
+const SOURCE: &str = "
+    fn kernel(n, mode) {
+        acc = 0;
+        for (i = 0; i < n; i = i + 1) {
+            switch (mode) {
+                case 0: { acc = acc + i; }
+                case 1: { acc = acc - i; }
+                default: {
+                    if (acc > 100) { acc = acc / 2; } else { acc = acc * 2; }
+                }
+            }
+        }
+        j = n;
+        while (j > 0) {
+            acc = acc + probe(j);
+            j = j - 1;
+        }
+        return acc;
+    }";
+
+#[test]
+fn full_pipeline_is_consistent() {
+    let program = parse_program(SOURCE).expect("parses");
+    let lowered = lower_function(&program.functions[0]).expect("lowers");
+    assert!(lowered.cfg.node_count() > 10);
+
+    // PST construction and shape.
+    let pst = ProgramStructureTree::build(&lowered.cfg);
+    let stats = PstStats::of(&pst);
+    assert!(stats.region_count >= 8, "rich structure expected");
+    assert!(stats.max_depth >= 2);
+
+    // Classification: this function is completely structured.
+    let kinds = classify_regions(&lowered.cfg, &pst);
+    assert!(kinds.is_completely_structured());
+
+    // Control regions: all three algorithms agree.
+    let cr = ControlRegions::compute(&lowered.cfg);
+    assert_eq!(cr, fow_control_regions(&lowered.cfg));
+    assert_eq!(cr, cfs_control_regions(&lowered.cfg));
+    assert!(cr.num_classes() >= 4);
+
+    // SSA: PST placement equals IDF placement; renaming is well formed.
+    let collapsed = collapse_all(&lowered.cfg, &pst);
+    let baseline = place_phis_cytron(&lowered);
+    let sparse = place_phis_pst(&lowered, &pst, &collapsed);
+    assert_eq!(baseline, sparse.placement);
+    let acc = lowered.var_id("acc").expect("acc exists");
+    assert!(!baseline.phis_of(acc).is_empty(), "acc merges in loops");
+    let ssa = rename(&lowered, &baseline);
+    assert!(ssa.total_phis() >= baseline.total_phis());
+
+    // Data flow: elimination over the PST equals the iterative solution,
+    // and per-variable QPGs solve to the same values as the full graph.
+    let rd = ReachingDefinitions::new(&lowered);
+    assert_eq!(
+        solve_elimination(&lowered.cfg, &pst, &collapsed, &rd),
+        solve_iterative(&lowered.cfg, &rd)
+    );
+    let ctx = QpgContext::new(&lowered.cfg, &pst);
+    for v in 0..lowered.var_count() {
+        let var = VarId::from_index(v);
+        let problem = SingleVariableReachingDefs::new(&lowered, var);
+        let qpg = ctx.build_from_sites(problem.sites());
+        assert_eq!(
+            ctx.solve(&qpg, &problem),
+            solve_iterative(&lowered.cfg, &problem),
+            "variable {}",
+            lowered.var_name(var)
+        );
+        assert!(qpg.node_count() <= lowered.cfg.node_count());
+    }
+}
+
+#[test]
+fn multi_function_programs_lower_independently() {
+    let program = parse_program(
+        "fn a(x) { return x + 1; }
+         fn b(y) { while (y > 0) { y = y - 2; } return y; }",
+    )
+    .expect("parses");
+    let lowered = pst_lang::lower_program(&program).expect("lowers");
+    assert_eq!(lowered.len(), 2);
+    let pst_a = ProgramStructureTree::build(&lowered[0].cfg);
+    let pst_b = ProgramStructureTree::build(&lowered[1].cfg);
+    assert!(pst_b.canonical_region_count() > pst_a.canonical_region_count());
+}
