@@ -6,7 +6,7 @@
 //! since it tells us how to divide the work and how to combine partial
 //! results."
 //!
-//! Two embarrassingly parallel phases over crossbeam scoped threads:
+//! Two embarrassingly parallel phases over `std::thread::scope` workers:
 //! region analyses (dominator trees + frontiers of every collapsed region)
 //! are computed concurrently, then variables are partitioned across
 //! threads, each running the marking + local-IDF steps against the shared
@@ -80,19 +80,18 @@ pub fn place_phis_pst_parallel(
             slices.push(head);
             rest = tail;
         }
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let mut offset = 0usize;
             for slice in slices {
                 let base = offset;
                 offset += slice.len();
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for (i, slot) in slice.iter_mut().enumerate() {
                         *slot = Some(analyze_region(&collapsed[base + i]));
                     }
                 });
             }
-        })
-        .expect("worker threads never panic");
+        });
     }
     let analyses: Vec<RegionAnalysis> = analyses
         .into_iter()
@@ -121,10 +120,10 @@ pub fn place_phis_pst_parallel(
         let chunk = nvars.div_ceil(threads).max(1);
         let phi_chunks: Vec<&mut [Vec<NodeId>]> = phis.chunks_mut(chunk).collect();
         let exam_chunks: Vec<&mut [usize]> = examined.chunks_mut(chunk).collect();
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for (ci, (phi_slice, exam_slice)) in phi_chunks.into_iter().zip(exam_chunks).enumerate()
             {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for (off, (phi_slot, exam_slot)) in
                         phi_slice.iter_mut().zip(exam_slice.iter_mut()).enumerate()
                     {
@@ -136,8 +135,7 @@ pub fn place_phis_pst_parallel(
                     }
                 });
             }
-        })
-        .expect("worker threads never panic");
+        });
     }
 
     PstPhiPlacement {

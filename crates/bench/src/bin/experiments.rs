@@ -51,6 +51,26 @@ fn main() {
             std::process::exit(2);
         }
     }
+    report_observability();
+}
+
+/// Per-phase span/counter report for the whole run; `PST_METRICS=<path>`
+/// additionally writes the report as JSON (see docs/OBSERVABILITY.md).
+fn report_observability() {
+    if !pst_obs::enabled() {
+        return;
+    }
+    let report = pst_obs::report();
+    println!("## Per-phase observability report\n");
+    print!("{}", report.render_text());
+    if let Ok(path) = std::env::var("PST_METRICS") {
+        if !path.is_empty() {
+            match std::fs::write(&path, format!("{}\n", report.to_json())) {
+                Ok(()) => println!("\nmetrics written to {path}"),
+                Err(e) => eprintln!("experiments: cannot write metrics to `{path}`: {e}"),
+            }
+        }
+    }
 }
 
 /// §4 Table: the benchmark suite.
@@ -110,9 +130,10 @@ fn fig5(analyses: &[ProcAnalysis<'_>]) {
         );
     }
     println!(
-        "\nshare of regions at depth <= 6: {}\n",
+        "\nshare of regions at depth <= 6: {}",
         pct(merged.cumulative_at_depth(6))
     );
+    println!("merged stats (JSON): {}\n", merged.to_json());
 }
 
 /// Buckets procedures by size and prints an aggregate per bucket.

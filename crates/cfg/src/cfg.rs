@@ -150,6 +150,7 @@ impl Cfg {
     /// Node and edge ids of `G` are preserved; the returned edge id is the
     /// single fresh edge.
     pub fn to_strongly_connected(&self) -> (Graph, EdgeId) {
+        let _span = pst_obs::Span::enter("strongly_connect");
         let mut g = self.graph.clone();
         let back = g.add_edge(self.exit, self.entry);
         (g, back)

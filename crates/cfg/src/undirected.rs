@@ -75,6 +75,8 @@ impl UndirectedDfs {
     /// other components keep `UndirectedEdgeKind::Unreached` edges and
     /// [`UndirectedDfs::is_connected`] returns `false`.
     pub fn new(graph: &Graph, root: NodeId) -> Self {
+        let _span = pst_obs::Span::enter("undirected_dfs");
+        pst_obs::counter!("dfs_edges_examined", graph.edge_count());
         let n = graph.node_count();
         let mut st = UndirectedDfs {
             root,

@@ -17,6 +17,11 @@
 //!
 //! `-` reads the program from stdin. Exit codes: 0 ok, 1 analysis error,
 //! 2 usage error.
+//!
+//! Observability (see `docs/OBSERVABILITY.md`): `--trace` prints the
+//! recorded phase tree and counters to stderr; `--metrics-json <path>`
+//! writes the same report as JSON (`-` = stderr). The `PST_METRICS`
+//! environment variable supplies a default for `--metrics-json`.
 
 use std::io::Read as _;
 use std::process::ExitCode;
@@ -28,11 +33,19 @@ use pst_dataflow::{solve_iterative, QpgContext, SingleVariableReachingDefs};
 use pst_lang::{lower_program, parse_program, LoweredFunction, VarId};
 use pst_ssa::{place_phis_cytron, place_phis_pst, rename};
 
-const USAGE: &str =
-    "usage: pst <regions|kinds|dot|clusters|control-regions|ssa|dataflow> <file.mini | ->";
+const USAGE: &str = "usage: pst <regions|kinds|dot|clusters|control-regions|ssa|dataflow> \
+     <file.mini | -> [--trace] [--metrics-json <path>]";
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let trace = take_flag(&mut args, "--trace");
+    let metrics_json = match take_value_flag(&mut args, "--metrics-json") {
+        Ok(v) => v.or_else(|| std::env::var("PST_METRICS").ok().filter(|s| !s.is_empty())),
+        Err(msg) => {
+            eprintln!("pst: {msg}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
     let (command, path) = match (args.first(), args.get(1)) {
         (Some(c), Some(p)) => (c.as_str(), p.as_str()),
         _ => {
@@ -47,7 +60,9 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    match run(command, &source) {
+    let outcome = run(command, &source);
+    emit_observability(trace, metrics_json.as_deref());
+    match outcome {
         Ok(()) => ExitCode::SUCCESS,
         Err(Failure::Usage(msg)) => {
             eprintln!("pst: {msg}\n{USAGE}");
@@ -56,6 +71,57 @@ fn main() -> ExitCode {
         Err(Failure::Analysis(msg)) => {
             eprintln!("pst: {msg}");
             ExitCode::from(1)
+        }
+    }
+}
+
+/// Removes every occurrence of the bare flag `name`; true if it was present.
+fn take_flag(args: &mut Vec<String>, name: &str) -> bool {
+    let before = args.len();
+    args.retain(|a| a != name);
+    args.len() != before
+}
+
+/// Removes `name <value>` or `name=<value>` from `args` (last one wins).
+fn take_value_flag(args: &mut Vec<String>, name: &str) -> Result<Option<String>, String> {
+    let mut value = None;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == name {
+            if i + 1 >= args.len() {
+                return Err(format!("`{name}` requires a value"));
+            }
+            args.remove(i);
+            value = Some(args.remove(i));
+        } else if let Some(v) = args[i].strip_prefix(name).and_then(|r| r.strip_prefix('=')) {
+            value = Some(v.to_string());
+            args.remove(i);
+        } else {
+            i += 1;
+        }
+    }
+    Ok(value)
+}
+
+/// Prints/writes the observability report per `--trace` / `--metrics-json`.
+fn emit_observability(trace: bool, json_path: Option<&str>) {
+    if !trace && json_path.is_none() {
+        return;
+    }
+    if !pst_obs::enabled() {
+        eprintln!("pst: built without observability (`obs` feature); no metrics recorded");
+        return;
+    }
+    let report = pst_obs::report();
+    if trace {
+        eprint!("{}", report.render_text());
+    }
+    if let Some(path) = json_path {
+        let text = format!("{}\n", report.to_json());
+        if path == "-" {
+            eprint!("{text}");
+        } else if let Err(e) = std::fs::write(path, text) {
+            eprintln!("pst: cannot write metrics to `{path}`: {e}");
         }
     }
 }
@@ -76,6 +142,7 @@ fn read_source(path: &str) -> std::io::Result<String> {
 }
 
 fn run(command: &str, source: &str) -> Result<(), Failure> {
+    let _span = pst_obs::Span::enter("pipeline");
     let program =
         parse_program(source).map_err(|e| Failure::Analysis(format!("parse error: {e}")))?;
     let lowered =

@@ -35,6 +35,7 @@ pub use pst_core::ControlRegions;
 /// assert_eq!(cr.num_classes(), 3);
 /// ```
 pub fn fow_control_regions(cfg: &Cfg) -> ControlRegions {
+    let _span = pst_obs::Span::enter("fow_baseline");
     let cd = ControlDependence::compute(cfg);
     fow_from_dependence(cfg, &cd)
 }
@@ -74,6 +75,7 @@ pub fn fow_from_dependence(cfg: &Cfg, cd: &ControlDependence) -> ControlRegions 
 /// assert_eq!(cfs_control_regions(&cfg), fow_control_regions(&cfg));
 /// ```
 pub fn cfs_control_regions(cfg: &Cfg) -> ControlRegions {
+    let _span = pst_obs::Span::enter("cfs_baseline");
     let cd = ControlDependence::compute(cfg);
     cfs_from_dependence(cfg, &cd)
 }

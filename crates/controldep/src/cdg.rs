@@ -55,6 +55,7 @@ pub struct ControlDependence {
 impl ControlDependence {
     /// Computes the relation for `cfg`.
     pub fn compute(cfg: &Cfg) -> Self {
+        let _span = pst_obs::Span::enter("control_dependence");
         let (closure, virtual_edge) = cfg.to_strongly_connected();
         let pdom = dominator_tree_in(&closure, cfg.exit(), Direction::Backward);
         let deps = dependence_sets(&closure, &pdom);

@@ -160,6 +160,7 @@ impl BracketArena {
         }
         list.head = Some(b);
         list.size += 1;
+        pst_obs::counter!("brackets_pushed");
     }
 
     /// The topmost bracket of `list`, if any. O(1).
@@ -190,6 +191,7 @@ impl BracketArena {
         c.next = None;
         debug_assert!(list.size > 0, "delete from empty bracket list");
         list.size -= 1;
+        pst_obs::counter!("brackets_popped");
     }
 
     /// Concatenates two lists in O(1): `upper` ends up on top of `lower`.

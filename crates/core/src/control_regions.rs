@@ -49,6 +49,7 @@ impl ControlRegions {
     /// Computes control regions of `cfg` in `O(E)` time via node-expanded
     /// cycle equivalence.
     pub fn compute(cfg: &Cfg) -> Self {
+        let _span = pst_obs::Span::enter("control_regions");
         let (s, _back) = cfg.to_strongly_connected();
         let (t, representative) = node_expand(&s);
         let ce = CycleEquiv::compute(&t, input_half(cfg.entry()));

@@ -60,6 +60,9 @@ impl CycleEquiv {
     ///
     /// Panics if the undirected graph is not connected.
     pub fn compute(graph: &Graph, root: NodeId) -> Self {
+        let _span = pst_obs::Span::enter("cycle_equiv");
+        pst_obs::gauge!("cycle_equiv_nodes", graph.node_count());
+        pst_obs::gauge!("cycle_equiv_edges", graph.edge_count());
         let dfs = UndirectedDfs::new(graph, root);
         assert!(
             dfs.is_connected(),
@@ -148,6 +151,7 @@ impl CycleEquiv {
             // where the second subtree's backedges all end at or below this
             // node — the paper's Figure 4 elides that guard.)
             if hi2 < hi0 && hi2 < my_dfsnum {
+                pst_obs::counter!("brackets_capped");
                 let d = arena.new_bracket(None);
                 capping_down[dfs.node_with_dfsnum(hi2).index()].push(d);
                 arena.push(&mut list, d);
@@ -157,6 +161,7 @@ impl CycleEquiv {
             if let Some(e) = dfs.parent_edge(node) {
                 if let Some(b) = arena.top(&list) {
                     if arena.recent_size(b) != list.size() {
+                        pst_obs::counter!("recent_size_recomputed");
                         arena.set_recent_size(b, list.size());
                         arena.set_recent_class(b, new_class());
                     }

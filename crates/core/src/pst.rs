@@ -80,6 +80,7 @@ impl ProgramStructureTree {
     /// indicate a bug in the cycle-equivalence layer, not bad user input
     /// (any valid [`Cfg`] is acceptable, including irreducible ones).
     pub fn build(cfg: &Cfg) -> Self {
+        let _span = pst_obs::Span::enter("pst");
         let detection = canonical_regions(cfg);
         Self::from_detection(cfg, detection)
     }

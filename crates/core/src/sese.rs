@@ -52,6 +52,7 @@ pub struct CanonicalRegions {
 /// assert_eq!(found.regions.len(), 2);
 /// ```
 pub fn canonical_regions(cfg: &Cfg) -> CanonicalRegions {
+    let _span = pst_obs::Span::enter("sese");
     let (s, _virtual_edge) = cfg.to_strongly_connected();
     let cycle_equiv = CycleEquiv::compute(&s, cfg.entry());
 

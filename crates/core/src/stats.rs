@@ -100,6 +100,31 @@ impl PstStats {
         below as f64 / self.region_count as f64
     }
 
+    /// Serializes the statistics as JSON (`pst_obs::json`); the schema is
+    /// documented in `docs/OBSERVABILITY.md`.
+    pub fn to_json(&self) -> pst_obs::json::Json {
+        use pst_obs::json::Json;
+        Json::obj([
+            ("region_count", Json::UInt(self.region_count as u64)),
+            (
+                "depth_histogram",
+                Json::Arr(
+                    self.depth_histogram
+                        .iter()
+                        .map(|&c| Json::UInt(c as u64))
+                        .collect(),
+                ),
+            ),
+            ("max_depth", Json::UInt(self.max_depth as u64)),
+            ("total_depth", Json::UInt(self.total_depth as u64)),
+            (
+                "max_collapsed_size",
+                Json::UInt(self.max_collapsed_size as u64),
+            ),
+            ("procedure_size", Json::UInt(self.procedure_size as u64)),
+        ])
+    }
+
     /// Merges per-procedure statistics into suite-level aggregates
     /// (Figure 5 pools all 254 procedures).
     pub fn merge(stats: &[PstStats]) -> PstStats {
@@ -165,6 +190,51 @@ mod tests {
             last = c;
         }
         assert!((s.cumulative_at_depth(s.max_depth) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_of_empty_slice_is_all_zero() {
+        let m = PstStats::merge(&[]);
+        assert_eq!(m.region_count, 0);
+        assert_eq!(m.max_depth, 0);
+        assert_eq!(m.total_depth, 0);
+        assert_eq!(m.max_collapsed_size, 0);
+        assert_eq!(m.procedure_size, 0);
+        assert!(m.depth_histogram.is_empty());
+        assert_eq!(m.average_depth(), 0.0);
+        assert_eq!(m.cumulative_at_depth(0), 1.0);
+    }
+
+    #[test]
+    fn merge_of_one_is_identity() {
+        let s = stats_of("0->1 1->2 2->1 1->3");
+        assert_eq!(PstStats::merge(std::slice::from_ref(&s)), s);
+    }
+
+    #[test]
+    fn minimal_cfg_stats() {
+        // The smallest valid CFG: one edge entry -> exit. Its only
+        // canonical region is the whole procedure.
+        let s = stats_of("0->1");
+        assert_eq!(s.procedure_size, 2);
+        assert_eq!(s.region_count, 0);
+        assert_eq!(s.max_depth, 0);
+        assert_eq!(s.average_depth(), 0.0);
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let s = stats_of("0->1 1->2 2->1 1->3");
+        let text = s.to_json().to_string();
+        let parsed = pst_obs::json::Json::parse(&text).unwrap();
+        assert_eq!(
+            parsed.get("region_count").and_then(|j| j.as_u64()),
+            Some(s.region_count as u64)
+        );
+        assert_eq!(
+            parsed.get("max_depth").and_then(|j| j.as_u64()),
+            Some(s.max_depth as u64)
+        );
     }
 
     #[test]

@@ -25,6 +25,7 @@ use crate::{Confluence, DataflowProblem, Flow, Solution};
 /// assert_eq!(reaching.len(), 2);
 /// ```
 pub fn solve_iterative(cfg: &Cfg, problem: &impl DataflowProblem) -> Solution {
+    let _span = pst_obs::Span::enter("dataflow_iterative");
     let graph = cfg.graph();
     let n = graph.node_count();
     let (root, flow_preds): (NodeId, fn(&pst_cfg::Graph, NodeId) -> Vec<NodeId>) =
@@ -62,6 +63,7 @@ pub fn solve_iterative(cfg: &Cfg, problem: &impl DataflowProblem) -> Solution {
             if node == root {
                 continue;
             }
+            pst_obs::counter!("dataflow_node_visits");
             let preds = flow_preds(graph, node);
             let mut meet = match problem.confluence() {
                 Confluence::Union => {

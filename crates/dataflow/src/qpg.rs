@@ -65,6 +65,7 @@ impl Qpg {
         pst: &ProgramStructureTree,
         transparent: &dyn Fn(NodeId) -> bool,
     ) -> Self {
+        let _span = pst_obs::Span::enter("qpg_build");
         let graph = cfg.graph();
         // Mark regions containing a non-transparent node (leaf-up).
         let mut marked = vec![false; pst.region_count()];
@@ -308,6 +309,7 @@ impl<'a> QpgContext<'a> {
     /// Builds the QPG for an instance whose non-transparent nodes are
     /// exactly `sites`.
     pub fn build_from_sites(&self, sites: &[NodeId]) -> Qpg {
+        let _span = pst_obs::Span::enter("qpg_build");
         let mut marked = vec![false; self.pst.region_count()];
         for &n in sites {
             let mut r = Some(self.pst.region_of_node(n));
@@ -330,6 +332,7 @@ impl<'a> QpgContext<'a> {
     /// Solves `problem` on `qpg` and projects back, using the cached
     /// region-node lists.
     pub fn solve<P: DataflowProblem>(&self, qpg: &Qpg, problem: &P) -> Solution {
+        let _span = pst_obs::Span::enter("qpg_solve");
         qpg.solve_with(self.cfg, problem, &|r: RegionId| {
             self.all_nodes[r.index()].clone()
         })

@@ -208,6 +208,8 @@ pub fn lower_program(p: &Program) -> Result<Vec<LoweredFunction>, LowerError> {
 /// assert_eq!(lowered.var_name(lowered.var_id("n").unwrap()), "n");
 /// ```
 pub fn lower_function(f: &Function) -> Result<LoweredFunction, LowerError> {
+    let _span = pst_obs::Span::enter("lower");
+    pst_obs::counter!("functions_lowered");
     let mut lo = Lowerer::new();
     // Parameters are definitions at the entry block.
     for p in &f.params {

@@ -50,6 +50,8 @@ impl From<LexError> for ParseError {
 /// assert_eq!(program.functions[0].name, "main");
 /// ```
 pub fn parse_program(source: &str) -> Result<Program, ParseError> {
+    let _span = pst_obs::Span::enter("parse");
+    pst_obs::counter!("source_bytes_parsed", source.len());
     let tokens = lex(source)?;
     let mut p = Parser { tokens, pos: 0 };
     let mut functions = Vec::new();

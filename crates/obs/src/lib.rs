@@ -1,0 +1,548 @@
+//! Zero-dependency observability for the PST pipeline.
+//!
+//! The paper's headline claim is *linear time*; this crate exists so the
+//! reproduction can observe whether a run actually behaves linearly
+//! instead of guessing. It provides three things:
+//!
+//! 1. **Phase spans** — [`Span::enter("cycle_equiv")`](Span::enter)
+//!    returns an RAII guard; nested guards build a per-phase tree of
+//!    wall-times measured with [`std::time::Instant`] (monotonic).
+//! 2. **Hot-path counters and gauges** — [`counter!`] / [`gauge!`]
+//!    record into thread-local registries that are folded into a global
+//!    aggregate when threads exit and snapshotted by [`report`].
+//! 3. **A hand-rolled JSON emitter** — [`json::Json`] serializes span
+//!    trees, counters, and `PstStats` without serde (the build
+//!    environment is offline).
+//!
+//! # Feature gating
+//!
+//! Everything compiles to inert no-ops unless the `enabled` feature is
+//! on: `Span::enter` returns a zero-sized guard, `counter!` expands to a
+//!  call into an empty `#[inline(always)]` function, and [`report`]
+//! returns an empty report. Library crates expose this as their own
+//! `obs` feature (default **off**); the CLI and bench harness turn it on
+//! by default. See `docs/OBSERVABILITY.md` for naming conventions and
+//! the report schema.
+//!
+//! # Examples
+//!
+//! ```
+//! {
+//!     let _pipeline = pst_obs::Span::enter("pipeline");
+//!     let _parse = pst_obs::Span::enter("parse");
+//!     pst_obs::counter!("tokens", 42);
+//! }
+//! let report = pst_obs::report();
+//! if pst_obs::enabled() {
+//!     assert_eq!(report.counter("tokens"), 42);
+//!     println!("{}", report.to_json());
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+
+use std::collections::BTreeMap;
+
+use json::Json;
+
+/// Whether observability was compiled in (`enabled` feature).
+#[inline(always)]
+pub fn enabled() -> bool {
+    cfg!(feature = "enabled")
+}
+
+/// Adds `delta` to the named counter. Prefer the [`counter!`] macro.
+#[inline(always)]
+pub fn counter_add(name: &'static str, delta: u64) {
+    #[cfg(feature = "enabled")]
+    imp::counter_add(name, delta);
+    #[cfg(not(feature = "enabled"))]
+    let _ = (name, delta);
+}
+
+/// Sets the named gauge to `value` (last write wins per thread; the
+/// report keeps the maximum across threads). Prefer [`gauge!`].
+#[inline(always)]
+pub fn gauge_set(name: &'static str, value: u64) {
+    #[cfg(feature = "enabled")]
+    imp::gauge_set(name, value);
+    #[cfg(not(feature = "enabled"))]
+    let _ = (name, value);
+}
+
+/// Increments a named counter: `counter!("brackets_pushed")` or
+/// `counter!("brackets_pushed", n)`.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {
+        $crate::counter_add($name, 1)
+    };
+    ($name:expr, $delta:expr) => {
+        $crate::counter_add($name, $delta as u64)
+    };
+}
+
+/// Sets a named gauge: `gauge!("cfg_nodes", n)`.
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr, $value:expr) => {
+        $crate::gauge_set($name, $value as u64)
+    };
+}
+
+/// A named phase. [`Span::enter`] starts timing; dropping the returned
+/// guard stops it and records the elapsed wall-time under the innermost
+/// open span of the same thread, building a tree.
+pub struct Span;
+
+impl Span {
+    /// Opens the named span. Re-entering the same name under the same
+    /// parent merges into one node (accumulating time and a hit count),
+    /// so loops don't blow up the tree.
+    #[inline(always)]
+    pub fn enter(name: &'static str) -> SpanGuard {
+        #[cfg(feature = "enabled")]
+        {
+            SpanGuard(Some(imp::enter(name)))
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            let _ = name;
+            SpanGuard(())
+        }
+    }
+}
+
+/// RAII guard for an open [`Span`]; records on drop.
+#[must_use = "a span guard records its phase when dropped"]
+pub struct SpanGuard(#[cfg(feature = "enabled")] Option<imp::OpenSpan>, #[cfg(not(feature = "enabled"))] ());
+
+impl Drop for SpanGuard {
+    #[inline(always)]
+    fn drop(&mut self) {
+        #[cfg(feature = "enabled")]
+        if let Some(open) = self.0.take() {
+            imp::exit(open);
+        }
+    }
+}
+
+/// One node of the recorded span tree.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SpanNode {
+    /// Span name as passed to [`Span::enter`].
+    pub name: String,
+    /// How many times this span was entered.
+    pub count: u64,
+    /// Total wall-time spent inside, in nanoseconds.
+    pub nanos: u64,
+    /// Nested spans, in first-entry order.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    #[cfg_attr(not(feature = "enabled"), allow(dead_code))]
+    fn merge_from(&mut self, other: &SpanNode) {
+        self.count += other.count;
+        self.nanos += other.nanos;
+        for child in &other.children {
+            match self.children.iter_mut().find(|c| c.name == child.name) {
+                Some(mine) => mine.merge_from(child),
+                None => self.children.push(child.clone()),
+            }
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::Str(self.name.clone())),
+            ("count", Json::UInt(self.count)),
+            ("nanos", Json::UInt(self.nanos)),
+            (
+                "children",
+                Json::Arr(self.children.iter().map(SpanNode::to_json).collect()),
+            ),
+        ])
+    }
+
+    fn render_into(&self, out: &mut String, depth: usize) {
+        use std::fmt::Write as _;
+        let ms = self.nanos as f64 / 1e6;
+        let _ = writeln!(
+            out,
+            "{:indent$}{:<28} {:>6}x {:>10.3} ms",
+            "",
+            self.name,
+            self.count,
+            ms,
+            indent = depth * 2
+        );
+        for c in &self.children {
+            c.render_into(out, depth + 1);
+        }
+    }
+}
+
+/// A point-in-time snapshot of everything recorded so far.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Report {
+    /// Top-level spans (phases with no enclosing span).
+    pub spans: Vec<SpanNode>,
+    /// Counter totals across all threads.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values (maximum across threads).
+    pub gauges: BTreeMap<String, u64>,
+}
+
+impl Report {
+    /// The total of a counter (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The value of a gauge (0 if never set).
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// Serializes the report. Schema:
+    ///
+    /// ```json
+    /// {"spans": [{"name": "...", "count": 1, "nanos": 123,
+    ///             "children": [...]}, ...],
+    ///  "counters": {"brackets_pushed": 42, ...},
+    ///  "gauges": {"cfg_nodes": 7, ...}}
+    /// ```
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "spans",
+                Json::Arr(self.spans.iter().map(SpanNode::to_json).collect()),
+            ),
+            (
+                "counters",
+                Json::Obj(
+                    self.counters
+                        .iter()
+                        .map(|(k, &v)| (k.clone(), Json::UInt(v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "gauges",
+                Json::Obj(
+                    self.gauges
+                        .iter()
+                        .map(|(k, &v)| (k.clone(), Json::UInt(v)))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Human-readable phase tree plus counters (what `pst --trace`
+    /// prints to stderr).
+    pub fn render_text(&self) -> String {
+        let mut out = String::from("phase                            hits        wall\n");
+        for s in &self.spans {
+            s.render_into(&mut out, 0);
+        }
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (k, v) in &self.counters {
+                use std::fmt::Write as _;
+                let _ = writeln!(out, "  {k:<30} {v:>12}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for (k, v) in &self.gauges {
+                use std::fmt::Write as _;
+                let _ = writeln!(out, "  {k:<30} {v:>12}");
+            }
+        }
+        out
+    }
+}
+
+/// Snapshots all spans, counters, and gauges recorded so far: the
+/// global aggregate (threads that exited) folded with the calling
+/// thread's live state. Empty when the `enabled` feature is off.
+pub fn report() -> Report {
+    #[cfg(feature = "enabled")]
+    {
+        imp::report()
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        Report::default()
+    }
+}
+
+/// Clears all recorded data (global aggregate and the calling thread's
+/// registries). Tests use this to isolate measurements.
+pub fn reset() {
+    #[cfg(feature = "enabled")]
+    imp::reset();
+}
+
+/// Convenience: the current total of one counter.
+pub fn counter_value(name: &str) -> u64 {
+    report().counter(name)
+}
+
+#[cfg(feature = "enabled")]
+mod imp {
+    use super::{Report, SpanNode};
+    use std::cell::RefCell;
+    use std::sync::Mutex;
+    use std::time::Instant;
+
+    /// Tree arena: node 0 is the synthetic root.
+    #[derive(Default)]
+    struct Tree {
+        names: Vec<&'static str>,
+        counts: Vec<u64>,
+        nanos: Vec<u64>,
+        children: Vec<Vec<usize>>,
+    }
+
+    impl Tree {
+        fn new() -> Self {
+            let mut t = Tree::default();
+            t.push_node("");
+            t
+        }
+
+        fn push_node(&mut self, name: &'static str) -> usize {
+            self.names.push(name);
+            self.counts.push(0);
+            self.nanos.push(0);
+            self.children.push(Vec::new());
+            self.names.len() - 1
+        }
+
+        fn child_named(&mut self, parent: usize, name: &'static str) -> usize {
+            if let Some(&c) = self.children[parent]
+                .iter()
+                .find(|&&c| self.names[c] == name)
+            {
+                return c;
+            }
+            let c = self.push_node(name);
+            self.children[parent].push(c);
+            c
+        }
+
+        fn snapshot(&self, node: usize) -> SpanNode {
+            SpanNode {
+                name: self.names[node].to_string(),
+                count: self.counts[node],
+                nanos: self.nanos[node],
+                children: self.children[node]
+                    .iter()
+                    .map(|&c| self.snapshot(c))
+                    .collect(),
+            }
+        }
+    }
+
+    struct ThreadState {
+        tree: Tree,
+        stack: Vec<usize>,
+        counters: Vec<(&'static str, u64)>,
+        gauges: Vec<(&'static str, u64)>,
+    }
+
+    impl ThreadState {
+        fn new() -> Self {
+            ThreadState {
+                tree: Tree::new(),
+                stack: vec![0],
+                counters: Vec::new(),
+                gauges: Vec::new(),
+            }
+        }
+
+        fn fold_into(&self, agg: &mut Report) {
+            for root in self.tree.children[0].iter().map(|&c| self.tree.snapshot(c)) {
+                match agg.spans.iter_mut().find(|s| s.name == root.name) {
+                    Some(mine) => mine.merge_from(&root),
+                    None => agg.spans.push(root),
+                }
+            }
+            for &(name, v) in &self.counters {
+                *agg.counters.entry(name.to_string()).or_insert(0) += v;
+            }
+            for &(name, v) in &self.gauges {
+                let slot = agg.gauges.entry(name.to_string()).or_insert(0);
+                *slot = (*slot).max(v);
+            }
+        }
+    }
+
+    impl Drop for ThreadState {
+        fn drop(&mut self) {
+            if let Ok(mut agg) = GLOBAL.lock() {
+                self.fold_into(&mut agg);
+            }
+        }
+    }
+
+    /// Aggregate of every thread that has already exited.
+    static GLOBAL: Mutex<Report> = Mutex::new(Report {
+        spans: Vec::new(),
+        counters: std::collections::BTreeMap::new(),
+        gauges: std::collections::BTreeMap::new(),
+    });
+
+    thread_local! {
+        static STATE: RefCell<ThreadState> = RefCell::new(ThreadState::new());
+    }
+
+    pub(super) struct OpenSpan {
+        node: usize,
+        start: Instant,
+    }
+
+    pub(super) fn enter(name: &'static str) -> OpenSpan {
+        let node = STATE.with(|s| {
+            let mut s = s.borrow_mut();
+            let parent = *s.stack.last().expect("span stack has a root");
+            let node = s.tree.child_named(parent, name);
+            s.stack.push(node);
+            node
+        });
+        OpenSpan {
+            node,
+            start: Instant::now(),
+        }
+    }
+
+    pub(super) fn exit(open: OpenSpan) {
+        let elapsed = open.start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        STATE.with(|s| {
+            let mut s = s.borrow_mut();
+            // Pop back to this span's parent. Guards are dropped in
+            // LIFO order, so the top of the stack is `open.node` unless
+            // a guard was leaked; truncating keeps the tree sane then.
+            while s.stack.len() > 1 {
+                let top = s.stack.pop().expect("stack non-empty");
+                if top == open.node {
+                    break;
+                }
+            }
+            s.tree.counts[open.node] += 1;
+            s.tree.nanos[open.node] += elapsed;
+        });
+    }
+
+    #[inline]
+    pub(super) fn counter_add(name: &'static str, delta: u64) {
+        STATE.with(|s| {
+            let mut s = s.borrow_mut();
+            // Few distinct counters: a linear scan over a small vec is
+            // cheaper and more predictable than hashing on this path.
+            for slot in s.counters.iter_mut() {
+                if std::ptr::eq(slot.0, name) || slot.0 == name {
+                    slot.1 += delta;
+                    return;
+                }
+            }
+            s.counters.push((name, delta));
+        });
+    }
+
+    #[inline]
+    pub(super) fn gauge_set(name: &'static str, value: u64) {
+        STATE.with(|s| {
+            let mut s = s.borrow_mut();
+            for slot in s.gauges.iter_mut() {
+                if std::ptr::eq(slot.0, name) || slot.0 == name {
+                    slot.1 = value;
+                    return;
+                }
+            }
+            s.gauges.push((name, value));
+        });
+    }
+
+    pub(super) fn report() -> Report {
+        let mut agg = GLOBAL.lock().expect("obs global registry").clone();
+        STATE.with(|s| s.borrow().fold_into(&mut agg));
+        agg
+    }
+
+    pub(super) fn reset() {
+        if let Ok(mut agg) = GLOBAL.lock() {
+            *agg = Report::default();
+        }
+        STATE.with(|s| *s.borrow_mut() = ThreadState::new());
+    }
+}
+
+#[cfg(all(test, feature = "enabled"))]
+mod tests {
+    use super::*;
+
+    // The registry is process-global; serialize tests that reset it.
+    static TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn locked() -> std::sync::MutexGuard<'static, ()> {
+        TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    #[test]
+    fn spans_nest_and_counters_sum() {
+        let _l = locked();
+        reset();
+        {
+            let _outer = Span::enter("outer");
+            for _ in 0..3 {
+                let _inner = Span::enter("inner");
+                counter!("ticks");
+            }
+            counter!("ticks", 7);
+        }
+        let r = report();
+        assert_eq!(r.counter("ticks"), 10);
+        let outer = &r.spans[0];
+        assert_eq!(outer.name, "outer");
+        assert_eq!(outer.count, 1);
+        let inner = &outer.children[0];
+        assert_eq!(inner.name, "inner");
+        assert_eq!(inner.count, 3);
+        assert!(outer.nanos >= inner.nanos);
+        reset();
+    }
+
+    #[test]
+    fn worker_thread_state_folds_into_report() {
+        let _l = locked();
+        reset();
+        std::thread::spawn(|| {
+            let _s = Span::enter("worker_phase");
+            counter!("worker_ticks", 5);
+        })
+        .join()
+        .unwrap();
+        let r = report();
+        assert_eq!(r.counter("worker_ticks"), 5);
+        assert!(r.spans.iter().any(|s| s.name == "worker_phase"));
+        reset();
+    }
+
+    #[test]
+    fn gauges_keep_thread_maximum() {
+        let _l = locked();
+        reset();
+        gauge!("size", 3);
+        gauge!("size", 9);
+        std::thread::spawn(|| gauge!("size", 6)).join().unwrap();
+        assert_eq!(report().gauge("size"), 9);
+        reset();
+    }
+}

@@ -74,6 +74,7 @@ impl PhiPlacement {
 
 /// Places φ-functions for every variable with the classical IDF algorithm.
 pub fn place_phis_cytron(function: &LoweredFunction) -> PhiPlacement {
+    let _span = pst_obs::Span::enter("phi_cytron");
     let cfg = &function.cfg;
     let dt = dominator_tree(cfg.graph(), cfg.entry());
     let df = dominance_frontiers(cfg.graph(), &dt, Direction::Forward);

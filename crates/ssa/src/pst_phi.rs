@@ -95,6 +95,7 @@ pub fn place_phis_pst(
     pst: &ProgramStructureTree,
     collapsed: &[CollapsedRegion],
 ) -> PstPhiPlacement {
+    let _span = pst_obs::Span::enter("phi_pst");
     let total_regions = pst.region_count();
     let mut analyses: Vec<Option<RegionAnalysis>> = (0..total_regions).map(|_| None).collect();
     let mut phis: Vec<Vec<NodeId>> = Vec::with_capacity(function.var_count());

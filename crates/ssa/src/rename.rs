@@ -73,6 +73,7 @@ impl SsaForm {
 /// assert_eq!(ssa.version_count[x.index()], 4);
 /// ```
 pub fn rename(function: &LoweredFunction, placement: &PhiPlacement) -> SsaForm {
+    let _span = pst_obs::Span::enter("ssa_rename");
     let cfg = &function.cfg;
     let graph = cfg.graph();
     let n = graph.node_count();

@@ -1,0 +1,111 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment cannot reach a registry, so this vendored crate
+//! re-implements the slice of `proptest 1.x` the workspace's property
+//! tests use: the [`Strategy`] trait with `prop_map` / `prop_flat_map` /
+//! `prop_recursive` / `boxed`, range and tuple strategies, collection /
+//! sample / option helpers, [`strategy::Union`], and the
+//! [`proptest!`] / [`prop_assert!`] / [`prop_oneof!`] macros.
+//!
+//! Differences from upstream, deliberately accepted:
+//! - **No shrinking.** A failing case panics with the standard assert
+//!   message; rerun with the printed case number for context.
+//! - **Deterministic seeding.** Each test derives its RNG seed from the
+//!   test's name, so runs are reproducible without a regressions file
+//!   (`*.proptest-regressions` files are ignored).
+//! - `PROPTEST_CASES` in the environment overrides the per-test case
+//!   count, which keeps CI time tunable.
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod option;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// What `use proptest::prelude::*` is expected to bring into scope.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `body` over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$attr:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let cases = $crate::test_runner::effective_cases(config.cases);
+            let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            for case in 0..cases {
+                let run = || {
+                    $(let $pat =
+                        $crate::strategy::Strategy::generate(&{ $strat }, &mut rng);)*
+                    $body
+                };
+                let outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(run),
+                );
+                if let Err(payload) = outcome {
+                    eprintln!(
+                        "proptest case {case}/{cases} of `{}` failed",
+                        stringify!($name),
+                    );
+                    ::std::panic::resume_unwind(payload);
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}

@@ -1,0 +1,57 @@
+//! Sampling strategies (`proptest::sample`).
+
+use crate::collection::SizeRange;
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng as _;
+
+/// Picks one element of `values` uniformly.
+pub fn select<T: Clone>(values: Vec<T>) -> Select<T> {
+    assert!(!values.is_empty(), "select requires a non-empty vec");
+    Select { values }
+}
+
+/// See [`select`].
+pub struct Select<T: Clone> {
+    values: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.rng.gen_range(0..self.values.len());
+        self.values[i].clone()
+    }
+}
+
+/// Picks an order-preserving subsequence of `values` whose length lies
+/// in `size`.
+pub fn subsequence<T: Clone>(values: Vec<T>, size: impl Into<SizeRange>) -> Subsequence<T> {
+    Subsequence {
+        values,
+        size: size.into(),
+    }
+}
+
+/// See [`subsequence`].
+pub struct Subsequence<T: Clone> {
+    values: Vec<T>,
+    size: SizeRange,
+}
+
+impl<T: Clone> Strategy for Subsequence<T> {
+    type Value = Vec<T>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<T> {
+        let n = self.values.len();
+        let k = self.size.sample(rng).min(n);
+        // Partial Fisher–Yates over the index set, then restore order.
+        let mut idx: Vec<usize> = (0..n).collect();
+        for i in 0..k {
+            let j = rng.rng.gen_range(i..n);
+            idx.swap(i, j);
+        }
+        let mut chosen = idx[..k].to_vec();
+        chosen.sort_unstable();
+        chosen.into_iter().map(|i| self.values[i].clone()).collect()
+    }
+}
