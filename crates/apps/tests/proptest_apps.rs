@@ -11,7 +11,7 @@ proptest! {
     /// Divide-and-conquer dominators equal Lengauer–Tarjan on random CFGs.
     #[test]
     fn pst_dominators_match_lt(n in 3usize..30, extra in 0usize..30, seed in 0u64..10_000) {
-        let cfg = random_cfg(n, extra, seed);
+        let cfg = random_cfg(n, extra, seed).unwrap();
         let pst = ProgramStructureTree::build(&cfg);
         let collapsed = collapse_all(&cfg, &pst);
         let ours = pst_apps::dominator_tree_via_pst(&cfg, &pst, &collapsed);

@@ -6,20 +6,20 @@
 //!   cycle equivalence vs cycle equivalence alone on the unexpanded S).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pst_core::{cycle_equiv_slow_brackets, node_expand, CycleEquiv};
+use pst_core::{cycle_equiv_slow_brackets_unchecked, node_expand, CycleEquiv};
 use pst_workloads::random_cfg;
 
 fn bench_bracket_names(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_bracket_names");
     g.sample_size(15);
     for &n in &[100usize, 400, 1_600, 6_400] {
-        let cfg = random_cfg(n, n / 2, 31);
+        let cfg = random_cfg(n, n / 2, 31).expect("bench generator parameters are valid");
         let (s, _) = cfg.to_strongly_connected();
         g.bench_with_input(BenchmarkId::new("compact_names_fig4", n), &n, |b, _| {
-            b.iter(|| CycleEquiv::compute(&s, cfg.entry()))
+            b.iter(|| CycleEquiv::compute_unchecked(&s, cfg.entry()))
         });
         g.bench_with_input(BenchmarkId::new("explicit_sets_s3_3", n), &n, |b, _| {
-            b.iter(|| cycle_equiv_slow_brackets(&s, cfg.entry()))
+            b.iter(|| cycle_equiv_slow_brackets_unchecked(&s, cfg.entry()))
         });
     }
     g.finish();
@@ -29,15 +29,15 @@ fn bench_node_expansion(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_node_expansion");
     g.sample_size(15);
     for &n in &[1_000usize, 4_000] {
-        let cfg = random_cfg(n, n / 2, 37);
+        let cfg = random_cfg(n, n / 2, 37).expect("bench generator parameters are valid");
         let (s, _) = cfg.to_strongly_connected();
         g.bench_with_input(BenchmarkId::new("edge_ce_only", n), &n, |b, _| {
-            b.iter(|| CycleEquiv::compute(&s, cfg.entry()))
+            b.iter(|| CycleEquiv::compute_unchecked(&s, cfg.entry()))
         });
         g.bench_with_input(BenchmarkId::new("expand_plus_ce", n), &n, |b, _| {
             b.iter(|| {
                 let (t, _rep) = node_expand(&s);
-                CycleEquiv::compute(&t, pst_cfg::NodeId::from_index(2 * cfg.entry().index()))
+                CycleEquiv::compute_unchecked(&t, pst_cfg::NodeId::from_index(2 * cfg.entry().index()))
             })
         });
     }

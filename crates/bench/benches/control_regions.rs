@@ -10,7 +10,7 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("control_regions");
     g.sample_size(15);
     for &n in &[50usize, 200, 800, 2_000] {
-        let cfg = random_cfg(n, n / 2, 11);
+        let cfg = random_cfg(n, n / 2, 11).expect("bench generator parameters are valid");
         g.bench_with_input(BenchmarkId::new("linear_ours", n), &n, |b, _| {
             b.iter(|| ControlRegions::compute(&cfg))
         });

@@ -11,10 +11,10 @@ fn bench_scaling(c: &mut Criterion) {
     let mut g = c.benchmark_group("cycle_equiv_vs_dominators");
     g.sample_size(20);
     for &n in &[200usize, 1_000, 5_000, 20_000] {
-        let cfg = random_cfg(n, n / 2, 7);
+        let cfg = random_cfg(n, n / 2, 7).expect("bench generator parameters are valid");
         let (s, _) = cfg.to_strongly_connected();
         g.bench_with_input(BenchmarkId::new("cycle_equiv", n), &n, |b, _| {
-            b.iter(|| CycleEquiv::compute(&s, cfg.entry()))
+            b.iter(|| CycleEquiv::compute_unchecked(&s, cfg.entry()))
         });
         g.bench_with_input(BenchmarkId::new("lengauer_tarjan", n), &n, |b, _| {
             b.iter(|| dominator_tree(cfg.graph(), cfg.entry()))
@@ -43,7 +43,7 @@ fn bench_corpus(c: &mut Criterion) {
     g.bench_function("cycle_equiv_all_254", |b| {
         b.iter(|| {
             for (s, entry) in &closures {
-                criterion::black_box(CycleEquiv::compute(s, *entry));
+                criterion::black_box(CycleEquiv::compute_unchecked(s, *entry));
             }
         })
     });

@@ -13,7 +13,10 @@ fn bench(c: &mut Criterion) {
             ("chain", linear_chain(n)),
             ("ladder", diamond_ladder(n / 3)),
             ("loop_nest", nested_while_loops(n / 2)),
-            ("random", random_cfg(n, n / 2, 23)),
+            (
+                "random",
+                random_cfg(n, n / 2, 23).expect("bench generator parameters are valid"),
+            ),
         ];
         for (name, cfg) in families {
             g.throughput(Throughput::Elements(cfg.edge_count() as u64));

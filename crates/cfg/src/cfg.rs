@@ -234,28 +234,168 @@ impl CfgBuilder {
 /// assert_eq!(cfg.edge_count(), 3);
 /// ```
 pub fn parse_edge_list(description: &str) -> Result<Cfg, String> {
-    let mut pairs = Vec::new();
-    let mut max = 0usize;
-    for token in description.split_whitespace() {
+    parse_edge_list_with(description, &EdgeListOptions::default())
+}
+
+/// Options for [`parse_edge_list_with`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EdgeListOptions {
+    /// Reject an edge token that repeats an earlier `a->b` pair verbatim.
+    ///
+    /// Off by default so that multigraph edges stay expressible; turn it on
+    /// when the input is hand-written and a repeated token is more likely a
+    /// typo than an intentional parallel edge.
+    pub reject_duplicate_edges: bool,
+}
+
+/// A parsed edge token: the `(source, target)` pair plus the byte offset of
+/// the token in the input, for diagnostics.
+struct EdgeToken {
+    source: usize,
+    target: usize,
+    offset: usize,
+}
+
+/// Splits an edge-list description into `a->b` pairs with token offsets.
+fn tokenize_edge_list(description: &str) -> Result<Vec<EdgeToken>, String> {
+    let mut tokens = Vec::new();
+    let mut rest = description;
+    let mut base = 0usize;
+    while let Some(start) = rest.find(|c: char| !c.is_whitespace()) {
+        let tail = &rest[start..];
+        let len = tail
+            .find(char::is_whitespace)
+            .unwrap_or(tail.len());
+        let token = &tail[..len];
+        let offset = base + start;
         let (a, b) = token
             .split_once("->")
-            .ok_or_else(|| format!("malformed edge token `{token}`"))?;
-        let a: usize = a.parse().map_err(|_| format!("bad node number `{a}`"))?;
-        let b: usize = b.parse().map_err(|_| format!("bad node number `{b}`"))?;
-        max = max.max(a).max(b);
-        pairs.push((a, b));
+            .ok_or_else(|| format!("malformed edge token `{token}` at byte {offset}"))?;
+        let source: usize = a
+            .parse()
+            .map_err(|_| format!("bad node number `{a}` in `{token}` at byte {offset}"))?;
+        let target: usize = b
+            .parse()
+            .map_err(|_| format!("bad node number `{b}` in `{token}` at byte {offset}"))?;
+        tokens.push(EdgeToken {
+            source,
+            target,
+            offset,
+        });
+        base = offset + len;
+        rest = &rest[start + len..];
     }
-    if pairs.is_empty() {
+    if tokens.is_empty() {
         return Err("empty edge list".to_string());
     }
-    let mut builder = CfgBuilder::with_capacity(max + 1, pairs.len());
+    Ok(tokens)
+}
+
+/// The token slice of `description` starting at `offset`.
+fn token_at(description: &str, offset: usize) -> &str {
+    let tail = &description[offset..];
+    &tail[..tail.find(char::is_whitespace).unwrap_or(tail.len())]
+}
+
+/// [`parse_edge_list`] with explicit [`EdgeListOptions`].
+///
+/// Beyond the base syntax checks this reports *isolated* nodes — node
+/// numbers the dense `0..=max` numbering implies but that appear in no edge
+/// token — pointing at the token that implied them, instead of the opaque
+/// `UnreachableFromEntry` a gap in the numbering used to produce. With
+/// [`EdgeListOptions::reject_duplicate_edges`] it also rejects verbatim
+/// repeats of an earlier edge token.
+///
+/// # Errors
+///
+/// Returns an error string for malformed syntax, isolated node numbers,
+/// rejected duplicates, and (stringified) [`ValidateCfgError`]s.
+pub fn parse_edge_list_with(description: &str, options: &EdgeListOptions) -> Result<Cfg, String> {
+    let tokens = tokenize_edge_list(description)?;
+    let max = tokens
+        .iter()
+        .map(|t| t.source.max(t.target))
+        .max()
+        .expect("tokenize rejects empty lists");
+
+    // A node number inside 0..=max that no token mentions was almost
+    // certainly not intended: name the gap and the token that implied it.
+    let mut mentioned = vec![false; max + 1];
+    for t in &tokens {
+        mentioned[t.source] = true;
+        mentioned[t.target] = true;
+    }
+    if let Some(missing) = mentioned.iter().position(|&m| !m) {
+        let culprit = tokens
+            .iter()
+            .find(|t| t.source > missing || t.target > missing)
+            .expect("some token mentions a number above the gap");
+        return Err(format!(
+            "node {missing} appears in no edge (node numbers are dense 0..={max}, \
+             implied by `{}` at byte {})",
+            token_at(description, culprit.offset),
+            culprit.offset
+        ));
+    }
+
+    if options.reject_duplicate_edges {
+        let mut first_at: std::collections::HashMap<(usize, usize), usize> =
+            std::collections::HashMap::new();
+        for t in &tokens {
+            if let Some(&prev) = first_at.get(&(t.source, t.target)) {
+                return Err(format!(
+                    "duplicate edge `{}` at byte {} (first at byte {prev}); \
+                     parallel edges need reject_duplicate_edges off",
+                    token_at(description, t.offset),
+                    t.offset
+                ));
+            }
+            first_at.insert((t.source, t.target), t.offset);
+        }
+    }
+
+    let mut builder = CfgBuilder::with_capacity(max + 1, tokens.len());
     let nodes = builder.add_nodes(max + 1);
-    for (a, b) in pairs {
-        builder.add_edge(nodes[a], nodes[b]);
+    for t in &tokens {
+        builder.add_edge(nodes[t.source], nodes[t.target]);
     }
     builder
         .finish(nodes[0], nodes[max])
         .map_err(|e| e.to_string())
+}
+
+/// Parses an edge list into a raw [`Graph`] with **no** CFG validation.
+///
+/// Node 0 is the designated entry; the graph may freely violate every
+/// Definition-1 invariant (isolated nodes, multiple sinks, infinite loops,
+/// edges into node 0). This is the input side of the
+/// [`canonicalize`](crate::canonicalize) pipeline: parse degenerate input
+/// here, then repair it into a valid [`Cfg`].
+///
+/// # Errors
+///
+/// Returns an error string only for malformed syntax or an empty list.
+///
+/// # Examples
+///
+/// ```
+/// let (g, entry) = pst_cfg::parse_edge_list_graph("0->2").unwrap();
+/// assert_eq!(g.node_count(), 3); // node 1 exists but is isolated
+/// assert_eq!(entry.index(), 0);
+/// ```
+pub fn parse_edge_list_graph(description: &str) -> Result<(Graph, NodeId), String> {
+    let tokens = tokenize_edge_list(description)?;
+    let max = tokens
+        .iter()
+        .map(|t| t.source.max(t.target))
+        .max()
+        .expect("tokenize rejects empty lists");
+    let mut graph = Graph::with_capacity(max + 1, tokens.len());
+    let nodes = graph.add_nodes(max + 1);
+    for t in &tokens {
+        graph.add_edge(nodes[t.source], nodes[t.target]);
+    }
+    Ok((graph, nodes[0]))
 }
 
 #[cfg(test)]
@@ -352,5 +492,43 @@ mod tests {
     fn parse_edge_list_reports_syntax_errors() {
         assert!(parse_edge_list("0=>1").is_err());
         assert!(parse_edge_list("a->b").is_err());
+    }
+
+    #[test]
+    fn parse_edge_list_names_isolated_nodes_and_culprit_token() {
+        let err = parse_edge_list("0->2").unwrap_err();
+        assert!(err.contains("node 1 appears in no edge"), "{err}");
+        assert!(err.contains("`0->2` at byte 0"), "{err}");
+        // The culprit is the first token mentioning a number above the gap.
+        let err = parse_edge_list("0->1 1->4 4->2").unwrap_err();
+        assert!(err.contains("node 3 appears in no edge"), "{err}");
+        assert!(err.contains("`1->4` at byte 5"), "{err}");
+    }
+
+    #[test]
+    fn parse_edge_list_duplicate_tokens_are_opt_in_rejected() {
+        let strict = EdgeListOptions {
+            reject_duplicate_edges: true,
+        };
+        // Parallel edges stay expressible by default…
+        let cfg = parse_edge_list("0->1 0->1 1->2").unwrap();
+        assert_eq!(cfg.edge_count(), 3);
+        // …and are caught with the flag, pointing at both occurrences.
+        let err = parse_edge_list_with("0->1 0->1 1->2", &strict).unwrap_err();
+        assert!(err.contains("duplicate edge `0->1` at byte 5"), "{err}");
+        assert!(err.contains("first at byte 0"), "{err}");
+        // Distinct edges are unaffected by the flag.
+        assert!(parse_edge_list_with("0->1 1->2", &strict).is_ok());
+    }
+
+    #[test]
+    fn parse_edge_list_graph_accepts_degenerate_input() {
+        let (g, entry) = parse_edge_list_graph("0->1 1->0 2->2 0->3 0->4").unwrap();
+        assert_eq!(entry.index(), 0);
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 5);
+        assert!(g.in_degree(entry) > 0); // no validation happened
+        assert!(parse_edge_list_graph("").is_err());
+        assert!(parse_edge_list_graph("0=>1").is_err());
     }
 }

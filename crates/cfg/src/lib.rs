@@ -9,6 +9,9 @@
 //!   self-loops allowed) with dense [`NodeId`]/[`EdgeId`] indices,
 //! * [`Cfg`] — a validated control flow graph with unique `entry`/`exit`
 //!   satisfying the paper's Definition 1,
+//! * [`canonicalize`] — a repair pass that turns an *arbitrary* digraph
+//!   (unreachable code, multiple returns, infinite loops) into a valid
+//!   [`Cfg`] plus a [`CanonicalizationReport`] of every repair,
 //! * [`Dfs`] — directed depth-first search with full edge classification,
 //! * [`UndirectedDfs`] — the undirected traversal at the heart of the
 //!   linear-time cycle-equivalence algorithm (tree edges + backedges only),
@@ -47,6 +50,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod canonicalize;
 mod cfg;
 mod dfs;
 mod dot;
@@ -57,7 +61,14 @@ mod scc;
 mod split;
 mod undirected;
 
-pub use cfg::{parse_edge_list, Cfg, CfgBuilder, ValidateCfgError};
+pub use canonicalize::{
+    canonicalize, CanonicalizationReport, Canonicalized, CanonicalizeError, CanonicalizeOptions,
+    Repair, RepairCounts, UnreachablePolicy,
+};
+pub use cfg::{
+    parse_edge_list, parse_edge_list_graph, parse_edge_list_with, Cfg, CfgBuilder, EdgeListOptions,
+    ValidateCfgError,
+};
 pub use dfs::{Dfs, DirectedEdgeKind};
 pub use dot::{cfg_to_dot, graph_to_dot, graph_to_dot_with};
 pub use graph::Graph;

@@ -36,7 +36,7 @@ use crate::{Graph, NodeId};
 /// ```
 pub fn is_reducible(graph: &Graph, entry: NodeId, alive: Option<&[bool]>) -> bool {
     let n = graph.node_count();
-    let in_scope = |node: NodeId| alive.map_or(true, |a| a[node.index()]);
+    let in_scope = |node: NodeId| alive.is_none_or(|a| a[node.index()]);
     if !in_scope(entry) {
         return true;
     }

@@ -164,6 +164,20 @@ impl UndirectedDfs {
         self.nodes_by_dfsnum.len() == self.node_count
     }
 
+    /// Whether `node` was reached by the search.
+    #[inline]
+    pub fn is_reached(&self, node: NodeId) -> bool {
+        self.visited[node.index()]
+    }
+
+    /// The lowest-numbered node the search did not reach, if any.
+    pub fn first_unreached(&self) -> Option<NodeId> {
+        self.visited
+            .iter()
+            .position(|&v| !v)
+            .map(NodeId::from_index)
+    }
+
     /// Depth-first (discovery) number of `node`.
     ///
     /// # Panics

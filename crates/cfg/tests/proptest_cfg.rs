@@ -119,7 +119,7 @@ proptest! {
     /// dominates its source.
     #[test]
     fn reducibility_matches_dominator_criterion(n in 3usize..20, extra in 0usize..20, seed in 0u64..10_000) {
-        let cfg = pst_workloads::random_cfg(n, extra, seed);
+        let cfg = pst_workloads::random_cfg(n, extra, seed).unwrap();
         let g = cfg.graph();
         let dfs = Dfs::new(g, cfg.entry());
         let dt = pst_dominators::dominator_tree(g, cfg.entry());
@@ -140,7 +140,7 @@ proptest! {
     /// Edge splitting preserves node dominance among original nodes.
     #[test]
     fn edge_split_preserves_dominance(n in 3usize..16, extra in 0usize..16, seed in 0u64..5_000) {
-        let cfg = pst_workloads::random_cfg(n, extra, seed);
+        let cfg = pst_workloads::random_cfg(n, extra, seed).unwrap();
         let dt = pst_dominators::dominator_tree(cfg.graph(), cfg.entry());
         let split = EdgeSplit::of_cfg(&cfg);
         let dt_split = pst_dominators::dominator_tree(split.graph(), cfg.entry());

@@ -13,7 +13,15 @@
 //!   dataflow         per-variable reaching definitions via QPGs (§6.2)
 //!   loops            natural-loop nesting forest (dominator view)
 //!   intervals        Allen–Cocke derived sequence and reducibility
+//!
+//! pst --canonicalize <edges.txt | -> [--tether] [--split-self-loops]
 //! ```
+//!
+//! `--canonicalize` reads a raw `a->b`-style edge list (node 0 is the
+//! entry), repairs every Definition-1 violation — unreachable nodes
+//! (pruned, or tethered with `--tether`), missing/multiple exits, infinite
+//! loops, entry predecessors — prints the repair report, and runs the PST
+//! on the repaired CFG with a slow-bracket oracle cross-check.
 //!
 //! `-` reads the program from stdin. Exit codes: 0 ok, 1 analysis error,
 //! 2 usage error.
@@ -34,7 +42,8 @@ use pst_lang::{lower_program, parse_program, LoweredFunction, VarId};
 use pst_ssa::{place_phis_cytron, place_phis_pst, rename};
 
 const USAGE: &str = "usage: pst <regions|kinds|dot|clusters|control-regions|ssa|dataflow> \
-     <file.mini | -> [--trace] [--metrics-json <path>]";
+     <file.mini | -> [--trace] [--metrics-json <path>]\n       \
+     pst --canonicalize <edges.txt | -> [--tether] [--split-self-loops]";
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -46,11 +55,30 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let (command, path) = match (args.first(), args.get(1)) {
-        (Some(c), Some(p)) => (c.as_str(), p.as_str()),
-        _ => {
-            eprintln!("{USAGE}");
-            return ExitCode::from(2);
+    let canonicalize_mode = take_flag(&mut args, "--canonicalize");
+    let options = pst_cfg::CanonicalizeOptions {
+        unreachable: if take_flag(&mut args, "--tether") {
+            pst_cfg::UnreachablePolicy::Tether
+        } else {
+            pst_cfg::UnreachablePolicy::Prune
+        },
+        split_self_loops: take_flag(&mut args, "--split-self-loops"),
+    };
+    let (command, path) = if canonicalize_mode {
+        match (args.first(), args.get(1)) {
+            (Some(p), None) => ("--canonicalize", p.as_str()),
+            _ => {
+                eprintln!("{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        match (args.first(), args.get(1)) {
+            (Some(c), Some(p)) => (c.as_str(), p.as_str()),
+            _ => {
+                eprintln!("{USAGE}");
+                return ExitCode::from(2);
+            }
         }
     };
     let source = match read_source(path) {
@@ -60,7 +88,11 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let outcome = run(command, &source);
+    let outcome = if canonicalize_mode {
+        canonicalize_command(&source, &options)
+    } else {
+        run(command, &source)
+    };
     emit_observability(trace, metrics_json.as_deref());
     match outcome {
         Ok(()) => ExitCode::SUCCESS,
@@ -162,6 +194,57 @@ fn run(command: &str, source: &str) -> Result<(), Failure> {
         }
         println!();
     }
+    Ok(())
+}
+
+/// `pst --canonicalize`: repair an arbitrary edge-list digraph into a valid
+/// CFG, report every repair, and run the PST with an oracle cross-check.
+fn canonicalize_command(
+    source: &str,
+    options: &pst_cfg::CanonicalizeOptions,
+) -> Result<(), Failure> {
+    let _span = pst_obs::Span::enter("pipeline");
+    let (graph, entry) = pst_cfg::parse_edge_list_graph(source)
+        .map_err(|e| Failure::Analysis(format!("parse error: {e}")))?;
+    println!(
+        "input: {} nodes, {} edges, entry {entry}",
+        graph.node_count(),
+        graph.edge_count()
+    );
+    let result = pst_cfg::canonicalize(&graph, entry, options)
+        .map_err(|e| Failure::Analysis(format!("canonicalization failed: {e}")))?;
+    print!("{}", result.report);
+    let cfg = &result.cfg;
+    println!(
+        "canonical CFG: {} nodes, {} edges, entry {}, exit {}",
+        cfg.node_count(),
+        cfg.edge_count(),
+        cfg.entry(),
+        cfg.exit()
+    );
+
+    // Cross-check the fast cycle-equivalence algorithm against the §3.3
+    // explicit-bracket oracle on the repaired graph's closure. A mismatch
+    // is an analysis failure, never a panic.
+    let (s, _virtual_edge) = cfg.to_strongly_connected();
+    let fast = pst_core::CycleEquiv::compute(&s, cfg.entry())
+        .map_err(|e| Failure::Analysis(format!("cycle equivalence failed: {e}")))?;
+    let slow = pst_core::cycle_equiv_slow_brackets(&s, cfg.entry())
+        .map_err(|e| Failure::Analysis(format!("bracket oracle failed: {e}")))?;
+    if fast != slow {
+        return Err(Failure::Analysis(
+            "cycle-equivalence cross-check failed: fast and slow-bracket \
+             oracle disagree on the canonicalized CFG"
+                .to_string(),
+        ));
+    }
+
+    let pst = ProgramStructureTree::build(cfg);
+    print!("{}", pst.render());
+    println!(
+        "{} canonical regions (cross-checked against the slow-bracket oracle)",
+        pst.canonical_region_count()
+    );
     Ok(())
 }
 

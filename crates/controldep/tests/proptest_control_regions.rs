@@ -10,7 +10,7 @@ proptest! {
 
     #[test]
     fn all_three_algorithms_agree(n in 3usize..24, extra in 0usize..24, seed in 0u64..10_000) {
-        let cfg = pst_workloads::random_cfg(n, extra, seed);
+        let cfg = pst_workloads::random_cfg(n, extra, seed).unwrap();
         let fow = fow_control_regions(&cfg);
         let cfs = cfs_control_regions(&cfg);
         let fast = linear_control_regions(&cfg);

@@ -52,7 +52,9 @@ impl ControlRegions {
         let _span = pst_obs::Span::enter("control_regions");
         let (s, _back) = cfg.to_strongly_connected();
         let (t, representative) = node_expand(&s);
-        let ce = CycleEquiv::compute(&t, input_half(cfg.entry()));
+        // T is the node expansion of the strongly connected closure of a
+        // valid CFG, so it is connected by construction.
+        let ce = CycleEquiv::compute_unchecked(&t, input_half(cfg.entry()));
         let raw: Vec<u32> = cfg
             .graph()
             .nodes()

@@ -13,9 +13,50 @@
 //! [`cycle_equiv_slow_directed`] and [`cycle_equiv_slow_undirected`] are the
 //! quadratic reachability-based oracles used to validate it.
 
+use std::error::Error;
+use std::fmt;
+
 use pst_cfg::{EdgeId, Graph, NodeId, UndirectedDfs, UndirectedEdgeKind};
 
 use crate::bracket::{BracketArena, BracketId, BracketList, UNDEFINED_CLASS};
+
+/// Why cycle equivalence could not be computed for an input graph.
+///
+/// Machine-generated graphs routinely violate the algorithm's
+/// connectivity precondition; these are answers, not crashes. See also
+/// `pst_cfg::canonicalize`, which repairs such inputs up front.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CycleEquivError {
+    /// The graph has no nodes, so there is no root to search from.
+    EmptyGraph,
+    /// The root is not a node of the graph.
+    UnknownRoot(NodeId),
+    /// The graph is not connected when viewed undirected: `unreached` was
+    /// not discovered by the search from `root`.
+    Disconnected {
+        /// The search root.
+        root: NodeId,
+        /// The lowest-numbered node the search never reached.
+        unreached: NodeId,
+    },
+}
+
+impl fmt::Display for CycleEquivError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CycleEquivError::EmptyGraph => write!(f, "graph has no nodes"),
+            CycleEquivError::UnknownRoot(n) => {
+                write!(f, "root {n} is not a node of the graph")
+            }
+            CycleEquivError::Disconnected { root, unreached } => write!(
+                f,
+                "graph is not undirected-connected: {unreached} is unreachable from root {root}"
+            ),
+        }
+    }
+}
+
+impl Error for CycleEquivError {}
 
 /// A partition of a graph's edges into cycle-equivalence classes.
 ///
@@ -34,7 +75,7 @@ use crate::bracket::{BracketArena, BracketId, BracketList, UNDEFINED_CLASS};
 /// let e01 = g.add_edge(n[0], n[1]);
 /// let e12 = g.add_edge(n[1], n[2]);
 /// let e20 = g.add_edge(n[2], n[0]);
-/// let ce = CycleEquiv::compute(&g, n[0]);
+/// let ce = CycleEquiv::compute(&g, n[0]).unwrap();
 /// assert_eq!(ce.class(e01), ce.class(e12));
 /// assert_eq!(ce.class(e12), ce.class(e20));
 /// assert_eq!(ce.num_classes(), 1);
@@ -56,18 +97,51 @@ impl CycleEquiv {
     /// notion: bridges (edges on no cycle) share one vacuous class and each
     /// self-loop is a singleton class.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the undirected graph is not connected.
-    pub fn compute(graph: &Graph, root: NodeId) -> Self {
+    /// Returns a [`CycleEquivError`] when the graph is empty, the root is
+    /// not a node, or the graph is not undirected-connected. Callers that
+    /// have already established connectivity (e.g. via the `G + (exit →
+    /// entry)` closure of a valid CFG) can use
+    /// [`CycleEquiv::compute_unchecked`] instead.
+    pub fn compute(graph: &Graph, root: NodeId) -> Result<Self, CycleEquivError> {
+        if graph.is_empty() {
+            return Err(CycleEquivError::EmptyGraph);
+        }
+        if root.index() >= graph.node_count() {
+            return Err(CycleEquivError::UnknownRoot(root));
+        }
         let _span = pst_obs::Span::enter("cycle_equiv");
-        pst_obs::gauge!("cycle_equiv_nodes", graph.node_count());
-        pst_obs::gauge!("cycle_equiv_edges", graph.edge_count());
         let dfs = UndirectedDfs::new(graph, root);
-        assert!(
+        if let Some(unreached) = dfs.first_unreached() {
+            return Err(CycleEquivError::Disconnected { root, unreached });
+        }
+        Ok(Self::compute_with_dfs(graph, &dfs))
+    }
+
+    /// [`CycleEquiv::compute`] without the connectivity check — the
+    /// internal hot path for graphs already known to be connected.
+    ///
+    /// On a disconnected graph the result is meaningless for edges of the
+    /// unreached components (debug builds assert connectivity); use
+    /// [`CycleEquiv::compute`] whenever the input is not under the
+    /// caller's control.
+    pub fn compute_unchecked(graph: &Graph, root: NodeId) -> Self {
+        let _span = pst_obs::Span::enter("cycle_equiv");
+        let dfs = UndirectedDfs::new(graph, root);
+        debug_assert!(
             dfs.is_connected(),
             "cycle equivalence requires an undirected-connected graph"
         );
+        Self::compute_with_dfs(graph, &dfs)
+    }
+
+    /// Shared body of [`CycleEquiv::compute`] /
+    /// [`CycleEquiv::compute_unchecked`]: the paper's Figure 4 over an
+    /// already-run (and connected) undirected DFS.
+    fn compute_with_dfs(graph: &Graph, dfs: &UndirectedDfs) -> Self {
+        pst_obs::gauge!("cycle_equiv_nodes", graph.node_count());
+        pst_obs::gauge!("cycle_equiv_edges", graph.edge_count());
         let n = graph.node_count();
         const INF: usize = usize::MAX;
 
@@ -290,15 +364,15 @@ pub fn cycle_equiv_slow_directed(graph: &Graph) -> CycleEquiv {
         }
         let a = EdgeId::from_index(i);
         labels[i] = next_label;
-        for j in (i + 1)..m {
-            if labels[j] != UNDEFINED_CLASS {
+        for (j, label) in labels.iter_mut().enumerate().skip(i + 1) {
+            if *label != UNDEFINED_CLASS {
                 continue;
             }
             let b = EdgeId::from_index(j);
             let cyc_a_not_b = in_cycle_avoiding(a, Some(b));
             let cyc_b_not_a = in_cycle_avoiding(b, Some(a));
             if !cyc_a_not_b && !cyc_b_not_a {
-                labels[j] = next_label;
+                *label = next_label;
             }
         }
         next_label += 1;
@@ -431,7 +505,7 @@ mod tests {
     fn check(desc: &str) {
         let cfg = parse_edge_list(desc).unwrap();
         let (s, _) = cfg.to_strongly_connected();
-        let fast = CycleEquiv::compute(&s, cfg.entry());
+        let fast = CycleEquiv::compute(&s, cfg.entry()).unwrap();
         let slow_d = cycle_equiv_slow_directed(&s);
         let slow_u = cycle_equiv_slow_undirected(&s);
         assert_eq!(fast, slow_d, "fast vs directed oracle on {desc}");
@@ -495,7 +569,7 @@ mod tests {
     fn straight_line_classes_chain() {
         let cfg = parse_edge_list("0->1 1->2 2->3").unwrap();
         let (s, back) = cfg.to_strongly_connected();
-        let ce = CycleEquiv::compute(&s, cfg.entry());
+        let ce = CycleEquiv::compute(&s, cfg.entry()).unwrap();
         // All four CFG edges plus the virtual backedge lie on the single
         // cycle: one class.
         assert_eq!(ce.num_classes(), 1);
@@ -507,7 +581,7 @@ mod tests {
         let cfg = parse_edge_list("0->1 0->2 1->3 2->3").unwrap();
         let (s, back) = cfg.to_strongly_connected();
         let g = cfg.graph();
-        let ce = CycleEquiv::compute(&s, cfg.entry());
+        let ce = CycleEquiv::compute(&s, cfg.entry()).unwrap();
         let e = |a: usize, b: usize| {
             g.edges()
                 .find(|&e| g.source(e).index() == a && g.target(e).index() == b)
@@ -527,7 +601,7 @@ mod tests {
         let cfg = parse_edge_list("0->1 1->1 1->2 2->2 2->3").unwrap();
         let (s, _) = cfg.to_strongly_connected();
         let g = cfg.graph();
-        let ce = CycleEquiv::compute(&s, cfg.entry());
+        let ce = CycleEquiv::compute(&s, cfg.entry()).unwrap();
         let loops: Vec<EdgeId> = g.edges().filter(|&e| g.is_self_loop(e)).collect();
         assert_eq!(loops.len(), 2);
         assert!(!ce.same_class(loops[0], loops[1]));
@@ -542,7 +616,7 @@ mod tests {
         let e1 = g.add_edge(n[0], n[1]);
         let e2 = g.add_edge(n[0], n[2]);
         let e3 = g.add_edge(n[2], n[3]);
-        let ce = CycleEquiv::compute(&g, n[0]);
+        let ce = CycleEquiv::compute(&g, n[0]).unwrap();
         assert_eq!(ce.num_classes(), 1);
         assert!(ce.same_class(e1, e2) && ce.same_class(e2, e3));
         let slow = cycle_equiv_slow_undirected(&g);
@@ -558,7 +632,7 @@ mod tests {
         let c1 = g.add_edge(n[1], n[2]);
         let c2 = g.add_edge(n[2], n[3]);
         let c3 = g.add_edge(n[3], n[1]);
-        let ce = CycleEquiv::compute(&g, n[0]);
+        let ce = CycleEquiv::compute(&g, n[0]).unwrap();
         let slow = cycle_equiv_slow_undirected(&g);
         assert_eq!(ce, slow);
         assert!(ce.same_class(c1, c2) && ce.same_class(c2, c3));
@@ -566,19 +640,42 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "connected")]
-    fn disconnected_graph_panics() {
+    fn disconnected_graph_errors() {
         let mut g = Graph::new();
         let n = g.add_nodes(3);
         g.add_edge(n[0], n[1]);
-        let _ = CycleEquiv::compute(&g, n[0]);
+        let err = CycleEquiv::compute(&g, n[0]).unwrap_err();
+        assert_eq!(
+            err,
+            CycleEquivError::Disconnected {
+                root: n[0],
+                unreached: n[2],
+            }
+        );
+        assert!(err.to_string().contains("n2 is unreachable from root n0"));
+    }
+
+    #[test]
+    fn empty_and_unknown_root_error() {
+        let g = Graph::new();
+        assert_eq!(
+            CycleEquiv::compute(&g, NodeId::from_index(0)).unwrap_err(),
+            CycleEquivError::EmptyGraph
+        );
+        let mut g = Graph::new();
+        g.add_node();
+        let ghost = NodeId::from_index(5);
+        assert_eq!(
+            CycleEquiv::compute(&g, ghost).unwrap_err(),
+            CycleEquivError::UnknownRoot(ghost)
+        );
     }
 
     #[test]
     fn groups_partition_edges() {
         let cfg = parse_edge_list("0->1 1->2 2->1 1->3").unwrap();
         let (s, _) = cfg.to_strongly_connected();
-        let ce = CycleEquiv::compute(&s, cfg.entry());
+        let ce = CycleEquiv::compute(&s, cfg.entry()).unwrap();
         let groups = ce.groups();
         let total: usize = groups.iter().map(|g| g.len()).sum();
         assert_eq!(total, s.edge_count());

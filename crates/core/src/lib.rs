@@ -59,10 +59,12 @@ mod stats;
 pub use classify::{classify_regions, RegionClassification, RegionKind};
 pub use collapse::{collapse_all, CollapsedNode, CollapsedRegion};
 pub use control_regions::{node_expand, ControlRegions};
-pub use cycle_equiv::{cycle_equiv_slow_directed, cycle_equiv_slow_undirected, CycleEquiv};
+pub use cycle_equiv::{
+    cycle_equiv_slow_directed, cycle_equiv_slow_undirected, CycleEquiv, CycleEquivError,
+};
 pub use dot::pst_to_dot;
 pub use incremental::{insert_edge, EdgeInsertion, InsertEdgeError};
 pub use pst::{ProgramStructureTree, PstSignature, RegionId};
 pub use sese::{canonical_regions, CanonicalRegions, SeseRegion};
-pub use slow_brackets::cycle_equiv_slow_brackets;
+pub use slow_brackets::{cycle_equiv_slow_brackets, cycle_equiv_slow_brackets_unchecked};
 pub use stats::PstStats;

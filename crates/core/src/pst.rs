@@ -375,13 +375,17 @@ impl ProgramStructureTree {
     }
 }
 
+/// A region's identity inside a [`PstSignature`]: its (entry, exit) edge
+/// pair, or `None` for the root pseudo-region.
+type SignatureBounds = Option<(EdgeId, EdgeId)>;
+
 /// Id-independent structural identity of a PST (see
 /// [`ProgramStructureTree::signature`]).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PstSignature {
-    regions: Vec<(Option<(EdgeId, EdgeId)>, Option<(EdgeId, EdgeId)>)>,
-    node_region: Vec<Option<(EdgeId, EdgeId)>>,
-    edge_region: Vec<Option<(EdgeId, EdgeId)>>,
+    regions: Vec<(SignatureBounds, SignatureBounds)>,
+    node_region: Vec<SignatureBounds>,
+    edge_region: Vec<SignatureBounds>,
 }
 
 /// Assembles a tree from explicit parts — the splice step of incremental

@@ -54,7 +54,9 @@ pub struct CanonicalRegions {
 pub fn canonical_regions(cfg: &Cfg) -> CanonicalRegions {
     let _span = pst_obs::Span::enter("sese");
     let (s, _virtual_edge) = cfg.to_strongly_connected();
-    let cycle_equiv = CycleEquiv::compute(&s, cfg.entry());
+    // The closure S of a valid CFG is strongly connected (Theorem 2), so
+    // the connectivity precondition holds by construction.
+    let cycle_equiv = CycleEquiv::compute_unchecked(&s, cfg.entry());
 
     // Directed DFS of G meets the edges of each class in dominance order.
     let dfs = Dfs::new(cfg.graph(), cfg.entry());

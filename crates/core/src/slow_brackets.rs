@@ -15,7 +15,7 @@ use std::collections::HashMap;
 
 use pst_cfg::{Graph, NodeId, UndirectedDfs, UndirectedEdgeKind};
 
-use crate::CycleEquiv;
+use crate::{CycleEquiv, CycleEquivError};
 
 /// Computes cycle-equivalence classes with explicit bracket sets.
 ///
@@ -23,15 +23,39 @@ use crate::CycleEquiv;
 /// equivalence of a connected multigraph); the two implementations
 /// cross-validate each other in the property tests.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the undirected graph is not connected.
-pub fn cycle_equiv_slow_brackets(graph: &Graph, root: NodeId) -> CycleEquiv {
+/// Returns a [`CycleEquivError`] when the graph is empty, the root is not
+/// a node, or the graph is not undirected-connected — the same contract as
+/// [`CycleEquiv::compute`].
+pub fn cycle_equiv_slow_brackets(graph: &Graph, root: NodeId) -> Result<CycleEquiv, CycleEquivError> {
+    if graph.is_empty() {
+        return Err(CycleEquivError::EmptyGraph);
+    }
+    if root.index() >= graph.node_count() {
+        return Err(CycleEquivError::UnknownRoot(root));
+    }
     let dfs = UndirectedDfs::new(graph, root);
-    assert!(
+    if let Some(unreached) = dfs.first_unreached() {
+        return Err(CycleEquivError::Disconnected { root, unreached });
+    }
+    Ok(slow_brackets_with_dfs(graph, &dfs))
+}
+
+/// [`cycle_equiv_slow_brackets`] without the connectivity check, mirroring
+/// [`CycleEquiv::compute_unchecked`] for callers (benchmarks, ablations)
+/// that feed graphs already known to be connected.
+pub fn cycle_equiv_slow_brackets_unchecked(graph: &Graph, root: NodeId) -> CycleEquiv {
+    let dfs = UndirectedDfs::new(graph, root);
+    debug_assert!(
         dfs.is_connected(),
         "cycle equivalence requires an undirected-connected graph"
     );
+    slow_brackets_with_dfs(graph, &dfs)
+}
+
+/// Shared body: §3.3's explicit bracket sets over a connected DFS.
+fn slow_brackets_with_dfs(graph: &Graph, dfs: &UndirectedDfs) -> CycleEquiv {
     let n = graph.node_count();
     let m = graph.edge_count();
 
@@ -101,8 +125,8 @@ mod tests {
     fn check(desc: &str) {
         let cfg = parse_edge_list(desc).unwrap();
         let (s, _) = cfg.to_strongly_connected();
-        let brackets = cycle_equiv_slow_brackets(&s, cfg.entry());
-        let fast = CycleEquiv::compute(&s, cfg.entry());
+        let brackets = cycle_equiv_slow_brackets(&s, cfg.entry()).unwrap();
+        let fast = CycleEquiv::compute(&s, cfg.entry()).unwrap();
         let oracle = cycle_equiv_slow_undirected(&s);
         assert_eq!(brackets, fast, "{desc}");
         assert_eq!(brackets, oracle, "{desc}");
@@ -136,7 +160,22 @@ mod tests {
         g.add_edge(n[0], n[1]);
         g.add_edge(n[1], n[2]);
         g.add_edge(n[1], n[3]);
-        let slow = cycle_equiv_slow_brackets(&g, n[0]);
+        let slow = cycle_equiv_slow_brackets(&g, n[0]).unwrap();
         assert_eq!(slow.num_classes(), 1);
+    }
+
+    #[test]
+    fn disconnected_graph_errors() {
+        let mut g = pst_cfg::Graph::new();
+        let n = g.add_nodes(3);
+        g.add_edge(n[0], n[1]);
+        let err = cycle_equiv_slow_brackets(&g, n[0]).unwrap_err();
+        assert_eq!(
+            err,
+            CycleEquivError::Disconnected {
+                root: n[0],
+                unreached: n[2],
+            }
+        );
     }
 }

@@ -68,7 +68,7 @@ proptest! {
     /// algorithm, the directed oracle, and the undirected oracle agree.
     #[test]
     fn fast_matches_oracles_on_strongly_connected(g in strongly_connected_graph(14, 20)) {
-        let fast = CycleEquiv::compute(&g, NodeId::from_index(0));
+        let fast = CycleEquiv::compute(&g, NodeId::from_index(0)).unwrap();
         let slow_u = cycle_equiv_slow_undirected(&g);
         prop_assert_eq!(&fast, &slow_u);
         let slow_d = cycle_equiv_slow_directed(&g);
@@ -80,7 +80,7 @@ proptest! {
     /// singletons).
     #[test]
     fn fast_matches_undirected_oracle_on_connected(g in connected_graph(14, 16)) {
-        let fast = CycleEquiv::compute(&g, NodeId::from_index(0));
+        let fast = CycleEquiv::compute(&g, NodeId::from_index(0)).unwrap();
         let slow_u = cycle_equiv_slow_undirected(&g);
         prop_assert_eq!(&fast, &slow_u);
     }
@@ -88,9 +88,9 @@ proptest! {
     /// The DFS root must not influence the partition.
     #[test]
     fn root_independence(g in strongly_connected_graph(12, 16), root_seed in 0usize..100) {
-        let a = CycleEquiv::compute(&g, NodeId::from_index(0));
+        let a = CycleEquiv::compute(&g, NodeId::from_index(0)).unwrap();
         let root = NodeId::from_index(root_seed % g.node_count());
-        let b = CycleEquiv::compute(&g, root);
+        let b = CycleEquiv::compute(&g, root).unwrap();
         // Class ids are renumbered in edge order, so equal partitions give
         // equal arrays.
         prop_assert_eq!(a, b);
@@ -99,7 +99,7 @@ proptest! {
     /// Classes are well-formed: dense ids, every edge classified.
     #[test]
     fn classes_are_dense(g in strongly_connected_graph(14, 20)) {
-        let ce = CycleEquiv::compute(&g, NodeId::from_index(0));
+        let ce = CycleEquiv::compute(&g, NodeId::from_index(0)).unwrap();
         let mut seen = vec![false; ce.num_classes()];
         for e in g.edges() {
             let c = ce.class(e) as usize;

@@ -28,7 +28,8 @@ pub fn solve_iterative(cfg: &Cfg, problem: &impl DataflowProblem) -> Solution {
     let _span = pst_obs::Span::enter("dataflow_iterative");
     let graph = cfg.graph();
     let n = graph.node_count();
-    let (root, flow_preds): (NodeId, fn(&pst_cfg::Graph, NodeId) -> Vec<NodeId>) =
+    type FlowPreds = fn(&pst_cfg::Graph, NodeId) -> Vec<NodeId>;
+    let (root, flow_preds): (NodeId, FlowPreds) =
         match problem.flow() {
             Flow::Forward => (cfg.entry(), |g, v| g.predecessors(v).collect()),
             Flow::Backward => (cfg.exit(), |g, v| g.successors(v).collect()),

@@ -101,9 +101,7 @@ pub(crate) fn lengauer_tarjan_idoms(
     // forest.semi compares by dfs number; initialize semi[v] = v meaning
     // dfnum of itself. We store dfs numbers directly in a parallel array to
     // keep eval comparisons cheap.
-    for v in 0..n {
-        forest.semi[v] = if dfnum[v] == NONE { NONE } else { dfnum[v] };
-    }
+    forest.semi.copy_from_slice(&dfnum);
     let mut semi = forest.semi.clone(); // dfs numbers
     let mut bucket: Vec<Vec<usize>> = vec![Vec::new(); n];
     let mut idom = vec![NONE; n];
@@ -143,11 +141,10 @@ pub(crate) fn lengauer_tarjan_idoms(
 
     let mut out = vec![None; n];
     let mut reachable = vec![false; n];
-    for i in 0..reached {
-        reachable[vertex[i]] = true;
+    for &v in vertex.iter().take(reached) {
+        reachable[v] = true;
     }
-    for i in 1..reached {
-        let w = vertex[i];
+    for &w in vertex.iter().take(reached).skip(1) {
         out[w] = Some(NodeId::from_index(idom[w]));
     }
     (out, reachable)

@@ -103,8 +103,8 @@ impl DomTree {
     ) -> Self {
         let n = idom.len();
         let mut children: Vec<Vec<NodeId>> = vec![Vec::new(); n];
-        for i in 0..n {
-            if let Some(p) = idom[i] {
+        for (i, d) in idom.iter().enumerate() {
+            if let Some(p) = d {
                 children[p.index()].push(NodeId::from_index(i));
             }
         }

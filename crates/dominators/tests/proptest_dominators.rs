@@ -14,7 +14,7 @@ proptest! {
     /// the path-based definition, checked by brute force.
     #[test]
     fn dominance_matches_path_definition(n in 3usize..16, extra in 0usize..16, seed in 0u64..10_000) {
-        let cfg = random_cfg(n, extra, seed);
+        let cfg = random_cfg(n, extra, seed).unwrap();
         let g = cfg.graph();
         let dt = dominator_tree(g, cfg.entry());
         for a in g.nodes() {
@@ -33,13 +33,9 @@ proptest! {
                 }
             }
             for b in g.nodes() {
-                let dominated = if a == b {
-                    true
-                } else if a == cfg.entry() {
-                    true // entry dominates everything in a valid CFG
-                } else {
-                    !seen[b.index()]
-                };
+                // A node dominates itself, and the entry dominates
+                // everything in a valid CFG.
+                let dominated = a == b || a == cfg.entry() || !seen[b.index()];
                 prop_assert_eq!(dt.dominates(a, b), dominated, "{:?} dom {:?}", a, b);
             }
         }
@@ -49,7 +45,7 @@ proptest! {
     /// than the unit tests).
     #[test]
     fn lt_and_chk_agree(n in 3usize..40, extra in 0usize..50, seed in 0u64..50_000) {
-        let cfg = random_cfg(n, extra, seed);
+        let cfg = random_cfg(n, extra, seed).unwrap();
         for (root, dir) in [
             (cfg.entry(), Direction::Forward),
             (cfg.exit(), Direction::Backward),
@@ -67,7 +63,7 @@ proptest! {
     /// strictly dominate `m`.
     #[test]
     fn frontier_matches_definition(n in 3usize..14, extra in 0usize..14, seed in 0u64..10_000) {
-        let cfg = random_cfg(n, extra, seed);
+        let cfg = random_cfg(n, extra, seed).unwrap();
         let g = cfg.graph();
         let dt = dominator_tree(g, cfg.entry());
         let df = dominance_frontiers(g, &dt, Direction::Forward);
@@ -88,7 +84,7 @@ proptest! {
     /// walks.
     #[test]
     fn interval_queries_match_chain_walks(n in 3usize..20, extra in 0usize..20, seed in 0u64..10_000) {
-        let cfg = random_cfg(n, extra, seed);
+        let cfg = random_cfg(n, extra, seed).unwrap();
         let dt = dominator_tree(cfg.graph(), cfg.entry());
         for a in cfg.graph().nodes() {
             for b in cfg.graph().nodes() {

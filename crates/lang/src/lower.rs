@@ -550,7 +550,7 @@ impl Lowerer {
 
     fn finish(self, name: String) -> Result<LoweredFunction, LowerError> {
         // Any referenced-but-never-defined label is an error.
-        for (l, _) in &self.labels {
+        for l in self.labels.keys() {
             if !self.defined_labels.contains_key(l) {
                 return Err(LowerError::UndefinedLabel(l.clone()));
             }

@@ -116,8 +116,8 @@ pub fn place_phis_pst(
         }
     }
 
-    for v in 0..function.var_count() {
-        let mut def_nodes = std::mem::take(&mut def_sites[v]);
+    for sites in def_sites.iter_mut().take(function.var_count()) {
+        let mut def_nodes = std::mem::take(sites);
         // The entry's implicit definition marks the root region.
         if !def_nodes.contains(&function.cfg.entry()) {
             def_nodes.push(function.cfg.entry());

@@ -12,7 +12,10 @@
 //!   ([`PAPER_TABLE`]), and
 //! * the `gencfg` family generators ([`linear_chain`], [`diamond_ladder`],
 //!   [`nested_while_loops`], [`nested_repeat_until`], [`irreducible_mesh`],
-//!   [`random_cfg`]) used by the scaling and ablation benchmarks.
+//!   [`random_cfg`]) used by the scaling and ablation benchmarks, and
+//! * [`random_digraph`] — seeded *arbitrary* digraphs with optional forced
+//!   Definition-1 violations ([`DigraphConfig`]), the fuzz inputs for
+//!   `pst_cfg::canonicalize`.
 //!
 //! # Examples
 //!
@@ -33,6 +36,6 @@ mod genprog;
 pub use corpus::{paper_corpus, Corpus, Procedure, PAPER_TABLE};
 pub use gencfg::{
     diamond_ladder, irreducible_mesh, linear_chain, nested_repeat_until, nested_while_loops,
-    random_cfg,
+    random_cfg, random_digraph, DigraphConfig, RandomCfgError,
 };
 pub use genprog::{generate_function, ProgramGenConfig};

@@ -8,6 +8,9 @@ cd "$(dirname "$0")/.."
 echo "== build (release) =="
 cargo build --release
 
+echo "== clippy =="
+cargo clippy --workspace -- -D warnings
+
 echo "== test =="
 cargo test -q
 
@@ -47,5 +50,19 @@ assert report["counters"]["brackets_pushed"] == report["counters"]["brackets_pop
 print("metrics OK: cycle_equiv span with",
       report["counters"]["brackets_pushed"], "brackets pushed")
 EOF
+
+echo "== smoke: pst --canonicalize =="
+# Malformed edge list: unreachable node 6, infinite loop 1<->2, two sinks.
+canon=$(printf '0->1 1->2 2->1 0->3 3->4 0->5 6->3\n' \
+    | ./target/release/pst --canonicalize -)
+echo "$canon" | grep -q "pruned unreachable node" \
+    || { echo "FAIL: canonicalize did not report the unreachable node"; exit 1; }
+echo "$canon" | grep -q "virtual loop exit" \
+    || { echo "FAIL: canonicalize did not report the infinite loop"; exit 1; }
+echo "$canon" | grep -q "merged exit" \
+    || { echo "FAIL: canonicalize did not report the merged exits"; exit 1; }
+echo "$canon" | grep -q "cross-checked against the slow-bracket oracle" \
+    || { echo "FAIL: canonicalize skipped the oracle cross-check"; exit 1; }
+echo "canonicalize OK"
 
 echo "== verify: all checks passed =="

@@ -1,0 +1,323 @@
+//! Integration tests for the canonicalization subsystem: fuzzed validity
+//! and idempotence, identity on already-valid CFGs, per-variant
+//! `ValidateCfgError` round-trips, and differential checks of the full
+//! analysis stack on repaired graphs.
+
+use proptest::prelude::*;
+use pst_cfg::{
+    canonicalize, CanonicalizeError, CanonicalizeOptions, Cfg, Graph, NodeId, Repair,
+    UnreachablePolicy, ValidateCfgError,
+};
+use pst_controldep::fow_control_regions;
+use pst_core::{ControlRegions, CycleEquiv, ProgramStructureTree};
+use pst_workloads::{random_cfg, random_digraph, DigraphConfig};
+
+fn options(tether: bool, split: bool) -> CanonicalizeOptions {
+    CanonicalizeOptions {
+        unreachable: if tether {
+            UnreachablePolicy::Tether
+        } else {
+            UnreachablePolicy::Prune
+        },
+        split_self_loops: split,
+    }
+}
+
+/// Re-validates a canonicalized CFG through the independent
+/// `Cfg::from_graph` checker rather than trusting `canonicalize`'s own
+/// construction.
+fn assert_valid(cfg: &Cfg) {
+    Cfg::from_graph(cfg.graph().clone(), cfg.entry(), cfg.exit())
+        .expect("canonicalized CFG must satisfy every Definition-1 invariant");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Canonicalization of an arbitrary digraph always succeeds and always
+    /// yields a valid CFG, under every policy combination.
+    #[test]
+    fn canonicalize_any_digraph_is_valid(
+        nodes in 1usize..24,
+        edges in 0usize..40,
+        seed in 0u64..10_000,
+        flags in 0u8..32,
+        tether_bit in 0u8..2,
+        split_bit in 0u8..2,
+    ) {
+        let config = DigraphConfig {
+            nodes,
+            edges,
+            force_entry_predecessor: flags & 1 != 0,
+            force_unreachable: flags & 2 != 0,
+            force_infinite_loop: flags & 4 != 0,
+            force_multiple_exits: flags & 8 != 0,
+            force_self_loop: flags & 16 != 0,
+        };
+        let (tether, split) = (tether_bit != 0, split_bit != 0);
+        let (g, entry) = random_digraph(&config, seed);
+        let opts = options(tether, split);
+        let result = canonicalize(&g, entry, &opts).expect("non-empty digraph canonicalizes");
+        assert_valid(&result.cfg);
+        if split {
+            let no_self_loops = result.cfg.graph().edges().all(|e| {
+                let (u, v) = result.cfg.graph().endpoints(e);
+                u != v
+            });
+            prop_assert!(no_self_loops, "split_self_loops must remove every self-loop");
+        }
+    }
+
+    /// Canonicalization is idempotent: running it again on its own output
+    /// performs no repairs and preserves the PST.
+    #[test]
+    fn canonicalize_is_idempotent(
+        nodes in 1usize..20,
+        edges in 0usize..32,
+        seed in 0u64..10_000,
+        flags in 0u8..32,
+        tether_bit in 0u8..2,
+        split_bit in 0u8..2,
+    ) {
+        let config = DigraphConfig {
+            nodes,
+            edges,
+            force_entry_predecessor: flags & 1 != 0,
+            force_unreachable: flags & 2 != 0,
+            force_infinite_loop: flags & 4 != 0,
+            force_multiple_exits: flags & 8 != 0,
+            force_self_loop: flags & 16 != 0,
+        };
+        let (tether, split) = (tether_bit != 0, split_bit != 0);
+        let (g, entry) = random_digraph(&config, seed);
+        let opts = options(tether, split);
+        let first = canonicalize(&g, entry, &opts).unwrap();
+        let second = canonicalize(first.cfg.graph(), first.cfg.entry(), &opts).unwrap();
+        prop_assert!(
+            second.report.is_identity(),
+            "second pass repaired again: {}",
+            second.report
+        );
+        prop_assert_eq!(
+            ProgramStructureTree::build(&first.cfg).signature(),
+            ProgramStructureTree::build(&second.cfg).signature()
+        );
+    }
+
+    /// On an already-valid CFG canonicalization is the identity: no
+    /// repairs, same shape, same PST.
+    #[test]
+    fn canonicalize_valid_cfg_is_identity(
+        n in 3usize..30,
+        extra in 0usize..30,
+        seed in 0u64..10_000,
+        tether_bit in 0u8..2,
+    ) {
+        let tether = tether_bit != 0;
+        let cfg = random_cfg(n, extra, seed).unwrap();
+        let result = canonicalize(cfg.graph(), cfg.entry(), &options(tether, false)).unwrap();
+        prop_assert!(result.report.is_identity(), "{}", result.report);
+        prop_assert_eq!(result.cfg.node_count(), cfg.node_count());
+        prop_assert_eq!(result.cfg.edge_count(), cfg.edge_count());
+        prop_assert_eq!(result.cfg.entry(), cfg.entry());
+        prop_assert_eq!(result.cfg.exit(), cfg.exit());
+        prop_assert_eq!(
+            ProgramStructureTree::build(&result.cfg).signature(),
+            ProgramStructureTree::build(&cfg).signature()
+        );
+    }
+
+    /// Differential check of the analysis stack on repaired graphs: fast
+    /// cycle equivalence agrees with the §3.3 bracket oracle, and linear
+    /// control regions agree with the Ferrante–Ottenstein–Warren baseline.
+    #[test]
+    fn repaired_graphs_pass_oracle_cross_checks(
+        nodes in 1usize..18,
+        edges in 0usize..28,
+        seed in 0u64..10_000,
+        flags in 0u8..32,
+    ) {
+        let config = DigraphConfig {
+            nodes,
+            edges,
+            force_entry_predecessor: flags & 1 != 0,
+            force_unreachable: flags & 2 != 0,
+            force_infinite_loop: flags & 4 != 0,
+            force_multiple_exits: flags & 8 != 0,
+            force_self_loop: flags & 16 != 0,
+        };
+        let (g, entry) = random_digraph(&config, seed);
+        let cfg = canonicalize(&g, entry, &options(false, false)).unwrap().cfg;
+
+        let (s, _) = cfg.to_strongly_connected();
+        let fast = CycleEquiv::compute(&s, cfg.entry()).unwrap();
+        let slow = pst_core::cycle_equiv_slow_brackets(&s, cfg.entry()).unwrap();
+        prop_assert_eq!(fast, slow);
+
+        let linear = ControlRegions::compute(&cfg);
+        prop_assert_eq!(&linear, &fow_control_regions(&cfg));
+    }
+}
+
+/// The ISSUE's acceptance graph: an unreachable node, an infinite loop and
+/// two exits, repaired in one pass under both unreachable policies.
+#[test]
+fn acceptance_graph_repairs_and_analyzes() {
+    let parse = || pst_cfg::parse_edge_list_graph("0->1 1->2 2->1 0->3 3->4 0->5 6->3").unwrap();
+
+    let (g, entry) = parse();
+    let pruned = canonicalize(&g, entry, &options(false, false)).unwrap();
+    let counts = pruned.report.counts();
+    assert_eq!(counts.pruned_unreachable, 1);
+    assert_eq!(counts.merged_exits, 2);
+    assert_eq!(counts.virtual_loop_exits, 1);
+    assert_valid(&pruned.cfg);
+    assert!(pruned
+        .report
+        .repairs()
+        .iter()
+        .any(|r| matches!(r, Repair::VirtualLoopExit { .. })));
+
+    let (g, entry) = parse();
+    let tethered = canonicalize(&g, entry, &options(true, false)).unwrap();
+    assert_eq!(tethered.report.counts().tethered_unreachable, 1);
+    assert_eq!(tethered.report.counts().pruned_unreachable, 0);
+    assert_valid(&tethered.cfg);
+    // Tethering keeps every input node alive.
+    assert!(tethered.node_map.iter().all(Option::is_some));
+
+    // The PST of the repaired graph survives the slow-bracket oracle.
+    for cfg in [&pruned.cfg, &tethered.cfg] {
+        let (s, _) = cfg.to_strongly_connected();
+        let fast = CycleEquiv::compute(&s, cfg.entry()).unwrap();
+        let slow = pst_core::cycle_equiv_slow_brackets(&s, cfg.entry()).unwrap();
+        assert_eq!(fast, slow);
+        assert!(ProgramStructureTree::build(cfg).canonical_region_count() > 0);
+    }
+}
+
+/// Every `ValidateCfgError` variant round-trips: a graph that provokes the
+/// variant through `Cfg::from_graph` is repaired by `canonicalize` with
+/// the matching repair recorded.
+mod validate_error_round_trips {
+    use super::*;
+
+    fn default_opts() -> CanonicalizeOptions {
+        CanonicalizeOptions::default()
+    }
+
+    #[test]
+    fn empty() {
+        let g = Graph::new();
+        assert_eq!(
+            Cfg::from_graph(g.clone(), NodeId::from_index(0), NodeId::from_index(0)).unwrap_err(),
+            ValidateCfgError::Empty
+        );
+        assert_eq!(
+            canonicalize(&g, NodeId::from_index(0), &default_opts()).unwrap_err(),
+            CanonicalizeError::Empty
+        );
+    }
+
+    #[test]
+    fn entry_has_predecessor() {
+        let mut g = Graph::new();
+        let n = g.add_nodes(3);
+        g.add_edge(n[0], n[1]);
+        g.add_edge(n[1], n[0]);
+        g.add_edge(n[1], n[2]);
+        assert_eq!(
+            Cfg::from_graph(g.clone(), n[0], n[2]).unwrap_err(),
+            ValidateCfgError::EntryHasPredecessor(n[0])
+        );
+        let fixed = canonicalize(&g, n[0], &default_opts()).unwrap();
+        assert_eq!(fixed.report.counts().synthetic_entries, 1);
+        assert_valid(&fixed.cfg);
+    }
+
+    #[test]
+    fn exit_has_successor() {
+        let mut g = Graph::new();
+        let n = g.add_nodes(3);
+        g.add_edge(n[0], n[1]);
+        g.add_edge(n[1], n[2]);
+        assert_eq!(
+            Cfg::from_graph(g.clone(), n[0], n[1]).unwrap_err(),
+            ValidateCfgError::ExitHasSuccessor(n[1])
+        );
+        // Canonicalization picks the true sink instead, with no repairs.
+        let fixed = canonicalize(&g, n[0], &default_opts()).unwrap();
+        assert!(fixed.report.is_identity());
+        assert_eq!(fixed.cfg.exit(), n[2]);
+    }
+
+    #[test]
+    fn unreachable_from_entry() {
+        let mut g = Graph::new();
+        let n = g.add_nodes(3);
+        g.add_edge(n[0], n[1]);
+        g.add_edge(n[2], n[1]);
+        assert_eq!(
+            Cfg::from_graph(g.clone(), n[0], n[1]).unwrap_err(),
+            ValidateCfgError::UnreachableFromEntry(n[2])
+        );
+        let pruned = canonicalize(&g, n[0], &default_opts()).unwrap();
+        assert_eq!(pruned.report.counts().pruned_unreachable, 1);
+        assert_eq!(pruned.node_map[n[2].index()], None);
+        assert_valid(&pruned.cfg);
+        let tethered = canonicalize(
+            &g,
+            n[0],
+            &CanonicalizeOptions {
+                unreachable: UnreachablePolicy::Tether,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(tethered.report.counts().tethered_unreachable, 1);
+        assert_valid(&tethered.cfg);
+    }
+
+    #[test]
+    fn cannot_reach_exit() {
+        let mut g = Graph::new();
+        let n = g.add_nodes(4);
+        g.add_edge(n[0], n[1]);
+        g.add_edge(n[1], n[2]);
+        g.add_edge(n[2], n[1]);
+        g.add_edge(n[0], n[3]);
+        assert_eq!(
+            Cfg::from_graph(g.clone(), n[0], n[3]).unwrap_err(),
+            ValidateCfgError::CannotReachExit(n[1])
+        );
+        let fixed = canonicalize(&g, n[0], &default_opts()).unwrap();
+        assert_eq!(fixed.report.counts().virtual_loop_exits, 1);
+        assert_valid(&fixed.cfg);
+    }
+
+    #[test]
+    fn entry_is_exit() {
+        let mut g = Graph::new();
+        let n = g.add_node();
+        assert_eq!(
+            Cfg::from_graph(g.clone(), n, n).unwrap_err(),
+            ValidateCfgError::EntryIsExit(n)
+        );
+        // A lone node gets a synthetic exit so entry != exit.
+        let fixed = canonicalize(&g, n, &default_opts()).unwrap();
+        assert_eq!(fixed.report.counts().synthetic_exits, 1);
+        assert_ne!(fixed.cfg.entry(), fixed.cfg.exit());
+        assert_valid(&fixed.cfg);
+    }
+
+    #[test]
+    fn unknown_entry_is_reported() {
+        let mut g = Graph::new();
+        g.add_node();
+        let bogus = NodeId::from_index(7);
+        assert_eq!(
+            canonicalize(&g, bogus, &default_opts()).unwrap_err(),
+            CanonicalizeError::UnknownEntry(bogus)
+        );
+    }
+}

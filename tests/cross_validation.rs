@@ -18,7 +18,7 @@ proptest! {
     /// dominator and postdominator trees.
     #[test]
     fn dominator_implementations_agree(n in 3usize..40, extra in 0usize..40, seed in 0u64..10_000) {
-        let cfg = random_cfg(n, extra, seed);
+        let cfg = random_cfg(n, extra, seed).unwrap();
         for (root, dir) in [(cfg.entry(), Direction::Forward), (cfg.exit(), Direction::Backward)] {
             let lt = dominator_tree_in(cfg.graph(), root, dir);
             let it = iterative_dominator_tree(cfg.graph(), root, dir);
@@ -32,17 +32,17 @@ proptest! {
     /// bracket-set formulation on CFG closures.
     #[test]
     fn bracket_set_formulations_agree(n in 3usize..30, extra in 0usize..30, seed in 0u64..10_000) {
-        let cfg = random_cfg(n, extra, seed);
+        let cfg = random_cfg(n, extra, seed).unwrap();
         let (s, _) = cfg.to_strongly_connected();
-        let fast = CycleEquiv::compute(&s, cfg.entry());
-        let slow = pst_core::cycle_equiv_slow_brackets(&s, cfg.entry());
+        let fast = CycleEquiv::compute(&s, cfg.entry()).unwrap();
+        let slow = pst_core::cycle_equiv_slow_brackets(&s, cfg.entry()).unwrap();
         prop_assert_eq!(fast, slow);
     }
 
     /// Control regions: linear algorithm vs both baselines on random CFGs.
     #[test]
     fn control_regions_three_ways(n in 3usize..28, extra in 0usize..28, seed in 0u64..10_000) {
-        let cfg = random_cfg(n, extra, seed);
+        let cfg = random_cfg(n, extra, seed).unwrap();
         let fast = ControlRegions::compute(&cfg);
         prop_assert_eq!(&fast, &fow_control_regions(&cfg));
         prop_assert_eq!(&fast, &cfs_control_regions(&cfg));

@@ -40,7 +40,7 @@ fn bracket_counters_scale_linearly_with_edges() {
     const C: f64 = 4.0;
     let mut edge_counts: Vec<usize> = Vec::new();
     for n in [20, 200, 2000, 4000] {
-        let cfg = random_cfg(n, n / 2, 1994);
+        let cfg = random_cfg(n, n / 2, 1994).unwrap();
         let report = measure(&cfg);
         let e = cfg.edge_count();
         let pushed = report.counter("brackets_pushed");

@@ -35,7 +35,7 @@ fn pst_on_a_deep_ladder_and_loop_nest() {
 
 #[test]
 fn control_regions_on_a_large_random_graph() {
-    let cfg = random_cfg(20_000, 10_000, 99);
+    let cfg = random_cfg(20_000, 10_000, 99).unwrap();
     let cr = ControlRegions::compute(&cfg);
     assert!(cr.num_classes() >= 2);
     // Entry and exit always share a class (both unconditional).
