@@ -48,19 +48,19 @@ fn bench(c: &mut Criterion) {
     g.bench_function("per_var_qpg_naive_build", |b| {
         b.iter(|| {
             for p in &problems {
-                let q = Qpg::build(&l.cfg, &pst, p);
-                criterion::black_box(q.solve(&l.cfg, &pst, p));
+                let q = Qpg::build_unchecked(&l.cfg, &pst, p);
+                criterion::black_box(q.solve_unchecked(&l.cfg, &pst, p));
             }
         })
     });
     // …vs the amortized context, which is what the paper's "marking in
     // time proportional to the marked regions" remark calls for.
-    let ctx = pst_dataflow::QpgContext::new(&l.cfg, &pst);
+    let ctx = pst_dataflow::QpgContext::new(&l.cfg, &pst).unwrap();
     g.bench_function("per_var_qpg_amortized", |b| {
         b.iter(|| {
             for p in &problems {
-                let q = ctx.build_from_sites(p.sites());
-                criterion::black_box(ctx.solve(&q, p));
+                let q = ctx.build_from_sites(p.sites()).unwrap();
+                criterion::black_box(ctx.solve(&q, p).unwrap());
             }
         })
     });

@@ -261,11 +261,11 @@ fn qpg(analyses: &[ProcAnalysis<'_>]) {
     for a in analyses {
         let l = &a.procedure.lowered;
         let stmt_size = l.statement_count().max(l.cfg.node_count());
-        let ctx = QpgContext::new(&l.cfg, &a.pst);
+        let ctx = QpgContext::new(&l.cfg, &a.pst).expect("PST matches its CFG");
         for v in 0..l.var_count() {
             let var = VarId::from_index(v);
             let problem = SingleVariableReachingDefs::new(l, var);
-            let q = ctx.build_from_sites(problem.sites());
+            let q = ctx.build_from_sites(problem.sites()).expect("PST matches its CFG");
             node_ratios.push(q.node_count() as f64 / l.cfg.node_count() as f64);
             stmt_ratios.push(q.node_count() as f64 / stmt_size as f64);
             let seg = Seg::build(&l.cfg, &problem);
@@ -387,15 +387,15 @@ fn timing(analyses: &[ProcAnalysis<'_>]) {
     });
     let contexts: Vec<QpgContext> = analyses
         .iter()
-        .map(|a| QpgContext::new(&a.procedure.lowered.cfg, &a.pst))
+        .map(|a| QpgContext::new(&a.procedure.lowered.cfg, &a.pst).expect("PST matches its CFG"))
         .collect();
     let t_df_qpg = best(&|| {
         for (a, ctx) in analyses.iter().zip(&contexts) {
             let l = &a.procedure.lowered;
             for v in 0..l.var_count() {
                 let p = SingleVariableReachingDefs::new(l, VarId::from_index(v));
-                let q = ctx.build_from_sites(p.sites());
-                std::hint::black_box(ctx.solve(&q, &p));
+                let q = ctx.build_from_sites(p.sites()).unwrap();
+                std::hint::black_box(ctx.solve(&q, &p).unwrap());
             }
         }
     });

@@ -15,6 +15,7 @@
 //!   intervals        Allen–Cocke derived sequence and reducibility
 //!
 //! pst --canonicalize <edges.txt | -> [--tether] [--split-self-loops]
+//! pst fuzz --seed-range <A>..<B> [--budget-ms <N>] [--out-dir <dir>]
 //! ```
 //!
 //! `--canonicalize` reads a raw `a->b`-style edge list (node 0 is the
@@ -23,13 +24,22 @@
 //! loops, entry predecessors — prints the repair report, and runs the PST
 //! on the repaired CFG with a slow-bracket oracle cross-check.
 //!
+//! `fuzz` streams seeded arbitrary digraphs through the whole pipeline with
+//! every `pst-verify` invariant checker enabled, contains panics per input,
+//! and writes a minimized reproducer edge list for each failure (see
+//! `docs/VERIFICATION.md`). `--paranoid` runs the same checkers on the
+//! normal command paths.
+//!
 //! `-` reads the program from stdin. Exit codes: 0 ok, 1 analysis error,
-//! 2 usage error.
+//! 2 usage error, 3 invariant-checker violation, 4 contained panic
+//! (a contained panic takes precedence over a violation).
 //!
 //! Observability (see `docs/OBSERVABILITY.md`): `--trace` prints the
 //! recorded phase tree and counters to stderr; `--metrics-json <path>`
 //! writes the same report as JSON (`-` = stderr). The `PST_METRICS`
 //! environment variable supplies a default for `--metrics-json`.
+
+mod fuzz;
 
 use std::io::Read as _;
 use std::process::ExitCode;
@@ -42,8 +52,9 @@ use pst_lang::{lower_program, parse_program, LoweredFunction, VarId};
 use pst_ssa::{place_phis_cytron, place_phis_pst, rename};
 
 const USAGE: &str = "usage: pst <regions|kinds|dot|clusters|control-regions|ssa|dataflow> \
-     <file.mini | -> [--trace] [--metrics-json <path>]\n       \
-     pst --canonicalize <edges.txt | -> [--tether] [--split-self-loops]";
+     <file.mini | -> [--paranoid] [--trace] [--metrics-json <path>]\n       \
+     pst --canonicalize <edges.txt | -> [--tether] [--split-self-loops] [--paranoid]\n       \
+     pst fuzz --seed-range <A>..<B> [--budget-ms <N>] [--out-dir <dir>]";
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -56,6 +67,7 @@ fn main() -> ExitCode {
         }
     };
     let canonicalize_mode = take_flag(&mut args, "--canonicalize");
+    let paranoid = take_flag(&mut args, "--paranoid");
     let options = pst_cfg::CanonicalizeOptions {
         unreachable: if take_flag(&mut args, "--tether") {
             pst_cfg::UnreachablePolicy::Tether
@@ -64,34 +76,14 @@ fn main() -> ExitCode {
         },
         split_self_loops: take_flag(&mut args, "--split-self-loops"),
     };
-    let (command, path) = if canonicalize_mode {
-        match (args.first(), args.get(1)) {
-            (Some(p), None) => ("--canonicalize", p.as_str()),
-            _ => {
-                eprintln!("{USAGE}");
-                return ExitCode::from(2);
-            }
+    let outcome = if !canonicalize_mode && args.first().map(String::as_str) == Some("fuzz") {
+        args.remove(0);
+        match fuzz::FuzzOptions::from_args(&mut args) {
+            Ok(opts) => fuzz::fuzz_command(&opts),
+            Err(msg) => Err(Failure::Usage(msg)),
         }
     } else {
-        match (args.first(), args.get(1)) {
-            (Some(c), Some(p)) => (c.as_str(), p.as_str()),
-            _ => {
-                eprintln!("{USAGE}");
-                return ExitCode::from(2);
-            }
-        }
-    };
-    let source = match read_source(path) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("pst: cannot read `{path}`: {e}");
-            return ExitCode::from(2);
-        }
-    };
-    let outcome = if canonicalize_mode {
-        canonicalize_command(&source, &options)
-    } else {
-        run(command, &source)
+        dispatch(canonicalize_mode, paranoid, &options, &args)
     };
     emit_observability(trace, metrics_json.as_deref());
     match outcome {
@@ -104,6 +96,41 @@ fn main() -> ExitCode {
             eprintln!("pst: {msg}");
             ExitCode::from(1)
         }
+        Err(Failure::Violation(msg)) => {
+            eprintln!("pst: invariant violation: {msg}");
+            ExitCode::from(3)
+        }
+        Err(Failure::ContainedPanic(msg)) => {
+            eprintln!("pst: contained panic: {msg}");
+            ExitCode::from(4)
+        }
+    }
+}
+
+/// Resolves the `(command, path)` form of the CLI and runs it.
+fn dispatch(
+    canonicalize_mode: bool,
+    paranoid: bool,
+    options: &pst_cfg::CanonicalizeOptions,
+    args: &[String],
+) -> Result<(), Failure> {
+    let (command, path) = if canonicalize_mode {
+        match (args.first(), args.get(1)) {
+            (Some(p), None) => ("--canonicalize", p.as_str()),
+            _ => return Err(Failure::Usage("expected exactly one input path".to_string())),
+        }
+    } else {
+        match (args.first(), args.get(1)) {
+            (Some(c), Some(p)) => (c.as_str(), p.as_str()),
+            _ => return Err(Failure::Usage("expected a command and an input path".to_string())),
+        }
+    };
+    let source = read_source(path)
+        .map_err(|e| Failure::Usage(format!("cannot read `{path}`: {e}")))?;
+    if canonicalize_mode {
+        canonicalize_command(&source, options, paranoid)
+    } else {
+        run(command, &source, paranoid)
     }
 }
 
@@ -115,7 +142,7 @@ fn take_flag(args: &mut Vec<String>, name: &str) -> bool {
 }
 
 /// Removes `name <value>` or `name=<value>` from `args` (last one wins).
-fn take_value_flag(args: &mut Vec<String>, name: &str) -> Result<Option<String>, String> {
+pub fn take_value_flag(args: &mut Vec<String>, name: &str) -> Result<Option<String>, String> {
     let mut value = None;
     let mut i = 0;
     while i < args.len() {
@@ -158,9 +185,16 @@ fn emit_observability(trace: bool, json_path: Option<&str>) {
     }
 }
 
-enum Failure {
+/// Every way a command can fail, ordered by exit code (2, 1, 3, 4).
+/// A contained panic takes precedence over a checker violation when the
+/// fuzz loop sees both.
+pub enum Failure {
     Usage(String),
     Analysis(String),
+    /// An independent invariant checker flagged the pipeline (exit 3).
+    Violation(String),
+    /// A panic was caught by the fuzz loop's containment (exit 4).
+    ContainedPanic(String),
 }
 
 fn read_source(path: &str) -> std::io::Result<String> {
@@ -173,7 +207,7 @@ fn read_source(path: &str) -> std::io::Result<String> {
     }
 }
 
-fn run(command: &str, source: &str) -> Result<(), Failure> {
+fn run(command: &str, source: &str, paranoid: bool) -> Result<(), Failure> {
     let _span = pst_obs::Span::enter("pipeline");
     let program =
         parse_program(source).map_err(|e| Failure::Analysis(format!("parse error: {e}")))?;
@@ -186,15 +220,33 @@ fn run(command: &str, source: &str) -> Result<(), Failure> {
             "dot" => dot(function),
             "clusters" => clusters(function),
             "control-regions" => control_regions(function),
-            "ssa" => ssa(function),
-            "dataflow" => dataflow(function),
+            "ssa" => ssa(function)?,
+            "dataflow" => dataflow(function)?,
             "loops" => loops(function),
             "intervals" => intervals(function),
             other => return Err(Failure::Usage(format!("unknown command `{other}`"))),
         }
+        if paranoid {
+            paranoid_check(function)?;
+        }
         println!();
     }
     Ok(())
+}
+
+/// `--paranoid`: re-derive every stage of this function's pipeline with the
+/// independent `pst-verify` checkers; a violation is exit code 3.
+fn paranoid_check(f: &LoweredFunction) -> Result<(), Failure> {
+    let artifacts = pst_verify::compute_artifacts(f.clone());
+    let report = pst_verify::verify_artifacts(&artifacts, &pst_verify::VerifyConfig::default());
+    if report.is_clean() {
+        Ok(())
+    } else {
+        Err(Failure::Violation(format!(
+            "fn {}: invariant checkers flagged the pipeline:\n{report}",
+            f.name
+        )))
+    }
 }
 
 /// `pst --canonicalize`: repair an arbitrary edge-list digraph into a valid
@@ -202,6 +254,7 @@ fn run(command: &str, source: &str) -> Result<(), Failure> {
 fn canonicalize_command(
     source: &str,
     options: &pst_cfg::CanonicalizeOptions,
+    paranoid: bool,
 ) -> Result<(), Failure> {
     let _span = pst_obs::Span::enter("pipeline");
     let (graph, entry) = pst_cfg::parse_edge_list_graph(source)
@@ -245,6 +298,20 @@ fn canonicalize_command(
         "{} canonical regions (cross-checked against the slow-bracket oracle)",
         pst.canonical_region_count()
     );
+    if paranoid {
+        let artifacts = pst_verify::compute_artifacts_for_cfg(cfg);
+        let report =
+            pst_verify::verify_artifacts(&artifacts, &pst_verify::VerifyConfig::default());
+        if !report.is_clean() {
+            return Err(Failure::Violation(format!(
+                "canonicalized CFG: invariant checkers flagged the pipeline:\n{report}"
+            )));
+        }
+        println!(
+            "paranoid: all {} invariant checkers passed",
+            pst_verify::CheckerId::ALL.len()
+        );
+    }
     Ok(())
 }
 
@@ -332,12 +399,17 @@ fn control_regions(f: &LoweredFunction) {
     }
 }
 
-fn ssa(f: &LoweredFunction) {
+fn ssa(f: &LoweredFunction) -> Result<(), Failure> {
     let pst = ProgramStructureTree::build(&f.cfg);
     let collapsed = collapse_all(&f.cfg, &pst);
     let sparse = place_phis_pst(f, &pst, &collapsed);
     let baseline = place_phis_cytron(f);
-    assert_eq!(baseline, sparse.placement, "Theorem 9");
+    if baseline != sparse.placement {
+        return Err(Failure::Violation(format!(
+            "fn {}: PST φ-placement disagrees with the Cytron baseline (Theorem 9)",
+            f.name
+        )));
+    }
     let form = rename(f, &baseline);
     println!("fn {}: {} φ-functions", f.name, form.total_phis());
     for node in f.cfg.graph().nodes() {
@@ -368,6 +440,7 @@ fn ssa(f: &LoweredFunction) {
             }
         }
     }
+    Ok(())
 }
 
 fn loops(f: &LoweredFunction) {
@@ -393,9 +466,11 @@ fn intervals(f: &LoweredFunction) {
     );
 }
 
-fn dataflow(f: &LoweredFunction) {
+fn dataflow(f: &LoweredFunction) -> Result<(), Failure> {
     let pst = ProgramStructureTree::build(&f.cfg);
-    let ctx = QpgContext::new(&f.cfg, &pst);
+    let qpg_failure =
+        |e: pst_dataflow::QpgError| Failure::Analysis(format!("fn {}: QPG error: {e}", f.name));
+    let ctx = QpgContext::new(&f.cfg, &pst).map_err(qpg_failure)?;
     println!(
         "fn {}: per-variable reaching definitions via quick propagation graphs",
         f.name
@@ -403,8 +478,8 @@ fn dataflow(f: &LoweredFunction) {
     for v in 0..f.var_count() {
         let var = VarId::from_index(v);
         let problem = SingleVariableReachingDefs::new(f, var);
-        let qpg = ctx.build_from_sites(problem.sites());
-        let sparse = ctx.solve(&qpg, &problem);
+        let qpg = ctx.build_from_sites(problem.sites()).map_err(qpg_failure)?;
+        let sparse = ctx.solve(&qpg, &problem).map_err(qpg_failure)?;
         let full = solve_iterative(&f.cfg, &problem);
         let ok = if sparse == full { "ok" } else { "MISMATCH" };
         let exit_defs: Vec<String> = sparse
@@ -420,4 +495,5 @@ fn dataflow(f: &LoweredFunction) {
             exit_defs.join(", ")
         );
     }
+    Ok(())
 }

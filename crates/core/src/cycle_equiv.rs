@@ -337,6 +337,44 @@ impl CycleEquiv {
 /// Raw label shared by all bridge edges before renumbering.
 const BRIDGE_SENTINEL: u32 = u32::MAX - 1;
 
+/// The step budget of a slow cycle-equivalence oracle ran out before the
+/// computation finished.
+///
+/// The quadratic oracles exist for cross-checking; on large graphs a
+/// budgeted call degrades into this error instead of stalling the caller
+/// (e.g. `pst --canonicalize` or the `pst-verify` checkers) for minutes.
+/// Steps are approximate node-plus-edge traversal counts, so budgets are
+/// portable across graph shapes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OracleBudgetExceeded {
+    /// The step budget the call was given.
+    pub budget: u64,
+}
+
+impl fmt::Display for OracleBudgetExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cycle-equivalence oracle exceeded its step budget of {}",
+            self.budget
+        )
+    }
+}
+
+impl Error for OracleBudgetExceeded {}
+
+/// Deducts `cost` steps from the remaining budget, erring when it runs dry.
+/// `None` means unlimited.
+fn spend(remaining: &mut Option<u64>, cost: u64, budget: u64) -> Result<(), OracleBudgetExceeded> {
+    if let Some(left) = remaining {
+        if *left < cost {
+            return Err(OracleBudgetExceeded { budget });
+        }
+        *left -= cost;
+    }
+    Ok(())
+}
+
 /// Quadratic oracle for **directed** cycle equivalence.
 ///
 /// Edges `a`, `b` are inequivalent iff some directed cycle contains exactly
@@ -346,8 +384,22 @@ const BRIDGE_SENTINEL: u32 = u32::MAX - 1;
 ///
 /// On a strongly connected graph this agrees with [`CycleEquiv::compute`]
 /// (Theorem 3); the property tests check exactly that.
-pub fn cycle_equiv_slow_directed(graph: &Graph) -> CycleEquiv {
+///
+/// # Errors
+///
+/// `budget` caps the work in approximate node-plus-edge traversal steps;
+/// `None` is unlimited (the call then always succeeds). A budgeted call
+/// that would exceed the cap returns [`OracleBudgetExceeded`] instead of
+/// running long.
+pub fn cycle_equiv_slow_directed(
+    graph: &Graph,
+    budget: Option<u64>,
+) -> Result<CycleEquiv, OracleBudgetExceeded> {
     let m = graph.edge_count();
+    let total = budget.unwrap_or(0);
+    let mut remaining = budget;
+    // Each reachability probe walks at most every node and edge once.
+    let probe_cost = (graph.node_count() + m) as u64 + 1;
     // on_cycle_avoiding[a][b] = exists directed cycle through a avoiding b.
     let mut next_label = 0u32;
     let mut labels = vec![UNDEFINED_CLASS; m];
@@ -368,6 +420,7 @@ pub fn cycle_equiv_slow_directed(graph: &Graph) -> CycleEquiv {
             if *label != UNDEFINED_CLASS {
                 continue;
             }
+            spend(&mut remaining, 2 * probe_cost, total)?;
             let b = EdgeId::from_index(j);
             let cyc_a_not_b = in_cycle_avoiding(a, Some(b));
             let cyc_b_not_a = in_cycle_avoiding(b, Some(a));
@@ -377,7 +430,7 @@ pub fn cycle_equiv_slow_directed(graph: &Graph) -> CycleEquiv {
         }
         next_label += 1;
     }
-    CycleEquiv::from_classes(labels)
+    Ok(CycleEquiv::from_classes(labels))
 }
 
 /// Quadratic oracle for **undirected** cycle equivalence (the notion the
@@ -386,8 +439,21 @@ pub fn cycle_equiv_slow_directed(graph: &Graph) -> CycleEquiv {
 /// An undirected cycle through edge `a` avoiding edge `b` exists iff, in
 /// the multigraph without `b`, `a` is a self-loop or a non-bridge. Bridge
 /// detection is done per removed edge with a DFS, giving O(E²) total.
-pub fn cycle_equiv_slow_undirected(graph: &Graph) -> CycleEquiv {
+///
+/// # Errors
+///
+/// `budget` caps the work in approximate node-plus-edge traversal steps;
+/// `None` is unlimited (the call then always succeeds). A budgeted call
+/// that would exceed the cap returns [`OracleBudgetExceeded`] instead of
+/// running long.
+pub fn cycle_equiv_slow_undirected(
+    graph: &Graph,
+    budget: Option<u64>,
+) -> Result<CycleEquiv, OracleBudgetExceeded> {
     let m = graph.edge_count();
+    let total = budget.unwrap_or(0);
+    let mut remaining = budget;
+    let sweep_cost = (graph.node_count() + m) as u64 + 1;
     let mut labels = vec![UNDEFINED_CLASS; m];
     let mut next_label = 0u32;
 
@@ -395,6 +461,7 @@ pub fn cycle_equiv_slow_undirected(graph: &Graph) -> CycleEquiv {
     // cycle of G - {b}. Precompute per removed edge.
     let mut in_cycle_without: Vec<Vec<bool>> = Vec::with_capacity(m);
     for i in 0..m {
+        spend(&mut remaining, sweep_cost, total)?;
         in_cycle_without.push(edges_on_cycles(graph, Some(EdgeId::from_index(i))));
     }
 
@@ -408,6 +475,7 @@ pub fn cycle_equiv_slow_undirected(graph: &Graph) -> CycleEquiv {
             if labels[j] != UNDEFINED_CLASS {
                 continue;
             }
+            spend(&mut remaining, 1, total)?;
             let b = EdgeId::from_index(j);
             let cyc_a_not_b = in_cycle_without[j][a.index()];
             let cyc_b_not_a = in_cycle_without[i][b.index()];
@@ -417,7 +485,7 @@ pub fn cycle_equiv_slow_undirected(graph: &Graph) -> CycleEquiv {
         }
         next_label += 1;
     }
-    CycleEquiv::from_classes(labels)
+    Ok(CycleEquiv::from_classes(labels))
 }
 
 /// For each edge: does it lie on some undirected cycle of `graph` minus
@@ -506,8 +574,8 @@ mod tests {
         let cfg = parse_edge_list(desc).unwrap();
         let (s, _) = cfg.to_strongly_connected();
         let fast = CycleEquiv::compute(&s, cfg.entry()).unwrap();
-        let slow_d = cycle_equiv_slow_directed(&s);
-        let slow_u = cycle_equiv_slow_undirected(&s);
+        let slow_d = cycle_equiv_slow_directed(&s, None).unwrap();
+        let slow_u = cycle_equiv_slow_undirected(&s, None).unwrap();
         assert_eq!(fast, slow_d, "fast vs directed oracle on {desc}");
         assert_eq!(fast, slow_u, "fast vs undirected oracle on {desc}");
     }
@@ -619,7 +687,7 @@ mod tests {
         let ce = CycleEquiv::compute(&g, n[0]).unwrap();
         assert_eq!(ce.num_classes(), 1);
         assert!(ce.same_class(e1, e2) && ce.same_class(e2, e3));
-        let slow = cycle_equiv_slow_undirected(&g);
+        let slow = cycle_equiv_slow_undirected(&g, None).unwrap();
         assert_eq!(ce, slow);
     }
 
@@ -633,10 +701,35 @@ mod tests {
         let c2 = g.add_edge(n[2], n[3]);
         let c3 = g.add_edge(n[3], n[1]);
         let ce = CycleEquiv::compute(&g, n[0]).unwrap();
-        let slow = cycle_equiv_slow_undirected(&g);
+        let slow = cycle_equiv_slow_undirected(&g, None).unwrap();
         assert_eq!(ce, slow);
         assert!(ce.same_class(c1, c2) && ce.same_class(c2, c3));
         assert!(!ce.same_class(bridge, c1));
+    }
+
+    #[test]
+    fn oracle_budgets_degrade_gracefully() {
+        let cfg = parse_edge_list("0->1 1->2 2->1 1->3 0->3 3->4").unwrap();
+        let (s, _) = cfg.to_strongly_connected();
+        // A one-step budget cannot even finish the precompute.
+        assert_eq!(
+            cycle_equiv_slow_undirected(&s, Some(1)).unwrap_err(),
+            OracleBudgetExceeded { budget: 1 }
+        );
+        assert_eq!(
+            cycle_equiv_slow_directed(&s, Some(1)).unwrap_err(),
+            OracleBudgetExceeded { budget: 1 }
+        );
+        let err = cycle_equiv_slow_directed(&s, Some(1)).unwrap_err();
+        assert!(err.to_string().contains("step budget of 1"));
+        // A generous budget returns the same partition as unlimited.
+        let unlimited = cycle_equiv_slow_undirected(&s, None).unwrap();
+        let budgeted = cycle_equiv_slow_undirected(&s, Some(1_000_000)).unwrap();
+        assert_eq!(unlimited, budgeted);
+        assert_eq!(
+            cycle_equiv_slow_directed(&s, Some(1_000_000)).unwrap(),
+            cycle_equiv_slow_directed(&s, None).unwrap()
+        );
     }
 
     #[test]

@@ -181,24 +181,7 @@ impl ProgramStructureTree {
             let p = regions[i].parent.expect("non-root region has a parent");
             regions[p.index()].children.push(RegionId::from_index(i));
         }
-        let mut clock = 0u32;
-        let mut stack: Vec<(RegionId, usize)> = vec![(root, 0)];
-        regions[root.index()].pre = clock;
-        clock += 1;
-        while let Some(&mut (r, ref mut next)) = stack.last_mut() {
-            if *next < regions[r.index()].children.len() {
-                let c = regions[r.index()].children[*next];
-                *next += 1;
-                regions[c.index()].pre = clock;
-                clock += 1;
-                regions[c.index()].depth = regions[r.index()].depth + 1;
-                stack.push((c, 0));
-            } else {
-                regions[r.index()].post = clock;
-                clock += 1;
-                stack.pop();
-            }
-        }
+        assign_depths_and_intervals(&mut regions);
 
         ProgramStructureTree {
             regions,
@@ -355,6 +338,41 @@ impl ProgramStructureTree {
         }
     }
 
+    /// Detaches `region` from its parent and re-attaches it under
+    /// `new_parent`, recomputing depths and containment intervals so the
+    /// mutated tree is *internally* coherent — only a semantic check
+    /// against the CFG (dominance / region membership) can tell it apart
+    /// from a correct tree. Returns `false` (leaving the tree untouched)
+    /// when the move is inapplicable: `region` is the root, the move is a
+    /// no-op, or `new_parent` lies inside `region` (which would create a
+    /// cycle).
+    ///
+    /// Deliberately corrupts the tree; only for testing that verification
+    /// catches structural faults.
+    #[cfg(feature = "fault-inject")]
+    pub fn fault_reparent(&mut self, region: RegionId, new_parent: RegionId) -> bool {
+        let Some(old_parent) = self.parent(region) else {
+            return false; // the root cannot be reparented
+        };
+        if region == new_parent
+            || old_parent == new_parent
+            || self.region_contains(region, new_parent)
+        {
+            return false;
+        }
+        let old = &mut self.regions[old_parent.index()];
+        let pos = old
+            .children
+            .iter()
+            .position(|&c| c == region)
+            .expect("parent lists region as a child");
+        old.children.remove(pos);
+        self.regions[new_parent.index()].children.push(region);
+        self.regions[region.index()].parent = Some(new_parent);
+        assign_depths_and_intervals(&mut self.regions);
+        true
+    }
+
     /// Pretty-prints the nesting structure, one region per line.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -372,6 +390,31 @@ impl ProgramStructureTree {
             }
         }
         out
+    }
+}
+
+/// Recomputes `depth`, `pre`, and `post` for a region forest whose
+/// `parent`/`children` links are already consistent and rooted at region 0.
+fn assign_depths_and_intervals(regions: &mut [RegionData]) {
+    let root = RegionId::from_index(0);
+    let mut clock = 0u32;
+    let mut stack: Vec<(RegionId, usize)> = vec![(root, 0)];
+    regions[root.index()].pre = clock;
+    regions[root.index()].depth = 0;
+    clock += 1;
+    while let Some(&mut (r, ref mut next)) = stack.last_mut() {
+        if *next < regions[r.index()].children.len() {
+            let c = regions[r.index()].children[*next];
+            *next += 1;
+            regions[c.index()].pre = clock;
+            clock += 1;
+            regions[c.index()].depth = regions[r.index()].depth + 1;
+            stack.push((c, 0));
+        } else {
+            regions[r.index()].post = clock;
+            clock += 1;
+            stack.pop();
+        }
     }
 }
 
@@ -416,25 +459,7 @@ pub(crate) fn rebuild_from_parts(
         let p = regions[i].parent.expect("non-root region has a parent");
         regions[p.index()].children.push(RegionId::from_index(i));
     }
-    let root = RegionId::from_index(0);
-    let mut clock = 0u32;
-    let mut stack: Vec<(RegionId, usize)> = vec![(root, 0)];
-    regions[root.index()].pre = clock;
-    clock += 1;
-    while let Some(&mut (r, ref mut next)) = stack.last_mut() {
-        if *next < regions[r.index()].children.len() {
-            let c = regions[r.index()].children[*next];
-            *next += 1;
-            regions[c.index()].pre = clock;
-            clock += 1;
-            regions[c.index()].depth = regions[r.index()].depth + 1;
-            stack.push((c, 0));
-        } else {
-            regions[r.index()].post = clock;
-            clock += 1;
-            stack.pop();
-        }
-    }
+    assign_depths_and_intervals(&mut regions);
     ProgramStructureTree {
         regions,
         node_region: node_region.into_iter().map(RegionId::from_index).collect(),

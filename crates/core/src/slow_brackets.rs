@@ -127,7 +127,7 @@ mod tests {
         let (s, _) = cfg.to_strongly_connected();
         let brackets = cycle_equiv_slow_brackets(&s, cfg.entry()).unwrap();
         let fast = CycleEquiv::compute(&s, cfg.entry()).unwrap();
-        let oracle = cycle_equiv_slow_undirected(&s);
+        let oracle = cycle_equiv_slow_undirected(&s, None).unwrap();
         assert_eq!(brackets, fast, "{desc}");
         assert_eq!(brackets, oracle, "{desc}");
     }

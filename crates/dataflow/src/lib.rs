@@ -32,9 +32,9 @@
 //! let pst = ProgramStructureTree::build(&l.cfg);
 //! let x = l.var_id("x").unwrap();
 //! let problem = SingleVariableReachingDefs::new(&l, x);
-//! let qpg = Qpg::build(&l.cfg, &pst, &problem);
+//! let qpg = Qpg::build(&l.cfg, &pst, &problem).unwrap();
 //! assert!(qpg.node_count() < l.cfg.node_count()); // the loop is bypassed
-//! assert_eq!(qpg.solve(&l.cfg, &pst, &problem), solve_iterative(&l.cfg, &problem));
+//! assert_eq!(qpg.solve(&l.cfg, &pst, &problem).unwrap(), solve_iterative(&l.cfg, &problem));
 //! ```
 
 #![forbid(unsafe_code)]
@@ -59,5 +59,5 @@ pub use iterative::solve_iterative;
 pub use problems::{
     DefSite, DefiniteAssignment, LiveVariables, ReachingDefinitions, SingleVariableReachingDefs,
 };
-pub use qpg::{Qpg, QpgContext};
+pub use qpg::{Qpg, QpgContext, QpgError};
 pub use seg::Seg;

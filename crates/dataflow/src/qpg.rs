@@ -12,10 +12,44 @@
 
 use std::collections::HashMap;
 
-use pst_cfg::{Cfg, EdgeId, Graph, NodeId};
+use pst_cfg::{Cfg, EdgeId, Graph, NodeId, ValidateCfgError};
 use pst_core::{ProgramStructureTree, RegionId};
 
 use crate::{solve_iterative, Confluence, DataflowProblem, Flow, GenKill, Solution};
+
+/// Why QPG construction or solving failed.
+///
+/// Every variant indicates an inconsistency between the CFG and the PST
+/// it was allegedly built from (or corrupted QPG bookkeeping) — not bad
+/// user input per se, but conditions a driver should report rather than
+/// die on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QpgError {
+    /// A canonical region of the PST is missing its boundary edges — the
+    /// tree does not belong to this CFG.
+    MissingRegionBounds(RegionId),
+    /// Traversal bookkeeping lost a node it should have kept (e.g. the
+    /// CFG exit resolved to no QPG node).
+    DetachedNode(NodeId),
+    /// The bypassed graph failed CFG validation.
+    InvalidQpg(ValidateCfgError),
+}
+
+impl std::fmt::Display for QpgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QpgError::MissingRegionBounds(r) => {
+                write!(f, "PST region {r} has no boundary edges in this CFG")
+            }
+            QpgError::DetachedNode(n) => {
+                write!(f, "CFG node {} has no QPG counterpart", n.index())
+            }
+            QpgError::InvalidQpg(e) => write!(f, "bypassed graph is not a valid CFG: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QpgError {}
 
 /// A quick propagation graph for one problem instance.
 ///
@@ -32,10 +66,13 @@ use crate::{solve_iterative, Confluence, DataflowProblem, Flow, GenKill, Solutio
 /// let pst = ProgramStructureTree::build(&l.cfg);
 /// let x = l.var_id("x").unwrap();
 /// let problem = SingleVariableReachingDefs::new(&l, x);
-/// let qpg = Qpg::build(&l.cfg, &pst, &problem);
+/// let qpg = Qpg::build(&l.cfg, &pst, &problem).unwrap();
 /// // The loop (which never touches x) is bypassed.
 /// assert!(qpg.node_count() < l.cfg.node_count());
-/// assert_eq!(qpg.solve(&l.cfg, &pst, &problem), solve_iterative(&l.cfg, &problem));
+/// assert_eq!(
+///     qpg.solve(&l.cfg, &pst, &problem).unwrap(),
+///     solve_iterative(&l.cfg, &problem),
+/// );
 /// ```
 #[derive(Clone, Debug)]
 pub struct Qpg {
@@ -55,8 +92,26 @@ pub struct Qpg {
 
 impl Qpg {
     /// Builds the QPG of `problem` over `cfg` using `pst` for bypassing.
-    pub fn build(cfg: &Cfg, pst: &ProgramStructureTree, problem: &impl DataflowProblem) -> Self {
+    pub fn build(
+        cfg: &Cfg,
+        pst: &ProgramStructureTree,
+        problem: &impl DataflowProblem,
+    ) -> Result<Self, QpgError> {
         Self::build_from_transparency(cfg, pst, &|n| problem.is_transparent(n))
+    }
+
+    /// [`build`](Self::build) for hot paths that have already validated
+    /// the CFG/PST pair (benchmarks, the pipeline tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics where `build` would return an error.
+    pub fn build_unchecked(
+        cfg: &Cfg,
+        pst: &ProgramStructureTree,
+        problem: &impl DataflowProblem,
+    ) -> Self {
+        Self::build(cfg, pst, problem).expect("CFG/PST pair is consistent")
     }
 
     /// Builds the QPG from an arbitrary transparency predicate.
@@ -64,7 +119,7 @@ impl Qpg {
         cfg: &Cfg,
         pst: &ProgramStructureTree,
         transparent: &dyn Fn(NodeId) -> bool,
-    ) -> Self {
+    ) -> Result<Self, QpgError> {
         let _span = pst_obs::Span::enter("qpg_build");
         let graph = cfg.graph();
         // Mark regions containing a non-transparent node (leaf-up).
@@ -83,15 +138,17 @@ impl Qpg {
         }
         // Region entered by each edge, if any.
         let mut region_by_entry: HashMap<EdgeId, RegionId> = HashMap::new();
+        let mut exit_by_region: Vec<Option<EdgeId>> = vec![None; pst.region_count()];
         for r in pst.regions().skip(1) {
-            let b = pst.bounds(r).expect("canonical region");
+            let b = pst.bounds(r).ok_or(QpgError::MissingRegionBounds(r))?;
             region_by_entry.insert(b.entry, r);
+            exit_by_region[r.index()] = Some(b.exit);
         }
         Self::traverse(
             cfg,
             &marked,
             |e| region_by_entry.get(&e).copied(),
-            |r| pst.exit_edge(r).expect("canonical region has an exit"),
+            |r| exit_by_region[r.index()].ok_or(QpgError::MissingRegionBounds(r)),
         )
     }
 
@@ -100,8 +157,8 @@ impl Qpg {
         cfg: &Cfg,
         marked: &[bool],
         region_entered: impl Fn(EdgeId) -> Option<RegionId>,
-        exit_edge: impl Fn(RegionId) -> EdgeId,
-    ) -> Self {
+        exit_edge: impl Fn(RegionId) -> Result<EdgeId, QpgError>,
+    ) -> Result<Self, QpgError> {
         let graph = cfg.graph();
         let mut qpg_graph = Graph::new();
         let mut cfg_of: Vec<NodeId> = Vec::new();
@@ -126,7 +183,7 @@ impl Qpg {
         let (entry_q, _) = keep(cfg.entry(), &mut qpg_graph, &mut cfg_of, &mut qpg_of);
         let mut work = vec![cfg.entry()];
         while let Some(u) = work.pop() {
-            let uq = qpg_of[u.index()].expect("worklist nodes are kept");
+            let uq = qpg_of[u.index()].ok_or(QpgError::DetachedNode(u))?;
             for &e in graph.out_edges(u) {
                 let mut last = e;
                 let mut hops: Vec<RegionId> = Vec::new();
@@ -135,7 +192,7 @@ impl Qpg {
                         break;
                     }
                     hops.push(r);
-                    last = exit_edge(r);
+                    last = exit_edge(r)?;
                 }
                 let target = graph.target(last);
                 let (tq, fresh) = keep(target, &mut qpg_graph, &mut cfg_of, &mut qpg_of);
@@ -150,8 +207,8 @@ impl Qpg {
             }
         }
 
-        let exit_q = qpg_of[cfg.exit().index()].expect("exit is never bypassed");
-        Qpg {
+        let exit_q = qpg_of[cfg.exit().index()].ok_or(QpgError::DetachedNode(cfg.exit()))?;
+        Ok(Qpg {
             graph: qpg_graph,
             entry: entry_q,
             exit: exit_q,
@@ -159,7 +216,7 @@ impl Qpg {
             qpg_of,
             edge_span,
             bypassed,
-        }
+        })
     }
 
     /// Number of QPG nodes.
@@ -208,8 +265,24 @@ impl Qpg {
         cfg: &Cfg,
         pst: &ProgramStructureTree,
         problem: &P,
-    ) -> Solution {
+    ) -> Result<Solution, QpgError> {
         self.solve_with(cfg, problem, &|r| pst.all_nodes(r))
+    }
+
+    /// [`solve`](Self::solve) for hot paths that have already validated
+    /// the CFG/PST pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics where `solve` would return an error.
+    pub fn solve_unchecked<P: DataflowProblem>(
+        &self,
+        cfg: &Cfg,
+        pst: &ProgramStructureTree,
+        problem: &P,
+    ) -> Solution {
+        self.solve(cfg, pst, problem)
+            .expect("CFG/PST pair is consistent")
     }
 
     /// Solve with a caller-supplied region-membership provider (used by
@@ -219,10 +292,10 @@ impl Qpg {
         cfg: &Cfg,
         problem: &P,
         region_nodes: &dyn Fn(RegionId) -> Vec<NodeId>,
-    ) -> Solution {
+    ) -> Result<Solution, QpgError> {
         // Solve on the QPG viewed as a CFG of its own.
         let qpg_cfg = Cfg::from_graph(self.graph.clone(), self.entry, self.exit)
-            .expect("QPG inherits CFG validity");
+            .map_err(QpgError::InvalidQpg)?;
         let wrapper = QpgProblem {
             inner: problem,
             cfg_of: &self.cfg_of,
@@ -242,11 +315,11 @@ impl Qpg {
         for &(region, src, dst) in &self.bypassed {
             let value = match problem.flow() {
                 Flow::Forward => {
-                    let q = self.qpg_of[src.index()].expect("span source kept");
+                    let q = self.qpg_of[src.index()].ok_or(QpgError::DetachedNode(src))?;
                     qsol.out[q.index()].clone()
                 }
                 Flow::Backward => {
-                    let q = self.qpg_of[dst.index()].expect("span target kept");
+                    let q = self.qpg_of[dst.index()].ok_or(QpgError::DetachedNode(dst))?;
                     qsol.inp[q.index()].clone()
                 }
             };
@@ -255,7 +328,7 @@ impl Qpg {
                 out[node.index()] = value.clone();
             }
         }
-        Solution { inp, out }
+        Ok(Solution { inp, out })
     }
 }
 
@@ -273,17 +346,21 @@ pub struct QpgContext<'a> {
     pst: &'a ProgramStructureTree,
     /// Region entered by each CFG edge, if any.
     region_by_entry: Vec<Option<RegionId>>,
+    /// Exit edge per canonical region (`None` for the root).
+    exit_by_region: Vec<Option<EdgeId>>,
     /// All nodes (at any depth) per region.
     all_nodes: Vec<Vec<NodeId>>,
 }
 
 impl<'a> QpgContext<'a> {
     /// Precomputes the shared lookup tables.
-    pub fn new(cfg: &'a Cfg, pst: &'a ProgramStructureTree) -> Self {
+    pub fn new(cfg: &'a Cfg, pst: &'a ProgramStructureTree) -> Result<Self, QpgError> {
         let mut region_by_entry = vec![None; cfg.edge_count()];
+        let mut exit_by_region = vec![None; pst.region_count()];
         for r in pst.regions().skip(1) {
-            let b = pst.bounds(r).expect("canonical region");
+            let b = pst.bounds(r).ok_or(QpgError::MissingRegionBounds(r))?;
             region_by_entry[b.entry.index()] = Some(r);
+            exit_by_region[r.index()] = Some(b.exit);
         }
         // Per-region node lists, accumulated bottom-up.
         let mut all_nodes: Vec<Vec<NodeId>> = vec![Vec::new(); pst.region_count()];
@@ -298,17 +375,18 @@ impl<'a> QpgContext<'a> {
                 all_nodes[p.index()].extend(mine);
             }
         }
-        QpgContext {
+        Ok(QpgContext {
             cfg,
             pst,
             region_by_entry,
+            exit_by_region,
             all_nodes,
-        }
+        })
     }
 
     /// Builds the QPG for an instance whose non-transparent nodes are
     /// exactly `sites`.
-    pub fn build_from_sites(&self, sites: &[NodeId]) -> Qpg {
+    pub fn build_from_sites(&self, sites: &[NodeId]) -> Result<Qpg, QpgError> {
         let _span = pst_obs::Span::enter("qpg_build");
         let mut marked = vec![false; self.pst.region_count()];
         for &n in sites {
@@ -325,13 +403,17 @@ impl<'a> QpgContext<'a> {
             self.cfg,
             &marked,
             |e| self.region_by_entry[e.index()],
-            |r| self.pst.exit_edge(r).expect("canonical region has an exit"),
+            |r| self.exit_by_region[r.index()].ok_or(QpgError::MissingRegionBounds(r)),
         )
     }
 
     /// Solves `problem` on `qpg` and projects back, using the cached
     /// region-node lists.
-    pub fn solve<P: DataflowProblem>(&self, qpg: &Qpg, problem: &P) -> Solution {
+    pub fn solve<P: DataflowProblem>(
+        &self,
+        qpg: &Qpg,
+        problem: &P,
+    ) -> Result<Solution, QpgError> {
         let _span = pst_obs::Span::enter("qpg_solve");
         qpg.solve_with(self.cfg, problem, &|r: RegionId| {
             self.all_nodes[r.index()].clone()

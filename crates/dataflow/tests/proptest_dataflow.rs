@@ -46,10 +46,10 @@ proptest! {
         for v in 0..l.var_count() {
             let var = VarId::from_index(v);
             let problem = SingleVariableReachingDefs::new(&l, var);
-            let qpg = Qpg::build(&l.cfg, &pst, &problem);
+            let qpg = Qpg::build(&l.cfg, &pst, &problem).unwrap();
             prop_assert!(qpg.node_count() <= l.cfg.node_count());
             prop_assert_eq!(
-                qpg.solve(&l.cfg, &pst, &problem),
+                qpg.solve(&l.cfg, &pst, &problem).unwrap(),
                 solve_iterative(&l.cfg, &problem),
                 "variable {}", v
             );
@@ -93,16 +93,16 @@ proptest! {
 
         // QPG builders agree with each other and with the full solve
         // (available expressions are usually dense, so also try them).
-        let ctx = QpgContext::new(&l.cfg, &pst);
+        let ctx = QpgContext::new(&l.cfg, &pst).unwrap();
         for v in (0..l.var_count()).step_by(4) {
             let var = VarId::from_index(v);
             let p = SingleVariableReachingDefs::new(&l, var);
-            let via_ctx = ctx.build_from_sites(p.sites());
-            let via_build = Qpg::build(&l.cfg, &pst, &p);
+            let via_ctx = ctx.build_from_sites(p.sites()).unwrap();
+            let via_build = Qpg::build(&l.cfg, &pst, &p).unwrap();
             prop_assert_eq!(via_ctx.node_count(), via_build.node_count());
             prop_assert_eq!(
-                ctx.solve(&via_ctx, &p),
-                via_build.solve(&l.cfg, &pst, &p)
+                ctx.solve(&via_ctx, &p).unwrap(),
+                via_build.solve(&l.cfg, &pst, &p).unwrap()
             );
         }
     }
@@ -154,8 +154,8 @@ proptest! {
             let reference = solve_iterative(&l.cfg, &p);
             let seg = Seg::build(&l.cfg, &p);
             prop_assert_eq!(seg.solve(&l.cfg, &p), reference.clone());
-            let qpg = Qpg::build(&l.cfg, &pst, &p);
-            prop_assert_eq!(qpg.solve(&l.cfg, &pst, &p), reference);
+            let qpg = Qpg::build(&l.cfg, &pst, &p).unwrap();
+            prop_assert_eq!(qpg.solve(&l.cfg, &pst, &p).unwrap(), reference);
         }
     }
 }

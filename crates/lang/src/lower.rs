@@ -145,6 +145,10 @@ pub enum LowerError {
     NoPathToExit,
     /// The produced graph failed CFG validation (internal error).
     Validate(ValidateCfgError),
+    /// Lowering bookkeeping broke an internal invariant (a bug in the
+    /// lowerer, not in the input) — reported instead of panicking so a
+    /// front-end driver can contain it per function.
+    Internal(&'static str),
 }
 
 impl fmt::Display for LowerError {
@@ -156,6 +160,7 @@ impl fmt::Display for LowerError {
             LowerError::ContinueOutsideLoop => write!(f, "continue outside loop"),
             LowerError::NoPathToExit => write!(f, "function body cannot reach the exit"),
             LowerError::Validate(e) => write!(f, "invalid control flow graph: {e}"),
+            LowerError::Internal(what) => write!(f, "internal lowering invariant broken: {what}"),
         }
     }
 }
@@ -609,8 +614,11 @@ impl Lowerer {
                 }
             }
         }
-        let entry = remap[0].expect("entry kept");
-        let exit = remap[EXIT].expect("exit kept");
+        // `keep[0]` was tested above and EXIT seeds the backward sweep, so
+        // these lookups cannot fail unless the pruning bookkeeping is buggy
+        // — surface that as an error, not a panic.
+        let entry = remap[0].ok_or(LowerError::Internal("entry pruned from its own CFG"))?;
+        let exit = remap[EXIT].ok_or(LowerError::Internal("exit pruned from its own CFG"))?;
         let cfg = builder.finish(entry, exit).map_err(LowerError::Validate)?;
         Ok(LoweredFunction {
             name,

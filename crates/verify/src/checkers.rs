@@ -1,0 +1,386 @@
+//! Independent invariant checkers for every pipeline stage.
+//!
+//! Each checker re-derives its invariant from first principles — slow
+//! oracles, the edge-split dominance oracle, or an independent baseline
+//! algorithm — and compares against the fast pipeline's output. None of
+//! them share code with the computation they check, so a bug in the
+//! linear-time algorithms cannot silently cancel out in the checker.
+//!
+//! | checker | paper claim | oracle |
+//! |---|---|---|
+//! | [`check_cycle_equiv`] | Definition 3 | `cycle_equiv_slow_undirected` |
+//! | [`check_sese`] | Definition / Theorem 2 | edge-split dom + pdom trees |
+//! | [`check_pst`] | Theorem 1 | dominance membership vs. tree containment |
+//! | [`check_control_regions`] | Theorem 7 | `fow_control_regions` (CDG baseline) |
+//! | [`check_phi`] | Theorem 9 | `place_phis_cytron` (IDF baseline) |
+
+use pst_cfg::{Cfg, EdgeId, EdgeSplit, NodeId};
+use pst_controldep::fow_control_regions;
+use pst_core::{
+    cycle_equiv_slow_undirected, CanonicalRegions, ControlRegions, ProgramStructureTree,
+};
+use pst_dominators::{dominator_tree, dominator_tree_in, Direction, DomTree};
+use pst_lang::LoweredFunction;
+use pst_ssa::{place_phis_cytron, PhiPlacement};
+
+use crate::report::{CheckerId, ViolationReport};
+
+/// Renumbers a labelling by first occurrence so two labellings describe
+/// the same partition iff their canonical forms are equal.
+fn canonical_partition(labels: &[u32]) -> Vec<u32> {
+    let mut map = std::collections::HashMap::new();
+    let mut next = 0u32;
+    labels
+        .iter()
+        .map(|&l| {
+            *map.entry(l).or_insert_with(|| {
+                let c = next;
+                next += 1;
+                c
+            })
+        })
+        .collect()
+}
+
+/// Checks the fast cycle-equivalence partition over `S = G + (end→start)`
+/// against the slow undirected oracle (Definition 3), under `budget`
+/// oracle steps (`None` = unlimited).
+///
+/// The partition being checked is the one region detection ran on —
+/// [`CanonicalRegions::cycle_equiv`] — so a corrupted partition is caught
+/// even when recomputing from the CFG would come back clean.
+pub fn check_cycle_equiv(
+    cfg: &Cfg,
+    detection: &CanonicalRegions,
+    budget: Option<u64>,
+) -> ViolationReport {
+    let mut report = ViolationReport::new(CheckerId::CycleEquiv);
+    let (s, _virtual_edge) = cfg.to_strongly_connected();
+    if detection.cycle_equiv.classes().len() != s.edge_count() {
+        report.push(format!(
+            "partition covers {} edges but S has {}",
+            detection.cycle_equiv.classes().len(),
+            s.edge_count()
+        ));
+        return report;
+    }
+    let slow = match cycle_equiv_slow_undirected(&s, budget) {
+        Ok(slow) => slow,
+        Err(_) => {
+            report.budget_exhausted = true;
+            return report;
+        }
+    };
+    let fast = canonical_partition(detection.cycle_equiv.classes());
+    let oracle = canonical_partition(slow.classes());
+    if fast == oracle {
+        return report;
+    }
+    // Pin the mismatch to concrete edge pairs for the report.
+    for i in 0..fast.len() {
+        for j in i + 1..fast.len() {
+            let fast_same = fast[i] == fast[j];
+            if fast_same != (oracle[i] == oracle[j]) {
+                report.push(format!(
+                    "edges e{i} and e{j} are {} per the oracle but {} in the checked partition",
+                    if fast_same { "inequivalent" } else { "equivalent" },
+                    if fast_same { "equivalent" } else { "inequivalent" },
+                ));
+                if report.violations.len() == crate::report::MAX_RECORDED_VIOLATIONS {
+                    return report;
+                }
+            }
+        }
+    }
+    report
+}
+
+/// The dominance oracle every structural checker shares: dominator and
+/// postdominator trees of the edge-split graph, where edge dominance
+/// reduces to node dominance of midpoints.
+pub(crate) struct DomOracle {
+    split: EdgeSplit,
+    dom: DomTree,
+    pdom: DomTree,
+}
+
+impl DomOracle {
+    pub(crate) fn new(cfg: &Cfg) -> Self {
+        let split = EdgeSplit::of_cfg(cfg);
+        let dom = dominator_tree(split.graph(), cfg.entry());
+        let pdom = dominator_tree_in(split.graph(), cfg.exit(), Direction::Backward);
+        DomOracle { split, dom, pdom }
+    }
+
+    fn edge_dom(&self, a: EdgeId, b: EdgeId) -> bool {
+        self.dom
+            .dominates(self.split.midpoint(a), self.split.midpoint(b))
+    }
+
+    fn edge_pdom(&self, a: EdgeId, b: EdgeId) -> bool {
+        self.pdom
+            .dominates(self.split.midpoint(a), self.split.midpoint(b))
+    }
+
+    /// Definition-6 membership: node `n` lies in region `(entry, exit)`
+    /// iff the entry edge dominates it and the exit edge postdominates it.
+    fn node_in_region(&self, entry: EdgeId, exit: EdgeId, n: NodeId) -> bool {
+        self.dom.dominates(self.split.midpoint(entry), n)
+            && self.pdom.dominates(self.split.midpoint(exit), n)
+    }
+}
+
+/// Checks every canonical region against the definitional SESE triple —
+/// entry dominates exit, exit postdominates entry, the two are cycle
+/// equivalent — plus canonicity: each class's dominance order and the
+/// adjacent-pair completeness count (Definition 5).
+pub fn check_sese(cfg: &Cfg, detection: &CanonicalRegions) -> ViolationReport {
+    let mut report = ViolationReport::new(CheckerId::Sese);
+    let oracle = DomOracle::new(cfg);
+    let m = cfg.edge_count();
+    for r in &detection.regions {
+        if r.entry.index() >= m || r.exit.index() >= m {
+            report.push(format!(
+                "region ({}, {}) references an edge outside the CFG",
+                r.entry, r.exit
+            ));
+            continue;
+        }
+        if !oracle.edge_dom(r.entry, r.exit) {
+            report.push(format!(
+                "region ({}, {}): entry does not dominate exit",
+                r.entry, r.exit
+            ));
+        }
+        if !oracle.edge_pdom(r.exit, r.entry) {
+            report.push(format!(
+                "region ({}, {}): exit does not postdominate entry",
+                r.entry, r.exit
+            ));
+        }
+        if !detection.cycle_equiv.same_class(r.entry, r.exit) {
+            report.push(format!(
+                "region ({}, {}): boundary edges are not cycle equivalent",
+                r.entry, r.exit
+            ));
+        }
+    }
+    for class in &detection.ordered_classes {
+        for w in class.windows(2) {
+            if !oracle.edge_dom(w[0], w[1]) || !oracle.edge_pdom(w[1], w[0]) {
+                report.push(format!(
+                    "class edges {} and {} are not adjacent in dominance order",
+                    w[0], w[1]
+                ));
+            }
+        }
+    }
+    let expected: usize = detection
+        .ordered_classes
+        .iter()
+        .map(|c| c.len().saturating_sub(1))
+        .sum();
+    if detection.regions.len() != expected {
+        report.push(format!(
+            "{} regions reported but the classes imply {}",
+            detection.regions.len(),
+            expected
+        ));
+    }
+    report
+}
+
+/// Checks the PST against Theorem 1: tree coherence (parent/child/depth
+/// links, every region reachable from the root), semantic membership
+/// (tree containment of every node agrees with the dom/pdom membership
+/// oracle — this is what catches a reparented region), and
+/// `region_of_node`/`region_of_edge` consistency.
+pub fn check_pst(cfg: &Cfg, pst: &ProgramStructureTree) -> ViolationReport {
+    let mut report = ViolationReport::new(CheckerId::Pst);
+
+    // --- Tree coherence (no CFG semantics involved). ---
+    let root = pst.root();
+    if pst.parent(root).is_some() {
+        report.push("root region has a parent".to_string());
+    }
+    if pst.bounds(root).is_some() {
+        report.push("root region has boundary edges".to_string());
+    }
+    let mut seen = vec![false; pst.region_count()];
+    let mut stack = vec![root];
+    seen[root.index()] = true;
+    while let Some(r) = stack.pop() {
+        for &c in pst.children(r) {
+            if pst.parent(c) != Some(r) {
+                report.push(format!("{c} is listed as a child of {r} but has another parent"));
+            }
+            if pst.depth(c) != pst.depth(r) + 1 {
+                report.push(format!("{c} has depth {} under {r}", pst.depth(c)));
+            }
+            if !pst.region_contains(r, c) {
+                report.push(format!("containment intervals deny that {r} contains child {c}"));
+            }
+            if seen[c.index()] {
+                report.push(format!("{c} appears twice in the tree"));
+                continue;
+            }
+            seen[c.index()] = true;
+            stack.push(c);
+        }
+    }
+    for (i, s) in seen.iter().enumerate() {
+        if !s {
+            report.push(format!("r{i} is unreachable from the root"));
+        }
+    }
+    if !report.is_clean() {
+        // The tree is not even well formed; semantic checks below would
+        // only repeat the damage in less direct terms.
+        return report;
+    }
+
+    // --- Semantic membership: tree containment must agree with the
+    // dominance oracle for every (canonical region, node) pair. ---
+    let oracle = DomOracle::new(cfg);
+    let n_nodes = cfg.node_count();
+    if pst.node_count() != n_nodes {
+        report.push(format!(
+            "PST indexes {} nodes but the CFG has {n_nodes}",
+            pst.node_count()
+        ));
+        return report;
+    }
+    for r in pst.regions() {
+        let Some(b) = pst.bounds(r) else { continue };
+        for i in 0..n_nodes {
+            let node = NodeId::from_index(i);
+            let semantic = oracle.node_in_region(b.entry, b.exit, node);
+            let tree = pst.contains_node(r, node);
+            if semantic != tree {
+                report.push(format!(
+                    "node {i} is {} region {r} per dominance but {} per the tree",
+                    if semantic { "inside" } else { "outside" },
+                    if tree { "inside" } else { "outside" },
+                ));
+            }
+        }
+    }
+
+    // --- region_of_edge threading: a region's entry edge belongs to the
+    // region itself, its exit edge to the parent; any other edge belongs
+    // to the innermost region containing its midpoint. ---
+    let mut entry_of = vec![None; cfg.edge_count()];
+    let mut exit_of = vec![None; cfg.edge_count()];
+    for r in pst.regions() {
+        if let Some(b) = pst.bounds(r) {
+            entry_of[b.entry.index()] = Some(r);
+            exit_of[b.exit.index()] = Some(r);
+        }
+    }
+    for e in cfg.graph().edges() {
+        let got = pst.region_of_edge(e);
+        let expected = if let Some(r) = entry_of[e.index()] {
+            Some(r)
+        } else if let Some(r) = exit_of[e.index()] {
+            pst.parent(r).or(Some(root))
+        } else {
+            // Innermost canonical region whose boundary pair semantically
+            // contains both endpoints (the root when none does).
+            let (u, v) = cfg.graph().endpoints(e);
+            pst.regions()
+                .filter(|&r| {
+                    pst.bounds(r).is_some_and(|b| {
+                        oracle.node_in_region(b.entry, b.exit, u)
+                            && oracle.node_in_region(b.entry, b.exit, v)
+                    })
+                })
+                .max_by_key(|&r| pst.depth(r))
+                .or(Some(root))
+        };
+        if Some(got) != expected {
+            report.push(format!(
+                "edge {e} is threaded into {got} but belongs to {}",
+                expected.expect("expected region is always set")
+            ));
+        }
+    }
+    report
+}
+
+/// Checks the linear-time control-region partition against the
+/// Cytron–Ferrante–Sarkar CDG baseline (Theorem 7 says they coincide).
+pub fn check_control_regions(cfg: &Cfg, control_regions: &ControlRegions) -> ViolationReport {
+    let mut report = ViolationReport::new(CheckerId::ControlRegions);
+    let n = cfg.node_count();
+    if control_regions.classes().len() != n {
+        report.push(format!(
+            "partition covers {} nodes but the CFG has {n}",
+            control_regions.classes().len()
+        ));
+        return report;
+    }
+    let baseline = fow_control_regions(cfg);
+    if *control_regions == baseline {
+        return report;
+    }
+    let got = canonical_partition(control_regions.classes());
+    let want = canonical_partition(baseline.classes());
+    for i in 0..n {
+        for j in i + 1..n {
+            let got_same = got[i] == got[j];
+            if got_same != (want[i] == want[j]) {
+                report.push(format!(
+                    "nodes {i} and {j} are {} per the CDG baseline but {} in the checked partition",
+                    if got_same { "in different regions" } else { "in one region" },
+                    if got_same { "in one region" } else { "in different regions" },
+                ));
+                if report.violations.len() == crate::report::MAX_RECORDED_VIOLATIONS {
+                    return report;
+                }
+            }
+        }
+    }
+    report
+}
+
+/// Checks a PST-driven φ-placement against the Cytron iterated-
+/// dominance-frontier baseline (Theorem 9 says they are equal).
+pub fn check_phi(function: &LoweredFunction, placement: &PhiPlacement) -> ViolationReport {
+    let mut report = ViolationReport::new(CheckerId::Phi);
+    let baseline = place_phis_cytron(function);
+    if *placement == baseline {
+        return report;
+    }
+    if placement.var_count() != baseline.var_count() {
+        report.push(format!(
+            "placement covers {} variables but the function has {}",
+            placement.var_count(),
+            baseline.var_count()
+        ));
+        return report;
+    }
+    for (var, want) in baseline.iter() {
+        let got = placement.phis_of(var);
+        if got == want {
+            continue;
+        }
+        let name = &function.vars[var.index()];
+        for node in want {
+            if !got.contains(node) {
+                report.push(format!(
+                    "variable `{name}` is missing a φ at node {}",
+                    node.index()
+                ));
+            }
+        }
+        for node in got {
+            if !want.contains(node) {
+                report.push(format!(
+                    "variable `{name}` has a spurious φ at node {}",
+                    node.index()
+                ));
+            }
+        }
+    }
+    report
+}

@@ -1,0 +1,145 @@
+//! One-stop pipeline driver for verification: computes every artifact the
+//! checkers need from a single CFG, then runs all checkers over them.
+//!
+//! The artifacts are held by value (not recomputed inside the checkers)
+//! so fault injection can corrupt them *between* computation and
+//! checking — exactly the seam where a real bug would sit.
+
+use pst_cfg::Cfg;
+use pst_core::{collapse_all, CanonicalRegions, ControlRegions, ProgramStructureTree};
+use pst_lang::{BlockInfo, LoweredFunction, StmtInfo, VarId};
+use pst_ssa::{place_phis_pst, PhiPlacement};
+
+use crate::checkers::{
+    check_control_regions, check_cycle_equiv, check_phi, check_pst, check_sese,
+};
+use crate::report::VerifyReport;
+
+/// Default step budget for the slow cycle-equivalence oracle: ample for
+/// fuzz-sized graphs, small enough that a pathological input degrades to
+/// "inconclusive" instead of stalling the run.
+pub const DEFAULT_ORACLE_BUDGET: u64 = 20_000_000;
+
+/// Number of synthetic variables woven into [`synthetic_function`].
+const SYNTHETIC_VARS: usize = 3;
+
+/// Tuning for [`verify_artifacts`].
+#[derive(Clone, Copy, Debug)]
+pub struct VerifyConfig {
+    /// Step budget for the slow cycle-equivalence oracle (`None` =
+    /// unlimited). Exhaustion marks the check inconclusive, not failed.
+    pub oracle_budget: Option<u64>,
+}
+
+impl Default for VerifyConfig {
+    fn default() -> Self {
+        VerifyConfig {
+            oracle_budget: Some(DEFAULT_ORACLE_BUDGET),
+        }
+    }
+}
+
+/// Everything the five checkers consume, computed once per input.
+#[derive(Clone, Debug)]
+pub struct PipelineArtifacts {
+    /// The function the pipeline ran over; `function.cfg` is the CFG.
+    pub function: LoweredFunction,
+    /// Region detection output (cycle-equivalence classes + canonical
+    /// regions) the PST was built from.
+    pub detection: CanonicalRegions,
+    /// The program structure tree.
+    pub pst: ProgramStructureTree,
+    /// The linear-time control-region partition.
+    pub control_regions: ControlRegions,
+    /// PST-driven φ-placement for the function's variables.
+    pub phi: PhiPlacement,
+}
+
+impl PipelineArtifacts {
+    /// The CFG all artifacts were computed over.
+    pub fn cfg(&self) -> &Cfg {
+        &self.function.cfg
+    }
+}
+
+/// Wraps a bare CFG in a [`LoweredFunction`] with a deterministic def/use
+/// pattern so φ-placement has something to place: variable `v` is defined
+/// at every node with `index % SYNTHETIC_VARS == v` and used at every
+/// other node. This exercises joins everywhere without depending on the
+/// source language front end.
+pub fn synthetic_function(cfg: &Cfg) -> LoweredFunction {
+    let n = cfg.node_count();
+    let mut blocks = Vec::with_capacity(n);
+    for i in 0..n {
+        let def = VarId::from_index(i % SYNTHETIC_VARS);
+        let uses: Vec<VarId> = (0..SYNTHETIC_VARS)
+            .filter(|&v| v != i % SYNTHETIC_VARS)
+            .map(VarId::from_index)
+            .collect();
+        blocks.push(BlockInfo {
+            stmts: vec![StmtInfo {
+                def: Some(def),
+                uses: uses.clone(),
+                text: format!("v{} = mix(...)", i % SYNTHETIC_VARS),
+                expr_key: None,
+            }],
+            branch_uses: uses,
+        });
+    }
+    LoweredFunction {
+        name: "synthetic".to_string(),
+        cfg: cfg.clone(),
+        blocks,
+        vars: (0..SYNTHETIC_VARS).map(|v| format!("v{v}")).collect(),
+    }
+}
+
+/// Runs the full pipeline — region detection, PST, control regions,
+/// φ-placement — over `function`, retaining every intermediate artifact.
+pub fn compute_artifacts(function: LoweredFunction) -> PipelineArtifacts {
+    let pst = ProgramStructureTree::build(&function.cfg);
+    let detection = pst
+        .detection()
+        .cloned()
+        .expect("build always records detection");
+    let control_regions = ControlRegions::compute(&function.cfg);
+    let collapsed = collapse_all(&function.cfg, &pst);
+    let phi = place_phis_pst(&function, &pst, &collapsed).placement;
+    PipelineArtifacts {
+        function,
+        detection,
+        pst,
+        control_regions,
+        phi,
+    }
+}
+
+/// [`compute_artifacts`] over a bare CFG, via [`synthetic_function`].
+pub fn compute_artifacts_for_cfg(cfg: &Cfg) -> PipelineArtifacts {
+    compute_artifacts(synthetic_function(cfg))
+}
+
+/// Runs all five checkers over `artifacts` and aggregates the verdicts.
+///
+/// Never panics on corrupted artifacts; records obs counters
+/// `verify_checks_run`, `verify_violations`, and
+/// `verify_budget_exhausted` for the metrics report.
+pub fn verify_artifacts(artifacts: &PipelineArtifacts, config: &VerifyConfig) -> VerifyReport {
+    let _span = pst_obs::Span::enter("verify");
+    let cfg = artifacts.cfg();
+    let reports = vec![
+        check_cycle_equiv(cfg, &artifacts.detection, config.oracle_budget),
+        check_sese(cfg, &artifacts.detection),
+        check_pst(cfg, &artifacts.pst),
+        check_control_regions(cfg, &artifacts.control_regions),
+        check_phi(&artifacts.function, &artifacts.phi),
+    ];
+    let report = VerifyReport { reports };
+    pst_obs::counter!("verify_checks_run", report.reports.len() as u64);
+    pst_obs::counter!("verify_violations", report.violation_count() as u64);
+    pst_obs::counter!(
+        "verify_budget_exhausted",
+        report.exhausted_checkers().len() as u64
+    );
+    report
+}

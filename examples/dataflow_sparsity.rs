@@ -24,7 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let program = parse_program(source)?;
     let lowered = lower_function(&program.functions[0])?;
     let pst = ProgramStructureTree::build(&lowered.cfg);
-    let ctx = QpgContext::new(&lowered.cfg, &pst);
+    let ctx = QpgContext::new(&lowered.cfg, &pst).expect("PST matches its CFG");
 
     println!(
         "CFG: {} blocks / {} statements; PST: {} regions\n",
@@ -36,8 +36,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for v in 0..lowered.var_count() {
         let var = VarId::from_index(v);
         let problem = SingleVariableReachingDefs::new(&lowered, var);
-        let qpg = ctx.build_from_sites(problem.sites());
-        let sparse = ctx.solve(&qpg, &problem);
+        let qpg = ctx.build_from_sites(problem.sites()).expect("PST matches its CFG");
+        let sparse = ctx.solve(&qpg, &problem).expect("PST matches its CFG");
         let full = solve_iterative(&lowered.cfg, &problem);
         assert_eq!(sparse, full, "QPG solution must equal the full solution");
         println!(

@@ -14,6 +14,9 @@ cargo clippy --workspace -- -D warnings
 echo "== test =="
 cargo test -q
 
+echo "== test: fault injection (checker soundness) =="
+cargo test -q -p pst-verify --features fault-inject
+
 echo "== smoke: pst regions =="
 out=$(./target/release/pst regions examples/fig1.mini)
 echo "$out" | grep -q "canonical regions" \
@@ -54,7 +57,7 @@ EOF
 echo "== smoke: pst --canonicalize =="
 # Malformed edge list: unreachable node 6, infinite loop 1<->2, two sinks.
 canon=$(printf '0->1 1->2 2->1 0->3 3->4 0->5 6->3\n' \
-    | ./target/release/pst --canonicalize -)
+    | ./target/release/pst --canonicalize - --paranoid)
 echo "$canon" | grep -q "pruned unreachable node" \
     || { echo "FAIL: canonicalize did not report the unreachable node"; exit 1; }
 echo "$canon" | grep -q "virtual loop exit" \
@@ -63,6 +66,41 @@ echo "$canon" | grep -q "merged exit" \
     || { echo "FAIL: canonicalize did not report the merged exits"; exit 1; }
 echo "$canon" | grep -q "cross-checked against the slow-bracket oracle" \
     || { echo "FAIL: canonicalize skipped the oracle cross-check"; exit 1; }
+echo "$canon" | grep -q "paranoid: all 5 invariant checkers passed" \
+    || { echo "FAIL: --paranoid did not run the checker battery"; exit 1; }
 echo "canonicalize OK"
+
+echo "== smoke: pst fuzz (clean seeds, full checker battery) =="
+# A fixed seed range through the whole pipeline with every pst-verify
+# checker enabled must report zero violations and zero contained panics.
+fuzzdir=$(mktemp -d)
+trap 'rm -f "$metrics"; rm -rf "$fuzzdir"' EXIT
+fuzz_out=$(./target/release/pst fuzz --seed-range 0..200 --budget-ms 2000 \
+    --paranoid --out-dir "$fuzzdir") \
+    || { echo "FAIL: clean fuzz run exited nonzero"; exit 1; }
+echo "$fuzz_out" | grep -q "0 violations, 0 contained panics" \
+    || { echo "FAIL: clean fuzz run reported failures: $fuzz_out"; exit 1; }
+echo "fuzz clean OK"
+
+echo "== smoke: pst fuzz --inject-fault (exit-code taxonomy) =="
+# A deliberately injected fault must be caught by a checker (exit 3) and
+# leave a minimized reproducer that re-runs through --canonicalize.
+cargo build -q --release -p pst-cli --features fault-inject
+set +e
+./target/release/pst fuzz --seed-range 0..8 --inject-fault drop-phi-site \
+    --out-dir "$fuzzdir/injected" >/dev/null 2>&1
+code=$?
+set -e
+[ "$code" -eq 3 ] \
+    || { echo "FAIL: injected fault should exit 3, got $code"; exit 1; }
+repro=$(ls "$fuzzdir"/injected/*.edges 2>/dev/null | head -1)
+[ -n "$repro" ] \
+    || { echo "FAIL: injected fault left no minimized reproducer"; exit 1; }
+./target/release/pst --canonicalize "$repro" >/dev/null \
+    || { echo "FAIL: reproducer $repro does not re-run"; exit 1; }
+# Rebuild the release binary without the test-only feature so later
+# consumers of target/release/pst get the production configuration.
+cargo build -q --release -p pst-cli
+echo "fault taxonomy OK ($(basename "$repro") reproduces)"
 
 echo "== verify: all checks passed =="

@@ -106,11 +106,11 @@ fn sparsity_claims_hold_on_a_subsample() {
         for v in 0..l.var_count() {
             fractions.push(sparse.fraction_examined(VarId::from_index(v)));
         }
-        let ctx = QpgContext::new(&l.cfg, &pst);
+        let ctx = QpgContext::new(&l.cfg, &pst).unwrap();
         let stmt_size = l.statement_count().max(l.cfg.node_count());
         for v in 0..l.var_count() {
             let problem = SingleVariableReachingDefs::new(l, VarId::from_index(v));
-            let qpg = ctx.build_from_sites(problem.sites());
+            let qpg = ctx.build_from_sites(problem.sites()).unwrap();
             qpg_ratios.push(qpg.node_count() as f64 / stmt_size as f64);
         }
     }

@@ -72,12 +72,12 @@ proptest! {
             solve_iterative(&l.cfg, &rd)
         );
 
-        let ctx = QpgContext::new(&l.cfg, &pst);
+        let ctx = QpgContext::new(&l.cfg, &pst).unwrap();
         for v in (0..l.var_count()).step_by(3) {
             let var = VarId::from_index(v);
             let p = SingleVariableReachingDefs::new(&l, var);
-            let qpg = ctx.build_from_sites(p.sites());
-            prop_assert_eq!(ctx.solve(&qpg, &p), solve_iterative(&l.cfg, &p));
+            let qpg = ctx.build_from_sites(p.sites()).unwrap();
+            prop_assert_eq!(ctx.solve(&qpg, &p).unwrap(), solve_iterative(&l.cfg, &p));
         }
     }
 }

@@ -52,7 +52,7 @@ fn figure3a_structured_loops_have_nested_brackets() {
     let cfg = parse_edge_list("0->1 1->2 2->3 3->2 2->4 4->1 1->5").unwrap();
     let (s, _) = cfg.to_strongly_connected();
     let fast = CycleEquiv::compute(&s, cfg.entry()).unwrap();
-    assert_eq!(fast, cycle_equiv_slow_directed(&s));
+    assert_eq!(fast, cycle_equiv_slow_directed(&s, None).unwrap());
 }
 
 #[test]
@@ -62,7 +62,7 @@ fn figure3b_overlapping_loops_are_distinguished() {
     let cfg = parse_edge_list("0->1 1->2 2->3 3->4 4->5 3->1 5->2 5->6").unwrap();
     let (s, _) = cfg.to_strongly_connected();
     let fast = CycleEquiv::compute(&s, cfg.entry()).unwrap();
-    assert_eq!(fast, cycle_equiv_slow_directed(&s));
+    assert_eq!(fast, cycle_equiv_slow_directed(&s, None).unwrap());
     // The two backedges close different loops: never equivalent.
     let g = cfg.graph();
     let b1 = g
@@ -83,7 +83,7 @@ fn figure3c_branch_nodes_need_capping_backedges() {
     let cfg = parse_edge_list("0->1 1->2 1->3 2->4 3->4 2->2 3->5 4->5 2->5").unwrap();
     let (s, _) = cfg.to_strongly_connected();
     let fast = CycleEquiv::compute(&s, cfg.entry()).unwrap();
-    assert_eq!(fast, cycle_equiv_slow_directed(&s));
+    assert_eq!(fast, cycle_equiv_slow_directed(&s, None).unwrap());
 }
 
 #[test]

@@ -69,13 +69,13 @@ fn full_pipeline_is_consistent() {
         solve_elimination(&lowered.cfg, &pst, &collapsed, &rd),
         solve_iterative(&lowered.cfg, &rd)
     );
-    let ctx = QpgContext::new(&lowered.cfg, &pst);
+    let ctx = QpgContext::new(&lowered.cfg, &pst).unwrap();
     for v in 0..lowered.var_count() {
         let var = VarId::from_index(v);
         let problem = SingleVariableReachingDefs::new(&lowered, var);
-        let qpg = ctx.build_from_sites(problem.sites());
+        let qpg = ctx.build_from_sites(problem.sites()).unwrap();
         assert_eq!(
-            ctx.solve(&qpg, &problem),
+            ctx.solve(&qpg, &problem).unwrap(),
             solve_iterative(&lowered.cfg, &problem),
             "variable {}",
             lowered.var_name(var)
