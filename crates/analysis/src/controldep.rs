@@ -1,0 +1,108 @@
+//! Control-dependence rules, built on the control-equivalence classes of
+//! Theorem 7 (cycle-equivalence partitions the nodes into control regions).
+
+use pst_cfg::Cfg;
+use pst_core::ControlRegions;
+use pst_lang::LoweredFunction;
+
+use crate::diag::Diagnostic;
+use crate::engine::Sink;
+
+/// `PST-C001` — a conditional branch all of whose successors sit in the
+/// branch's own control region. Every successor executes exactly when the
+/// branch does, so the condition selects nothing (Theorem 7: control
+/// regions are the equivalence classes of "executes under the same
+/// conditions").
+pub(crate) fn vacuous_branches(
+    cfg: &Cfg,
+    regions: &ControlRegions,
+    f: Option<&LoweredFunction>,
+    sink: &mut Sink<'_>,
+) {
+    let Some(rule) = sink.rule("PST-C001") else {
+        return;
+    };
+    let graph = cfg.graph();
+    pst_obs::counter!(
+        "lint_controldep_work",
+        (graph.node_count() + graph.edge_count()) as u64
+    );
+    for n in graph.nodes() {
+        if graph.out_degree(n) < 2 {
+            continue;
+        }
+        let class = regions.class(n);
+        if graph.successors(n).all(|s| regions.class(s) == class) {
+            let pos = f.and_then(|f| f.blocks[n.index()].branch_pos);
+            sink.push(Diagnostic {
+                rule: rule.id,
+                severity: sink.severity(rule),
+                message: format!(
+                    "vacuous branch: every successor of {n} is control-equivalent to it, \
+                     so the condition never changes what executes"
+                ),
+                pos,
+                nodes: vec![n],
+                edges: graph
+                    .out_edges(n)
+                    .iter()
+                    .map(|&e| graph.endpoints(e))
+                    .collect(),
+            });
+        }
+    }
+}
+
+/// `PST-C002` (mini inputs) — a branch arm that is a single idle block
+/// falling straight back into the branch's own control region: the arm
+/// exists only to do nothing (`if (c) { }`, `while (c) { }` with an empty
+/// body).
+pub(crate) fn empty_branch_arms(
+    f: &LoweredFunction,
+    regions: &ControlRegions,
+    sink: &mut Sink<'_>,
+) {
+    let Some(rule) = sink.rule("PST-C002") else {
+        return;
+    };
+    let graph = f.cfg.graph();
+    pst_obs::counter!(
+        "lint_controldep_work",
+        (graph.node_count() + graph.edge_count()) as u64
+    );
+    for n in graph.nodes() {
+        if graph.out_degree(n) < 2 {
+            continue;
+        }
+        let class = regions.class(n);
+        for s in graph.successors(n) {
+            if s == n {
+                continue;
+            }
+            let info = &f.blocks[s.index()];
+            // The arm is conditional (not the branch's own class), does
+            // nothing, and its sole successor is unconditional again.
+            if regions.class(s) != class
+                && info.stmts.is_empty()
+                && info.branch_uses.is_empty()
+                && graph.out_degree(s) == 1
+                && graph
+                    .successors(s)
+                    .all(|m| m != s && regions.class(m) == class)
+            {
+                let pos = f.blocks[n.index()].branch_pos;
+                sink.push(Diagnostic {
+                    rule: rule.id,
+                    severity: sink.severity(rule),
+                    message: format!(
+                        "empty branch arm: the arm through {s} does nothing before \
+                         rejoining; the branch at {n} can be simplified"
+                    ),
+                    pos,
+                    nodes: vec![n, s],
+                    edges: vec![(n, s)],
+                });
+            }
+        }
+    }
+}

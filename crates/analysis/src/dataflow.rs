@@ -1,0 +1,208 @@
+//! Dataflow rules over sparse reaching definitions.
+//!
+//! Both rules solve per-function reaching-definition problems through the
+//! quick propagation graph when the PST admits one, falling back to the
+//! iterative solver otherwise, so the diagnostics are identical either way.
+
+use pst_cfg::{Cfg, NodeId};
+use pst_core::ProgramStructureTree;
+use pst_dataflow::{
+    solve_iterative, DataflowProblem, QpgContext, ReachingDefinitions, SingleVariableReachingDefs,
+    Solution,
+};
+use pst_lang::{LoweredFunction, SrcPos, VarId};
+
+use crate::diag::Diagnostic;
+use crate::engine::Sink;
+
+/// Solves `problem` sparsely via the QPG built from `site_nodes`, falling
+/// back to the iterative solver if the QPG cannot be built. Both paths
+/// produce the same fixed point (the differential fuzz subcommand checks
+/// exactly this), so the fallback never changes what the rules report.
+fn sparse_solution<P: DataflowProblem>(
+    ctx: Option<&QpgContext<'_>>,
+    cfg: &Cfg,
+    problem: &P,
+    site_nodes: &[NodeId],
+) -> Solution {
+    if let Some(ctx) = ctx {
+        if let Ok(qpg) = ctx.build_from_sites(site_nodes) {
+            if let Ok(solution) = ctx.solve(&qpg, problem) {
+                return solution;
+            }
+        }
+    }
+    solve_iterative(cfg, problem)
+}
+
+/// `PST-D001` (mini inputs) — a read of a variable that no definition can
+/// reach. May-analysis semantics: if *some* path defines the variable the
+/// rule stays silent; only reads that are uninitialized on every path fire.
+pub(crate) fn uninitialized_uses(
+    f: &LoweredFunction,
+    pst: &ProgramStructureTree,
+    sink: &mut Sink<'_>,
+) {
+    let Some(rule) = sink.rule("PST-D001") else {
+        return;
+    };
+    let graph = f.cfg.graph();
+    pst_obs::counter!(
+        "lint_dataflow_work",
+        (graph.node_count() + f.statement_count()) as u64
+    );
+    // Upward-exposed uses per variable: a read before any local definition
+    // in its block. Stamps avoid reallocating per-block scratch.
+    let mut exposed: Vec<Vec<(NodeId, Option<SrcPos>)>> = vec![Vec::new(); f.var_count()];
+    let mut def_stamp = vec![u32::MAX; f.var_count()];
+    let mut use_stamp = vec![u32::MAX; f.var_count()];
+    for n in graph.nodes() {
+        let stamp = n.index() as u32;
+        let info = &f.blocks[n.index()];
+        for s in &info.stmts {
+            for &u in &s.uses {
+                if def_stamp[u.index()] != stamp && use_stamp[u.index()] != stamp {
+                    use_stamp[u.index()] = stamp;
+                    exposed[u.index()].push((n, s.pos));
+                }
+            }
+            if let Some(d) = s.def {
+                def_stamp[d.index()] = stamp;
+            }
+        }
+        for &u in &info.branch_uses {
+            if def_stamp[u.index()] != stamp && use_stamp[u.index()] != stamp {
+                use_stamp[u.index()] = stamp;
+                exposed[u.index()].push((n, info.branch_pos));
+            }
+        }
+    }
+    let ctx = QpgContext::new(&f.cfg, pst).ok();
+    for (v, uses) in exposed.iter().enumerate() {
+        if uses.is_empty() {
+            continue;
+        }
+        let var = VarId::from_index(v);
+        let problem = SingleVariableReachingDefs::new(f, var);
+        let solution = if problem.sites().is_empty() {
+            None // no definition anywhere: every exposed use fires
+        } else {
+            Some(sparse_solution(
+                ctx.as_ref(),
+                &f.cfg,
+                &problem,
+                problem.sites(),
+            ))
+        };
+        for &(n, pos) in uses {
+            let reached = solution
+                .as_ref()
+                .is_some_and(|s| !s.value_in(n).is_empty());
+            if !reached {
+                sink.push(Diagnostic {
+                    rule: rule.id,
+                    severity: sink.severity(rule),
+                    message: format!(
+                        "uninitialized use: `{}` is read at {n} but no definition reaches it",
+                        f.var_name(var)
+                    ),
+                    pos,
+                    nodes: vec![n],
+                    edges: Vec::new(),
+                });
+            }
+        }
+    }
+}
+
+/// `PST-D002` (mini inputs) — an assignment whose value no later read can
+/// observe. Definitions without source positions (implicit parameter
+/// definitions, generated programs) are exempt.
+pub(crate) fn dead_definitions(
+    f: &LoweredFunction,
+    pst: &ProgramStructureTree,
+    sink: &mut Sink<'_>,
+) {
+    let Some(rule) = sink.rule("PST-D002") else {
+        return;
+    };
+    let rd = ReachingDefinitions::new(f);
+    let sites = rd.sites();
+    if sites.is_empty() {
+        return;
+    }
+    let graph = f.cfg.graph();
+    pst_obs::counter!(
+        "lint_dataflow_work",
+        (sites.len() + f.statement_count()) as u64
+    );
+    let ctx = QpgContext::new(&f.cfg, pst).ok();
+    let site_nodes: Vec<NodeId> = sites.iter().map(|s| s.node).collect();
+    let solution = sparse_solution(ctx.as_ref(), &f.cfg, &rd, &site_nodes);
+    // Mark every definition some use can observe. Within a block a use
+    // consumes the closest local definition; an upward-exposed use consumes
+    // every reaching definition of its variable.
+    let mut consumed = vec![false; sites.len()];
+    let mut local_stamp = vec![u32::MAX; f.var_count()];
+    let mut local_site = vec![0usize; f.var_count()];
+    let mut exposed_stamp = vec![u32::MAX; f.var_count()];
+    // `sites` is ordered by (node, stmt) — exactly lowering order — so a
+    // single cursor recovers each definition's site index.
+    let mut cursor = 0usize;
+    for n in graph.nodes() {
+        let stamp = n.index() as u32;
+        let info = &f.blocks[n.index()];
+        let reaching = solution.value_in(n);
+        let consume = |u: VarId,
+                       consumed: &mut [bool],
+                       local_stamp: &[u32],
+                       local_site: &[usize],
+                       exposed_stamp: &mut [u32]| {
+            if local_stamp[u.index()] == stamp {
+                consumed[local_site[u.index()]] = true;
+            } else if exposed_stamp[u.index()] != stamp {
+                exposed_stamp[u.index()] = stamp;
+                for si in reaching.iter() {
+                    if sites[si].var == u {
+                        consumed[si] = true;
+                    }
+                }
+            }
+        };
+        for s in &info.stmts {
+            for &u in &s.uses {
+                consume(u, &mut consumed, &local_stamp, &local_site, &mut exposed_stamp);
+            }
+            if let Some(d) = s.def {
+                local_stamp[d.index()] = stamp;
+                local_site[d.index()] = cursor;
+                cursor += 1;
+            }
+        }
+        for &u in &info.branch_uses {
+            consume(u, &mut consumed, &local_stamp, &local_site, &mut exposed_stamp);
+        }
+    }
+    debug_assert_eq!(cursor, sites.len());
+    for (si, site) in sites.iter().enumerate() {
+        if consumed[si] {
+            continue;
+        }
+        let stmt = &f.blocks[site.node.index()].stmts[site.stmt];
+        let Some(pos) = stmt.pos else {
+            continue;
+        };
+        sink.push(Diagnostic {
+            rule: rule.id,
+            severity: sink.severity(rule),
+            message: format!(
+                "dead definition: `{}` is assigned (`{}`) but the value is never read",
+                f.var_name(site.var),
+                stmt.text
+            ),
+            pos: Some(pos),
+            nodes: vec![site.node],
+            edges: Vec::new(),
+        });
+    }
+}

@@ -210,7 +210,7 @@ mod tests {
         let pst = ProgramStructureTree::build(&l.cfg);
         let collapsed = collapse_all(&l.cfg, &pst);
         let par = place_phis_pst_parallel(&l, &pst, &collapsed, threads);
-        let seq = place_phis_pst(&l, &pst, &collapsed);
+        let seq = place_phis_pst(&l, &pst, &collapsed).unwrap();
         assert_eq!(par.placement, seq.placement, "{src} with {threads} threads");
         assert_eq!(par.regions_examined, seq.regions_examined);
         assert_eq!(par.placement, place_phis_cytron(&l));

@@ -35,7 +35,7 @@ proptest! {
         let pst = ProgramStructureTree::build(&l.cfg);
         let collapsed = collapse_all(&l.cfg, &pst);
         let par = pst_apps::place_phis_pst_parallel(&l, &pst, &collapsed, threads);
-        let seq = pst_ssa::place_phis_pst(&l, &pst, &collapsed);
+        let seq = pst_ssa::place_phis_pst(&l, &pst, &collapsed).unwrap();
         prop_assert_eq!(&par.placement, &seq.placement);
         prop_assert_eq!(&par.regions_examined, &seq.regions_examined);
     }

@@ -4,7 +4,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use pst_core::{collapse_all, ProgramStructureTree};
 use pst_dataflow::{
-    solve_elimination, solve_iterative, Qpg, ReachingDefinitions, SingleVariableReachingDefs,
+    solve_elimination_unchecked, solve_iterative, Qpg, ReachingDefinitions,
+    SingleVariableReachingDefs,
 };
 use pst_lang::VarId;
 use pst_workloads::{generate_function, ProgramGenConfig};
@@ -27,11 +28,11 @@ fn bench(c: &mut Criterion) {
         b.iter(|| solve_iterative(&l.cfg, &rd))
     });
     g.bench_function("all_vars_elimination", |b| {
-        b.iter(|| solve_elimination(&l.cfg, &pst, &collapsed, &rd))
+        b.iter(|| solve_elimination_unchecked(&l.cfg, &pst, &collapsed, &rd))
     });
     if pst_dataflow::derived_sequence(&l.cfg).reducible {
         g.bench_function("all_vars_intervals", |b| {
-            b.iter(|| pst_dataflow::solve_intervals(&l.cfg, &rd))
+            b.iter(|| pst_dataflow::solve_intervals_unchecked(&l.cfg, &rd))
         });
     }
     let problems: Vec<SingleVariableReachingDefs> = (0..l.var_count())

@@ -42,7 +42,7 @@ fn bench_parallel_phi(c: &mut Criterion) {
     let pst = ProgramStructureTree::build(&l.cfg);
     let collapsed = collapse_all(&l.cfg, &pst);
     g.bench_function("sequential", |b| {
-        b.iter(|| pst_ssa::place_phis_pst(&l, &pst, &collapsed))
+        b.iter(|| pst_ssa::place_phis_pst_unchecked(&l, &pst, &collapsed))
     });
     for threads in [2usize, 4, 8] {
         g.bench_with_input(BenchmarkId::new("parallel", threads), &threads, |b, &t| {

@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pst_core::{collapse_all, ProgramStructureTree};
-use pst_ssa::{place_phis_cytron, place_phis_pst};
+use pst_ssa::{place_phis_cytron, place_phis_pst_unchecked};
 use pst_workloads::{generate_function, ProgramGenConfig};
 
 /// `depth` nested do-while loops with one assignment per level.
@@ -29,7 +29,7 @@ fn bench_nests(c: &mut Criterion) {
             b.iter(|| place_phis_cytron(&l))
         });
         g.bench_with_input(BenchmarkId::new("pst_regions", depth), &depth, |b, _| {
-            b.iter(|| place_phis_pst(&l, &pst, &collapsed))
+            b.iter(|| place_phis_pst_unchecked(&l, &pst, &collapsed))
         });
     }
     g.finish();
@@ -49,7 +49,7 @@ fn bench_generated(c: &mut Criterion) {
     let collapsed = collapse_all(&l.cfg, &pst);
     g.bench_function("cytron_idf", |b| b.iter(|| place_phis_cytron(&l)));
     g.bench_function("pst_regions", |b| {
-        b.iter(|| place_phis_pst(&l, &pst, &collapsed))
+        b.iter(|| place_phis_pst_unchecked(&l, &pst, &collapsed))
     });
     g.bench_function("pst_build_plus_collapse", |b| {
         b.iter(|| {

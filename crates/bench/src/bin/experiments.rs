@@ -16,7 +16,7 @@ use pst_core::{canonical_regions, ControlRegions, CycleEquiv};
 use pst_dataflow::{solve_iterative, QpgContext, Seg, SingleVariableReachingDefs};
 use pst_dominators::{dominator_tree, iterative_dominator_tree, Direction};
 use pst_lang::VarId;
-use pst_ssa::{place_phis_cytron, place_phis_pst};
+use pst_ssa::{place_phis_cytron, place_phis_pst_unchecked};
 use pst_workloads::PAPER_TABLE;
 
 fn main() {
@@ -268,7 +268,7 @@ fn qpg(analyses: &[ProcAnalysis<'_>]) {
             let q = ctx.build_from_sites(problem.sites()).expect("PST matches its CFG");
             node_ratios.push(q.node_count() as f64 / l.cfg.node_count() as f64);
             stmt_ratios.push(q.node_count() as f64 / stmt_size as f64);
-            let seg = Seg::build(&l.cfg, &problem);
+            let seg = Seg::build(&l.cfg, &problem).expect("forward problem");
             seg_ratios.push(seg.node_count() as f64 / l.cfg.node_count() as f64);
             if seg.node_count() <= q.node_count() {
                 seg_smaller += 1;
@@ -373,7 +373,11 @@ fn timing(analyses: &[ProcAnalysis<'_>]) {
     });
     let t_phi_pst = best(&|| {
         for a in analyses {
-            std::hint::black_box(place_phis_pst(&a.procedure.lowered, &a.pst, &a.collapsed));
+            std::hint::black_box(place_phis_pst_unchecked(
+                &a.procedure.lowered,
+                &a.pst,
+                &a.collapsed,
+            ));
         }
     });
     let t_df_full = best(&|| {
@@ -405,7 +409,7 @@ fn timing(analyses: &[ProcAnalysis<'_>]) {
             let l = &a.procedure.lowered;
             for v in 0..l.var_count() {
                 let p = SingleVariableReachingDefs::new(l, VarId::from_index(v));
-                let seg = Seg::build(&l.cfg, &p);
+                let seg = Seg::build_unchecked(&l.cfg, &p);
                 std::hint::black_box(seg.solve(&l.cfg, &p));
             }
         }

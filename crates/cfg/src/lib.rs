@@ -16,8 +16,8 @@
 //! * [`UndirectedDfs`] — the undirected traversal at the heart of the
 //!   linear-time cycle-equivalence algorithm (tree edges + backedges only),
 //! * [`Sccs`] — strongly connected components,
-//! * [`is_reducible`] — the T1/T2 reducibility test used by the region
-//!   classifier,
+//! * [`reducibility`] / [`is_reducible`] — the reducibility test used by
+//!   the region classifier, with irreducible retreating edges as witness,
 //! * [`EdgeSplit`] — the edge-subdivision transform used as a definitional
 //!   oracle for edge dominance, and
 //! * DOT export helpers for debugging and the examples.
@@ -73,7 +73,7 @@ pub use dfs::{Dfs, DirectedEdgeKind};
 pub use dot::{cfg_to_dot, graph_to_dot, graph_to_dot_with};
 pub use graph::Graph;
 pub use ids::{EdgeId, NodeId};
-pub use reducibility::is_reducible;
+pub use reducibility::{is_reducible, reducibility, Reducibility};
 pub use scc::{is_strongly_connected, Sccs};
 pub use split::EdgeSplit;
 pub use undirected::{UndirectedDfs, UndirectedEdgeKind};

@@ -1,29 +1,254 @@
-//! Reducibility testing via T1/T2 interval reductions.
+//! Reducibility testing with irreducibility witnesses.
 //!
 //! A flow graph is *reducible* when repeated application of
 //! * **T1** — remove a self-loop, and
 //! * **T2** — merge a node that has a unique predecessor into that
 //!   predecessor,
 //!
-//! collapses it to a single node. The paper's Theorem 10 states that every
-//! SESE region of a reducible graph is itself reducible; the classifier in
-//! `pst-core` uses this test to separate "dag"/"loop" regions from truly
-//! unstructured cyclic ones.
+//! collapses it to a single node. An equivalent characterization (Hecht &
+//! Ullman): the graph is reducible iff every *retreating* edge of a
+//! depth-first search — an edge whose target is on the tree path to its
+//! source — is a *back* edge in the dominator sense, i.e. its target
+//! dominates its source. [`reducibility`] uses the second formulation so
+//! that, when the answer is "no", it can hand back the offending
+//! retreating edges as a witness; [`is_reducible`] is the thin boolean
+//! wrapper kept for existing callers. The T1/T2 reducer survives as a
+//! test-only cross-check of the dominator-based answer.
+//!
+//! The paper's Theorem 10 states that every SESE region of a reducible
+//! graph is itself reducible; the classifier in `pst-core` uses this test
+//! to separate "dag"/"loop" regions from truly unstructured cyclic ones,
+//! and the lint engine in `pst-analysis` reports the witness edges.
 
 use std::collections::BTreeSet;
 
-use crate::{Graph, NodeId};
+use crate::{EdgeId, Graph, NodeId};
 
-/// Whether the subgraph of `graph` induced by `alive` (or the whole graph)
-/// is reducible when entered at `entry`.
+/// Result of a reducibility test: either the graph is reducible, or the
+/// retreating edges that break reducibility witness why it is not.
+///
+/// # Examples
+///
+/// ```
+/// use pst_cfg::{parse_edge_list, reducibility};
+/// // 0 branches to both 1 and 2, which form a cycle: irreducible, and
+/// // the offending retreating edge closes the two-entry cycle.
+/// let cfg = parse_edge_list("0->1 0->2 1->2 2->1 1->3 2->3").unwrap();
+/// let r = reducibility(cfg.graph(), cfg.entry(), None);
+/// assert!(!r.is_reducible());
+/// assert_eq!(r.irreducible_edges().len(), 1);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Reducibility {
+    irreducible_edges: Vec<EdgeId>,
+}
+
+impl Reducibility {
+    /// Whether the tested (sub)graph is reducible.
+    pub fn is_reducible(&self) -> bool {
+        self.irreducible_edges.is_empty()
+    }
+
+    /// The witness set: retreating edges (w.r.t. the deterministic DFS
+    /// used by the test) whose target does **not** dominate their source.
+    /// Empty iff the graph is reducible. Sorted by edge id.
+    pub fn irreducible_edges(&self) -> &[EdgeId] {
+        &self.irreducible_edges
+    }
+}
+
+/// Tests the subgraph of `graph` induced by `alive` (or the whole graph)
+/// for reducibility when entered at `entry`, returning irreducible
+/// retreating edges as a witness.
 ///
 /// Nodes unreachable from `entry` inside the induced subgraph are ignored —
-/// a region interior is always reachable from its entry, so this matches the
-/// classifier's needs while keeping the function total.
+/// a region interior is always reachable from its entry, so this matches
+/// the classifier's needs while keeping the function total.
 ///
 /// # Examples
 ///
 /// A natural loop is reducible; the classic two-entry loop is not:
+///
+/// ```
+/// use pst_cfg::{parse_edge_list, reducibility};
+/// let natural = parse_edge_list("0->1 1->2 2->1 2->3").unwrap();
+/// assert!(reducibility(natural.graph(), natural.entry(), None).is_reducible());
+///
+/// let irr = parse_edge_list("0->1 0->2 1->2 2->1 1->3 2->3").unwrap();
+/// let r = reducibility(irr.graph(), irr.entry(), None);
+/// assert!(!r.is_reducible());
+/// assert!(!r.irreducible_edges().is_empty());
+/// ```
+pub fn reducibility(graph: &Graph, entry: NodeId, alive: Option<&[bool]>) -> Reducibility {
+    let n = graph.node_count();
+    let in_scope = |node: NodeId| alive.is_none_or(|a| a[node.index()]);
+    if !in_scope(entry) {
+        return Reducibility {
+            irreducible_edges: Vec::new(),
+        };
+    }
+
+    // Iterative DFS over the induced subgraph, collecting retreating edges
+    // (target currently on the tree path) and a DFS preorder for the
+    // dominator pass below. `Dfs` cannot be reused here: it has no notion
+    // of an induced subgraph.
+    let mut state = vec![0u8; n]; // 0 = unvisited, 1 = on path, 2 = done
+    let mut preorder: Vec<NodeId> = Vec::new();
+    let mut retreating: Vec<EdgeId> = Vec::new();
+    // (node, position into its out-edge list)
+    let mut stack: Vec<(NodeId, usize)> = vec![(entry, 0)];
+    state[entry.index()] = 1;
+    preorder.push(entry);
+    while let Some(&mut (v, ref mut next)) = stack.last_mut() {
+        let out = graph.out_edges(v);
+        if *next == out.len() {
+            state[v.index()] = 2;
+            stack.pop();
+            continue;
+        }
+        let e = out[*next];
+        *next += 1;
+        let t = graph.target(e);
+        if !in_scope(t) {
+            continue;
+        }
+        match state[t.index()] {
+            0 => {
+                state[t.index()] = 1;
+                preorder.push(t);
+                stack.push((t, 0));
+            }
+            1 => retreating.push(e), // includes self-loops
+            _ => {}
+        }
+    }
+    if preorder.len() <= 1 {
+        // A single node can at most carry self-loops, and those are
+        // trivially dominated by their own target.
+        return Reducibility {
+            irreducible_edges: Vec::new(),
+        };
+    }
+
+    // Iterative immediate-dominator computation (Cooper–Harvey–Kennedy)
+    // over the reachable induced subgraph, in reverse postorder. The
+    // dominators crate sits above this one in the workspace, so a small
+    // self-contained pass is used instead of importing it.
+    let rpo = reverse_postorder(graph, entry, &in_scope, &|node| state[node.index()] != 0);
+    let mut rpo_index = vec![usize::MAX; n];
+    for (i, &v) in rpo.iter().enumerate() {
+        rpo_index[v.index()] = i;
+    }
+    const UNDEF: usize = usize::MAX;
+    let mut idom = vec![UNDEF; rpo.len()]; // by rpo index
+    idom[0] = 0;
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for (i, &v) in rpo.iter().enumerate().skip(1) {
+            let mut new_idom = UNDEF;
+            for e in graph.in_edges(v) {
+                let p = graph.source(*e);
+                if !in_scope(p) || state[p.index()] == 0 {
+                    continue;
+                }
+                let pi = rpo_index[p.index()];
+                if idom[pi] == UNDEF {
+                    continue;
+                }
+                new_idom = if new_idom == UNDEF {
+                    pi
+                } else {
+                    intersect(&idom, new_idom, pi)
+                };
+            }
+            if new_idom != UNDEF && idom[i] != new_idom {
+                idom[i] = new_idom;
+                changed = true;
+            }
+        }
+    }
+    let dominates = |a: usize, mut b: usize| -> bool {
+        // Walk b's idom chain up to the root; rpo indices strictly
+        // decrease along the chain.
+        loop {
+            if a == b {
+                return true;
+            }
+            if b == 0 {
+                return false;
+            }
+            b = idom[b];
+        }
+    };
+
+    let mut irreducible_edges: Vec<EdgeId> = retreating
+        .into_iter()
+        .filter(|&e| {
+            let (u, v) = (graph.source(e), graph.target(e));
+            !dominates(rpo_index[v.index()], rpo_index[u.index()])
+        })
+        .collect();
+    irreducible_edges.sort_unstable();
+    irreducible_edges.dedup();
+    debug_assert_eq!(
+        irreducible_edges.is_empty(),
+        t1_t2_is_reducible(graph, entry, alive),
+        "dominator-based witness disagrees with the T1/T2 reducer"
+    );
+    Reducibility { irreducible_edges }
+}
+
+/// Reverse postorder of the reachable induced subgraph, entry first.
+fn reverse_postorder(
+    graph: &Graph,
+    entry: NodeId,
+    in_scope: &impl Fn(NodeId) -> bool,
+    reached: &impl Fn(NodeId) -> bool,
+) -> Vec<NodeId> {
+    let n = graph.node_count();
+    let mut visited = vec![false; n];
+    let mut postorder: Vec<NodeId> = Vec::new();
+    let mut stack: Vec<(NodeId, usize)> = vec![(entry, 0)];
+    visited[entry.index()] = true;
+    while let Some(&mut (v, ref mut next)) = stack.last_mut() {
+        let out = graph.out_edges(v);
+        if *next == out.len() {
+            postorder.push(v);
+            stack.pop();
+            continue;
+        }
+        let t = graph.target(out[*next]);
+        *next += 1;
+        if in_scope(t) && reached(t) && !visited[t.index()] {
+            visited[t.index()] = true;
+            stack.push((t, 0));
+        }
+    }
+    postorder.reverse();
+    postorder
+}
+
+/// CHK two-finger intersection over rpo-indexed idoms.
+fn intersect(idom: &[usize], mut a: usize, mut b: usize) -> usize {
+    while a != b {
+        while a > b {
+            a = idom[a];
+        }
+        while b > a {
+            b = idom[b];
+        }
+    }
+    a
+}
+
+/// Whether the subgraph of `graph` induced by `alive` (or the whole graph)
+/// is reducible when entered at `entry`.
+///
+/// Thin wrapper over [`reducibility`] kept for callers that only need the
+/// boolean answer.
+///
+/// # Examples
 ///
 /// ```
 /// use pst_cfg::{parse_edge_list, is_reducible};
@@ -35,6 +260,13 @@ use crate::{Graph, NodeId};
 /// assert!(!is_reducible(irr.graph(), irr.entry(), None));
 /// ```
 pub fn is_reducible(graph: &Graph, entry: NodeId, alive: Option<&[bool]>) -> bool {
+    reducibility(graph, entry, alive).is_reducible()
+}
+
+/// The classic T1/T2 interval reducer, retained as an independent oracle
+/// for the dominator-based test (`debug_assert`ed on every call and
+/// cross-checked exhaustively by the tests).
+fn t1_t2_is_reducible(graph: &Graph, entry: NodeId, alive: Option<&[bool]>) -> bool {
     let n = graph.node_count();
     let in_scope = |node: NodeId| alive.is_none_or(|a| a[node.index()]);
     if !in_scope(entry) {
@@ -87,7 +319,9 @@ pub fn is_reducible(graph: &Graph, entry: NodeId, alive: Option<&[bool]>) -> boo
         if preds[v].len() != 1 {
             continue;
         }
-        let p = *preds[v].iter().next().expect("unique predecessor");
+        let Some(&p) = preds[v].iter().next() else {
+            continue;
+        };
         // T2: merge v into p.
         live[v] = false;
         live_count -= 1;
@@ -127,7 +361,18 @@ mod tests {
 
     fn check(desc: &str) -> bool {
         let cfg = parse_edge_list(desc).unwrap();
-        is_reducible(cfg.graph(), cfg.entry(), None)
+        let r = reducibility(cfg.graph(), cfg.entry(), None);
+        assert_eq!(
+            r.is_reducible(),
+            t1_t2_is_reducible(cfg.graph(), cfg.entry(), None),
+            "witness test and T1/T2 disagree on {desc}"
+        );
+        assert_eq!(
+            r.is_reducible(),
+            is_reducible(cfg.graph(), cfg.entry(), None),
+            "bool wrapper must match on {desc}"
+        );
+        r.is_reducible()
     }
 
     #[test]
@@ -176,6 +421,9 @@ mod tests {
         alive[4] = true;
         assert!(is_reducible(cfg.graph(), cfg.entry(), Some(&alive)));
         assert!(!is_reducible(cfg.graph(), cfg.entry(), None));
+        assert!(reducibility(cfg.graph(), cfg.entry(), Some(&alive))
+            .irreducible_edges()
+            .is_empty());
     }
 
     #[test]
@@ -195,5 +443,102 @@ mod tests {
             crate::NodeId::from_index(1),
             Some(&alive)
         ));
+    }
+
+    /// Table-driven witness checks: for each input, the expected witness
+    /// set as `source->target` endpoint pairs (edge ids depend on parse
+    /// order, endpoints don't).
+    #[test]
+    fn witness_edges_are_exact() {
+        let table: &[(&str, &[(usize, usize)])] = &[
+            // Reducible graphs: no witnesses.
+            ("0->1 1->2 2->3", &[]),
+            ("0->1 1->2 2->1 1->3", &[]),
+            ("0->1 1->1 1->2", &[]),
+            // Classic two-entry triangle: the DFS reaches 1 then 2; the
+            // retreating edge 2->1 has a 1-avoiding path (0->2), so it is
+            // the witness.
+            ("0->1 0->2 1->2 2->1 1->3 2->3", &[(2, 1)]),
+            // Two-header four-cycle: the retreating edge closing the
+            // cycle at the second header witnesses.
+            ("0->1 0->3 1->2 2->3 3->4 4->1 2->5 4->5", &[(4, 1)]),
+            // Two independent irreducible cycles: one witness each.
+            (
+                "0->1 0->2 1->2 2->1 1->5 0->3 0->4 3->4 4->3 3->5 4->5",
+                &[(2, 1), (4, 3)],
+            ),
+            // A reducible loop nested inside an irreducible one: only the
+            // irreducible retreating edge witnesses, not the natural
+            // backedge 3->2.
+            (
+                "0->1 0->2 1->2 2->3 3->2 3->1 1->4 3->4",
+                &[(3, 1)],
+            ),
+        ];
+        for (desc, expected) in table {
+            let cfg = parse_edge_list(desc).unwrap();
+            let r = reducibility(cfg.graph(), cfg.entry(), None);
+            let mut got: Vec<(usize, usize)> = r
+                .irreducible_edges()
+                .iter()
+                .map(|&e| {
+                    let (u, v) = cfg.graph().endpoints(e);
+                    (u.index(), v.index())
+                })
+                .collect();
+            got.sort_unstable();
+            let mut want = expected.to_vec();
+            want.sort_unstable();
+            assert_eq!(got, want, "witnesses for {desc}");
+        }
+    }
+
+    #[test]
+    fn witnesses_cross_check_t1_t2_on_dense_family() {
+        // Every 4-node graph over a fixed edge pool: the witness-based
+        // verdict must match the T1/T2 reducer on all of them.
+        let pool = [
+            (0usize, 1usize),
+            (0, 2),
+            (1, 2),
+            (2, 1),
+            (1, 3),
+            (2, 3),
+            (3, 1),
+        ];
+        for mask in 1u32..(1 << pool.len()) {
+            let desc: Vec<String> = pool
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, (u, v))| format!("{u}->{v}"))
+                .collect();
+            // Ensure node 0 exists as the entry.
+            let desc = format!("0->1 {}", desc.join(" "));
+            let Ok(cfg) = parse_edge_list(&desc) else {
+                continue;
+            };
+            let r = reducibility(cfg.graph(), cfg.entry(), None);
+            assert_eq!(
+                r.is_reducible(),
+                t1_t2_is_reducible(cfg.graph(), cfg.entry(), None),
+                "disagreement on {desc}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_retreating_edges_both_witness() {
+        // Parallel copies of the irreducible retreating edge: both ids
+        // appear in the witness set.
+        let cfg = parse_edge_list("0->1 0->2 1->2 2->1 2->1 1->3 2->3").unwrap();
+        let r = reducibility(cfg.graph(), cfg.entry(), None);
+        assert_eq!(r.irreducible_edges().len(), 2);
+        for &e in r.irreducible_edges() {
+            assert_eq!(
+                (cfg.graph().source(e).index(), cfg.graph().target(e).index()),
+                (2, 1)
+            );
+        }
     }
 }

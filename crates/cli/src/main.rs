@@ -15,6 +15,8 @@
 //!   intervals        Allen–Cocke derived sequence and reducibility
 //!
 //! pst --canonicalize <edges.txt | -> [--tether] [--split-self-loops]
+//! pst lint <file.mini | -> [--edges] [--json] [--dot <path>]
+//!          [--allow <rule>] [--deny <rule>]
 //! pst fuzz --seed-range <A>..<B> [--budget-ms <N>] [--out-dir <dir>]
 //! ```
 //!
@@ -30,9 +32,16 @@
 //! `docs/VERIFICATION.md`). `--paranoid` runs the same checkers on the
 //! normal command paths.
 //!
+//! `lint` runs the rule-based structural diagnostics of `pst-analysis`
+//! (irreducible loops, vacuous branches, uninitialized reads, …; catalog
+//! in `docs/ANALYSIS.md`) over a mini program, or over a raw edge list
+//! with `--edges`. `--allow`/`--deny` silence or escalate individual
+//! rules; `--json` emits machine-readable reports; `--dot` writes a
+//! Graphviz dump with the findings highlighted.
+//!
 //! `-` reads the program from stdin. Exit codes: 0 ok, 1 analysis error,
 //! 2 usage error, 3 invariant-checker violation, 4 contained panic
-//! (a contained panic takes precedence over a violation).
+//! (a contained panic takes precedence over a violation), 5 lint findings.
 //!
 //! Observability (see `docs/OBSERVABILITY.md`): `--trace` prints the
 //! recorded phase tree and counters to stderr; `--metrics-json <path>`
@@ -40,6 +49,7 @@
 //! environment variable supplies a default for `--metrics-json`.
 
 mod fuzz;
+mod lint;
 
 use std::io::Read as _;
 use std::process::ExitCode;
@@ -54,6 +64,8 @@ use pst_ssa::{place_phis_cytron, place_phis_pst, rename};
 const USAGE: &str = "usage: pst <regions|kinds|dot|clusters|control-regions|ssa|dataflow> \
      <file.mini | -> [--paranoid] [--trace] [--metrics-json <path>]\n       \
      pst --canonicalize <edges.txt | -> [--tether] [--split-self-loops] [--paranoid]\n       \
+     pst lint <file.mini | -> [--edges] [--json] [--dot <path>] \
+     [--allow <rule>] [--deny <rule>]\n       \
      pst fuzz --seed-range <A>..<B> [--budget-ms <N>] [--out-dir <dir>]";
 
 fn main() -> ExitCode {
@@ -82,6 +94,12 @@ fn main() -> ExitCode {
             Ok(opts) => fuzz::fuzz_command(&opts),
             Err(msg) => Err(Failure::Usage(msg)),
         }
+    } else if !canonicalize_mode && args.first().map(String::as_str) == Some("lint") {
+        args.remove(0);
+        match lint::LintOptions::from_args(&mut args, options) {
+            Ok(opts) => lint::lint_command(&opts),
+            Err(msg) => Err(Failure::Usage(msg)),
+        }
     } else {
         dispatch(canonicalize_mode, paranoid, &options, &args)
     };
@@ -103,6 +121,10 @@ fn main() -> ExitCode {
         Err(Failure::ContainedPanic(msg)) => {
             eprintln!("pst: contained panic: {msg}");
             ExitCode::from(4)
+        }
+        Err(Failure::Lint(count)) => {
+            eprintln!("pst: {count} lint finding(s)");
+            ExitCode::from(5)
         }
     }
 }
@@ -195,6 +217,9 @@ pub enum Failure {
     Violation(String),
     /// A panic was caught by the fuzz loop's containment (exit 4).
     ContainedPanic(String),
+    /// `pst lint` found this many diagnostics (exit 5). Not an error —
+    /// the report was already printed.
+    Lint(usize),
 }
 
 fn read_source(path: &str) -> std::io::Result<String> {
@@ -402,7 +427,8 @@ fn control_regions(f: &LoweredFunction) {
 fn ssa(f: &LoweredFunction) -> Result<(), Failure> {
     let pst = ProgramStructureTree::build(&f.cfg);
     let collapsed = collapse_all(&f.cfg, &pst);
-    let sparse = place_phis_pst(f, &pst, &collapsed);
+    let sparse =
+        place_phis_pst(f, &pst, &collapsed).map_err(|e| Failure::Analysis(e.to_string()))?;
     let baseline = place_phis_cytron(f);
     if baseline != sparse.placement {
         return Err(Failure::Violation(format!(
@@ -410,7 +436,7 @@ fn ssa(f: &LoweredFunction) -> Result<(), Failure> {
             f.name
         )));
     }
-    let form = rename(f, &baseline);
+    let form = rename(f, &baseline).map_err(|e| Failure::Analysis(e.to_string()))?;
     println!("fn {}: {} φ-functions", f.name, form.total_phis());
     for node in f.cfg.graph().nodes() {
         if form.phi_nodes[node.index()].is_empty() && form.statements[node.index()].is_empty() {

@@ -153,3 +153,74 @@ fn loops_and_intervals_commands() {
     assert_eq!(code, 0);
     assert!(out.contains("reducible"), "{out}");
 }
+
+#[test]
+fn lint_clean_program_exits_0() {
+    let f = sample_file();
+    let (out, _, code) = run(&["lint", f.to_str().unwrap()], None);
+    assert_eq!(code, 0);
+    assert!(out.contains("0 diagnostic(s)"), "{out}");
+}
+
+#[test]
+fn lint_findings_exit_5_with_rule_ids() {
+    let defective = "fn f(n) { x = 1; x = 2; return x; }";
+    let (out, err, code) = run(&["lint", "-"], Some(defective));
+    assert_eq!(code, 5);
+    assert!(out.contains("[PST-D002]"), "{out}");
+    assert!(err.contains("1 lint finding(s)"), "{err}");
+}
+
+#[test]
+fn lint_json_is_parseable_and_stable() {
+    let defective = "fn f(n) { return m; }";
+    let (out, _, code) = run(&["lint", "-", "--json"], Some(defective));
+    assert_eq!(code, 5);
+    let parsed = pst_obs::json::Json::parse(out.trim()).expect("stdout is valid JSON");
+    let reports = match parsed {
+        pst_obs::json::Json::Arr(a) => a,
+        other => panic!("expected a JSON array, got {other:?}"),
+    };
+    assert_eq!(reports.len(), 1);
+    assert!(out.contains("\"rule\":\"PST-D001\""), "{out}");
+    assert!(out.contains("\"severity\":\"error\""), "{out}");
+}
+
+#[test]
+fn lint_allow_silences_and_deny_escalates() {
+    let defective = "fn f(n) { x = 1; x = 2; return x; }";
+    let (out, _, code) = run(&["lint", "-", "--allow", "dead-definition"], Some(defective));
+    assert_eq!(code, 0, "{out}");
+
+    let (out, _, code) = run(&["lint", "-", "--deny", "PST-D002"], Some(defective));
+    assert_eq!(code, 5);
+    assert!(out.contains("error: dead definition"), "{out}");
+
+    let (_, err, code) = run(&["lint", "-", "--allow", "no-such-rule"], Some(defective));
+    assert_eq!(code, 2);
+    assert!(err.contains("unknown lint rule"), "{err}");
+}
+
+#[test]
+fn lint_edges_mode_flags_graph_defects() {
+    let (out, _, code) = run(&["lint", "-", "--edges"], Some("0->1\n0->1\n1->2\n"));
+    assert_eq!(code, 5);
+    assert!(out.contains("[PST-C001]"), "{out}");
+
+    let (out, _, code) = run(&["lint", "-", "--edges"], Some("0->1\n1->2\n"));
+    assert_eq!(code, 0, "{out}");
+}
+
+#[test]
+fn lint_dot_export_highlights_findings() {
+    let dot_path = std::env::temp_dir().join("pst_cli_lint.dot");
+    let _ = std::fs::remove_file(&dot_path);
+    let (_, _, code) = run(
+        &["lint", "-", "--edges", "--dot", dot_path.to_str().unwrap()],
+        Some("0->1\n0->1\n1->2\n"),
+    );
+    assert_eq!(code, 5);
+    let dot = std::fs::read_to_string(&dot_path).expect("dot file written");
+    assert!(dot.contains("digraph"), "{dot}");
+    assert!(dot.contains("color=red"), "{dot}");
+}

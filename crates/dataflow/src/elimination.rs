@@ -20,13 +20,14 @@
 use pst_cfg::{Cfg, Graph};
 use pst_core::{CollapsedNode, CollapsedRegion, ProgramStructureTree};
 
-use crate::{BitSet, Confluence, DataflowProblem, Flow, GenKill, Solution};
+use crate::{BitSet, Confluence, DataflowProblem, Flow, GenKill, Solution, SolverError};
 
 /// Solves a forward problem by elimination over the PST.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `problem` is a backward problem.
+/// Returns [`SolverError::BackwardUnsupported`] if `problem` is a backward
+/// problem.
 ///
 /// # Examples
 ///
@@ -42,7 +43,7 @@ use crate::{BitSet, Confluence, DataflowProblem, Flow, GenKill, Solution};
 /// let collapsed = collapse_all(&l.cfg, &pst);
 /// let rd = ReachingDefinitions::new(&l);
 /// assert_eq!(
-///     solve_elimination(&l.cfg, &pst, &collapsed, &rd),
+///     solve_elimination(&l.cfg, &pst, &collapsed, &rd).unwrap(),
 ///     solve_iterative(&l.cfg, &rd),
 /// );
 /// ```
@@ -51,12 +52,10 @@ pub fn solve_elimination(
     pst: &ProgramStructureTree,
     collapsed: &[CollapsedRegion],
     problem: &impl DataflowProblem,
-) -> Solution {
-    assert_eq!(
-        problem.flow(),
-        Flow::Forward,
-        "elimination solver handles forward problems"
-    );
+) -> Result<Solution, SolverError> {
+    if problem.flow() != Flow::Forward {
+        return Err(SolverError::BackwardUnsupported("elimination solver"));
+    }
     let universe = problem.universe();
     let nregions = pst.region_count();
 
@@ -111,7 +110,22 @@ pub fn solve_elimination(
         }
         let _ = region;
     }
-    Solution { inp, out }
+    Ok(Solution { inp, out })
+}
+
+/// [`solve_elimination`] for hot paths (benchmarks, pipeline tests) that
+/// have already validated the problem's direction.
+///
+/// # Panics
+///
+/// Panics where [`solve_elimination`] would return an error.
+pub fn solve_elimination_unchecked(
+    cfg: &Cfg,
+    pst: &ProgramStructureTree,
+    collapsed: &[CollapsedRegion],
+    problem: &impl DataflowProblem,
+) -> Solution {
+    solve_elimination(cfg, pst, collapsed, problem).expect("elimination solver preconditions hold")
 }
 
 /// Solves a region's collapsed graph for a concrete entry value; returns
@@ -194,13 +208,13 @@ mod tests {
         let collapsed = collapse_all(&l.cfg, &pst);
         let rd = ReachingDefinitions::new(&l);
         assert_eq!(
-            solve_elimination(&l.cfg, &pst, &collapsed, &rd),
+            solve_elimination(&l.cfg, &pst, &collapsed, &rd).unwrap(),
             solve_iterative(&l.cfg, &rd),
             "reaching defs on {src}"
         );
         let da = DefiniteAssignment::new(&l);
         assert_eq!(
-            solve_elimination(&l.cfg, &pst, &collapsed, &da),
+            solve_elimination(&l.cfg, &pst, &collapsed, &da).unwrap(),
             solve_iterative(&l.cfg, &da),
             "definite assignment on {src}"
         );
@@ -239,12 +253,24 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "forward problems")]
     fn backward_problems_are_rejected() {
         let l = lower_function(&parse_function_body("x = 1; return x;").unwrap()).unwrap();
         let pst = ProgramStructureTree::build(&l.cfg);
         let collapsed = collapse_all(&l.cfg, &pst);
         let lv = crate::LiveVariables::new(&l);
-        let _ = solve_elimination(&l.cfg, &pst, &collapsed, &lv);
+        assert_eq!(
+            solve_elimination(&l.cfg, &pst, &collapsed, &lv),
+            Err(crate::SolverError::BackwardUnsupported("elimination solver")),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "preconditions")]
+    fn unchecked_variant_panics_on_backward_problems() {
+        let l = lower_function(&parse_function_body("x = 1; return x;").unwrap()).unwrap();
+        let pst = ProgramStructureTree::build(&l.cfg);
+        let collapsed = collapse_all(&l.cfg, &pst);
+        let lv = crate::LiveVariables::new(&l);
+        let _ = solve_elimination_unchecked(&l.cfg, &pst, &collapsed, &lv);
     }
 }

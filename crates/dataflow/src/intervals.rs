@@ -20,7 +20,7 @@
 
 use pst_cfg::Cfg;
 
-use crate::{BitSet, Confluence, DataflowProblem, Flow, GenKill, Solution};
+use crate::{BitSet, Confluence, DataflowProblem, Flow, GenKill, Solution, SolverError};
 
 /// One level of the derived sequence, as a graph with per-edge transfer
 /// functions.
@@ -272,12 +272,13 @@ fn derive(level: &Level, confluence: Confluence, universe: usize) -> Level {
 /// Solves a forward problem by interval elimination over the derived
 /// sequence.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `problem` is a backward problem or if `cfg` is irreducible
-/// (the classical method's precondition; the paper handles residual
-/// irreducible regions by falling back to iteration — callers here can do
-/// the same with [`solve_iterative`](crate::solve_iterative)).
+/// Returns [`SolverError::BackwardUnsupported`] if `problem` is a backward
+/// problem and [`SolverError::Irreducible`] if `cfg` is irreducible (the
+/// classical method's precondition; the paper handles residual irreducible
+/// regions by falling back to iteration — callers here can do the same
+/// with [`solve_iterative`](crate::solve_iterative)).
 ///
 /// # Examples
 ///
@@ -289,14 +290,15 @@ fn derive(level: &Level, confluence: Confluence, universe: usize) -> Level {
 /// ).unwrap();
 /// let l = lower_function(&p.functions[0]).unwrap();
 /// let rd = ReachingDefinitions::new(&l);
-/// assert_eq!(solve_intervals(&l.cfg, &rd), solve_iterative(&l.cfg, &rd));
+/// assert_eq!(solve_intervals(&l.cfg, &rd).unwrap(), solve_iterative(&l.cfg, &rd));
 /// ```
-pub fn solve_intervals(cfg: &Cfg, problem: &impl DataflowProblem) -> Solution {
-    assert_eq!(
-        problem.flow(),
-        Flow::Forward,
-        "interval elimination handles forward problems"
-    );
+pub fn solve_intervals(
+    cfg: &Cfg,
+    problem: &impl DataflowProblem,
+) -> Result<Solution, SolverError> {
+    if problem.flow() != Flow::Forward {
+        return Err(SolverError::BackwardUnsupported("interval elimination"));
+    }
     let universe = problem.universe();
     let confluence = problem.confluence();
 
@@ -308,7 +310,9 @@ pub fn solve_intervals(cfg: &Cfg, problem: &impl DataflowProblem) -> Solution {
         let k = level.intervals.len();
         let single = k == 1;
         let stuck = k == level.node_count && !single;
-        assert!(!stuck, "interval elimination requires a reducible graph");
+        if stuck {
+            return Err(SolverError::Irreducible);
+        }
         let next = if single {
             None
         } else {
@@ -349,7 +353,17 @@ pub fn solve_intervals(cfg: &Cfg, problem: &impl DataflowProblem) -> Solution {
             x
         })
         .collect();
-    Solution { inp, out }
+    Ok(Solution { inp, out })
+}
+
+/// [`solve_intervals`] for hot paths (benchmarks) that have already
+/// checked the problem's direction and the graph's reducibility.
+///
+/// # Panics
+///
+/// Panics where [`solve_intervals`] would return an error.
+pub fn solve_intervals_unchecked(cfg: &Cfg, problem: &impl DataflowProblem) -> Solution {
+    solve_intervals(cfg, problem).expect("interval elimination preconditions hold")
 }
 
 #[cfg(test)]
@@ -362,19 +376,19 @@ mod tests {
         let l = lower_function(&parse_function_body(src).unwrap()).unwrap();
         let rd = ReachingDefinitions::new(&l);
         assert_eq!(
-            solve_intervals(&l.cfg, &rd),
+            solve_intervals(&l.cfg, &rd).unwrap(),
             solve_iterative(&l.cfg, &rd),
             "reaching defs on {src}"
         );
         let da = DefiniteAssignment::new(&l);
         assert_eq!(
-            solve_intervals(&l.cfg, &da),
+            solve_intervals(&l.cfg, &da).unwrap(),
             solve_iterative(&l.cfg, &da),
             "definite assignment on {src}"
         );
         let avail = AvailableExpressions::new(&l);
         assert_eq!(
-            solve_intervals(&l.cfg, &avail),
+            solve_intervals(&l.cfg, &avail).unwrap(),
             solve_iterative(&l.cfg, &avail),
             "available expressions on {src}"
         );
@@ -426,7 +440,6 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "reducible")]
     fn rejects_irreducible_graphs() {
         let l = lower_function(
             &parse_function_body(
@@ -436,6 +449,33 @@ mod tests {
         )
         .unwrap();
         let rd = ReachingDefinitions::new(&l);
-        let _ = solve_intervals(&l.cfg, &rd);
+        assert_eq!(
+            solve_intervals(&l.cfg, &rd),
+            Err(crate::SolverError::Irreducible)
+        );
+    }
+
+    #[test]
+    fn rejects_backward_problems() {
+        let l = lower_function(&parse_function_body("x = 1; return x;").unwrap()).unwrap();
+        let lv = crate::LiveVariables::new(&l);
+        assert_eq!(
+            solve_intervals(&l.cfg, &lv),
+            Err(crate::SolverError::BackwardUnsupported("interval elimination"))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "preconditions")]
+    fn unchecked_variant_panics_on_irreducible_graphs() {
+        let l = lower_function(
+            &parse_function_body(
+                "if (c) { goto b; } a: x = x + 1; goto c; b: x = x - 1; c: if (x > 0) { goto a; } return x;",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let rd = ReachingDefinitions::new(&l);
+        let _ = solve_intervals_unchecked(&l.cfg, &rd);
     }
 }

@@ -19,7 +19,7 @@ use pst_dominators::{
     dominance_frontiers, dominator_tree, iterated_dominance_frontier, Direction, DomTree,
 };
 
-use crate::{Confluence, DataflowProblem, Flow, Solution};
+use crate::{Confluence, DataflowProblem, Flow, Solution, SolverError};
 
 /// A sparse evaluation graph for one forward problem instance.
 #[derive(Clone, Debug)]
@@ -36,21 +36,26 @@ pub struct Seg {
     /// For every CFG node, the SEG node whose *out*-value holds at the
     /// node's entry (usize::MAX only before construction finishes).
     covering: Vec<usize>,
+    /// Position of the CFG entry in `nodes` (the entry is always a SEG
+    /// node), stored at build time so [`Seg::solve`] is infallible.
+    entry_pos: usize,
 }
 
 impl Seg {
     /// Builds the SEG of `problem` over `cfg`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on backward problems (the construction is symmetric; only
-    /// the forward direction is provided, matching the QPG evaluation).
-    pub fn build(cfg: &Cfg, problem: &impl DataflowProblem) -> Self {
-        assert_eq!(
-            problem.flow(),
-            Flow::Forward,
-            "SEGs built for forward problems"
-        );
+    /// Returns [`SolverError::BackwardUnsupported`] on backward problems
+    /// (the construction is symmetric; only the forward direction is
+    /// provided, matching the QPG evaluation) and
+    /// [`SolverError::Internal`] if the dominator-tree walk loses track of
+    /// a covering SEG node — possible only for inputs violating the CFG
+    /// contract.
+    pub fn build(cfg: &Cfg, problem: &impl DataflowProblem) -> Result<Self, SolverError> {
+        if problem.flow() != Flow::Forward {
+            return Err(SolverError::BackwardUnsupported("SEG construction"));
+        }
         let graph = cfg.graph();
         let dt: DomTree = dominator_tree(graph, cfg.entry());
         let df = dominance_frontiers(graph, &dt, Direction::Forward);
@@ -103,19 +108,26 @@ impl Seg {
                         // A non-meet, non-entry SEG node is fed by the
                         // current SEG node.
                         if !meet_flag[ni] && node != cfg.entry() {
-                            let from = *stack.last().expect("entry dominates everything");
+                            let from = *stack
+                                .last()
+                                .ok_or(SolverError::Internal("entry dominates everything"))?;
                             edges.push((from, pos[ni]));
                         }
                         stack.push(pos[ni]);
                         pushed = true;
                     }
-                    covering[ni] = *stack.last().expect("entry is a SEG node");
+                    covering[ni] = *stack
+                        .last()
+                        .ok_or(SolverError::Internal("entry is a SEG node"))?;
                     // Meet nodes among CFG successors receive an edge from
                     // the SEG node current at this point (per CFG edge, so
                     // a meet joining k edges gets k inputs).
                     for s in graph.successors(node) {
                         if meet_flag[s.index()] {
-                            edges.push((*stack.last().expect("non-empty"), pos[s.index()]));
+                            let from = *stack
+                                .last()
+                                .ok_or(SolverError::Internal("covering stack is non-empty"))?;
+                            edges.push((from, pos[s.index()]));
                         }
                     }
                     if pushed {
@@ -133,12 +145,24 @@ impl Seg {
         // directly, so covering only matters for non-SEG nodes; for them
         // the stack top is the nearest dominating SEG node. For SEG nodes
         // we instead record their own position (projection handles both).
-        Seg {
+        let entry_pos = pos[cfg.entry().index()];
+        Ok(Seg {
             nodes,
             is_meet,
             edges,
             covering,
-        }
+            entry_pos,
+        })
+    }
+
+    /// [`build`](Self::build) for hot paths (benchmarks, experiments) that
+    /// have already validated the problem's direction.
+    ///
+    /// # Panics
+    ///
+    /// Panics where `build` would return an error.
+    pub fn build_unchecked(cfg: &Cfg, problem: &impl DataflowProblem) -> Self {
+        Self::build(cfg, problem).expect("SEG construction preconditions hold")
     }
 
     /// Number of SEG nodes.
@@ -175,11 +199,7 @@ impl Seg {
         for (i, &(_, to)) in self.edges.iter().enumerate() {
             in_edges[to].push(i);
         }
-        let entry_pos = self
-            .nodes
-            .iter()
-            .position(|&n| n == cfg.entry())
-            .expect("entry is a SEG node");
+        let entry_pos = self.entry_pos;
 
         let mut changed = true;
         while changed {
@@ -251,7 +271,7 @@ mod tests {
         for v in 0..l.var_count() {
             let var = VarId::from_index(v);
             let p = SingleVariableReachingDefs::new(&l, var);
-            let seg = Seg::build(&l.cfg, &p);
+            let seg = Seg::build(&l.cfg, &p).unwrap();
             assert_eq!(
                 seg.solve(&l.cfg, &p),
                 solve_iterative(&l.cfg, &p),
@@ -284,6 +304,24 @@ mod tests {
     }
 
     #[test]
+    fn rejects_backward_problems() {
+        let l = lower_function(&parse_function_body("x = 1; return x;").unwrap()).unwrap();
+        let lv = crate::LiveVariables::new(&l);
+        assert!(matches!(
+            Seg::build(&l.cfg, &lv),
+            Err(crate::SolverError::BackwardUnsupported(_))
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "preconditions")]
+    fn unchecked_variant_panics_on_backward_problems() {
+        let l = lower_function(&parse_function_body("x = 1; return x;").unwrap()).unwrap();
+        let lv = crate::LiveVariables::new(&l);
+        let _ = Seg::build_unchecked(&l.cfg, &lv);
+    }
+
+    #[test]
     fn seg_is_smaller_than_cfg_for_sparse_instances() {
         let l = lower_function(
             &parse_function_body(
@@ -294,7 +332,7 @@ mod tests {
         .unwrap();
         let x = l.var_id("x").unwrap();
         let p = SingleVariableReachingDefs::new(&l, x);
-        let seg = Seg::build(&l.cfg, &p);
+        let seg = Seg::build(&l.cfg, &p).unwrap();
         assert!(
             seg.node_count() * 2 < l.cfg.node_count(),
             "{} of {}",

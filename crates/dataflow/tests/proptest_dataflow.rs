@@ -27,12 +27,12 @@ proptest! {
 
         let rd = ReachingDefinitions::new(&l);
         prop_assert_eq!(
-            solve_elimination(&l.cfg, &pst, &collapsed, &rd),
+            solve_elimination(&l.cfg, &pst, &collapsed, &rd).unwrap(),
             solve_iterative(&l.cfg, &rd)
         );
         let da = DefiniteAssignment::new(&l);
         prop_assert_eq!(
-            solve_elimination(&l.cfg, &pst, &collapsed, &da),
+            solve_elimination(&l.cfg, &pst, &collapsed, &da).unwrap(),
             solve_iterative(&l.cfg, &da)
         );
     }
@@ -85,7 +85,7 @@ proptest! {
 
         let avail = AvailableExpressions::new(&l);
         prop_assert_eq!(
-            solve_elimination(&l.cfg, &pst, &collapsed, &avail),
+            solve_elimination(&l.cfg, &pst, &collapsed, &avail).unwrap(),
             solve_iterative(&l.cfg, &avail)
         );
         let vb = VeryBusyExpressions::new(&l);
@@ -125,13 +125,13 @@ proptest! {
         let l = pst_lang::lower_function(&f).unwrap();
         let rd = ReachingDefinitions::new(&l);
         let reference = solve_iterative(&l.cfg, &rd);
-        prop_assert_eq!(solve_intervals(&l.cfg, &rd), reference.clone());
+        prop_assert_eq!(solve_intervals(&l.cfg, &rd).unwrap(), reference.clone());
         let pst = ProgramStructureTree::build(&l.cfg);
         let collapsed = collapse_all(&l.cfg, &pst);
-        prop_assert_eq!(solve_elimination(&l.cfg, &pst, &collapsed, &rd), reference);
+        prop_assert_eq!(solve_elimination(&l.cfg, &pst, &collapsed, &rd).unwrap(), reference);
 
         let da = DefiniteAssignment::new(&l);
-        prop_assert_eq!(solve_intervals(&l.cfg, &da), solve_iterative(&l.cfg, &da));
+        prop_assert_eq!(solve_intervals(&l.cfg, &da).unwrap(), solve_iterative(&l.cfg, &da));
     }
 }
 
@@ -152,7 +152,7 @@ proptest! {
             let var = VarId::from_index(v);
             let p = SingleVariableReachingDefs::new(&l, var);
             let reference = solve_iterative(&l.cfg, &p);
-            let seg = Seg::build(&l.cfg, &p);
+            let seg = Seg::build(&l.cfg, &p).unwrap();
             prop_assert_eq!(seg.solve(&l.cfg, &p), reference.clone());
             let qpg = Qpg::build(&l.cfg, &pst, &p).unwrap();
             prop_assert_eq!(qpg.solve(&l.cfg, &pst, &p).unwrap(), reference);

@@ -25,11 +25,57 @@ pub struct Function {
     pub body: Block,
 }
 
+/// A source position: 1-based line and column.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SrcPos {
+    /// Line number, 1-based.
+    pub line: u32,
+    /// Column number, 1-based.
+    pub col: u32,
+}
+
+impl fmt::Display for SrcPos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
 /// A `{ … }` sequence of statements.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+///
+/// When produced by the parser, `spans` records the source position of
+/// each statement's first token, parallel to `stmts`. Synthetic blocks
+/// (generators, tests) may leave it empty; positions are carried for
+/// diagnostics only and are deliberately **not** part of the block's
+/// structural identity — `PartialEq` compares statements alone, so a
+/// parse → pretty → parse round trip is a fixed point even though the
+/// reprinted program has different positions.
+#[derive(Clone, Debug, Default, Eq)]
 pub struct Block {
     /// The statements, in order.
     pub stmts: Vec<Stmt>,
+    /// Source position per statement (empty when unknown).
+    pub spans: Vec<SrcPos>,
+}
+
+impl PartialEq for Block {
+    fn eq(&self, other: &Self) -> bool {
+        self.stmts == other.stmts
+    }
+}
+
+impl Block {
+    /// A block with the given statements and no position information.
+    pub fn new(stmts: Vec<Stmt>) -> Self {
+        Block {
+            stmts,
+            spans: Vec::new(),
+        }
+    }
+
+    /// Source position of statement `i`, when known.
+    pub fn span(&self, i: usize) -> Option<SrcPos> {
+        self.spans.get(i).copied()
+    }
 }
 
 /// A statement.

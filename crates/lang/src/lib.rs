@@ -34,7 +34,7 @@ mod lower;
 mod parser;
 mod pretty;
 
-pub use ast::{BinOp, Block, Expr, Function, Program, Stmt, UnOp};
+pub use ast::{BinOp, Block, Expr, Function, Program, SrcPos, Stmt, UnOp};
 pub use lower::{
     lower_function, lower_program, BlockInfo, LowerError, LoweredFunction, StmtInfo, VarId,
 };

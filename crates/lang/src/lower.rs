@@ -18,7 +18,7 @@ use std::fmt;
 
 use pst_cfg::{Cfg, CfgBuilder, NodeId, ValidateCfgError};
 
-use crate::ast::{Block, Expr, Function, Program, Stmt};
+use crate::ast::{Block, Expr, Function, Program, SrcPos, Stmt};
 use crate::pretty::{pretty_expr, stmt_head};
 
 /// Interned variable identifier, dense per function.
@@ -51,6 +51,10 @@ pub struct StmtInfo {
     /// expression identity used by available/very-busy expression
     /// analyses. `None` otherwise.
     pub expr_key: Option<String>,
+    /// Source position of the statement's first token, when the AST came
+    /// from the parser (`None` for synthetic statements such as the
+    /// implicit `param` definitions or generator output).
+    pub pos: Option<SrcPos>,
 }
 
 /// Per-basic-block side information.
@@ -61,6 +65,9 @@ pub struct BlockInfo {
     /// Variables read by the branch condition that terminates the block
     /// (empty for unconditional blocks).
     pub branch_uses: Vec<VarId>,
+    /// Source position of the branching statement (`if`/`while`/…) whose
+    /// condition terminates this block, when known.
+    pub branch_pos: Option<SrcPos>,
 }
 
 /// A function lowered to a CFG with def/use side tables.
@@ -225,6 +232,7 @@ pub fn lower_function(f: &Function) -> Result<LoweredFunction, LowerError> {
             uses: Vec::new(),
             text: format!("param {p}"),
             expr_key: None,
+            pos: None,
         });
     }
     lo.lower_block(&f.body)?;
@@ -314,8 +322,8 @@ impl Lowerer {
     }
 
     fn lower_block(&mut self, b: &Block) -> Result<(), LowerError> {
-        for s in &b.stmts {
-            self.lower_stmt(s)?;
+        for (i, s) in b.stmts.iter().enumerate() {
+            self.lower_stmt(s, b.span(i))?;
         }
         Ok(())
     }
@@ -327,7 +335,7 @@ impl Lowerer {
         self.current = self.new_block();
     }
 
-    fn lower_stmt(&mut self, s: &Stmt) -> Result<(), LowerError> {
+    fn lower_stmt(&mut self, s: &Stmt, pos: Option<SrcPos>) -> Result<(), LowerError> {
         match s {
             Stmt::Assign { target, value } => {
                 let uses = self.uses_of(value);
@@ -338,6 +346,7 @@ impl Lowerer {
                     uses,
                     text: stmt_head(s),
                     expr_key: expr_key(value),
+                    pos,
                 });
                 Ok(())
             }
@@ -349,6 +358,7 @@ impl Lowerer {
                     uses,
                     text: pretty_expr(e),
                     expr_key: expr_key(e),
+                    pos,
                 });
                 Ok(())
             }
@@ -366,6 +376,7 @@ impl Lowerer {
                 let cur = self.new_block();
                 self.edge(prev, cur);
                 self.staging[cur].info.branch_uses = uses;
+                self.staging[cur].info.branch_pos = pos;
                 let then_b = self.new_block();
                 let join = self.new_block();
                 self.edge(cur, then_b);
@@ -395,6 +406,7 @@ impl Lowerer {
                 self.edge(cur, header);
                 let uses = self.uses_of(cond);
                 self.staging[header].info.branch_uses = uses;
+                self.staging[header].info.branch_pos = pos;
                 self.edge(header, body_b);
                 self.edge(header, after);
                 self.break_stack.push(after);
@@ -422,6 +434,7 @@ impl Lowerer {
                 self.edge(end, latch);
                 let uses = self.uses_of(cond);
                 self.staging[latch].info.branch_uses = uses;
+                self.staging[latch].info.branch_pos = pos;
                 self.edge(latch, body_b);
                 self.edge(latch, after);
                 self.break_stack.pop();
@@ -435,7 +448,7 @@ impl Lowerer {
                 step,
                 body,
             } => {
-                self.lower_stmt(init)?;
+                self.lower_stmt(init, pos)?;
                 let header = self.new_block();
                 let body_b = self.new_block();
                 let step_b = self.new_block();
@@ -444,6 +457,7 @@ impl Lowerer {
                 self.edge(cur, header);
                 let uses = self.uses_of(cond);
                 self.staging[header].info.branch_uses = uses;
+                self.staging[header].info.branch_pos = pos;
                 self.edge(header, body_b);
                 self.edge(header, after);
                 self.break_stack.push(after);
@@ -453,7 +467,7 @@ impl Lowerer {
                 let end = self.current;
                 self.edge(end, step_b);
                 self.current = step_b;
-                self.lower_stmt(step)?;
+                self.lower_stmt(step, pos)?;
                 let end_step = self.current;
                 self.edge(end_step, header);
                 self.break_stack.pop();
@@ -472,6 +486,7 @@ impl Lowerer {
                 let cur = self.new_block();
                 self.edge(prev, cur);
                 self.staging[cur].info.branch_uses = uses;
+                self.staging[cur].info.branch_pos = pos;
                 let join = self.new_block();
                 self.break_stack.push(join);
                 for (_, arm) in cases {
@@ -528,6 +543,7 @@ impl Lowerer {
                     uses,
                     text,
                     expr_key: None,
+                    pos,
                 });
                 self.edge(cur, EXIT);
                 self.orphan();

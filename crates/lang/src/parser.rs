@@ -3,7 +3,7 @@
 use std::error::Error;
 use std::fmt;
 
-use crate::ast::{BinOp, Block, Expr, Function, Program, Stmt, UnOp};
+use crate::ast::{BinOp, Block, Expr, Function, Program, SrcPos, Stmt, UnOp};
 use crate::lexer::{lex, Keyword, LexError, Spanned, Token};
 
 /// A syntax error with source position.
@@ -169,16 +169,27 @@ impl Parser {
         Ok(Function { name, params, body })
     }
 
+    /// Source position of the token about to be consumed.
+    fn src_pos(&self) -> SrcPos {
+        let s = &self.tokens[self.pos.min(self.tokens.len() - 1)];
+        SrcPos {
+            line: s.line,
+            col: s.col,
+        }
+    }
+
     fn block(&mut self) -> Result<Block, ParseError> {
         self.expect_punct("{")?;
         let mut stmts = Vec::new();
+        let mut spans = Vec::new();
         while !self.eat_punct("}") {
             if self.at_eof() {
                 return Err(self.error("unterminated block"));
             }
+            spans.push(self.src_pos());
             stmts.push(self.stmt()?);
         }
-        Ok(Block { stmts })
+        Ok(Block { stmts, spans })
     }
 
     fn assign_stmt(&mut self) -> Result<Stmt, ParseError> {
@@ -200,9 +211,11 @@ impl Parser {
                     // `else if …` sugar: wrap the chained conditional in a
                     // single-statement block.
                     if matches!(self.peek(), Token::Keyword(Keyword::If)) {
+                        let pos = self.src_pos();
                         let chained = self.stmt()?;
                         Some(Block {
                             stmts: vec![chained],
+                            spans: vec![pos],
                         })
                     } else {
                         Some(self.block()?)

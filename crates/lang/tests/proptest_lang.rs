@@ -62,7 +62,7 @@ fn stmt(depth: u32, in_loop: bool) -> BoxedStrategy<Stmt> {
     }
     let block = |in_loop| {
         proptest::collection::vec(stmt(depth - 1, in_loop), 0..4)
-            .prop_map(|stmts| Block { stmts })
+            .prop_map(|stmts| Block::new(stmts))
     };
     let mut options: Vec<BoxedStrategy<Stmt>> = vec![
         assign(),
@@ -116,7 +116,7 @@ fn function() -> impl Strategy<Value = Function> {
             Function {
                 name: "p".to_string(),
                 params,
-                body: Block { stmts },
+                body: Block::new(stmts),
             }
         })
 }

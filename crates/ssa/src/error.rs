@@ -1,0 +1,51 @@
+//! Typed errors for SSA construction.
+
+use pst_lang::VarId;
+
+/// Error returned by [`place_phis_pst`](crate::place_phis_pst) and
+/// [`rename`](crate::rename) when the inputs are mutually inconsistent —
+/// a PST or φ-placement that does not belong to the function's CFG.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SsaError {
+    /// Local φ-placement surfaced a join at a collapsed child region. A
+    /// child region has a unique entry edge and can never be a join, so
+    /// the collapsed graphs do not match the PST.
+    JoinAtRegionBoundary,
+    /// Local φ-placement surfaced a join at the synthetic region entry,
+    /// which has no predecessors — the collapsed graphs are malformed.
+    JoinAtSyntheticEntry,
+    /// Renaming read a variable's version stack dry: the φ-placement does
+    /// not belong to this function.
+    VersionStackUnderflow(VarId),
+}
+
+impl std::fmt::Display for SsaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SsaError::JoinAtRegionBoundary => {
+                write!(
+                    f,
+                    "phi placement surfaced a join at a collapsed child region; \
+                     the PST does not match the CFG"
+                )
+            }
+            SsaError::JoinAtSyntheticEntry => {
+                write!(
+                    f,
+                    "phi placement surfaced a join at the synthetic region entry; \
+                     the collapsed graphs are malformed"
+                )
+            }
+            SsaError::VersionStackUnderflow(v) => {
+                write!(
+                    f,
+                    "version stack of variable {} ran dry during renaming; \
+                     the phi placement does not match the function",
+                    v.index()
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SsaError {}

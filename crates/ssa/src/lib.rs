@@ -30,10 +30,10 @@
 //! let baseline = place_phis_cytron(&lowered);
 //! let pst = ProgramStructureTree::build(&lowered.cfg);
 //! let collapsed = collapse_all(&lowered.cfg, &pst);
-//! let sparse = place_phis_pst(&lowered, &pst, &collapsed);
+//! let sparse = place_phis_pst(&lowered, &pst, &collapsed).unwrap();
 //! assert_eq!(baseline, sparse.placement);
 //!
-//! let ssa = rename(&lowered, &baseline);
+//! let ssa = rename(&lowered, &baseline).unwrap();
 //! assert!(ssa.total_phis() >= 2); // x at the if-join, n at the loop header
 //! ```
 
@@ -41,9 +41,11 @@
 #![warn(missing_docs)]
 
 mod cytron;
+mod error;
 mod pst_phi;
 mod rename;
 
 pub use cytron::{place_phis_cytron, PhiPlacement};
-pub use pst_phi::{place_phis_pst, PstPhiPlacement};
-pub use rename::{rename, PhiNode, SsaForm, SsaStmt, Version};
+pub use error::SsaError;
+pub use pst_phi::{place_phis_pst, place_phis_pst_unchecked, PstPhiPlacement};
+pub use rename::{rename, rename_unchecked, PhiNode, SsaForm, SsaStmt, Version};

@@ -24,7 +24,7 @@ use pst_core::{CollapsedNode, CollapsedRegion, ProgramStructureTree, RegionId};
 use pst_dominators::{dominance_frontiers, dominator_tree, iterated_dominance_frontier, Direction};
 use pst_lang::{LoweredFunction, VarId};
 
-use crate::PhiPlacement;
+use crate::{PhiPlacement, SsaError};
 
 /// Result of PST-based φ-placement, with the sparsity accounting of the
 /// paper's Figure 10.
@@ -75,6 +75,12 @@ fn region_analysis(mini: &CollapsedRegion) -> RegionAnalysis {
 /// `collapsed` must come from [`pst_core::collapse_all`] on the same
 /// CFG/PST pair.
 ///
+/// # Errors
+///
+/// Returns an [`SsaError`] when the PST or the collapsed graphs do not
+/// belong to `function`'s CFG (a collapsed child region or the synthetic
+/// region entry surfaces as a join).
+///
 /// # Examples
 ///
 /// ```
@@ -87,14 +93,14 @@ fn region_analysis(mini: &CollapsedRegion) -> RegionAnalysis {
 /// let l = lower_function(&p.functions[0]).unwrap();
 /// let pst = ProgramStructureTree::build(&l.cfg);
 /// let collapsed = collapse_all(&l.cfg, &pst);
-/// let sparse = place_phis_pst(&l, &pst, &collapsed);
+/// let sparse = place_phis_pst(&l, &pst, &collapsed).unwrap();
 /// assert_eq!(sparse.placement, place_phis_cytron(&l)); // Theorem 9
 /// ```
 pub fn place_phis_pst(
     function: &LoweredFunction,
     pst: &ProgramStructureTree,
     collapsed: &[CollapsedRegion],
-) -> PstPhiPlacement {
+) -> Result<PstPhiPlacement, SsaError> {
     let _span = pst_obs::Span::enter("phi_pst");
     let total_regions = pst.region_count();
     let mut analyses: Vec<Option<RegionAnalysis>> = (0..total_regions).map(|_| None).collect();
@@ -161,10 +167,8 @@ pub fn place_phis_pst(
             for m in idf {
                 match mini.members.get(m.index()) {
                     Some(&CollapsedNode::Interior(n)) => result.push(n),
-                    Some(&CollapsedNode::Child(_)) => {
-                        unreachable!("a child region has a unique entry edge and cannot be a join")
-                    }
-                    None => unreachable!("synthetic entry has no predecessors"),
+                    Some(&CollapsedNode::Child(_)) => return Err(SsaError::JoinAtRegionBoundary),
+                    None => return Err(SsaError::JoinAtSyntheticEntry),
                 }
             }
             let _ = &analysis.graph; // graph retained for debugging/dumps
@@ -172,11 +176,25 @@ pub fn place_phis_pst(
         phis.push(result);
     }
 
-    PstPhiPlacement {
+    Ok(PstPhiPlacement {
         placement: PhiPlacement::from_lists(phis),
         regions_examined,
         total_regions,
-    }
+    })
+}
+
+/// [`place_phis_pst`] for hot paths (benchmarks, the verified pipeline)
+/// that have already validated the CFG/PST pair.
+///
+/// # Panics
+///
+/// Panics where [`place_phis_pst`] would return an error.
+pub fn place_phis_pst_unchecked(
+    function: &LoweredFunction,
+    pst: &ProgramStructureTree,
+    collapsed: &[CollapsedRegion],
+) -> PstPhiPlacement {
+    place_phis_pst(function, pst, collapsed).expect("CFG/PST pair is consistent")
 }
 
 #[cfg(test)]
@@ -192,7 +210,7 @@ mod tests {
         let baseline = place_phis_cytron(&l);
         let pst = ProgramStructureTree::build(&l.cfg);
         let collapsed = collapse_all(&l.cfg, &pst);
-        let sparse = place_phis_pst(&l, &pst, &collapsed);
+        let sparse = place_phis_pst(&l, &pst, &collapsed).unwrap();
         (l, baseline, sparse)
     }
 

@@ -9,7 +9,7 @@ use pst_cfg::NodeId;
 use pst_dominators::{dominator_tree, DomTree};
 use pst_lang::{LoweredFunction, VarId};
 
-use crate::PhiPlacement;
+use crate::{PhiPlacement, SsaError};
 
 /// A version number of a variable (0 = implicit entry definition).
 pub type Version = u32;
@@ -57,6 +57,12 @@ impl SsaForm {
 
 /// Renames `function` into SSA form given a φ-placement.
 ///
+/// # Errors
+///
+/// Returns [`SsaError::VersionStackUnderflow`] when `placement` does not
+/// belong to `function` and the dominator-tree walk reads a version stack
+/// dry.
+///
 /// # Examples
 ///
 /// ```
@@ -66,13 +72,16 @@ impl SsaForm {
 ///     "fn f(c) { if (c) { x = 1; } else { x = 2; } return x; }"
 /// ).unwrap();
 /// let l = lower_function(&p.functions[0]).unwrap();
-/// let ssa = rename(&l, &place_phis_cytron(&l));
+/// let ssa = rename(&l, &place_phis_cytron(&l)).unwrap();
 /// assert_eq!(ssa.total_phis(), 1);
 /// let x = l.var_id("x").unwrap();
 /// // versions: 0 (entry), 1 and 2 (the arms), 3 (the phi)
 /// assert_eq!(ssa.version_count[x.index()], 4);
 /// ```
-pub fn rename(function: &LoweredFunction, placement: &PhiPlacement) -> SsaForm {
+pub fn rename(
+    function: &LoweredFunction,
+    placement: &PhiPlacement,
+) -> Result<SsaForm, SsaError> {
     let _span = pst_obs::Span::enter("ssa_rename");
     let cfg = &function.cfg;
     let graph = cfg.graph();
@@ -140,11 +149,13 @@ pub fn rename(function: &LoweredFunction, placement: &PhiPlacement) -> SsaForm {
                 // Straight-line statements.
                 let mut stmts = Vec::with_capacity(function.blocks[ni].stmts.len());
                 for s in &function.blocks[ni].stmts {
-                    let uses = s
-                        .uses
-                        .iter()
-                        .map(|&u| (u, *stacks[u.index()].last().expect("version stack")))
-                        .collect();
+                    let mut uses = Vec::with_capacity(s.uses.len());
+                    for &u in &s.uses {
+                        let version = *stacks[u.index()]
+                            .last()
+                            .ok_or(SsaError::VersionStackUnderflow(u))?;
+                        uses.push((u, version));
+                    }
                     let def = s.def.map(|d| {
                         let fresh = push(&mut stacks, &mut version_count, &mut pushed, d);
                         (d, fresh)
@@ -156,8 +167,11 @@ pub fn rename(function: &LoweredFunction, placement: &PhiPlacement) -> SsaForm {
                 for &e in graph.out_edges(node) {
                     let succ = graph.target(e);
                     for phi in &mut phi_nodes[succ.index()] {
+                        let current = *stacks[phi.var.index()]
+                            .last()
+                            .ok_or(SsaError::VersionStackUnderflow(phi.var))?;
                         for arg in phi.args.iter_mut().filter(|(p, _)| *p == node) {
-                            arg.1 = *stacks[phi.var.index()].last().expect("version stack");
+                            arg.1 = current;
                         }
                     }
                 }
@@ -170,11 +184,21 @@ pub fn rename(function: &LoweredFunction, placement: &PhiPlacement) -> SsaForm {
         }
     }
 
-    SsaForm {
+    Ok(SsaForm {
         phi_nodes,
         statements,
         version_count,
-    }
+    })
+}
+
+/// [`rename`] for hot paths (benchmarks, examples) where the placement is
+/// known to belong to the function.
+///
+/// # Panics
+///
+/// Panics where [`rename`] would return an error.
+pub fn rename_unchecked(function: &LoweredFunction, placement: &PhiPlacement) -> SsaForm {
+    rename(function, placement).expect("placement belongs to the function")
 }
 
 #[cfg(test)]
@@ -189,7 +213,7 @@ mod tests {
         let f = parse_function_body(src).unwrap();
         let l = lower_function(&f).unwrap();
         let p = place_phis_cytron(&l);
-        let ssa = rename(&l, &p);
+        let ssa = rename(&l, &p).unwrap();
         (l, ssa)
     }
 

@@ -21,7 +21,7 @@ proptest! {
         let baseline = place_phis_cytron(&l);
         let pst = ProgramStructureTree::build(&l.cfg);
         let collapsed = collapse_all(&l.cfg, &pst);
-        let sparse = place_phis_pst(&l, &pst, &collapsed);
+        let sparse = place_phis_pst(&l, &pst, &collapsed).unwrap();
         prop_assert_eq!(&baseline, &sparse.placement);
         // Sparsity accounting is sane.
         for v in 0..l.var_count() {
@@ -35,7 +35,7 @@ proptest! {
         let f = generate_function("p", &ProgramGenConfig::default(), seed);
         let l = pst_lang::lower_function(&f).unwrap();
         let placement = place_phis_cytron(&l);
-        let ssa = rename(&l, &placement);
+        let ssa = rename(&l, &placement).unwrap();
         for node in l.cfg.graph().nodes() {
             for phi in &ssa.phi_nodes[node.index()] {
                 prop_assert_eq!(phi.args.len(), l.cfg.graph().in_degree(node));

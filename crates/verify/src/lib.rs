@@ -11,7 +11,7 @@
 //! than panics.
 //!
 //! The `fault-inject` feature adds seeded artifact corruptions
-//! ([`FaultPlan`]) whose sole purpose is to prove in tests that every
+//! (`FaultPlan`) whose sole purpose is to prove in tests that every
 //! checker actually fires — a checker that cannot be tripped is a
 //! tautology, not a check.
 //!

@@ -8,7 +8,7 @@
 use pst_cfg::Cfg;
 use pst_core::{collapse_all, CanonicalRegions, ControlRegions, ProgramStructureTree};
 use pst_lang::{BlockInfo, LoweredFunction, StmtInfo, VarId};
-use pst_ssa::{place_phis_pst, PhiPlacement};
+use pst_ssa::{place_phis_pst_unchecked, PhiPlacement};
 
 use crate::checkers::{
     check_control_regions, check_cycle_equiv, check_phi, check_pst, check_sese,
@@ -82,8 +82,10 @@ pub fn synthetic_function(cfg: &Cfg) -> LoweredFunction {
                 uses: uses.clone(),
                 text: format!("v{} = mix(...)", i % SYNTHETIC_VARS),
                 expr_key: None,
+                pos: None,
             }],
             branch_uses: uses,
+            branch_pos: None,
         });
     }
     LoweredFunction {
@@ -104,7 +106,7 @@ pub fn compute_artifacts(function: LoweredFunction) -> PipelineArtifacts {
         .expect("build always records detection");
     let control_regions = ControlRegions::compute(&function.cfg);
     let collapsed = collapse_all(&function.cfg, &pst);
-    let phi = place_phis_pst(&function, &pst, &collapsed).placement;
+    let phi = place_phis_pst_unchecked(&function, &pst, &collapsed).placement;
     PipelineArtifacts {
         function,
         detection,

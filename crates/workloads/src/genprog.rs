@@ -83,7 +83,7 @@ pub fn generate_function(name: &str, config: &ProgramGenConfig, seed: u64) -> Fu
     Function {
         name: name.to_string(),
         params,
-        body: Block { stmts },
+        body: Block::new(stmts),
     }
 }
 
@@ -196,14 +196,14 @@ impl Gen<'_> {
                     self.maybe_break_continue(&mut body);
                     out.push(Stmt::While {
                         cond: self.cond(),
-                        body: Block { stmts: body },
+                        body: Block::new(body),
                     });
                 }
                 1 => {
                     let mut body = Vec::new();
                     self.stmt_list(&mut body, depth + 1);
                     out.push(Stmt::DoWhile {
-                        body: Block { stmts: body },
+                        body: Block::new(body),
                         cond: self.cond(),
                     });
                 }
@@ -229,7 +229,7 @@ impl Gen<'_> {
                                 Box::new(Expr::Num(1)),
                             ),
                         }),
-                        body: Block { stmts: body },
+                        body: Block::new(body),
                     });
                 }
             }
@@ -242,12 +242,12 @@ impl Gen<'_> {
             for k in 0..arms {
                 let mut body = Vec::new();
                 self.stmt_list(&mut body, depth + 1);
-                cases.push((k as i64, Block { stmts: body }));
+                cases.push((k as i64, Block::new(body)));
             }
             let default = if self.rng.gen_bool(0.6) {
                 let mut body = Vec::new();
                 self.stmt_list(&mut body, depth + 1);
-                Some(Block { stmts: body })
+                Some(Block::new(body))
             } else {
                 None
             };
@@ -264,13 +264,13 @@ impl Gen<'_> {
         let else_branch = if self.rng.gen_bool(0.5) {
             let mut b = Vec::new();
             self.stmt_list(&mut b, depth + 1);
-            Some(Block { stmts: b })
+            Some(Block::new(b))
         } else {
             None
         };
         out.push(Stmt::If {
             cond: self.cond(),
-            then_branch: Block { stmts: then_branch },
+            then_branch: Block::new(then_branch),
             else_branch,
         });
     }
@@ -288,7 +288,7 @@ impl Gen<'_> {
                 pos,
                 Stmt::If {
                     cond: self.cond(),
-                    then_branch: Block { stmts: vec![stmt] },
+                    then_branch: Block::new(vec![stmt]),
                     else_branch: None,
                 },
             );
@@ -306,9 +306,7 @@ impl Gen<'_> {
                 out.push(self.assign());
                 out.push(Stmt::If {
                     cond: self.cond(),
-                    then_branch: Block {
-                        stmts: vec![Stmt::Goto(l)],
-                    },
+                    then_branch: Block::new(vec![Stmt::Goto(l)]),
                     else_branch: None,
                 });
             }
@@ -317,9 +315,7 @@ impl Gen<'_> {
                 let l = self.fresh_label();
                 out.push(Stmt::If {
                     cond: self.cond(),
-                    then_branch: Block {
-                        stmts: vec![Stmt::Goto(l.clone())],
-                    },
+                    then_branch: Block::new(vec![Stmt::Goto(l.clone())]),
                     else_branch: None,
                 });
                 out.push(self.assign());
@@ -332,17 +328,13 @@ impl Gen<'_> {
                 let l = self.fresh_label();
                 out.push(Stmt::If {
                     cond: self.cond(),
-                    then_branch: Block {
-                        stmts: vec![Stmt::Goto(l.clone())],
-                    },
+                    then_branch: Block::new(vec![Stmt::Goto(l.clone())]),
                     else_branch: None,
                 });
                 out.push(self.assign());
                 out.push(Stmt::If {
                     cond: self.cond(),
-                    then_branch: Block {
-                        stmts: vec![Stmt::Goto(l.clone())],
-                    },
+                    then_branch: Block::new(vec![Stmt::Goto(l.clone())]),
                     else_branch: None,
                 });
                 out.push(self.assign());
@@ -357,9 +349,7 @@ impl Gen<'_> {
                 let c = self.fresh_label();
                 out.push(Stmt::If {
                     cond: self.cond(),
-                    then_branch: Block {
-                        stmts: vec![Stmt::Goto(b.clone())],
-                    },
+                    then_branch: Block::new(vec![Stmt::Goto(b.clone())]),
                     else_branch: None,
                 });
                 out.push(Stmt::Label(a.clone()));
@@ -370,9 +360,7 @@ impl Gen<'_> {
                 out.push(Stmt::Label(c));
                 out.push(Stmt::If {
                     cond: self.cond(),
-                    then_branch: Block {
-                        stmts: vec![Stmt::Goto(a)],
-                    },
+                    then_branch: Block::new(vec![Stmt::Goto(a)]),
                     else_branch: None,
                 });
             }

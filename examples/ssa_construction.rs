@@ -29,7 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let collapsed = collapse_all(&lowered.cfg, &pst);
 
     // Divide-and-conquer φ-placement over the PST ...
-    let sparse = place_phis_pst(&lowered, &pst, &collapsed);
+    let sparse = place_phis_pst(&lowered, &pst, &collapsed)?;
     // ... equals the classical iterated-dominance-frontier placement
     // (the paper's Theorem 9).
     let baseline = place_phis_cytron(&lowered);
@@ -47,7 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    let ssa = rename(&lowered, &baseline);
+    let ssa = rename(&lowered, &baseline)?;
     println!("\nrenamed program ({} φ-functions):", ssa.total_phis());
     for node in lowered.cfg.graph().nodes() {
         println!("  block {node}:");

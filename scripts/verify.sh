@@ -17,6 +17,9 @@ cargo test -q
 echo "== test: fault injection (checker soundness) =="
 cargo test -q -p pst-verify --features fault-inject
 
+echo "== doc (deny warnings) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "== smoke: pst regions =="
 out=$(./target/release/pst regions examples/fig1.mini)
 echo "$out" | grep -q "canonical regions" \
@@ -102,5 +105,55 @@ repro=$(ls "$fuzzdir"/injected/*.edges 2>/dev/null | head -1)
 # consumers of target/release/pst get the production configuration.
 cargo build -q --release -p pst-cli
 echo "fault taxonomy OK ($(basename "$repro") reproduces)"
+
+echo "== smoke: pst lint (examples corpus, JSON schema) =="
+# Every example must lint to parseable JSON with the documented shape;
+# clean inputs exit 0, inputs with findings exit 5, anything else fails.
+lintjson=$(mktemp)
+trap 'rm -f "$metrics" "$lintjson"; rm -rf "$fuzzdir"' EXIT
+for mini in examples/*.mini; do
+    set +e
+    ./target/release/pst lint "$mini" --json > "$lintjson"
+    code=$?
+    set -e
+    { [ "$code" -eq 0 ] || [ "$code" -eq 5 ]; } \
+        || { echo "FAIL: pst lint $mini exited $code"; exit 1; }
+    python3 - "$lintjson" "$mini" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    reports = json.load(f)
+assert isinstance(reports, list) and reports, "lint JSON must be a nonempty array"
+for r in reports:
+    assert r["input"].startswith(sys.argv[2]), r["input"]
+    assert r["rules_run"], "no rules ran"
+    for d in r["diagnostics"]:
+        assert d["rule"].startswith("PST-"), d["rule"]
+        assert d["severity"] in ("info", "warning", "error"), d["severity"]
+        assert isinstance(d["message"], str) and d["message"]
+EOF
+    echo "lint OK: $mini (exit $code)"
+done
+
+echo "== smoke: pst lint exit-code taxonomy (injected defects) =="
+# The curated defective fixture must trip the engine: exit exactly 5,
+# with the documented rule IDs among the findings.
+set +e
+defect_out=$(./target/release/pst lint examples/defects.mini --json)
+code=$?
+set -e
+[ "$code" -eq 5 ] \
+    || { echo "FAIL: lint on defects.mini should exit 5, got $code"; exit 1; }
+for rule in PST-S001 PST-C002 PST-D001 PST-D002; do
+    echo "$defect_out" | grep -q "\"$rule\"" \
+        || { echo "FAIL: defects.mini did not trip $rule"; exit 1; }
+done
+# --allow must silence a rule; --deny escalates without changing the exit.
+allow_out=$(./target/release/pst lint examples/defects.mini --json \
+    --allow PST-D001 --allow PST-D002 --allow PST-S001 --allow PST-S002 \
+    --allow PST-C002 || true)
+if echo "$allow_out" | grep -q '"PST-D001"'; then
+    echo "FAIL: --allow PST-D001 did not silence the rule"; exit 1
+fi
+echo "lint taxonomy OK"
 
 echo "== verify: all checks passed =="

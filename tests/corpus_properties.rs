@@ -101,7 +101,7 @@ fn sparsity_claims_hold_on_a_subsample() {
         let l = &p.lowered;
         let pst = ProgramStructureTree::build(&l.cfg);
         let collapsed = collapse_all(&l.cfg, &pst);
-        let sparse = place_phis_pst(l, &pst, &collapsed);
+        let sparse = place_phis_pst(l, &pst, &collapsed).unwrap();
         assert_eq!(sparse.placement, place_phis_cytron(l), "Theorem 9");
         for v in 0..l.var_count() {
             fractions.push(sparse.fraction_examined(VarId::from_index(v)));

@@ -63,12 +63,12 @@ proptest! {
         let collapsed = collapse_all(&l.cfg, &pst);
 
         let baseline = pst_ssa::place_phis_cytron(&l);
-        let sparse = pst_ssa::place_phis_pst(&l, &pst, &collapsed);
+        let sparse = pst_ssa::place_phis_pst(&l, &pst, &collapsed).unwrap();
         prop_assert_eq!(&baseline, &sparse.placement);
 
         let rd = ReachingDefinitions::new(&l);
         prop_assert_eq!(
-            solve_elimination(&l.cfg, &pst, &collapsed, &rd),
+            solve_elimination(&l.cfg, &pst, &collapsed, &rd).unwrap(),
             solve_iterative(&l.cfg, &rd)
         );
 

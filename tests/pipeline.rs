@@ -55,18 +55,18 @@ fn full_pipeline_is_consistent() {
     // SSA: PST placement equals IDF placement; renaming is well formed.
     let collapsed = collapse_all(&lowered.cfg, &pst);
     let baseline = place_phis_cytron(&lowered);
-    let sparse = place_phis_pst(&lowered, &pst, &collapsed);
+    let sparse = place_phis_pst(&lowered, &pst, &collapsed).unwrap();
     assert_eq!(baseline, sparse.placement);
     let acc = lowered.var_id("acc").expect("acc exists");
     assert!(!baseline.phis_of(acc).is_empty(), "acc merges in loops");
-    let ssa = rename(&lowered, &baseline);
+    let ssa = rename(&lowered, &baseline).unwrap();
     assert!(ssa.total_phis() >= baseline.total_phis());
 
     // Data flow: elimination over the PST equals the iterative solution,
     // and per-variable QPGs solve to the same values as the full graph.
     let rd = ReachingDefinitions::new(&lowered);
     assert_eq!(
-        solve_elimination(&lowered.cfg, &pst, &collapsed, &rd),
+        solve_elimination(&lowered.cfg, &pst, &collapsed, &rd).unwrap(),
         solve_iterative(&lowered.cfg, &rd)
     );
     let ctx = QpgContext::new(&lowered.cfg, &pst).unwrap();

@@ -62,13 +62,13 @@ fn full_stack_on_a_large_generated_program() {
 
     // φ-placement equality at scale.
     let baseline = place_phis_cytron(&l);
-    let sparse = place_phis_pst(&l, &pst, &collapsed);
+    let sparse = place_phis_pst(&l, &pst, &collapsed).unwrap();
     assert_eq!(baseline, sparse.placement);
 
     // Elimination solving equality at scale.
     let rd = ReachingDefinitions::new(&l);
     assert_eq!(
-        solve_elimination(&l.cfg, &pst, &collapsed, &rd),
+        solve_elimination(&l.cfg, &pst, &collapsed, &rd).unwrap(),
         solve_iterative(&l.cfg, &rd)
     );
 }

@@ -2,7 +2,7 @@
 //!
 //! The build environment cannot reach a registry, so this vendored crate
 //! re-implements the slice of `proptest 1.x` the workspace's property
-//! tests use: the [`Strategy`] trait with `prop_map` / `prop_flat_map` /
+//! tests use: the [`Strategy`](strategy::Strategy) trait with `prop_map` / `prop_flat_map` /
 //! `prop_recursive` / `boxed`, range and tuple strategies, collection /
 //! sample / option helpers, [`strategy::Union`], and the
 //! [`proptest!`] / [`prop_assert!`] / [`prop_oneof!`] macros.
