@@ -3,10 +3,20 @@
 //! ```text
 //! cargo run --release -p pst-bench --bin experiments -- all
 //! cargo run --release -p pst-bench --bin experiments -- fig5
+//! cargo run --release -p pst-bench --bin experiments -- timing --format json
 //! ```
 //!
 //! Subcommands: `table1 fig5 fig6 fig7 fig9 fig10 qpg timing all`.
 //! EXPERIMENTS.md records each output next to the paper's numbers.
+//!
+//! `timing` runs through the `pst-perf` harness machinery: every pass is
+//! sampled repeatedly, summarized with robust statistics
+//! (median/MAD/bootstrap CI), and measured for allocations. The default
+//! `--format text` keeps the human table; `--format json` additionally
+//! writes the measurements as a `BENCH_<label>.json` report
+//! (`--out <path>`, default `BENCH_experiments.json`) in the same
+//! schema `pst bench` produces, so the regression gate can consume
+//! corpus timings too (see docs/BENCHMARKING.md).
 
 use std::time::Instant;
 
@@ -16,11 +26,36 @@ use pst_core::{canonical_regions, ControlRegions, CycleEquiv};
 use pst_dataflow::{solve_iterative, QpgContext, Seg, SingleVariableReachingDefs};
 use pst_dominators::{dominator_tree, iterative_dominator_tree, Direction};
 use pst_lang::VarId;
+use pst_perf::{
+    fmt_ns, AllocStats, BenchConfig, BenchReport, BootstrapConfig, PhaseReport, Summary,
+    WorkloadReport, BENCH_SCHEMA_VERSION,
+};
 use pst_ssa::{place_phis_cytron, place_phis_pst_unchecked};
 use pst_workloads::PAPER_TABLE;
 
+/// The experiment binary counts its allocations like the `pst` CLI, so
+/// the timing report can attribute memory per pass.
+#[global_allocator]
+static ALLOC: pst_perf::CountingAlloc = pst_perf::CountingAlloc::new();
+
+/// Output mode for `timing`.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let format = match take_value(&mut args, "--format").as_deref() {
+        None | Some("text") => Format::Text,
+        Some("json") => Format::Json,
+        Some(other) => {
+            eprintln!("experiments: `--format` expects text|json, got `{other}`");
+            std::process::exit(2);
+        }
+    };
+    let out = take_value(&mut args, "--out");
     let which = args.first().map(String::as_str).unwrap_or("all");
     let c = corpus();
     println!("# PST paper experiments (corpus seed 1994, 254 procedures)\n");
@@ -33,7 +68,7 @@ fn main() {
         "fig9" => fig9(&analyses),
         "fig10" => fig10(&analyses),
         "qpg" => qpg(&analyses),
-        "timing" => timing(&analyses),
+        "timing" => timing(&analyses, format, out.as_deref()),
         "all" => {
             table1(&analyses);
             fig5(&analyses);
@@ -42,7 +77,7 @@ fn main() {
             fig9(&analyses);
             fig10(&analyses);
             qpg(&analyses);
-            timing(&analyses);
+            timing(&analyses, format, out.as_deref());
         }
         other => {
             eprintln!(
@@ -52,6 +87,24 @@ fn main() {
         }
     }
     report_observability();
+}
+
+/// Removes `name <value>` or `name=<value>` from `args` (last one wins).
+fn take_value(args: &mut Vec<String>, name: &str) -> Option<String> {
+    let mut value = None;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == name && i + 1 < args.len() {
+            args.remove(i);
+            value = Some(args.remove(i));
+        } else if let Some(v) = args[i].strip_prefix(name).and_then(|r| r.strip_prefix('=')) {
+            value = Some(v.to_string());
+            args.remove(i);
+        } else {
+            i += 1;
+        }
+    }
+    value
 }
 
 /// Per-phase span/counter report for the whole run; `PST_METRICS=<path>`
@@ -300,20 +353,14 @@ fn qpg(analyses: &[ProcAnalysis<'_>]) {
     );
 }
 
-/// §3/§5 timing claims, measured over the whole corpus.
-fn timing(analyses: &[ProcAnalysis<'_>]) {
-    println!("## Timing — corpus totals, best of 5 runs (paper: cycle equivalence beats Lengauer-Tarjan; control regions in O(E) beat O(EN) refinement)\n");
-    let reps = 5;
-    let best = |f: &dyn Fn()| {
-        (0..reps)
-            .map(|_| {
-                let t = Instant::now();
-                f();
-                t.elapsed()
-            })
-            .min()
-            .expect("reps > 0")
-    };
+/// §3/§5 timing claims, measured over the whole corpus through the
+/// `pst-perf` harness machinery: every pass yields a sample vector,
+/// summarized with median/MAD/bootstrap-CI, plus one allocation-counted
+/// run. `--format json` writes the result in the `BENCH_<label>.json`
+/// schema so `pst bench --compare` can gate corpus timings too.
+fn timing(analyses: &[ProcAnalysis<'_>], format: Format, out: Option<&str>) {
+    const REPS: usize = 5;
+    println!("## Timing — corpus totals over {REPS} runs (paper: cycle equivalence beats Lengauer-Tarjan; control regions in O(E) beat O(EN) refinement)\n");
 
     // The paper's implementation treats the end->start edge implicitly
     // (doubly-linked CFG edges); we materialize S once, outside the timed
@@ -325,120 +372,260 @@ fn timing(analyses: &[ProcAnalysis<'_>]) {
             (cfg.to_strongly_connected().0, cfg.entry())
         })
         .collect();
-    let t_ce = best(&|| {
-        for (s, entry) in &closures {
-            std::hint::black_box(CycleEquiv::compute_unchecked(s, *entry));
-        }
-    });
-    let t_lt = best(&|| {
-        for a in analyses {
-            let cfg = &a.procedure.lowered.cfg;
-            std::hint::black_box(dominator_tree(cfg.graph(), cfg.entry()));
-        }
-    });
-    let t_it = best(&|| {
-        for a in analyses {
-            let cfg = &a.procedure.lowered.cfg;
-            std::hint::black_box(iterative_dominator_tree(
-                cfg.graph(),
-                cfg.entry(),
-                Direction::Forward,
-            ));
-        }
-    });
-    let t_pst = best(&|| {
-        for a in analyses {
-            std::hint::black_box(canonical_regions(&a.procedure.lowered.cfg));
-        }
-    });
-    let t_cr = best(&|| {
-        for a in analyses {
-            std::hint::black_box(ControlRegions::compute(&a.procedure.lowered.cfg));
-        }
-    });
-    let t_cfs = best(&|| {
-        for a in analyses {
-            std::hint::black_box(cfs_control_regions(&a.procedure.lowered.cfg));
-        }
-    });
-    let t_fow = best(&|| {
-        for a in analyses {
-            std::hint::black_box(fow_control_regions(&a.procedure.lowered.cfg));
-        }
-    });
-    let t_phi_base = best(&|| {
-        for a in analyses {
-            std::hint::black_box(place_phis_cytron(&a.procedure.lowered));
-        }
-    });
-    let t_phi_pst = best(&|| {
-        for a in analyses {
-            std::hint::black_box(place_phis_pst_unchecked(
-                &a.procedure.lowered,
-                &a.pst,
-                &a.collapsed,
-            ));
-        }
-    });
-    let t_df_full = best(&|| {
-        for a in analyses {
-            let l = &a.procedure.lowered;
-            for v in 0..l.var_count() {
-                let p = SingleVariableReachingDefs::new(l, VarId::from_index(v));
-                std::hint::black_box(solve_iterative(&l.cfg, &p));
-            }
-        }
-    });
     let contexts: Vec<QpgContext> = analyses
         .iter()
         .map(|a| QpgContext::new(&a.procedure.lowered.cfg, &a.pst).expect("PST matches its CFG"))
         .collect();
-    let t_df_qpg = best(&|| {
-        for (a, ctx) in analyses.iter().zip(&contexts) {
-            let l = &a.procedure.lowered;
-            for v in 0..l.var_count() {
-                let p = SingleVariableReachingDefs::new(l, VarId::from_index(v));
-                let q = ctx.build_from_sites(p.sites()).unwrap();
-                std::hint::black_box(ctx.solve(&q, &p).unwrap());
-            }
-        }
-    });
 
-    let t_df_seg = best(&|| {
-        for a in analyses {
-            let l = &a.procedure.lowered;
-            for v in 0..l.var_count() {
-                let p = SingleVariableReachingDefs::new(l, VarId::from_index(v));
-                let seg = Seg::build_unchecked(&l.cfg, &p);
-                std::hint::black_box(seg.solve(&l.cfg, &p));
-            }
-        }
-    });
+    type Pass<'p> = (&'static str, &'static str, Box<dyn Fn() + 'p>);
+    let passes: Vec<Pass<'_>> = vec![
+        (
+            "cycle_equiv_fast",
+            "cycle equivalence (fast, Fig. 4)",
+            Box::new(|| {
+                for (s, entry) in &closures {
+                    std::hint::black_box(CycleEquiv::compute_unchecked(s, *entry));
+                }
+            }),
+        ),
+        (
+            "dominators_lt",
+            "Lengauer-Tarjan dominators",
+            Box::new(|| {
+                for a in analyses {
+                    let cfg = &a.procedure.lowered.cfg;
+                    std::hint::black_box(dominator_tree(cfg.graph(), cfg.entry()));
+                }
+            }),
+        ),
+        (
+            "dominators_iterative",
+            "iterative (CHK) dominators",
+            Box::new(|| {
+                for a in analyses {
+                    let cfg = &a.procedure.lowered.cfg;
+                    std::hint::black_box(iterative_dominator_tree(
+                        cfg.graph(),
+                        cfg.entry(),
+                        Direction::Forward,
+                    ));
+                }
+            }),
+        ),
+        (
+            "sese_detection",
+            "SESE region detection (CE + DFS)",
+            Box::new(|| {
+                for a in analyses {
+                    std::hint::black_box(canonical_regions(&a.procedure.lowered.cfg));
+                }
+            }),
+        ),
+        (
+            "control_regions_linear",
+            "control regions, linear (ours)",
+            Box::new(|| {
+                for a in analyses {
+                    std::hint::black_box(ControlRegions::compute(&a.procedure.lowered.cfg));
+                }
+            }),
+        ),
+        (
+            "control_regions_cfs",
+            "control regions, CFS refinement",
+            Box::new(|| {
+                for a in analyses {
+                    std::hint::black_box(cfs_control_regions(&a.procedure.lowered.cfg));
+                }
+            }),
+        ),
+        (
+            "control_regions_fow",
+            "control regions, FOW hashing",
+            Box::new(|| {
+                for a in analyses {
+                    std::hint::black_box(fow_control_regions(&a.procedure.lowered.cfg));
+                }
+            }),
+        ),
+        (
+            "phi_cytron",
+            "phi placement, Cytron IDF",
+            Box::new(|| {
+                for a in analyses {
+                    std::hint::black_box(place_phis_cytron(&a.procedure.lowered));
+                }
+            }),
+        ),
+        (
+            "phi_pst",
+            "phi placement, PST divide-and-conquer",
+            Box::new(|| {
+                for a in analyses {
+                    std::hint::black_box(place_phis_pst_unchecked(
+                        &a.procedure.lowered,
+                        &a.pst,
+                        &a.collapsed,
+                    ));
+                }
+            }),
+        ),
+        (
+            "dataflow_iterative",
+            "per-var reaching defs, full iterative",
+            Box::new(|| {
+                for a in analyses {
+                    let l = &a.procedure.lowered;
+                    for v in 0..l.var_count() {
+                        let p = SingleVariableReachingDefs::new(l, VarId::from_index(v));
+                        std::hint::black_box(solve_iterative(&l.cfg, &p));
+                    }
+                }
+            }),
+        ),
+        (
+            "dataflow_qpg",
+            "per-var reaching defs, QPG",
+            Box::new(|| {
+                for (a, ctx) in analyses.iter().zip(&contexts) {
+                    let l = &a.procedure.lowered;
+                    for v in 0..l.var_count() {
+                        let p = SingleVariableReachingDefs::new(l, VarId::from_index(v));
+                        let q = ctx.build_from_sites(p.sites()).unwrap();
+                        std::hint::black_box(ctx.solve(&q, &p).unwrap());
+                    }
+                }
+            }),
+        ),
+        (
+            "dataflow_seg",
+            "per-var reaching defs, SEG (CCF91)",
+            Box::new(|| {
+                for a in analyses {
+                    let l = &a.procedure.lowered;
+                    for v in 0..l.var_count() {
+                        let p = SingleVariableReachingDefs::new(l, VarId::from_index(v));
+                        let seg = Seg::build_unchecked(&l.cfg, &p);
+                        std::hint::black_box(seg.solve(&l.cfg, &p));
+                    }
+                }
+            }),
+        ),
+    ];
 
-    println!("{:<44} {:>12}", "pass (corpus total)", "time");
-    for (label, t) in [
-        ("cycle equivalence (fast, Fig. 4)", t_ce),
-        ("Lengauer-Tarjan dominators", t_lt),
-        ("iterative (CHK) dominators", t_it),
-        ("SESE region detection (CE + DFS)", t_pst),
-        ("control regions, linear (ours)", t_cr),
-        ("control regions, CFS refinement", t_cfs),
-        ("control regions, FOW hashing", t_fow),
-        ("phi placement, Cytron IDF", t_phi_base),
-        ("phi placement, PST divide-and-conquer", t_phi_pst),
-        ("per-var reaching defs, full iterative", t_df_full),
-        ("per-var reaching defs, QPG", t_df_qpg),
-        ("per-var reaching defs, SEG (CCF91)", t_df_seg),
-    ] {
-        println!("{:<44} {:>10.2?}", label, t);
+    // Timing reps first, then one allocation-counted run per pass inside
+    // an outer snapshot so phase attribution is checkable against the
+    // total (attributed + unattributed = outer delta).
+    let bootstrap = BootstrapConfig::default();
+    let mut sample_sets: Vec<Vec<u64>> = Vec::with_capacity(passes.len());
+    let mut totals = vec![0u64; REPS];
+    for (_, _, f) in &passes {
+        let mut samples = Vec::with_capacity(REPS);
+        for total in totals.iter_mut() {
+            let t = Instant::now();
+            f();
+            let ns = t.elapsed().as_nanos() as u64;
+            samples.push(ns);
+            *total += ns;
+        }
+        sample_sets.push(samples);
     }
+    pst_perf::alloc::reset_peak();
+    let outer_before = pst_perf::alloc::snapshot();
+    let mut phases = Vec::with_capacity(passes.len());
+    let mut attributed_bytes = 0u64;
+    for ((name, _, f), samples) in passes.iter().zip(&sample_sets) {
+        pst_perf::alloc::reset_peak();
+        let before = pst_perf::alloc::snapshot();
+        f();
+        let after = pst_perf::alloc::snapshot();
+        let d = pst_perf::alloc::delta(&before, &after);
+        attributed_bytes += d.bytes;
+        phases.push(PhaseReport {
+            name: name.to_string(),
+            time: Summary::from_samples(samples, &bootstrap),
+            alloc: AllocStats {
+                allocs: d.allocs,
+                bytes_total: d.bytes,
+                peak_live_bytes: d.peak_live_bytes,
+            },
+        });
+    }
+    let outer_after = pst_perf::alloc::snapshot();
+    let outer = pst_perf::alloc::delta(&outer_before, &outer_after);
+
+    println!(
+        "{:<44} {:>10} {:>9} {:>10} {:>10}",
+        "pass (corpus total)", "median", "mad", "ci_lo", "ci_hi"
+    );
+    for ((_, label, _), p) in passes.iter().zip(&phases) {
+        println!(
+            "{:<44} {:>10} {:>9} {:>10} {:>10}",
+            label,
+            fmt_ns(p.time.median),
+            fmt_ns(p.time.mad),
+            fmt_ns(p.time.ci_lo),
+            fmt_ns(p.time.ci_hi)
+        );
+    }
+    let median_of = |name: &str| {
+        phases
+            .iter()
+            .find(|p| p.name == name)
+            .map(|p| p.time.median.max(1) as f64)
+            .expect("pass exists")
+    };
     println!(
         "\ncycle equivalence vs Lengauer-Tarjan: {:.2}x",
-        t_lt.as_secs_f64() / t_ce.as_secs_f64()
+        median_of("dominators_lt") / median_of("cycle_equiv_fast")
     );
     println!(
         "linear control regions vs CFS refinement: {:.2}x",
-        t_cfs.as_secs_f64() / t_cr.as_secs_f64()
+        median_of("control_regions_cfs") / median_of("control_regions_linear")
     );
     println!();
+
+    if format == Format::Json {
+        let (nodes, edges) = analyses.iter().fold((0u64, 0u64), |(n, e), a| {
+            let cfg = &a.procedure.lowered.cfg;
+            (n + cfg.node_count() as u64, e + cfg.edge_count() as u64)
+        });
+        let report = BenchReport {
+            schema_version: BENCH_SCHEMA_VERSION,
+            label: "experiments".to_string(),
+            config: BenchConfig {
+                iters: REPS as u64,
+                warmup: 0,
+                bootstrap,
+                quick: false,
+            },
+            workloads: vec![WorkloadReport {
+                name: "paper_corpus".to_string(),
+                nodes,
+                edges,
+                phases,
+                total_time: Summary::from_samples(&totals, &bootstrap),
+                alloc_total: AllocStats {
+                    allocs: outer.allocs,
+                    bytes_total: outer.bytes,
+                    peak_live_bytes: outer.peak_live_bytes,
+                },
+                alloc_unattributed_bytes: outer.bytes.saturating_sub(attributed_bytes),
+            }],
+            obs: pst_obs::report().to_json(),
+        };
+        let json = report.to_json();
+        if let Err(e) = BenchReport::validate(&json) {
+            eprintln!("experiments: generated report failed self-validation: {e}");
+            std::process::exit(1);
+        }
+        let path = out.unwrap_or("BENCH_experiments.json");
+        match std::fs::write(path, format!("{json}\n")) {
+            Ok(()) => println!("timing report written to {path}\n"),
+            Err(e) => {
+                eprintln!("experiments: cannot write report to `{path}`: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 }

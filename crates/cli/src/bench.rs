@@ -1,0 +1,261 @@
+//! `pst bench` — the performance observatory's command-line front end.
+//!
+//! Runs the `pst-perf` harness over the standard workload matrix
+//! (`examples/*.mini` when present, plus seeded generated CFGs,
+//! programs, and messy digraphs), writes a versioned `BENCH_<label>.json`
+//! report, and optionally:
+//!
+//! - `--compare <baseline.json>`: gates the fresh run (or, with
+//!   `--candidate <report.json>`, a previously written report — no
+//!   re-benchmarking) against a baseline. Regressions beyond the
+//!   CI-overlap threshold exit with code 6.
+//! - `--trace-out <file>`: exports the run's observability span tree as
+//!   Chrome `trace_event` JSON (open in `about:tracing` or Perfetto).
+//!
+//! See `docs/BENCHMARKING.md` for the report schema, the gate
+//! semantics, and the baseline workflow.
+
+use std::path::PathBuf;
+
+use pst_perf::{
+    chrome_trace, compare, run_matrix, standard_matrix, validate_chrome_trace, BenchConfig,
+    BenchReport, GateConfig, HarnessConfig, Workload, BENCH_SCHEMA_VERSION,
+};
+
+use crate::{take_flag, take_value_flag, Failure};
+
+/// Output format for the report summary on stdout.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// Human-readable table (default).
+    Text,
+    /// The report JSON itself.
+    Json,
+}
+
+/// Parsed `pst bench` options.
+pub struct BenchOptions {
+    /// Small matrix and few iterations (CI smoke profile).
+    pub quick: bool,
+    /// Report label; names the default output file `BENCH_<label>.json`.
+    pub label: String,
+    /// Explicit output path (overrides the label-derived default).
+    pub out: Option<String>,
+    /// Timed iterations per workload (default: profile-dependent).
+    pub iters: Option<u64>,
+    /// Warm-up iterations per workload.
+    pub warmup: Option<u64>,
+    /// Baseline report to gate against.
+    pub compare: Option<String>,
+    /// Pre-recorded candidate report: compare without benchmarking.
+    pub candidate: Option<String>,
+    /// Allowed median-time growth in percent (default 10).
+    pub threshold: Option<f64>,
+    /// Allowed allocation growth in percent (default 25).
+    pub alloc_threshold: Option<f64>,
+    /// Chrome trace output path.
+    pub trace_out: Option<String>,
+    /// Summary format on stdout.
+    pub format: Format,
+}
+
+fn take_u64(args: &mut Vec<String>, name: &str) -> Result<Option<u64>, String> {
+    match take_value_flag(args, name)? {
+        None => Ok(None),
+        Some(v) => v
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("`{name}` expects an unsigned integer, got `{v}`")),
+    }
+}
+
+fn take_percent(args: &mut Vec<String>, name: &str) -> Result<Option<f64>, String> {
+    match take_value_flag(args, name)? {
+        None => Ok(None),
+        Some(v) => match v.parse::<f64>() {
+            Ok(x) if x >= 0.0 => Ok(Some(x)),
+            _ => Err(format!("`{name}` expects a non-negative percentage, got `{v}`")),
+        },
+    }
+}
+
+impl BenchOptions {
+    /// Parses bench-specific flags out of the remaining CLI arguments.
+    pub fn from_args(args: &mut Vec<String>) -> Result<BenchOptions, String> {
+        let quick = take_flag(args, "--quick");
+        let label = take_value_flag(args, "--label")?.unwrap_or_else(|| "local".to_string());
+        if label.is_empty() || label.contains(['/', '\\']) {
+            return Err(format!("`--label` must be a plain file-name fragment, got `{label}`"));
+        }
+        let format = match take_value_flag(args, "--format")?.as_deref() {
+            None | Some("text") => Format::Text,
+            Some("json") => Format::Json,
+            Some(other) => return Err(format!("`--format` expects text|json, got `{other}`")),
+        };
+        let opts = BenchOptions {
+            quick,
+            label,
+            out: take_value_flag(args, "--out")?,
+            iters: take_u64(args, "--iters")?,
+            warmup: take_u64(args, "--warmup")?,
+            compare: take_value_flag(args, "--compare")?,
+            candidate: take_value_flag(args, "--candidate")?,
+            threshold: take_percent(args, "--threshold")?,
+            alloc_threshold: take_percent(args, "--alloc-threshold")?,
+            trace_out: take_value_flag(args, "--trace-out")?,
+            format,
+        };
+        if let Some(stray) = args.first() {
+            return Err(format!("unexpected argument `{stray}`"));
+        }
+        if opts.candidate.is_some() && opts.compare.is_none() {
+            return Err("`--candidate` requires `--compare <baseline.json>`".to_string());
+        }
+        if opts.iters == Some(0) {
+            return Err("`--iters` must be at least 1".to_string());
+        }
+        Ok(opts)
+    }
+
+    fn gate_config(&self) -> GateConfig {
+        let mut gate = GateConfig::default();
+        if let Some(pct) = self.threshold {
+            gate.time_ratio = pct / 100.0;
+        }
+        if let Some(pct) = self.alloc_threshold {
+            gate.alloc_ratio = pct / 100.0;
+        }
+        gate
+    }
+
+    fn harness_config(&self) -> HarnessConfig {
+        let mut config = if self.quick {
+            HarnessConfig::quick()
+        } else {
+            HarnessConfig::full()
+        };
+        if let Some(iters) = self.iters {
+            config.iters = iters;
+        }
+        if let Some(warmup) = self.warmup {
+            config.warmup = warmup;
+        }
+        config
+    }
+}
+
+fn load_report(path: &str, role: &str) -> Result<BenchReport, Failure> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| Failure::Usage(format!("cannot read {role} `{path}`: {e}")))?;
+    BenchReport::parse(&text)
+        .map_err(|e| Failure::Analysis(format!("{role} `{path}` is not a valid report: {e}")))
+}
+
+/// `examples/*.mini` as workloads, sorted by name so the matrix is
+/// deterministic. Quietly empty when no `examples/` directory is in
+/// reach (e.g. running from another working directory).
+fn example_workloads() -> Vec<Workload> {
+    let Ok(entries) = std::fs::read_dir("examples") else {
+        return Vec::new();
+    };
+    let mut paths: Vec<PathBuf> = entries
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "mini"))
+        .collect();
+    paths.sort();
+    let mut workloads = Vec::new();
+    for path in paths {
+        let stem = path.file_stem().map(|s| s.to_string_lossy().into_owned());
+        if let (Some(stem), Ok(source)) = (stem, std::fs::read_to_string(&path)) {
+            workloads.push(Workload::mini(format!("mini:{stem}"), source));
+        }
+    }
+    workloads
+}
+
+fn gate(baseline: &BenchReport, candidate: &BenchReport, opts: &BenchOptions) -> Result<(), Failure> {
+    let comparison = compare(baseline, candidate, &opts.gate_config());
+    print!("{}", comparison.render_text());
+    if comparison.passed() {
+        Ok(())
+    } else {
+        Err(Failure::Regression(comparison.findings.len()))
+    }
+}
+
+/// Runs `pst bench`.
+pub fn bench_command(opts: &BenchOptions) -> Result<(), Failure> {
+    // Compare-only mode: both sides come from disk, nothing is measured.
+    if let (Some(baseline_path), Some(candidate_path)) = (&opts.compare, &opts.candidate) {
+        let baseline = load_report(baseline_path, "baseline")?;
+        let candidate = load_report(candidate_path, "candidate")?;
+        return gate(&baseline, &candidate, opts);
+    }
+
+    if !pst_perf::alloc::installed() {
+        eprintln!(
+            "pst: warning: counting allocator not installed; allocation stats will read zero"
+        );
+    }
+    let config = opts.harness_config();
+    // Scope the embedded observability report to the measured runs.
+    pst_obs::reset();
+    let mut workloads = example_workloads();
+    workloads.extend(standard_matrix(opts.quick));
+    let results =
+        run_matrix(&workloads, &config).map_err(|e| Failure::Analysis(e.to_string()))?;
+    let report = BenchReport {
+        schema_version: BENCH_SCHEMA_VERSION,
+        label: opts.label.clone(),
+        config: BenchConfig {
+            iters: config.iters,
+            warmup: config.warmup,
+            bootstrap: config.bootstrap,
+            quick: opts.quick,
+        },
+        workloads: results,
+        obs: pst_obs::report().to_json(),
+    };
+
+    // Self-check: never write a report this build could not read back.
+    let json = report.to_json();
+    BenchReport::validate(&json)
+        .map_err(|e| Failure::Analysis(format!("generated report failed self-validation: {e}")))?;
+
+    let out_path = opts
+        .out
+        .clone()
+        .unwrap_or_else(|| format!("BENCH_{}.json", opts.label));
+    std::fs::write(&out_path, format!("{json}\n"))
+        .map_err(|e| Failure::Analysis(format!("cannot write report to `{out_path}`: {e}")))?;
+
+    match opts.format {
+        Format::Text => {
+            print!("{}", report.render_text());
+            println!("\nreport written to {out_path}");
+        }
+        Format::Json => println!("{json}"),
+    }
+
+    if let Some(trace_path) = &opts.trace_out {
+        if !pst_obs::enabled() {
+            eprintln!(
+                "pst: warning: built without observability (`obs` feature); trace will be empty"
+            );
+        }
+        let trace = chrome_trace(&report.obs)
+            .map_err(|e| Failure::Analysis(format!("trace export failed: {e}")))?;
+        validate_chrome_trace(&trace)
+            .map_err(|e| Failure::Analysis(format!("trace failed self-validation: {e}")))?;
+        std::fs::write(trace_path, format!("{trace}\n"))
+            .map_err(|e| Failure::Analysis(format!("cannot write trace to `{trace_path}`: {e}")))?;
+        println!("chrome trace written to {trace_path} (open in about:tracing or Perfetto)");
+    }
+
+    if let Some(baseline_path) = &opts.compare {
+        let baseline = load_report(baseline_path, "baseline")?;
+        return gate(&baseline, &report, opts);
+    }
+    Ok(())
+}

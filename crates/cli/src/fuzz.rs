@@ -142,6 +142,9 @@ impl Input {
 /// containing panics. Never panics itself.
 fn run_one(graph: &Graph, entry: NodeId, inject: InjectSpec, fault_seed: u64) -> Outcome {
     let result = catch_unwind(AssertUnwindSafe(|| {
+        // Fold this unit's counters into the global aggregate even if it
+        // panics: the tally recorded before the crash is data, not noise.
+        let _fold = pst_obs::fold_on_drop();
         let canonical = match canonicalize(graph, entry, &CanonicalizeOptions::default()) {
             Ok(c) => c,
             Err(_) => return Outcome::Rejected,

@@ -18,6 +18,11 @@
 //! pst lint <file.mini | -> [--edges] [--json] [--dot <path>]
 //!          [--allow <rule>] [--deny <rule>]
 //! pst fuzz --seed-range <A>..<B> [--budget-ms <N>] [--out-dir <dir>]
+//! pst bench [--quick] [--label <name>] [--out <path>] [--iters <N>]
+//!           [--warmup <N>] [--compare <baseline.json>]
+//!           [--candidate <report.json>] [--threshold <pct>]
+//!           [--alloc-threshold <pct>] [--trace-out <file>]
+//!           [--format text|json]
 //! ```
 //!
 //! `--canonicalize` reads a raw `a->b`-style edge list (node 0 is the
@@ -39,17 +44,32 @@
 //! rules; `--json` emits machine-readable reports; `--dot` writes a
 //! Graphviz dump with the findings highlighted.
 //!
+//! `bench` runs the deterministic in-process benchmark harness of
+//! `pst-perf` over the standard workload matrix, writes a versioned
+//! `BENCH_<label>.json` report (robust per-phase statistics, allocation
+//! totals, embedded observability span tree), gates against a baseline
+//! with `--compare`, and exports Chrome `trace_event` JSON with
+//! `--trace-out` (see `docs/BENCHMARKING.md`).
+//!
 //! `-` reads the program from stdin. Exit codes: 0 ok, 1 analysis error,
 //! 2 usage error, 3 invariant-checker violation, 4 contained panic
-//! (a contained panic takes precedence over a violation), 5 lint findings.
+//! (a contained panic takes precedence over a violation), 5 lint
+//! findings, 6 performance regression (`pst bench --compare`).
 //!
 //! Observability (see `docs/OBSERVABILITY.md`): `--trace` prints the
 //! recorded phase tree and counters to stderr; `--metrics-json <path>`
 //! writes the same report as JSON (`-` = stderr). The `PST_METRICS`
 //! environment variable supplies a default for `--metrics-json`.
 
+mod bench;
 mod fuzz;
 mod lint;
+
+/// Every `pst` process counts its allocations: the observability layer
+/// and `pst bench` read the totals, and the per-allocation cost is a
+/// handful of relaxed atomic increments.
+#[global_allocator]
+static ALLOC: pst_perf::CountingAlloc = pst_perf::CountingAlloc::new();
 
 use std::io::Read as _;
 use std::process::ExitCode;
@@ -66,7 +86,9 @@ const USAGE: &str = "usage: pst <regions|kinds|dot|clusters|control-regions|ssa|
      pst --canonicalize <edges.txt | -> [--tether] [--split-self-loops] [--paranoid]\n       \
      pst lint <file.mini | -> [--edges] [--json] [--dot <path>] \
      [--allow <rule>] [--deny <rule>]\n       \
-     pst fuzz --seed-range <A>..<B> [--budget-ms <N>] [--out-dir <dir>]";
+     pst fuzz --seed-range <A>..<B> [--budget-ms <N>] [--out-dir <dir>]\n       \
+     pst bench [--quick] [--label <name>] [--out <path>] [--compare <baseline.json>] \
+     [--trace-out <file>]";
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -92,6 +114,12 @@ fn main() -> ExitCode {
         args.remove(0);
         match fuzz::FuzzOptions::from_args(&mut args) {
             Ok(opts) => fuzz::fuzz_command(&opts),
+            Err(msg) => Err(Failure::Usage(msg)),
+        }
+    } else if !canonicalize_mode && args.first().map(String::as_str) == Some("bench") {
+        args.remove(0);
+        match bench::BenchOptions::from_args(&mut args) {
+            Ok(opts) => bench::bench_command(&opts),
             Err(msg) => Err(Failure::Usage(msg)),
         }
     } else if !canonicalize_mode && args.first().map(String::as_str) == Some("lint") {
@@ -125,6 +153,10 @@ fn main() -> ExitCode {
         Err(Failure::Lint(count)) => {
             eprintln!("pst: {count} lint finding(s)");
             ExitCode::from(5)
+        }
+        Err(Failure::Regression(count)) => {
+            eprintln!("pst: {count} performance regression finding(s)");
+            ExitCode::from(6)
         }
     }
 }
@@ -220,6 +252,9 @@ pub enum Failure {
     /// `pst lint` found this many diagnostics (exit 5). Not an error —
     /// the report was already printed.
     Lint(usize),
+    /// `pst bench --compare` found this many regressions beyond the
+    /// gate's thresholds (exit 6). The comparison was already printed.
+    Regression(usize),
 }
 
 fn read_source(path: &str) -> std::io::Result<String> {

@@ -224,3 +224,155 @@ fn lint_dot_export_highlights_findings() {
     assert!(dot.contains("digraph"), "{dot}");
     assert!(dot.contains("color=red"), "{dot}");
 }
+
+// --- pst bench ------------------------------------------------------------
+
+/// Like [`run`], but with the working directory pinned (bench writes its
+/// report relative to the cwd).
+fn run_in(dir: &std::path::Path, args: &[&str]) -> (String, String, i32) {
+    let out = Command::new(env!("CARGO_BIN_EXE_pst"))
+        .args(args)
+        .current_dir(dir)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code().unwrap_or(-1),
+    )
+}
+
+fn bench_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("pst_cli_bench_{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create bench dir");
+    dir
+}
+
+/// A fast bench invocation: tiny iteration count, quick matrix.
+const QUICK: &[&str] = &["bench", "--quick", "--iters", "2", "--warmup", "0"];
+
+#[test]
+fn bench_quick_writes_schema_valid_report_and_trace() {
+    let dir = bench_dir("report");
+    let mut args = QUICK.to_vec();
+    args.extend(["--label", "e2e", "--trace-out", "trace.json"]);
+    let (out, err, code) = run_in(&dir, &args);
+    assert_eq!(code, 0, "stdout: {out}\nstderr: {err}");
+    assert!(out.contains("report written to BENCH_e2e.json"), "{out}");
+
+    let text = std::fs::read_to_string(dir.join("BENCH_e2e.json")).expect("report written");
+    let report = pst_perf::BenchReport::parse(&text).expect("schema-valid report");
+    assert_eq!(report.label, "e2e");
+    assert!(report.config.quick && report.config.iters == 2);
+    assert!(!report.workloads.is_empty());
+    for w in &report.workloads {
+        assert!(!w.phases.is_empty(), "workload {} has phases", w.name);
+        for p in &w.phases {
+            assert_eq!(p.time.samples, 2);
+            assert!(p.time.ci_lo <= p.time.median && p.time.median <= p.time.ci_hi);
+        }
+        // The allocator is installed in the binary, so the pipeline must
+        // have allocated, and phase attribution can't exceed the total.
+        assert!(w.alloc_total.bytes_total > 0, "workload {}", w.name);
+        let attributed: u64 = w.phases.iter().map(|p| p.alloc.bytes_total).sum();
+        assert_eq!(
+            attributed + w.alloc_unattributed_bytes,
+            w.alloc_total.bytes_total,
+            "workload {}",
+            w.name
+        );
+    }
+    // The CLI builds with observability on by default, so the embedded
+    // obs report has spans and the trace export is non-trivial.
+    let spans = report.obs.get("spans").expect("obs spans");
+    assert!(matches!(spans, pst_obs::json::Json::Arr(s) if !s.is_empty()));
+
+    let trace_text = std::fs::read_to_string(dir.join("trace.json")).expect("trace written");
+    let trace = pst_obs::json::Json::parse(&trace_text).expect("trace parses");
+    pst_perf::validate_chrome_trace(&trace).expect("trace schema");
+}
+
+#[test]
+fn bench_compare_passes_on_identical_reports_and_gates_regressions() {
+    let dir = bench_dir("compare");
+    let mut args = QUICK.to_vec();
+    args.extend(["--label", "base"]);
+    let (_, err, code) = run_in(&dir, &args);
+    assert_eq!(code, 0, "{err}");
+
+    // Identical baseline and candidate: the gate must stay quiet.
+    let (out, _, code) = run_in(
+        &dir,
+        &[
+            "bench",
+            "--compare",
+            "BENCH_base.json",
+            "--candidate",
+            "BENCH_base.json",
+        ],
+    );
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("regression gate: PASS"), "{out}");
+
+    // Shrink every baseline number 100x: the candidate now regresses
+    // everything, with disjoint CIs — exit code 6.
+    let text = std::fs::read_to_string(dir.join("BENCH_base.json")).expect("report");
+    let mut shrunk = pst_perf::BenchReport::parse(&text).expect("valid report");
+    let shrink = |s: &mut pst_perf::Summary| {
+        s.min = (s.min / 100).max(1);
+        s.median = (s.median / 100).max(1);
+        s.max = (s.max / 100).max(s.median);
+        s.mad /= 100;
+        s.ci_lo = (s.ci_lo / 100).max(1).min(s.median);
+        s.ci_hi = (s.ci_hi / 100).max(s.median);
+        s.mean /= 100.0;
+    };
+    for w in &mut shrunk.workloads {
+        for p in &mut w.phases {
+            shrink(&mut p.time);
+            p.alloc.allocs /= 100;
+            p.alloc.bytes_total /= 100;
+        }
+        shrink(&mut w.total_time);
+        w.alloc_total.allocs /= 100;
+        w.alloc_total.bytes_total /= 100;
+    }
+    std::fs::write(
+        dir.join("BENCH_shrunk.json"),
+        format!("{}\n", shrunk.to_json()),
+    )
+    .expect("write shrunk baseline");
+    let (out, err, code) = run_in(
+        &dir,
+        &[
+            "bench",
+            "--compare",
+            "BENCH_shrunk.json",
+            "--candidate",
+            "BENCH_base.json",
+        ],
+    );
+    assert_eq!(code, 6, "stdout: {out}\nstderr: {err}");
+    assert!(out.contains("regression gate: FAIL"), "{out}");
+    assert!(err.contains("performance regression finding(s)"), "{err}");
+}
+
+#[test]
+fn bench_usage_errors_exit_2() {
+    let dir = bench_dir("usage");
+    // --candidate without --compare is meaningless.
+    let (_, err, code) = run_in(&dir, &["bench", "--candidate", "x.json"]);
+    assert_eq!(code, 2);
+    assert!(err.contains("--candidate"), "{err}");
+    // A malformed baseline is caught by schema validation (exit 1).
+    std::fs::write(dir.join("bad.json"), "{\"schema_version\": 99}").expect("write");
+    let (_, err, code) = run_in(
+        &dir,
+        &["bench", "--compare", "bad.json", "--candidate", "bad.json"],
+    );
+    assert_eq!(code, 1, "{err}");
+    assert!(err.contains("not a valid report"), "{err}");
+}

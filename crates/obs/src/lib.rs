@@ -139,6 +139,11 @@ pub struct SpanNode {
     pub count: u64,
     /// Total wall-time spent inside, in nanoseconds.
     pub nanos: u64,
+    /// Nanoseconds between the process-wide observability epoch (the
+    /// first span entered anywhere) and the first entry of this span.
+    /// Lets exporters place merged spans on a shared timeline — see
+    /// `pst-perf`'s Chrome `trace_event` export.
+    pub start_nanos: u64,
     /// Nested spans, in first-entry order.
     pub children: Vec<SpanNode>,
 }
@@ -148,6 +153,7 @@ impl SpanNode {
     fn merge_from(&mut self, other: &SpanNode) {
         self.count += other.count;
         self.nanos += other.nanos;
+        self.start_nanos = self.start_nanos.min(other.start_nanos);
         for child in &other.children {
             match self.children.iter_mut().find(|c| c.name == child.name) {
                 Some(mine) => mine.merge_from(child),
@@ -161,6 +167,7 @@ impl SpanNode {
             ("name", Json::Str(self.name.clone())),
             ("count", Json::UInt(self.count)),
             ("nanos", Json::UInt(self.nanos)),
+            ("start_nanos", Json::UInt(self.start_nanos)),
             (
                 "children",
                 Json::Arr(self.children.iter().map(SpanNode::to_json).collect()),
@@ -212,7 +219,7 @@ impl Report {
     ///
     /// ```json
     /// {"spans": [{"name": "...", "count": 1, "nanos": 123,
-    ///             "children": [...]}, ...],
+    ///             "start_nanos": 0, "children": [...]}, ...],
     ///  "counters": {"brackets_pushed": 42, ...},
     ///  "gauges": {"cfg_nodes": 7, ...}}
     /// ```
@@ -294,12 +301,75 @@ pub fn counter_value(name: &str) -> u64 {
     report().counter(name)
 }
 
+/// Drains the calling thread's counter and gauge registries into the
+/// global aggregate immediately.
+///
+/// Normally a thread's registries fold into the aggregate only when the
+/// thread exits, so counters recorded by a live worker are invisible to
+/// [`report`] on other threads, and a unit of work whose panic is
+/// contained by `catch_unwind` can lose its tally if the thread never
+/// exits cleanly. Flushing *moves* the totals (it never double-counts):
+/// after the call the thread's local registries are empty and the
+/// global aggregate holds the sums. Span trees are not flushed — the
+/// thread may still hold open [`SpanGuard`]s pointing into its tree.
+pub fn flush_thread() {
+    #[cfg(feature = "enabled")]
+    imp::flush_thread_metrics();
+}
+
+/// RAII version of [`flush_thread`]: folds the calling thread's
+/// counters and gauges into the global aggregate on drop — **including
+/// drops that happen while a panic unwinds**. `pst fuzz` creates one of
+/// these inside every `catch_unwind`-contained unit so the counters a
+/// panicking input recorded before its crash still reach the report.
+#[must_use = "the guard folds counters when dropped; binding it to `_` drops it immediately"]
+pub struct ScopedFold {
+    // `!Send`: the guard must drop on the thread whose registries it folds.
+    _thread_bound: std::marker::PhantomData<*const ()>,
+}
+
+/// Creates a [`ScopedFold`] guard for the current thread.
+pub fn fold_on_drop() -> ScopedFold {
+    ScopedFold {
+        _thread_bound: std::marker::PhantomData,
+    }
+}
+
+impl Drop for ScopedFold {
+    fn drop(&mut self) {
+        #[cfg(feature = "enabled")]
+        imp::flush_thread_metrics();
+    }
+}
+
 #[cfg(feature = "enabled")]
 mod imp {
     use super::{Report, SpanNode};
     use std::cell::RefCell;
-    use std::sync::Mutex;
+    use std::sync::{Mutex, MutexGuard, OnceLock};
     use std::time::Instant;
+
+    /// Process-wide time origin for span `start_nanos` offsets: the
+    /// instant the first span (on any thread) is entered. Shared so
+    /// offsets from different threads land on one comparable timeline.
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+    /// Nanoseconds since the process epoch (which this call may mint).
+    fn epoch_offset_nanos() -> u64 {
+        EPOCH
+            .get_or_init(Instant::now)
+            .elapsed()
+            .as_nanos()
+            .min(u64::MAX as u128) as u64
+    }
+
+    /// Locks the global aggregate, recovering from poisoning: a panic
+    /// on some other thread must never silently discard every later
+    /// thread's fold (the registry holds plain counters whose invariants
+    /// cannot be torn by an unwind).
+    fn lock_global() -> MutexGuard<'static, Report> {
+        GLOBAL.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
 
     /// Tree arena: node 0 is the synthetic root.
     #[derive(Default)]
@@ -307,6 +377,7 @@ mod imp {
         names: Vec<&'static str>,
         counts: Vec<u64>,
         nanos: Vec<u64>,
+        starts: Vec<u64>,
         children: Vec<Vec<usize>>,
     }
 
@@ -321,6 +392,7 @@ mod imp {
             self.names.push(name);
             self.counts.push(0);
             self.nanos.push(0);
+            self.starts.push(u64::MAX);
             self.children.push(Vec::new());
             self.names.len() - 1
         }
@@ -342,6 +414,10 @@ mod imp {
                 name: self.names[node].to_string(),
                 count: self.counts[node],
                 nanos: self.nanos[node],
+                start_nanos: match self.starts[node] {
+                    u64::MAX => 0,
+                    s => s,
+                },
                 children: self.children[node]
                     .iter()
                     .map(|&c| self.snapshot(c))
@@ -386,9 +462,7 @@ mod imp {
 
     impl Drop for ThreadState {
         fn drop(&mut self) {
-            if let Ok(mut agg) = GLOBAL.lock() {
-                self.fold_into(&mut agg);
-            }
+            self.fold_into(&mut lock_global());
         }
     }
 
@@ -409,11 +483,14 @@ mod imp {
     }
 
     pub(super) fn enter(name: &'static str) -> OpenSpan {
+        let offset = epoch_offset_nanos();
         let node = STATE.with(|s| {
             let mut s = s.borrow_mut();
             let parent = *s.stack.last().expect("span stack has a root");
             let node = s.tree.child_named(parent, name);
             s.stack.push(node);
+            let start = &mut s.tree.starts[node];
+            *start = (*start).min(offset);
             node
         });
         OpenSpan {
@@ -471,16 +548,37 @@ mod imp {
     }
 
     pub(super) fn report() -> Report {
-        let mut agg = GLOBAL.lock().expect("obs global registry").clone();
+        let mut agg = lock_global().clone();
         STATE.with(|s| s.borrow().fold_into(&mut agg));
         agg
     }
 
     pub(super) fn reset() {
-        if let Ok(mut agg) = GLOBAL.lock() {
-            *agg = Report::default();
-        }
+        *lock_global() = Report::default();
         STATE.with(|s| *s.borrow_mut() = ThreadState::new());
+    }
+
+    /// Moves the calling thread's counters and gauges into the global
+    /// aggregate (see [`super::flush_thread`]). Uses `try_with` so a
+    /// flush racing thread-local destruction is a no-op, not a panic —
+    /// the `ThreadState` destructor folds everything anyway.
+    pub(super) fn flush_thread_metrics() {
+        let _ = STATE.try_with(|s| {
+            let mut s = s.borrow_mut();
+            let counters = std::mem::take(&mut s.counters);
+            let gauges = std::mem::take(&mut s.gauges);
+            if counters.is_empty() && gauges.is_empty() {
+                return;
+            }
+            let mut agg = lock_global();
+            for (name, v) in counters {
+                *agg.counters.entry(name.to_string()).or_insert(0) += v;
+            }
+            for (name, v) in gauges {
+                let slot = agg.gauges.entry(name.to_string()).or_insert(0);
+                *slot = (*slot).max(v);
+            }
+        });
     }
 }
 
@@ -543,6 +641,77 @@ mod tests {
         gauge!("size", 9);
         std::thread::spawn(|| gauge!("size", 6)).join().unwrap();
         assert_eq!(report().gauge("size"), 9);
+        reset();
+    }
+
+    #[test]
+    fn start_offsets_order_siblings_on_one_timeline() {
+        let _l = locked();
+        reset();
+        {
+            let _outer = Span::enter("timeline_outer");
+            {
+                let _a = Span::enter("timeline_a");
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            let _b = Span::enter("timeline_b");
+        }
+        let r = report();
+        let outer = r
+            .spans
+            .iter()
+            .find(|s| s.name == "timeline_outer")
+            .expect("outer span recorded");
+        let a = &outer.children[0];
+        let b = &outer.children[1];
+        assert_eq!((a.name.as_str(), b.name.as_str()), ("timeline_a", "timeline_b"));
+        assert!(outer.start_nanos <= a.start_nanos);
+        assert!(
+            a.start_nanos < b.start_nanos,
+            "b entered after a slept, so its offset must be later"
+        );
+        reset();
+    }
+
+    #[test]
+    fn scoped_fold_survives_contained_panic() {
+        let _l = locked();
+        reset();
+        let result = std::panic::catch_unwind(|| {
+            let _fold = fold_on_drop();
+            counter!("doomed_unit_ticks", 3);
+            panic!("unit dies after recording");
+        });
+        assert!(result.is_err());
+        // The guard drained the tally into the global aggregate during
+        // the unwind; the report sees it exactly once.
+        assert_eq!(report().counter("doomed_unit_ticks"), 3);
+        reset();
+    }
+
+    #[test]
+    fn flush_makes_live_worker_counters_visible_without_double_count() {
+        let _l = locked();
+        reset();
+        let (ready_tx, ready_rx) = std::sync::mpsc::channel();
+        let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+        let worker = std::thread::spawn(move || {
+            counter!("worker_units", 2);
+            gauge!("worker_peak", 7);
+            flush_thread();
+            ready_tx.send(()).unwrap();
+            // Stay alive: without the flush the main thread could not
+            // see this thread's counters yet.
+            release_rx.recv().unwrap();
+            counter!("worker_units", 1);
+        });
+        ready_rx.recv().unwrap();
+        assert_eq!(report().counter("worker_units"), 2);
+        assert_eq!(report().gauge("worker_peak"), 7);
+        release_tx.send(()).unwrap();
+        worker.join().unwrap();
+        // Thread exit folds the post-flush remainder; no double count.
+        assert_eq!(report().counter("worker_units"), 3);
         reset();
     }
 }

@@ -1,0 +1,163 @@
+//! A counting global allocator: the harness's memory-measurement
+//! substrate.
+//!
+//! [`CountingAlloc`] wraps [`std::alloc::System`] and maintains four
+//! process-global relaxed atomics: allocation calls, bytes requested,
+//! live bytes, and peak live bytes (a cheap RSS proxy). Binaries opt in
+//! with
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: pst_perf::CountingAlloc = pst_perf::CountingAlloc::new();
+//! ```
+//!
+//! The `pst` CLI and the `experiments` binary install it; the overhead
+//! is a handful of relaxed atomic operations per allocation, which is
+//! why `pst bench` can afford to leave it on while timing.
+//!
+//! This is the only module in the workspace's own crates that needs
+//! `unsafe` (the `GlobalAlloc` contract); the implementation only
+//! forwards to `System` and updates counters.
+//!
+//! Per-phase attribution ([`harness`](crate::harness)) takes
+//! [`snapshot`]s around each phase and differences them; that is exact
+//! for the single-threaded harness loop and merely approximate if other
+//! threads allocate concurrently.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+static DEALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+static BYTES_TOTAL: AtomicU64 = AtomicU64::new(0);
+static BYTES_LIVE: AtomicU64 = AtomicU64::new(0);
+static BYTES_PEAK: AtomicU64 = AtomicU64::new(0);
+
+/// The counting allocator; a zero-sized forwarder to `System`.
+pub struct CountingAlloc;
+
+impl CountingAlloc {
+    /// `const` constructor, usable in a `#[global_allocator]` static.
+    pub const fn new() -> CountingAlloc {
+        CountingAlloc
+    }
+}
+
+impl Default for CountingAlloc {
+    fn default() -> Self {
+        CountingAlloc::new()
+    }
+}
+
+fn record_alloc(size: u64) {
+    ALLOC_CALLS.fetch_add(1, Relaxed);
+    BYTES_TOTAL.fetch_add(size, Relaxed);
+    let live = BYTES_LIVE.fetch_add(size, Relaxed).wrapping_add(size);
+    BYTES_PEAK.fetch_max(live, Relaxed);
+}
+
+fn record_dealloc(size: u64) {
+    DEALLOC_CALLS.fetch_add(1, Relaxed);
+    BYTES_LIVE.fetch_sub(size, Relaxed);
+}
+
+// SAFETY: every method forwards verbatim to `System`, which upholds the
+// `GlobalAlloc` contract; the counter updates touch no allocator state.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let ptr = System.alloc(layout);
+        if !ptr.is_null() {
+            record_alloc(layout.size() as u64);
+        }
+        ptr
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let ptr = System.alloc_zeroed(layout);
+        if !ptr.is_null() {
+            record_alloc(layout.size() as u64);
+        }
+        ptr
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        record_dealloc(layout.size() as u64);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let new_ptr = System.realloc(ptr, layout, new_size);
+        if !new_ptr.is_null() {
+            record_dealloc(layout.size() as u64);
+            record_alloc(new_size as u64);
+        }
+        new_ptr
+    }
+}
+
+/// Point-in-time reading of the allocator counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AllocSnapshot {
+    /// Total allocation calls since process start.
+    pub alloc_calls: u64,
+    /// Total deallocation calls since process start.
+    pub dealloc_calls: u64,
+    /// Total bytes ever requested.
+    pub bytes_total: u64,
+    /// Bytes currently live.
+    pub bytes_live: u64,
+    /// Peak live bytes since process start or the last [`reset_peak`].
+    pub bytes_peak: u64,
+}
+
+/// Reads the counters. All zeros when [`CountingAlloc`] is not the
+/// process's global allocator.
+pub fn snapshot() -> AllocSnapshot {
+    AllocSnapshot {
+        alloc_calls: ALLOC_CALLS.load(Relaxed),
+        dealloc_calls: DEALLOC_CALLS.load(Relaxed),
+        bytes_total: BYTES_TOTAL.load(Relaxed),
+        bytes_live: BYTES_LIVE.load(Relaxed),
+        bytes_peak: BYTES_PEAK.load(Relaxed),
+    }
+}
+
+/// Resets the peak-live-bytes watermark to the current live count, so a
+/// following [`snapshot`] reads the peak *within* a measured region.
+/// Meaningful only while no other thread allocates (the harness is
+/// single-threaded).
+pub fn reset_peak() {
+    BYTES_PEAK.store(BYTES_LIVE.load(Relaxed), Relaxed);
+}
+
+/// Growth between two snapshots of one measured region.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AllocDelta {
+    /// Allocation calls inside the region.
+    pub allocs: u64,
+    /// Bytes requested inside the region.
+    pub bytes: u64,
+    /// Peak live bytes observed during the region (requires
+    /// [`reset_peak`] at region start to be region-local).
+    pub peak_live_bytes: u64,
+}
+
+/// Differences `after - before`; `peak_live_bytes` is `after`'s
+/// watermark (region-local iff the watermark was reset at `before`).
+pub fn delta(before: &AllocSnapshot, after: &AllocSnapshot) -> AllocDelta {
+    AllocDelta {
+        allocs: after.alloc_calls.saturating_sub(before.alloc_calls),
+        bytes: after.bytes_total.saturating_sub(before.bytes_total),
+        peak_live_bytes: after.bytes_peak,
+    }
+}
+
+/// Probes whether the counting allocator is actually installed as the
+/// process's global allocator (a library cannot know statically).
+pub fn installed() -> bool {
+    let before = ALLOC_CALLS.load(Relaxed);
+    let v: Vec<u8> = Vec::with_capacity(97);
+    std::hint::black_box(&v);
+    drop(v);
+    ALLOC_CALLS.load(Relaxed) != before
+}

@@ -1,0 +1,264 @@
+//! The regression gate behind `pst bench --compare` (exit code 6).
+//!
+//! Baseline and candidate [`BenchReport`]s are matched workload-by-name
+//! and phase-by-name. A **time** regression requires *both* a median
+//! ratio beyond the threshold *and* disjoint bootstrap confidence
+//! intervals — overlap means the difference is within measurement
+//! noise, so the gate stays quiet. An **allocation** regression is
+//! ratio-only (allocation counts are deterministic, so no interval is
+//! needed). Tiny absolute values are exempt via floors: a 2× blowup of
+//! a 100 ns phase is jitter, not a finding.
+
+use std::fmt::Write as _;
+
+use crate::report::{fmt_ns, AllocStats, BenchReport};
+use crate::stats::Summary;
+
+/// Thresholds and floors for [`compare`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GateConfig {
+    /// Allowed fractional median-time growth (0.10 = +10%).
+    pub time_ratio: f64,
+    /// Allowed fractional allocation growth (bytes and calls).
+    pub alloc_ratio: f64,
+    /// Candidate medians below this many nanoseconds never fail.
+    pub min_time_ns: u64,
+    /// Candidate byte totals below this never fail.
+    pub min_bytes: u64,
+    /// Candidate allocation counts below this never fail.
+    pub min_allocs: u64,
+}
+
+impl Default for GateConfig {
+    fn default() -> Self {
+        GateConfig {
+            time_ratio: 0.10,
+            alloc_ratio: 0.25,
+            min_time_ns: 500,
+            min_bytes: 4096,
+            min_allocs: 64,
+        }
+    }
+}
+
+/// What kind of regression a [`Finding`] reports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RegressionKind {
+    /// Median wall time grew beyond threshold with disjoint CIs.
+    Time,
+    /// Total bytes allocated grew beyond threshold.
+    AllocBytes,
+    /// Allocation calls grew beyond threshold.
+    AllocCount,
+    /// A baseline workload or phase is absent from the candidate, so
+    /// its cost can no longer be compared.
+    Missing,
+}
+
+impl RegressionKind {
+    fn label(self) -> &'static str {
+        match self {
+            RegressionKind::Time => "time",
+            RegressionKind::AllocBytes => "alloc-bytes",
+            RegressionKind::AllocCount => "alloc-count",
+            RegressionKind::Missing => "missing",
+        }
+    }
+}
+
+/// One gate violation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Finding {
+    /// Workload name.
+    pub workload: String,
+    /// Phase name, or `"total"` for the whole-workload aggregate.
+    pub phase: String,
+    /// What regressed.
+    pub kind: RegressionKind,
+    /// Baseline value (ns or bytes or calls, per `kind`).
+    pub baseline: u64,
+    /// Candidate value.
+    pub candidate: u64,
+    /// `candidate / baseline` (baseline clamped to ≥ 1).
+    pub ratio: f64,
+}
+
+/// The outcome of a baseline/candidate comparison.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Comparison {
+    /// Gate violations, in baseline order.
+    pub findings: Vec<Finding>,
+    /// Workloads matched by name and compared.
+    pub compared_workloads: u64,
+    /// Phases compared across those workloads (including totals).
+    pub compared_phases: u64,
+}
+
+impl Comparison {
+    /// Whether the gate passes (no findings).
+    pub fn passed(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Human-readable verdict (what `pst bench --compare` prints).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        if self.passed() {
+            let _ = writeln!(
+                out,
+                "regression gate: PASS ({} workloads, {} phase comparisons)",
+                self.compared_workloads, self.compared_phases
+            );
+            return out;
+        }
+        let _ = writeln!(
+            out,
+            "regression gate: FAIL — {} finding(s) over {} workloads, {} phase comparisons",
+            self.findings.len(),
+            self.compared_workloads,
+            self.compared_phases
+        );
+        for f in &self.findings {
+            let rendered = match f.kind {
+                RegressionKind::Time => format!(
+                    "{} -> {} ({:.2}x, CIs disjoint)",
+                    fmt_ns(f.baseline),
+                    fmt_ns(f.candidate),
+                    f.ratio
+                ),
+                RegressionKind::AllocBytes => {
+                    format!("{} -> {} bytes ({:.2}x)", f.baseline, f.candidate, f.ratio)
+                }
+                RegressionKind::AllocCount => {
+                    format!("{} -> {} allocs ({:.2}x)", f.baseline, f.candidate, f.ratio)
+                }
+                RegressionKind::Missing => "present in baseline, absent in candidate".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "  [{}] {} / {}: {}",
+                f.kind.label(),
+                f.workload,
+                f.phase,
+                rendered
+            );
+        }
+        out
+    }
+}
+
+fn ratio(baseline: u64, candidate: u64) -> f64 {
+    candidate as f64 / baseline.max(1) as f64
+}
+
+fn check_time(
+    findings: &mut Vec<Finding>,
+    gate: &GateConfig,
+    workload: &str,
+    phase: &str,
+    baseline: &Summary,
+    candidate: &Summary,
+) {
+    let r = ratio(baseline.median, candidate.median);
+    let beyond = r > 1.0 + gate.time_ratio;
+    let significant = !baseline.ci_overlaps(candidate);
+    if beyond && significant && candidate.median >= gate.min_time_ns {
+        findings.push(Finding {
+            workload: workload.to_string(),
+            phase: phase.to_string(),
+            kind: RegressionKind::Time,
+            baseline: baseline.median,
+            candidate: candidate.median,
+            ratio: r,
+        });
+    }
+}
+
+fn check_alloc(
+    findings: &mut Vec<Finding>,
+    gate: &GateConfig,
+    workload: &str,
+    phase: &str,
+    baseline: &AllocStats,
+    candidate: &AllocStats,
+) {
+    let rb = ratio(baseline.bytes_total, candidate.bytes_total);
+    if rb > 1.0 + gate.alloc_ratio && candidate.bytes_total >= gate.min_bytes {
+        findings.push(Finding {
+            workload: workload.to_string(),
+            phase: phase.to_string(),
+            kind: RegressionKind::AllocBytes,
+            baseline: baseline.bytes_total,
+            candidate: candidate.bytes_total,
+            ratio: rb,
+        });
+    }
+    let rc = ratio(baseline.allocs, candidate.allocs);
+    if rc > 1.0 + gate.alloc_ratio && candidate.allocs >= gate.min_allocs {
+        findings.push(Finding {
+            workload: workload.to_string(),
+            phase: phase.to_string(),
+            kind: RegressionKind::AllocCount,
+            baseline: baseline.allocs,
+            candidate: candidate.allocs,
+            ratio: rc,
+        });
+    }
+}
+
+/// Compares `candidate` against `baseline`. Every workload of the
+/// baseline must be present in the candidate (extra candidate workloads
+/// are ignored — a grown matrix is not a regression); within a matched
+/// workload, every baseline phase must be present. Matched pairs are
+/// checked for time and allocation regressions per [`GateConfig`].
+pub fn compare(baseline: &BenchReport, candidate: &BenchReport, gate: &GateConfig) -> Comparison {
+    let mut findings = Vec::new();
+    let mut compared_workloads = 0u64;
+    let mut compared_phases = 0u64;
+    for bw in &baseline.workloads {
+        let missing = |phase: &str| Finding {
+            workload: bw.name.clone(),
+            phase: phase.to_string(),
+            kind: RegressionKind::Missing,
+            baseline: 0,
+            candidate: 0,
+            ratio: 0.0,
+        };
+        let Some(cw) = candidate.workloads.iter().find(|w| w.name == bw.name) else {
+            findings.push(missing("total"));
+            continue;
+        };
+        compared_workloads += 1;
+        for bp in &bw.phases {
+            let Some(cp) = cw.phases.iter().find(|p| p.name == bp.name) else {
+                findings.push(missing(&bp.name));
+                continue;
+            };
+            compared_phases += 1;
+            check_time(&mut findings, gate, &bw.name, &bp.name, &bp.time, &cp.time);
+            check_alloc(&mut findings, gate, &bw.name, &bp.name, &bp.alloc, &cp.alloc);
+        }
+        compared_phases += 1;
+        check_time(
+            &mut findings,
+            gate,
+            &bw.name,
+            "total",
+            &bw.total_time,
+            &cw.total_time,
+        );
+        check_alloc(
+            &mut findings,
+            gate,
+            &bw.name,
+            "total",
+            &bw.alloc_total,
+            &cw.alloc_total,
+        );
+    }
+    Comparison {
+        findings,
+        compared_workloads,
+        compared_phases,
+    }
+}

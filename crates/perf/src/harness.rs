@@ -1,0 +1,443 @@
+//! The measurement loop: run the pipeline over a workload, attribute
+//! wall time and allocations to phases.
+//!
+//! One pipeline body (`run_pipeline`) serves both measurements
+//! through a sink abstraction: the timing pass wraps each phase in
+//! [`std::time::Instant`] reads, the allocation pass in
+//! [`alloc::snapshot`] differences. Because both passes execute the
+//! *same* code path, the per-phase allocation attribution is checkable
+//! against the whole-run totals (`tests/alloc_attribution.rs` asserts
+//! phase deltas sum exactly to the outer delta for a single-threaded
+//! run).
+//!
+//! Phase vocabulary (a workload reports the subset it exercises):
+//! `parse`, `lower`, `canonicalize`, `dominators`, `cycle_equiv`,
+//! `pst`, `control_regions`, `ssa`, `dataflow`.
+
+use std::fmt;
+use std::hint::black_box;
+use std::time::Instant;
+
+use pst_cfg::{canonicalize, CanonicalizeOptions, Cfg, Graph, NodeId};
+use pst_core::{collapse_all, ControlRegions, CycleEquiv, ProgramStructureTree};
+use pst_dataflow::{QpgContext, SingleVariableReachingDefs};
+use pst_dominators::{dominator_tree, postdominator_tree};
+use pst_lang::{
+    lower_program, parse_program, pretty_function, LoweredFunction, VarId,
+};
+use pst_ssa::{place_phis_pst_unchecked, rename};
+use pst_workloads::{generate_function, random_cfg, random_digraph};
+
+use crate::alloc::{self, AllocDelta};
+use crate::report::{AllocStats, PhaseReport, WorkloadReport};
+use crate::stats::{BootstrapConfig, Summary};
+use crate::workload::{Workload, WorkloadSpec};
+
+/// The canonical phase order; reports list phases in first-execution
+/// order, which is a subsequence of this.
+pub const PHASE_NAMES: [&str; 9] = [
+    "parse",
+    "lower",
+    "canonicalize",
+    "dominators",
+    "cycle_equiv",
+    "pst",
+    "control_regions",
+    "ssa",
+    "dataflow",
+];
+
+/// How many iterations to run and how to summarize them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HarnessConfig {
+    /// Timed iterations per workload (at least 1 is always run).
+    pub iters: u64,
+    /// Discarded warm-up iterations per workload.
+    pub warmup: u64,
+    /// Bootstrap CI parameters.
+    pub bootstrap: BootstrapConfig,
+}
+
+impl HarnessConfig {
+    /// The `--quick` profile: enough samples for a sane median, fast
+    /// enough for CI smoke tests.
+    pub fn quick() -> HarnessConfig {
+        HarnessConfig {
+            iters: 10,
+            warmup: 2,
+            bootstrap: BootstrapConfig::default(),
+        }
+    }
+
+    /// The default full profile.
+    pub fn full() -> HarnessConfig {
+        HarnessConfig {
+            iters: 30,
+            warmup: 5,
+            bootstrap: BootstrapConfig::default(),
+        }
+    }
+}
+
+/// A workload could not be built or analyzed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HarnessError {
+    /// What went wrong, prefixed with the workload name when known.
+    pub message: String,
+}
+
+impl HarnessError {
+    fn new(message: impl Into<String>) -> HarnessError {
+        HarnessError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for HarnessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bench harness: {}", self.message)
+    }
+}
+
+impl std::error::Error for HarnessError {}
+
+/// A sink observes each phase execution; the closure's return value
+/// passes through untouched.
+trait PhaseSink {
+    fn phase<R>(&mut self, name: &'static str, f: impl FnOnce() -> R) -> R;
+}
+
+/// Accumulates nanoseconds per phase name (summed when a phase runs
+/// more than once per iteration, e.g. once per function).
+#[derive(Default)]
+struct TimerSink {
+    phases: Vec<(&'static str, u64)>,
+}
+
+impl PhaseSink for TimerSink {
+    fn phase<R>(&mut self, name: &'static str, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let result = f();
+        let ns = start.elapsed().as_nanos() as u64;
+        match self.phases.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, total)) => *total += ns,
+            None => self.phases.push((name, ns)),
+        }
+        result
+    }
+}
+
+/// Accumulates allocator deltas per phase name.
+#[derive(Default)]
+struct AllocSink {
+    phases: Vec<(&'static str, AllocDelta)>,
+}
+
+impl AllocSink {
+    fn get(&self, name: &str) -> AllocDelta {
+        self.phases
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, d)| *d)
+            .unwrap_or_default()
+    }
+}
+
+impl PhaseSink for AllocSink {
+    fn phase<R>(&mut self, name: &'static str, f: impl FnOnce() -> R) -> R {
+        alloc::reset_peak();
+        let before = alloc::snapshot();
+        let result = f();
+        let after = alloc::snapshot();
+        let d = alloc::delta(&before, &after);
+        match self.phases.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, total)) => {
+                total.allocs += d.allocs;
+                total.bytes += d.bytes;
+                total.peak_live_bytes = total.peak_live_bytes.max(d.peak_live_bytes);
+            }
+            None => self.phases.push((name, d)),
+        }
+        result
+    }
+}
+
+/// A workload's input, materialized once and reused every iteration so
+/// generation cost never pollutes the samples.
+enum PreparedInput {
+    Source(String),
+    Cfg(Cfg),
+    Digraph(Graph, NodeId),
+}
+
+fn prepare(w: &Workload) -> Result<PreparedInput, HarnessError> {
+    match &w.spec {
+        WorkloadSpec::MiniSource { source } => Ok(PreparedInput::Source(source.clone())),
+        WorkloadSpec::GenProg { config, seed } => {
+            let f = generate_function("bench", config, *seed);
+            Ok(PreparedInput::Source(pretty_function(&f)))
+        }
+        WorkloadSpec::RandomCfg {
+            nodes,
+            extra_edges,
+            seed,
+        } => random_cfg(*nodes, *extra_edges, *seed)
+            .map(PreparedInput::Cfg)
+            .map_err(|e| HarnessError::new(format!("random_cfg: {e}"))),
+        WorkloadSpec::RandomDigraph { config, seed } => {
+            let (g, entry) = random_digraph(config, *seed);
+            Ok(PreparedInput::Digraph(g, entry))
+        }
+    }
+}
+
+/// The CFG-level analysis phases shared by every input kind; returns
+/// the PST for the SSA/dataflow phases.
+fn analyze_cfg(cfg: &Cfg, sink: &mut impl PhaseSink) -> ProgramStructureTree {
+    let doms = sink.phase("dominators", || {
+        (
+            dominator_tree(cfg.graph(), cfg.entry()),
+            postdominator_tree(cfg),
+        )
+    });
+    black_box(&doms);
+    let ce = sink.phase("cycle_equiv", || {
+        let (g, _extra) = cfg.to_strongly_connected();
+        CycleEquiv::compute_unchecked(&g, cfg.entry())
+    });
+    black_box(&ce);
+    let pst = sink.phase("pst", || ProgramStructureTree::build(cfg));
+    let cr = sink.phase("control_regions", || ControlRegions::compute(cfg));
+    black_box(&cr);
+    pst
+}
+
+/// The SSA + sparse-dataflow phases (only run for lowered functions,
+/// which carry variable information).
+fn analyze_function(
+    f: &LoweredFunction,
+    pst: &ProgramStructureTree,
+    sink: &mut impl PhaseSink,
+) -> Result<(), HarnessError> {
+    let ssa = sink.phase("ssa", || {
+        let collapsed = collapse_all(&f.cfg, pst);
+        let sparse = place_phis_pst_unchecked(f, pst, &collapsed);
+        rename(f, &sparse.placement)
+    })
+    .map_err(|e| HarnessError::new(format!("ssa: {e}")))?;
+    black_box(&ssa);
+    sink.phase("dataflow", || -> Result<(), HarnessError> {
+        let ctx = QpgContext::new(&f.cfg, pst)
+            .map_err(|e| HarnessError::new(format!("qpg: {e}")))?;
+        for v in 0..f.var_count() {
+            let var = VarId::from_index(v);
+            let problem = SingleVariableReachingDefs::new(f, var);
+            let qpg = ctx
+                .build_from_sites(problem.sites())
+                .map_err(|e| HarnessError::new(format!("qpg build: {e}")))?;
+            let solution = ctx
+                .solve(&qpg, &problem)
+                .map_err(|e| HarnessError::new(format!("qpg solve: {e}")))?;
+            black_box(&solution);
+        }
+        Ok(())
+    })
+}
+
+/// Runs the whole pipeline once over a prepared input; returns the
+/// analyzed CFG size `(nodes, edges)` (summed over functions for
+/// program inputs, canonical CFG for digraph inputs).
+fn run_pipeline(input: &PreparedInput, sink: &mut impl PhaseSink) -> Result<(u64, u64), HarnessError> {
+    match input {
+        PreparedInput::Source(src) => {
+            let program = sink
+                .phase("parse", || parse_program(src))
+                .map_err(|e| HarnessError::new(format!("parse: {e}")))?;
+            let lowered = sink
+                .phase("lower", || lower_program(&program))
+                .map_err(|e| HarnessError::new(format!("lower: {e}")))?;
+            let (mut nodes, mut edges) = (0u64, 0u64);
+            for f in &lowered {
+                nodes += f.cfg.node_count() as u64;
+                edges += f.cfg.edge_count() as u64;
+                let pst = analyze_cfg(&f.cfg, sink);
+                analyze_function(f, &pst, sink)?;
+            }
+            Ok((nodes, edges))
+        }
+        PreparedInput::Cfg(cfg) => {
+            let pst = analyze_cfg(cfg, sink);
+            black_box(&pst);
+            Ok((cfg.node_count() as u64, cfg.edge_count() as u64))
+        }
+        PreparedInput::Digraph(graph, entry) => {
+            let canonical = sink
+                .phase("canonicalize", || {
+                    canonicalize(graph, *entry, &CanonicalizeOptions::default())
+                })
+                .map_err(|e| HarnessError::new(format!("canonicalize: {e}")))?;
+            let cfg = &canonical.cfg;
+            let pst = analyze_cfg(cfg, sink);
+            black_box(&pst);
+            Ok((cfg.node_count() as u64, cfg.edge_count() as u64))
+        }
+    }
+}
+
+/// Measures one workload: `warmup` discarded runs, `iters` timed runs
+/// (per-phase and total nanoseconds), then one dedicated allocation
+/// pass with per-phase snapshot attribution.
+pub fn run_workload(w: &Workload, config: &HarnessConfig) -> Result<WorkloadReport, HarnessError> {
+    let _span = pst_obs::Span::enter("bench_workload");
+    let input = prepare(w).map_err(|e| HarnessError::new(format!("{}: {}", w.name, e.message)))?;
+    let in_workload = |e: HarnessError| HarnessError::new(format!("{}: {}", w.name, e.message));
+
+    for _ in 0..config.warmup {
+        let mut t = TimerSink::default();
+        run_pipeline(&input, &mut t).map_err(in_workload)?;
+    }
+
+    let iters = config.iters.max(1);
+    let mut order: Vec<&'static str> = Vec::new();
+    let mut samples: Vec<Vec<u64>> = Vec::new();
+    let mut totals: Vec<u64> = Vec::with_capacity(iters as usize);
+    let (mut nodes, mut edges) = (0u64, 0u64);
+    for _ in 0..iters {
+        let mut t = TimerSink::default();
+        let (n, e) = run_pipeline(&input, &mut t).map_err(in_workload)?;
+        nodes = n;
+        edges = e;
+        let mut total = 0u64;
+        for (name, ns) in t.phases {
+            total += ns;
+            match order.iter().position(|&o| o == name) {
+                Some(i) => samples[i].push(ns),
+                None => {
+                    order.push(name);
+                    samples.push(vec![ns]);
+                }
+            }
+        }
+        totals.push(total);
+    }
+
+    let mut asink = AllocSink::default();
+    alloc::reset_peak();
+    let before = alloc::snapshot();
+    run_pipeline(&input, &mut asink).map_err(in_workload)?;
+    let after = alloc::snapshot();
+    let outer = alloc::delta(&before, &after);
+
+    let mut attributed_bytes = 0u64;
+    let mut phases = Vec::with_capacity(order.len());
+    for (i, &name) in order.iter().enumerate() {
+        let d = asink.get(name);
+        attributed_bytes += d.bytes;
+        phases.push(PhaseReport {
+            name: name.to_string(),
+            time: Summary::from_samples(&samples[i], &config.bootstrap),
+            alloc: AllocStats {
+                allocs: d.allocs,
+                bytes_total: d.bytes,
+                peak_live_bytes: d.peak_live_bytes,
+            },
+        });
+    }
+
+    pst_obs::counter!("bench_workloads_run");
+    pst_obs::counter!("bench_iterations", iters);
+    pst_obs::gauge!("bench_workload_nodes", nodes as usize);
+
+    Ok(WorkloadReport {
+        name: w.name.clone(),
+        nodes,
+        edges,
+        phases,
+        total_time: Summary::from_samples(&totals, &config.bootstrap),
+        alloc_total: AllocStats {
+            allocs: outer.allocs,
+            bytes_total: outer.bytes,
+            peak_live_bytes: outer.peak_live_bytes,
+        },
+        alloc_unattributed_bytes: outer.bytes.saturating_sub(attributed_bytes),
+    })
+}
+
+/// Measures every workload in order, failing fast on the first error —
+/// a broken workload means a broken matrix, not a partial report.
+pub fn run_matrix(
+    workloads: &[Workload],
+    config: &HarnessConfig,
+) -> Result<Vec<WorkloadReport>, HarnessError> {
+    let _span = pst_obs::Span::enter("bench_matrix");
+    workloads.iter().map(|w| run_workload(w, config)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::standard_matrix;
+
+    fn tiny() -> HarnessConfig {
+        HarnessConfig {
+            iters: 2,
+            warmup: 0,
+            bootstrap: BootstrapConfig {
+                resamples: 10,
+                seed: 1,
+            },
+        }
+    }
+
+    #[test]
+    fn cfg_workload_reports_analysis_phases() {
+        let w = Workload {
+            name: "random_cfg/64".into(),
+            spec: WorkloadSpec::RandomCfg {
+                nodes: 64,
+                extra_edges: 16,
+                seed: 0xC0FFEE,
+            },
+        };
+        let r = run_workload(&w, &tiny()).unwrap();
+        assert_eq!(r.nodes, 64);
+        let names: Vec<&str> = r.phases.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(
+            names,
+            ["dominators", "cycle_equiv", "pst", "control_regions"]
+        );
+        assert!(r.phases.iter().all(|p| p.time.samples == 2));
+    }
+
+    #[test]
+    fn source_workload_runs_all_phases_in_pipeline_order() {
+        let w = Workload::mini(
+            "mini:tiny",
+            "fn f(n) { x = 1; if (x < n) { x = x + 1; } else { x = 0; } return x; }",
+        );
+        let r = run_workload(&w, &tiny()).unwrap();
+        let names: Vec<&str> = r.phases.iter().map(|p| p.name.as_str()).collect();
+        // Every reported phase appears in canonical order.
+        let positions: Vec<usize> = names
+            .iter()
+            .map(|n| PHASE_NAMES.iter().position(|p| p == n).unwrap())
+            .collect();
+        assert!(positions.windows(2).all(|w| w[0] < w[1]), "{names:?}");
+        assert!(names.contains(&"parse") && names.contains(&"dataflow"));
+    }
+
+    #[test]
+    fn digraph_workload_canonicalizes_first() {
+        let matrix = standard_matrix(true);
+        let w = matrix
+            .iter()
+            .find(|w| w.name.starts_with("digraph_messy"))
+            .unwrap();
+        let r = run_workload(w, &tiny()).unwrap();
+        assert_eq!(r.phases[0].name, "canonicalize");
+        // The canonical CFG may shrink (unreachable pruning) or grow
+        // (synthetic entry/exit/latches); it just has to be non-trivial.
+        assert!(r.nodes > 2, "canonical CFG is non-trivial");
+    }
+}

@@ -1,0 +1,48 @@
+//! Performance observatory for the PST pipeline.
+//!
+//! The paper's headline claim is *linear time* (Figure 4's
+//! cycle-equivalence pass, the O(E) control-region construction of
+//! Theorems 7–8). `pst-obs` made a single run observable; this crate
+//! makes runs **comparable**: a deterministic, zero-dependency,
+//! in-process benchmark harness behind `pst bench` that
+//!
+//! 1. times each pipeline phase (parse → canonicalize → dominators →
+//!    cycle-equiv → PST → control regions → SSA → dataflow) over a named
+//!    [workload matrix](workload::standard_matrix),
+//! 2. computes robust statistics offline — median, MAD, and a
+//!    seeded-bootstrap confidence interval ([`stats::Summary`]), with no
+//!    criterion machinery in the hot loop,
+//! 3. tracks memory through a [counting global
+//!    allocator](alloc::CountingAlloc) (bytes, allocation count, peak
+//!    live bytes per phase),
+//! 4. writes versioned `BENCH_<label>.json` reports whose schema embeds
+//!    the `pst-obs` span tree and counters ([`report::BenchReport`]),
+//! 5. gates regressions against a committed baseline
+//!    ([`compare::compare`]; `pst bench --compare` exits with code 6),
+//!    and
+//! 6. exports the span tree as Chrome `trace_event` JSON loadable in
+//!    `about:tracing` / Perfetto ([`trace::chrome_trace`]).
+//!
+//! See `docs/BENCHMARKING.md` for the JSON schema, the baseline
+//! workflow, and the regression-gate semantics.
+
+#![warn(missing_docs)]
+
+pub mod alloc;
+pub mod compare;
+pub mod harness;
+pub mod report;
+pub mod stats;
+pub mod trace;
+pub mod workload;
+
+pub use alloc::CountingAlloc;
+pub use compare::{compare, Comparison, Finding, GateConfig, RegressionKind};
+pub use harness::{run_matrix, run_workload, HarnessConfig, HarnessError, PHASE_NAMES};
+pub use report::{
+    fmt_ns, AllocStats, BenchConfig, BenchReport, PhaseReport, SchemaError, WorkloadReport,
+    BENCH_SCHEMA_VERSION,
+};
+pub use stats::{BootstrapConfig, SplitMix64, Summary};
+pub use trace::{chrome_trace, validate_chrome_trace};
+pub use workload::{standard_matrix, Workload, WorkloadSpec};

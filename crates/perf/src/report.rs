@@ -1,0 +1,398 @@
+//! The versioned `BENCH_<label>.json` schema.
+//!
+//! One [`BenchReport`] is the unit of comparison for the regression
+//! gate: it records the harness configuration (so the statistics are
+//! reproducible), one [`WorkloadReport`] per workload with per-phase
+//! [`Summary`] statistics and [`AllocStats`], and the whole `pst-obs`
+//! report (span tree, counters, gauges) embedded verbatim under `"obs"`.
+//! Serialization uses the hand-rolled `pst_obs::json` emitter/parser —
+//! the schema round-trips exactly ([`BenchReport::from_json`] ∘
+//! [`BenchReport::to_json`] is the identity; proptested in
+//! `tests/compare_gate.rs`).
+
+use std::fmt;
+
+use pst_obs::json::Json;
+
+use crate::stats::{BootstrapConfig, Summary};
+
+/// Version stamp written to every report; [`BenchReport::from_json`]
+/// rejects other versions.
+pub const BENCH_SCHEMA_VERSION: u64 = 1;
+
+/// Harness configuration embedded in the report.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BenchConfig {
+    /// Timed iterations per workload.
+    pub iters: u64,
+    /// Discarded warm-up iterations per workload.
+    pub warmup: u64,
+    /// Bootstrap resample count and seed (CI reproducibility).
+    pub bootstrap: BootstrapConfig,
+    /// Whether this was a `--quick` run (the workload matrices differ).
+    pub quick: bool,
+}
+
+/// Allocation totals for one phase (or one whole workload).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AllocStats {
+    /// Allocation calls.
+    pub allocs: u64,
+    /// Bytes requested.
+    pub bytes_total: u64,
+    /// Peak live bytes during the region (RSS proxy).
+    pub peak_live_bytes: u64,
+}
+
+/// One pipeline phase of one workload.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PhaseReport {
+    /// Phase name (`parse`, `canonicalize`, `cycle_equiv`, …).
+    pub name: String,
+    /// Robust wall-time statistics over the timed iterations.
+    pub time: Summary,
+    /// Allocation counters from the dedicated attribution pass.
+    pub alloc: AllocStats,
+}
+
+/// One workload's measurements.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkloadReport {
+    /// Stable workload name (`random_cfg/256`, `mini:fig1`, …).
+    pub name: String,
+    /// CFG nodes analyzed (canonical CFG for digraph workloads; summed
+    /// over functions for program workloads).
+    pub nodes: u64,
+    /// CFG edges analyzed.
+    pub edges: u64,
+    /// Per-phase statistics, in pipeline order.
+    pub phases: Vec<PhaseReport>,
+    /// Whole-pipeline wall time per iteration (sum of phases).
+    pub total_time: Summary,
+    /// Allocation counters around the whole pipeline run.
+    pub alloc_total: AllocStats,
+    /// Bytes allocated by the pipeline run outside any phase
+    /// (`alloc_total.bytes_total − Σ phases`); kept explicit so phase
+    /// attribution is checkable: attributed + unattributed = total.
+    pub alloc_unattributed_bytes: u64,
+}
+
+/// A whole `BENCH_<label>.json` document.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchReport {
+    /// Schema version ([`BENCH_SCHEMA_VERSION`]).
+    pub schema_version: u64,
+    /// Report label (`seed`, `local`, a PR number, …).
+    pub label: String,
+    /// Harness configuration.
+    pub config: BenchConfig,
+    /// Per-workload measurements.
+    pub workloads: Vec<WorkloadReport>,
+    /// The embedded `pst-obs` report (span tree, counters, gauges) as
+    /// emitted by `pst_obs::Report::to_json`; kept as raw JSON so the
+    /// document round-trips byte-exactly.
+    pub obs: Json,
+}
+
+/// Schema violation found while reading a report.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SchemaError {
+    /// Dotted path to the offending field.
+    pub path: String,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BENCH schema error at {}: {}", self.path, self.message)
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+fn err(path: &str, message: impl Into<String>) -> SchemaError {
+    SchemaError {
+        path: path.to_string(),
+        message: message.into(),
+    }
+}
+
+fn get<'j>(obj: &'j Json, key: &str, path: &str) -> Result<&'j Json, SchemaError> {
+    obj.get(key)
+        .ok_or_else(|| err(&format!("{path}.{key}"), "missing field"))
+}
+
+fn get_u64(obj: &Json, key: &str, path: &str) -> Result<u64, SchemaError> {
+    get(obj, key, path)?
+        .as_u64()
+        .ok_or_else(|| err(&format!("{path}.{key}"), "expected an unsigned integer"))
+}
+
+fn get_f64(obj: &Json, key: &str, path: &str) -> Result<f64, SchemaError> {
+    match get(obj, key, path)? {
+        Json::Float(x) => Ok(*x),
+        Json::Int(i) => Ok(*i as f64),
+        Json::UInt(u) => Ok(*u as f64),
+        _ => Err(err(&format!("{path}.{key}"), "expected a number")),
+    }
+}
+
+fn get_str(obj: &Json, key: &str, path: &str) -> Result<String, SchemaError> {
+    match get(obj, key, path)? {
+        Json::Str(s) => Ok(s.clone()),
+        _ => Err(err(&format!("{path}.{key}"), "expected a string")),
+    }
+}
+
+fn get_bool(obj: &Json, key: &str, path: &str) -> Result<bool, SchemaError> {
+    match get(obj, key, path)? {
+        Json::Bool(b) => Ok(*b),
+        _ => Err(err(&format!("{path}.{key}"), "expected a boolean")),
+    }
+}
+
+fn get_arr<'j>(obj: &'j Json, key: &str, path: &str) -> Result<&'j [Json], SchemaError> {
+    match get(obj, key, path)? {
+        Json::Arr(items) => Ok(items),
+        _ => Err(err(&format!("{path}.{key}"), "expected an array")),
+    }
+}
+
+fn summary_to_json(s: &Summary) -> Json {
+    Json::obj([
+        ("samples", Json::UInt(s.samples)),
+        ("min", Json::UInt(s.min)),
+        ("max", Json::UInt(s.max)),
+        ("median", Json::UInt(s.median)),
+        ("mad", Json::UInt(s.mad)),
+        ("ci_lo", Json::UInt(s.ci_lo)),
+        ("ci_hi", Json::UInt(s.ci_hi)),
+        ("mean", Json::Float(s.mean)),
+    ])
+}
+
+fn summary_from_json(j: &Json, path: &str) -> Result<Summary, SchemaError> {
+    let s = Summary {
+        samples: get_u64(j, "samples", path)?,
+        min: get_u64(j, "min", path)?,
+        max: get_u64(j, "max", path)?,
+        median: get_u64(j, "median", path)?,
+        mad: get_u64(j, "mad", path)?,
+        ci_lo: get_u64(j, "ci_lo", path)?,
+        ci_hi: get_u64(j, "ci_hi", path)?,
+        mean: get_f64(j, "mean", path)?,
+    };
+    if s.samples == 0 {
+        return Err(err(&format!("{path}.samples"), "must be positive"));
+    }
+    if s.min > s.median || s.median > s.max || s.ci_lo > s.ci_hi {
+        return Err(err(path, "inconsistent order statistics"));
+    }
+    Ok(s)
+}
+
+fn alloc_to_json(a: &AllocStats) -> Json {
+    Json::obj([
+        ("allocs", Json::UInt(a.allocs)),
+        ("bytes_total", Json::UInt(a.bytes_total)),
+        ("peak_live_bytes", Json::UInt(a.peak_live_bytes)),
+    ])
+}
+
+fn alloc_from_json(j: &Json, path: &str) -> Result<AllocStats, SchemaError> {
+    Ok(AllocStats {
+        allocs: get_u64(j, "allocs", path)?,
+        bytes_total: get_u64(j, "bytes_total", path)?,
+        peak_live_bytes: get_u64(j, "peak_live_bytes", path)?,
+    })
+}
+
+impl WorkloadReport {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::Str(self.name.clone())),
+            ("nodes", Json::UInt(self.nodes)),
+            ("edges", Json::UInt(self.edges)),
+            (
+                "phases",
+                Json::Arr(
+                    self.phases
+                        .iter()
+                        .map(|p| {
+                            Json::obj([
+                                ("name", Json::Str(p.name.clone())),
+                                ("time", summary_to_json(&p.time)),
+                                ("alloc", alloc_to_json(&p.alloc)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("total_time", summary_to_json(&self.total_time)),
+            ("alloc_total", alloc_to_json(&self.alloc_total)),
+            (
+                "alloc_unattributed_bytes",
+                Json::UInt(self.alloc_unattributed_bytes),
+            ),
+        ])
+    }
+
+    fn from_json(j: &Json, path: &str) -> Result<WorkloadReport, SchemaError> {
+        let mut phases = Vec::new();
+        for (i, pj) in get_arr(j, "phases", path)?.iter().enumerate() {
+            let ppath = format!("{path}.phases[{i}]");
+            phases.push(PhaseReport {
+                name: get_str(pj, "name", &ppath)?,
+                time: summary_from_json(get(pj, "time", &ppath)?, &format!("{ppath}.time"))?,
+                alloc: alloc_from_json(get(pj, "alloc", &ppath)?, &format!("{ppath}.alloc"))?,
+            });
+        }
+        Ok(WorkloadReport {
+            name: get_str(j, "name", path)?,
+            nodes: get_u64(j, "nodes", path)?,
+            edges: get_u64(j, "edges", path)?,
+            phases,
+            total_time: summary_from_json(
+                get(j, "total_time", path)?,
+                &format!("{path}.total_time"),
+            )?,
+            alloc_total: alloc_from_json(
+                get(j, "alloc_total", path)?,
+                &format!("{path}.alloc_total"),
+            )?,
+            alloc_unattributed_bytes: get_u64(j, "alloc_unattributed_bytes", path)?,
+        })
+    }
+}
+
+impl BenchReport {
+    /// Serializes the whole report.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("schema_version", Json::UInt(self.schema_version)),
+            ("label", Json::Str(self.label.clone())),
+            (
+                "config",
+                Json::obj([
+                    ("iters", Json::UInt(self.config.iters)),
+                    ("warmup", Json::UInt(self.config.warmup)),
+                    (
+                        "bootstrap_resamples",
+                        Json::UInt(self.config.bootstrap.resamples),
+                    ),
+                    ("bootstrap_seed", Json::UInt(self.config.bootstrap.seed)),
+                    ("quick", Json::Bool(self.config.quick)),
+                ]),
+            ),
+            (
+                "workloads",
+                Json::Arr(self.workloads.iter().map(WorkloadReport::to_json).collect()),
+            ),
+            ("obs", self.obs.clone()),
+        ])
+    }
+
+    /// Reads a report back, validating the schema along the way.
+    pub fn from_json(j: &Json) -> Result<BenchReport, SchemaError> {
+        let version = get_u64(j, "schema_version", "$")?;
+        if version != BENCH_SCHEMA_VERSION {
+            return Err(err(
+                "$.schema_version",
+                format!("unsupported version {version} (this build reads {BENCH_SCHEMA_VERSION})"),
+            ));
+        }
+        let cj = get(j, "config", "$")?;
+        let config = BenchConfig {
+            iters: get_u64(cj, "iters", "$.config")?,
+            warmup: get_u64(cj, "warmup", "$.config")?,
+            bootstrap: BootstrapConfig {
+                resamples: get_u64(cj, "bootstrap_resamples", "$.config")?,
+                seed: get_u64(cj, "bootstrap_seed", "$.config")?,
+            },
+            quick: get_bool(cj, "quick", "$.config")?,
+        };
+        let mut workloads = Vec::new();
+        for (i, wj) in get_arr(j, "workloads", "$")?.iter().enumerate() {
+            workloads.push(WorkloadReport::from_json(wj, &format!("$.workloads[{i}]"))?);
+        }
+        Ok(BenchReport {
+            schema_version: version,
+            label: get_str(j, "label", "$")?,
+            config,
+            workloads,
+            obs: get(j, "obs", "$")?.clone(),
+        })
+    }
+
+    /// Parses and validates a serialized report.
+    pub fn parse(text: &str) -> Result<BenchReport, SchemaError> {
+        let j = Json::parse(text).map_err(|e| err("$", e.to_string()))?;
+        BenchReport::from_json(&j)
+    }
+
+    /// Validates a JSON document against the schema without keeping it.
+    pub fn validate(j: &Json) -> Result<(), SchemaError> {
+        BenchReport::from_json(j).map(|_| ())
+    }
+
+    /// Human-readable summary table (what `pst bench` prints).
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "bench `{}`: {} workloads, {} iters (+{} warmup), bootstrap {}x seed {}",
+            self.label,
+            self.workloads.len(),
+            self.config.iters,
+            self.config.warmup,
+            self.config.bootstrap.resamples,
+            self.config.bootstrap.seed,
+        );
+        for w in &self.workloads {
+            let _ = writeln!(
+                out,
+                "\n{} ({} nodes, {} edges)  total median {}  [{} .. {}]",
+                w.name,
+                w.nodes,
+                w.edges,
+                fmt_ns(w.total_time.median),
+                fmt_ns(w.total_time.ci_lo),
+                fmt_ns(w.total_time.ci_hi),
+            );
+            let _ = writeln!(
+                out,
+                "  {:<16} {:>10} {:>9} {:>10} {:>10} {:>10} {:>8}",
+                "phase", "median", "mad", "ci_lo", "ci_hi", "bytes", "allocs"
+            );
+            for p in &w.phases {
+                let _ = writeln!(
+                    out,
+                    "  {:<16} {:>10} {:>9} {:>10} {:>10} {:>10} {:>8}",
+                    p.name,
+                    fmt_ns(p.time.median),
+                    fmt_ns(p.time.mad),
+                    fmt_ns(p.time.ci_lo),
+                    fmt_ns(p.time.ci_hi),
+                    p.alloc.bytes_total,
+                    p.alloc.allocs,
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Renders nanoseconds with an adaptive unit.
+pub fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}

@@ -1,0 +1,195 @@
+//! Robust statistics over nanosecond samples.
+//!
+//! Benchmark samples are heavy-tailed (scheduler preemption, page
+//! faults), so the harness reports order statistics instead of the
+//! mean-centric summaries criterion prints: the **median** as the
+//! location estimate, the **MAD** (median absolute deviation) as the
+//! spread estimate, and a **seeded-bootstrap confidence interval** for
+//! the median so `pst bench --compare` can reason about overlap instead
+//! of point values. Everything here is deterministic: the bootstrap RNG
+//! is a [`SplitMix64`] seeded from the report config, never the clock.
+
+/// Deterministic 64-bit generator (Steele et al., *Fast Splittable
+/// Pseudorandom Number Generators*). Tiny, seedable, and good enough
+/// for bootstrap resampling — keeping the harness zero-dependency.
+#[derive(Clone, Debug)]
+pub struct SplitMix64(u64);
+
+impl SplitMix64 {
+    /// Creates a generator from a seed (any value, including 0).
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64(seed)
+    }
+
+    /// Next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `0..bound` (`bound` ≥ 1) via 128-bit multiply —
+    /// negligible modulo bias is irrelevant for resampling indices.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound >= 1);
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+/// Bootstrap parameters; part of the report so CIs are reproducible.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BootstrapConfig {
+    /// Number of with-replacement resamples of the sample vector.
+    pub resamples: u64,
+    /// RNG seed; the same seed over the same samples yields the same CI.
+    pub seed: u64,
+}
+
+impl Default for BootstrapConfig {
+    fn default() -> Self {
+        BootstrapConfig {
+            resamples: 200,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// Robust summary of one phase's nanosecond samples.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Summary {
+    /// Number of samples summarized.
+    pub samples: u64,
+    /// Smallest sample.
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Median (integer midpoint of the two central order statistics
+    /// when the count is even).
+    pub median: u64,
+    /// Median absolute deviation from the median.
+    pub mad: u64,
+    /// Lower end of the 95% bootstrap CI of the median.
+    pub ci_lo: u64,
+    /// Upper end of the 95% bootstrap CI of the median.
+    pub ci_hi: u64,
+    /// Arithmetic mean, kept for orientation only — comparisons use the
+    /// median and the CI.
+    pub mean: f64,
+}
+
+impl Summary {
+    /// Summarizes a non-empty sample vector. Panics on an empty slice —
+    /// the harness never produces one.
+    pub fn from_samples(samples: &[u64], bootstrap: &BootstrapConfig) -> Summary {
+        assert!(!samples.is_empty(), "cannot summarize zero samples");
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let med = median_of_sorted(&sorted);
+        let mut deviations: Vec<u64> = sorted.iter().map(|&x| x.abs_diff(med)).collect();
+        deviations.sort_unstable();
+        let (ci_lo, ci_hi) = bootstrap_ci(&sorted, bootstrap);
+        let sum: u128 = sorted.iter().map(|&x| x as u128).sum();
+        Summary {
+            samples: sorted.len() as u64,
+            min: sorted[0],
+            max: sorted[sorted.len() - 1],
+            median: med,
+            mad: median_of_sorted(&deviations),
+            ci_lo,
+            ci_hi,
+            mean: sum as f64 / sorted.len() as f64,
+        }
+    }
+
+    /// Whether this summary's CI overlaps another's.
+    pub fn ci_overlaps(&self, other: &Summary) -> bool {
+        self.ci_lo <= other.ci_hi && other.ci_lo <= self.ci_hi
+    }
+}
+
+/// Median of an already-sorted slice.
+pub fn median_of_sorted(sorted: &[u64]) -> u64 {
+    let n = sorted.len();
+    assert!(n > 0, "median of empty slice");
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        let (a, b) = (sorted[n / 2 - 1], sorted[n / 2]);
+        ((a as u128 + b as u128) / 2) as u64
+    }
+}
+
+/// Median of an arbitrary slice (convenience for tests).
+pub fn median(samples: &[u64]) -> u64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    median_of_sorted(&sorted)
+}
+
+/// Median absolute deviation of an arbitrary slice.
+pub fn mad(samples: &[u64]) -> u64 {
+    let med = median(samples);
+    let deviations: Vec<u64> = samples.iter().map(|&x| x.abs_diff(med)).collect();
+    median(&deviations)
+}
+
+/// Seeded-bootstrap 95% confidence interval for the median: resample
+/// the vector with replacement `resamples` times, take each resample's
+/// median, and return the 2.5th/97.5th percentiles of those medians.
+fn bootstrap_ci(sorted: &[u64], config: &BootstrapConfig) -> (u64, u64) {
+    let n = sorted.len();
+    if n == 1 || config.resamples == 0 {
+        let m = median_of_sorted(sorted);
+        return (m, m);
+    }
+    let mut rng = SplitMix64::new(config.seed);
+    let mut medians = Vec::with_capacity(config.resamples as usize);
+    let mut resample = vec![0u64; n];
+    for _ in 0..config.resamples {
+        for slot in resample.iter_mut() {
+            *slot = sorted[rng.below(n as u64) as usize];
+        }
+        resample.sort_unstable();
+        medians.push(median_of_sorted(&resample));
+    }
+    medians.sort_unstable();
+    let last = medians.len() - 1;
+    let lo_idx = (last as f64 * 0.025).floor() as usize;
+    let hi_idx = (last as f64 * 0.975).ceil() as usize;
+    (medians[lo_idx], medians[hi_idx.min(last)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_handles_even_and_odd_counts() {
+        assert_eq!(median(&[5]), 5);
+        assert_eq!(median(&[3, 1, 2]), 2);
+        assert_eq!(median(&[4, 1, 3, 2]), 2); // midpoint of 2 and 3
+    }
+
+    #[test]
+    fn splitmix_is_deterministic_and_bounded() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut r = SplitMix64::new(7);
+        for _ in 0..1000 {
+            assert!(r.below(13) < 13);
+        }
+    }
+
+    #[test]
+    fn ci_brackets_the_median() {
+        let samples: Vec<u64> = (0..50).map(|i| 1000 + (i * 37) % 100).collect();
+        let s = Summary::from_samples(&samples, &BootstrapConfig::default());
+        assert!(s.ci_lo <= s.median && s.median <= s.ci_hi);
+        assert!(s.min <= s.ci_lo && s.ci_hi <= s.max);
+    }
+}

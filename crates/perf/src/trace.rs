@@ -1,0 +1,248 @@
+//! Chrome `trace_event` export of the `pst-obs` span tree.
+//!
+//! [`chrome_trace`] turns an obs report (the JSON produced by
+//! `pst_obs::Report::to_json`, or the `"obs"` field of a
+//! `BENCH_<label>.json`) into the JSON Object Format of the Trace Event
+//! specification: an object with a `traceEvents` array of `"X"`
+//! (complete) events, loadable in `about:tracing` and Perfetto.
+//!
+//! The obs span tree is an *aggregate*: same-named siblings are merged,
+//! `nanos` is the total over `count` entries, and `start_nanos` is the
+//! offset of the *first* entry from the process-wide epoch. The export
+//! therefore shows one bar per tree node — width = total time, placed
+//! at first entry — rather than one bar per dynamic span. Children are
+//! clamped into their parent's interval so the viewer's nesting stays
+//! consistent even when a child's first entry predates a later parent
+//! re-entry.
+
+use pst_obs::json::Json;
+
+use crate::report::SchemaError;
+
+fn err(path: &str, message: impl Into<String>) -> SchemaError {
+    SchemaError {
+        path: path.to_string(),
+        message: message.into(),
+    }
+}
+
+fn span_u64(node: &Json, key: &str, path: &str) -> Result<u64, SchemaError> {
+    node.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| err(&format!("{path}.{key}"), "missing unsigned integer"))
+}
+
+fn micros(nanos: u64) -> Json {
+    Json::Float(nanos as f64 / 1_000.0)
+}
+
+fn emit_span(
+    node: &Json,
+    parent: Option<(u64, u64)>,
+    depth: usize,
+    events: &mut Vec<Json>,
+    path: &str,
+) -> Result<(), SchemaError> {
+    let name = match node.get("name") {
+        Some(Json::Str(s)) => s.clone(),
+        _ => return Err(err(&format!("{path}.name"), "missing span name")),
+    };
+    let count = span_u64(node, "count", path)?;
+    let nanos = span_u64(node, "nanos", path)?;
+    let start_nanos = span_u64(node, "start_nanos", path)?;
+
+    let (mut start, mut end) = (start_nanos, start_nanos.saturating_add(nanos));
+    if let Some((ps, pe)) = parent {
+        start = start.clamp(ps, pe);
+        end = end.clamp(start, pe);
+    }
+    events.push(Json::obj([
+        ("name", Json::Str(name)),
+        ("ph", Json::Str("X".to_string())),
+        ("ts", micros(start)),
+        ("dur", micros(end - start)),
+        ("pid", Json::UInt(1)),
+        ("tid", Json::UInt(1)),
+        (
+            "args",
+            Json::obj([
+                ("count", Json::UInt(count)),
+                ("total_nanos", Json::UInt(nanos)),
+                ("depth", Json::UInt(depth as u64)),
+            ]),
+        ),
+    ]));
+
+    if let Some(Json::Arr(children)) = node.get("children") {
+        for (i, child) in children.iter().enumerate() {
+            emit_span(
+                child,
+                Some((start, end)),
+                depth + 1,
+                events,
+                &format!("{path}.children[{i}]"),
+            )?;
+        }
+    }
+    Ok(())
+}
+
+/// Converts an obs report (JSON shape of `pst_obs::Report::to_json`)
+/// into a Chrome trace document. Counters and gauges ride along under
+/// `otherData`, where trace viewers show them as metadata.
+pub fn chrome_trace(obs: &Json) -> Result<Json, SchemaError> {
+    let mut events = Vec::new();
+    match obs.get("spans") {
+        Some(Json::Arr(spans)) => {
+            for (i, span) in spans.iter().enumerate() {
+                emit_span(span, None, 0, &mut events, &format!("$.spans[{i}]"))?;
+            }
+        }
+        Some(_) => return Err(err("$.spans", "expected an array")),
+        None => return Err(err("$.spans", "missing field (is this an obs report?)")),
+    }
+    let mut other = Vec::new();
+    for key in ["counters", "gauges"] {
+        if let Some(Json::Obj(entries)) = obs.get(key) {
+            for (name, value) in entries {
+                other.push((format!("{key}.{name}"), value.clone()));
+            }
+        }
+    }
+    Ok(Json::obj([
+        ("traceEvents", Json::Arr(events)),
+        ("displayTimeUnit", Json::Str("ms".to_string())),
+        (
+            "otherData",
+            Json::Obj(other),
+        ),
+    ]))
+}
+
+fn event_micros(event: &Json, key: &str, path: &str) -> Result<f64, SchemaError> {
+    match event.get(key) {
+        Some(Json::Float(x)) => Ok(*x),
+        Some(Json::UInt(u)) => Ok(*u as f64),
+        Some(Json::Int(i)) if *i >= 0 => Ok(*i as f64),
+        _ => Err(err(
+            &format!("{path}.{key}"),
+            "expected a non-negative number",
+        )),
+    }
+}
+
+/// Validates a Chrome trace document structurally: a `traceEvents`
+/// array whose members are well-formed `"X"` events with non-negative
+/// microsecond timestamps. This is the check `pst bench --trace-out`
+/// runs on its own output before writing it.
+pub fn validate_chrome_trace(trace: &Json) -> Result<(), SchemaError> {
+    let events = match trace.get("traceEvents") {
+        Some(Json::Arr(events)) => events,
+        Some(_) => return Err(err("$.traceEvents", "expected an array")),
+        None => return Err(err("$.traceEvents", "missing field")),
+    };
+    for (i, event) in events.iter().enumerate() {
+        let path = format!("$.traceEvents[{i}]");
+        match event.get("name") {
+            Some(Json::Str(s)) if !s.is_empty() => {}
+            _ => return Err(err(&format!("{path}.name"), "expected a non-empty string")),
+        }
+        match event.get("ph") {
+            Some(Json::Str(ph)) if ph == "X" => {}
+            _ => return Err(err(&format!("{path}.ph"), "expected \"X\" (complete event)")),
+        }
+        let ts = event_micros(event, "ts", &path)?;
+        let dur = event_micros(event, "dur", &path)?;
+        if ts < 0.0 || dur < 0.0 {
+            return Err(err(&path, "negative timestamp"));
+        }
+        for key in ["pid", "tid"] {
+            if event.get(key).and_then(Json::as_u64).is_none() {
+                return Err(err(&format!("{path}.{key}"), "missing unsigned integer"));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(name: &str, start: u64, nanos: u64, children: Vec<Json>) -> Json {
+        Json::obj([
+            ("name", Json::Str(name.to_string())),
+            ("count", Json::UInt(1)),
+            ("nanos", Json::UInt(nanos)),
+            ("start_nanos", Json::UInt(start)),
+            ("children", Json::Arr(children)),
+        ])
+    }
+
+    fn report(spans: Vec<Json>) -> Json {
+        Json::obj([
+            ("spans", Json::Arr(spans)),
+            (
+                "counters",
+                Json::Obj(vec![("ticks".to_string(), Json::UInt(7))]),
+            ),
+            ("gauges", Json::Obj(vec![])),
+        ])
+    }
+
+    #[test]
+    fn exports_one_event_per_node_and_validates() {
+        let obs = report(vec![span(
+            "pipeline",
+            0,
+            1_000_000,
+            vec![span("pst", 100_000, 400_000, vec![])],
+        )]);
+        let trace = chrome_trace(&obs).unwrap();
+        validate_chrome_trace(&trace).unwrap();
+        let Some(Json::Arr(events)) = trace.get("traceEvents") else {
+            panic!("no events");
+        };
+        assert_eq!(events.len(), 2);
+        assert_eq!(
+            trace.get("otherData").and_then(|o| o.get("counters.ticks")),
+            Some(&Json::UInt(7))
+        );
+    }
+
+    #[test]
+    fn children_are_clamped_into_the_parent_interval() {
+        // Child claims to run past its parent's end (possible in the
+        // merged aggregate); the export must keep it nested.
+        let obs = report(vec![span(
+            "parent",
+            1_000,
+            2_000,
+            vec![span("child", 2_500, 10_000, vec![])],
+        )]);
+        let trace = chrome_trace(&obs).unwrap();
+        validate_chrome_trace(&trace).unwrap();
+        let Some(Json::Arr(events)) = trace.get("traceEvents") else {
+            panic!("no events");
+        };
+        let child = &events[1];
+        let ts = match child.get("ts") {
+            Some(Json::Float(x)) => *x,
+            other => panic!("bad ts: {other:?}"),
+        };
+        let dur = match child.get("dur") {
+            Some(Json::Float(x)) => *x,
+            other => panic!("bad dur: {other:?}"),
+        };
+        // Parent spans [1.0µs, 3.0µs]; the child must fit inside.
+        assert!(ts >= 1.0 && ts + dur <= 3.0, "ts={ts} dur={dur}");
+    }
+
+    #[test]
+    fn rejects_non_reports_with_a_path() {
+        let e = chrome_trace(&Json::Obj(Vec::new())).unwrap_err();
+        assert_eq!(e.path, "$.spans");
+        let bad = Json::obj([("traceEvents", Json::UInt(3))]);
+        assert!(validate_chrome_trace(&bad).is_err());
+    }
+}

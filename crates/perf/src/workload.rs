@@ -1,0 +1,158 @@
+//! The named workload matrix `pst bench` runs.
+//!
+//! A workload is a *name* plus a deterministic recipe for an input:
+//! a mini-language source (the CLI adds `examples/*.mini`), a seeded
+//! generated program ([`pst_workloads::generate_function`] rendered
+//! through the pretty-printer so the parse phase is exercised too), a
+//! seeded valid CFG ([`pst_workloads::random_cfg`]) at several sizes,
+//! or a seeded arbitrary digraph ([`pst_workloads::random_digraph`])
+//! that must pass through canonicalization first. Names are stable
+//! across runs — the regression gate matches baseline and candidate
+//! workloads by name.
+
+use pst_workloads::{DigraphConfig, ProgramGenConfig};
+
+/// How to build one workload's input.
+#[derive(Clone, Debug)]
+pub enum WorkloadSpec {
+    /// A mini-language source program (runs the full pipeline:
+    /// parse → lower → per-function phases).
+    MiniSource {
+        /// The program text.
+        source: String,
+    },
+    /// A seeded generated program, pretty-printed to source so it takes
+    /// the same full path as [`WorkloadSpec::MiniSource`].
+    GenProg {
+        /// Generator shape parameters.
+        config: ProgramGenConfig,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// A seeded valid CFG (no parse/lower/canonicalize phases).
+    RandomCfg {
+        /// Node count before edge insertion.
+        nodes: usize,
+        /// Extra non-tree edges.
+        extra_edges: usize,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// A seeded arbitrary digraph; the pipeline starts at the
+    /// canonicalize phase.
+    RandomDigraph {
+        /// Digraph shape (including forced Definition-1 violations).
+        config: DigraphConfig,
+        /// Generator seed.
+        seed: u64,
+    },
+}
+
+/// A named benchmark input.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Stable name, used for matching in `--compare`.
+    pub name: String,
+    /// The input recipe.
+    pub spec: WorkloadSpec,
+}
+
+impl Workload {
+    /// A mini-source workload (the CLI uses this for `examples/*.mini`).
+    pub fn mini(name: impl Into<String>, source: impl Into<String>) -> Workload {
+        Workload {
+            name: name.into(),
+            spec: WorkloadSpec::MiniSource {
+                source: source.into(),
+            },
+        }
+    }
+}
+
+fn genprog(name: &str, target_stmts: usize, goto_prob: f64, seed: u64) -> Workload {
+    Workload {
+        name: name.to_string(),
+        spec: WorkloadSpec::GenProg {
+            config: ProgramGenConfig {
+                target_stmts,
+                max_depth: 6,
+                num_vars: (4 + target_stmts / 3).min(90),
+                goto_prob,
+                loop_prob: 0.3,
+            },
+            seed,
+        },
+    }
+}
+
+fn random_cfg(nodes: usize, seed: u64) -> Workload {
+    Workload {
+        name: format!("random_cfg/{nodes}"),
+        spec: WorkloadSpec::RandomCfg {
+            nodes,
+            // A constant edge surplus per node keeps density realistic
+            // as the size sweep grows.
+            extra_edges: nodes / 4,
+            seed,
+        },
+    }
+}
+
+fn messy_digraph(nodes: usize, seed: u64) -> Workload {
+    Workload {
+        name: format!("digraph_messy/{nodes}"),
+        spec: WorkloadSpec::RandomDigraph {
+            config: DigraphConfig {
+                nodes,
+                edges: nodes + nodes / 2,
+                force_entry_predecessor: true,
+                force_unreachable: true,
+                force_infinite_loop: true,
+                force_multiple_exits: true,
+                force_self_loop: true,
+            },
+            seed,
+        },
+    }
+}
+
+/// The generated half of the workload matrix (the CLI prepends
+/// `examples/*.mini`). `quick` keeps `pst bench --quick` and the
+/// verify-script smoke under a few seconds; the full matrix sweeps two
+/// orders of magnitude of CFG size so scaling regressions surface.
+pub fn standard_matrix(quick: bool) -> Vec<Workload> {
+    let mut matrix = vec![
+        random_cfg(64, 0xC0FFEE),
+        random_cfg(256, 0xC0FFEE),
+        genprog("genprog/structured", 150, 0.0, 0xBEEF),
+        genprog("genprog/unstructured", 150, 0.15, 0xBEEF),
+        messy_digraph(64, 0xD16),
+    ];
+    if !quick {
+        matrix.extend([
+            random_cfg(1024, 0xC0FFEE),
+            random_cfg(4096, 0xC0FFEE),
+            genprog("genprog/large", 1500, 0.04, 0xBEEF),
+            messy_digraph(512, 0xD16),
+        ]);
+    }
+    matrix
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_names_are_unique_and_stable() {
+        for quick in [true, false] {
+            let m = standard_matrix(quick);
+            let mut names: Vec<&str> = m.iter().map(|w| w.name.as_str()).collect();
+            names.sort_unstable();
+            let before = names.len();
+            names.dedup();
+            assert_eq!(before, names.len(), "duplicate workload names");
+        }
+        assert!(standard_matrix(false).len() > standard_matrix(true).len());
+    }
+}

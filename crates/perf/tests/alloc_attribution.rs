@@ -1,0 +1,110 @@
+//! Allocation-attribution contract: per-phase snapshot deltas account
+//! for every byte of an enclosing region, so `alloc_unattributed_bytes`
+//! in a BENCH report is exact bookkeeping rather than an estimate.
+//!
+//! This file installs the counting allocator for its own test binary
+//! and deliberately contains a SINGLE `#[test]` function: libtest runs
+//! the tests of one binary on parallel threads, and a second test would
+//! interleave its allocations into this one's process-global counters.
+
+use std::hint::black_box;
+
+use pst_perf::alloc::{delta, installed, reset_peak, snapshot};
+use pst_perf::CountingAlloc;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
+
+#[test]
+fn phase_deltas_sum_exactly_to_the_outer_delta() {
+    assert!(
+        installed(),
+        "the #[global_allocator] above must be the counting allocator"
+    );
+
+    // Warm up the heap (thread-local caches, libtest buffers) so the
+    // measured region below is purely our own allocations.
+    black_box(vec![0u8; 4096]);
+
+    // Pre-size the bookkeeping vector: its pushes happen between phase
+    // snapshots, inside the outer region, and must not allocate there.
+    let mut peaks = Vec::with_capacity(3);
+
+    let outer_before = snapshot();
+    let mut phase_allocs = 0u64;
+    let mut phase_bytes = 0u64;
+
+    // Three synthetic "phases" with very different profiles: one big
+    // buffer, many small boxes, and a grow-then-shrink vector.
+    for size in [64 * 1024usize, 0, 0] {
+        reset_peak();
+        let before = snapshot();
+        match size {
+            0 if peaks.len() == 1 => {
+                let boxes: Vec<Box<u64>> = (0..100).map(Box::new).collect();
+                black_box(&boxes);
+            }
+            0 => {
+                let mut v: Vec<u64> = Vec::new();
+                for i in 0..10_000u64 {
+                    v.push(i);
+                }
+                v.truncate(4);
+                v.shrink_to_fit();
+                black_box(&v);
+            }
+            n => {
+                black_box(vec![0u8; n]);
+            }
+        }
+        let d = delta(&before, &snapshot());
+        assert!(d.allocs > 0, "each phase allocates at least once");
+        assert!(d.bytes > 0);
+        assert!(
+            d.peak_live_bytes >= 1,
+            "peak proxy must see the phase's live memory"
+        );
+        phase_allocs += d.allocs;
+        phase_bytes += d.bytes;
+        peaks.push(d.peak_live_bytes);
+    }
+
+    let outer = delta(&outer_before, &snapshot());
+
+    // The attribution identity the harness relies on: with nothing else
+    // running on this thread, the phase deltas are a partition of the
+    // outer region.
+    assert_eq!(
+        phase_bytes, outer.bytes,
+        "phase bytes must sum exactly to the outer delta"
+    );
+    assert_eq!(
+        phase_allocs, outer.allocs,
+        "phase allocation counts must sum exactly to the outer delta"
+    );
+
+    // The big-buffer phase's peak dominates and is at least its size.
+    assert!(peaks[0] >= 64 * 1024, "peaks: {peaks:?}");
+
+    // And the end-to-end identity as the harness computes it: run a real
+    // workload and check the report's own unattributed remainder.
+    let spec = pst_perf::WorkloadSpec::RandomCfg {
+        nodes: 64,
+        extra_edges: 16,
+        seed: 0xC0FFEE,
+    };
+    let workload = pst_perf::Workload {
+        name: "attribution_check".to_string(),
+        spec,
+    };
+    let config = pst_perf::HarnessConfig::quick();
+    let report = pst_perf::run_workload(&workload, &config).expect("workload runs");
+    let attributed: u64 = report.phases.iter().map(|p| p.alloc.bytes_total).sum();
+    assert_eq!(
+        attributed + report.alloc_unattributed_bytes,
+        report.alloc_total.bytes_total,
+        "report attribution identity"
+    );
+    assert!(report.alloc_total.bytes_total > 0);
+    assert!(report.phases.iter().all(|p| p.alloc.allocs > 0));
+}

@@ -1,0 +1,291 @@
+//! Regression-gate contracts (`pst bench --compare`, exit code 6) and a
+//! schema round-trip property for `BENCH_<label>.json` reports.
+
+use proptest::test_runner::ProptestConfig;
+use proptest::proptest;
+use pst_obs::json::Json;
+use pst_perf::{
+    compare, AllocStats, BenchConfig, BenchReport, BootstrapConfig, GateConfig, PhaseReport,
+    RegressionKind, SplitMix64, Summary, WorkloadReport, BENCH_SCHEMA_VERSION, PHASE_NAMES,
+};
+
+/// A summary with the given median and CI half-width, sized well above
+/// the gate's `min_time_ns` floor.
+fn time(median: u64, half_width: u64) -> Summary {
+    Summary {
+        samples: 30,
+        min: median.saturating_sub(2 * half_width),
+        max: median + 2 * half_width,
+        median,
+        mad: half_width,
+        ci_lo: median.saturating_sub(half_width),
+        ci_hi: median + half_width,
+        mean: median as f64,
+    }
+}
+
+fn alloc(allocs: u64, bytes: u64) -> AllocStats {
+    AllocStats {
+        allocs,
+        bytes_total: bytes,
+        peak_live_bytes: bytes,
+    }
+}
+
+fn report(workloads: Vec<WorkloadReport>) -> BenchReport {
+    BenchReport {
+        schema_version: BENCH_SCHEMA_VERSION,
+        label: "synthetic".to_string(),
+        config: BenchConfig {
+            iters: 30,
+            warmup: 5,
+            bootstrap: BootstrapConfig::default(),
+            quick: false,
+        },
+        workloads,
+        obs: Json::Obj(Vec::new()),
+    }
+}
+
+fn workload(name: &str, phases: Vec<(&str, Summary, AllocStats)>) -> WorkloadReport {
+    // The total is the component-wise sum of the phase summaries, so the
+    // overlap structure the individual tests set up carries through to
+    // the per-workload "total" comparison.
+    let total_time = Summary {
+        samples: 30,
+        min: phases.iter().map(|(_, t, _)| t.min).sum(),
+        max: phases.iter().map(|(_, t, _)| t.max).sum(),
+        median: phases.iter().map(|(_, t, _)| t.median).sum(),
+        mad: phases.iter().map(|(_, t, _)| t.mad).sum(),
+        ci_lo: phases.iter().map(|(_, t, _)| t.ci_lo).sum(),
+        ci_hi: phases.iter().map(|(_, t, _)| t.ci_hi).sum(),
+        mean: phases.iter().map(|(_, t, _)| t.mean).sum(),
+    };
+    let total_alloc = AllocStats {
+        allocs: phases.iter().map(|(_, _, a)| a.allocs).sum(),
+        bytes_total: phases.iter().map(|(_, _, a)| a.bytes_total).sum(),
+        peak_live_bytes: phases.iter().map(|(_, _, a)| a.peak_live_bytes).max().unwrap_or(0),
+    };
+    WorkloadReport {
+        name: name.to_string(),
+        nodes: 64,
+        edges: 96,
+        phases: phases
+            .into_iter()
+            .map(|(n, t, a)| PhaseReport {
+                name: n.to_string(),
+                time: t,
+                alloc: a,
+            })
+            .collect(),
+        total_time,
+        alloc_total: total_alloc,
+        alloc_unattributed_bytes: 0,
+    }
+}
+
+#[test]
+fn identical_reports_pass() {
+    let base = report(vec![workload(
+        "w",
+        vec![
+            ("dominators", time(10_000, 500), alloc(200, 16_384)),
+            ("pst", time(20_000, 800), alloc(400, 32_768)),
+        ],
+    )]);
+    let cmp = compare(&base, &base.clone(), &GateConfig::default());
+    assert!(cmp.passed(), "{}", cmp.render_text());
+    assert_eq!(cmp.compared_workloads, 1);
+    // Two phases plus the per-workload total.
+    assert_eq!(cmp.compared_phases, 3);
+    assert!(cmp.render_text().starts_with("regression gate: PASS"));
+}
+
+#[test]
+fn overlapping_cis_suppress_a_beyond_threshold_ratio() {
+    // +50% median growth, but the intervals overlap: noise, not a finding.
+    let base = report(vec![workload(
+        "w",
+        vec![("dominators", time(10_000, 6_000), alloc(200, 16_384))],
+    )]);
+    let cand = report(vec![workload(
+        "w",
+        vec![("dominators", time(15_000, 6_000), alloc(200, 16_384))],
+    )]);
+    let cmp = compare(&base, &cand, &GateConfig::default());
+    assert!(cmp.passed(), "{}", cmp.render_text());
+}
+
+#[test]
+fn disjoint_cis_beyond_threshold_fail_the_gate() {
+    let base = report(vec![workload(
+        "w",
+        vec![("dominators", time(10_000, 500), alloc(200, 16_384))],
+    )]);
+    let cand = report(vec![workload(
+        "w",
+        vec![("dominators", time(20_000, 500), alloc(200, 16_384))],
+    )]);
+    let cmp = compare(&base, &cand, &GateConfig::default());
+    assert!(!cmp.passed());
+    // The phase regressed and dragged the workload total with it.
+    let kinds: Vec<_> = cmp.findings.iter().map(|f| f.kind).collect();
+    assert_eq!(kinds, vec![RegressionKind::Time, RegressionKind::Time]);
+    let f = &cmp.findings[0];
+    assert_eq!((f.workload.as_str(), f.phase.as_str()), ("w", "dominators"));
+    assert_eq!((f.baseline, f.candidate), (10_000, 20_000));
+    assert!((f.ratio - 2.0).abs() < 1e-9);
+    assert!(cmp.render_text().contains("CIs disjoint"));
+}
+
+#[test]
+fn sub_floor_phases_never_fail() {
+    // A 10x blowup of a 40ns phase is below min_time_ns: exempt.
+    let base = report(vec![workload(
+        "w",
+        vec![("parse", time(4, 1), alloc(2, 64))],
+    )]);
+    let cand = report(vec![workload(
+        "w",
+        vec![("parse", time(40, 1), alloc(20, 640))],
+    )]);
+    let cmp = compare(&base, &cand, &GateConfig::default());
+    assert!(cmp.passed(), "{}", cmp.render_text());
+}
+
+#[test]
+fn alloc_regressions_are_ratio_only() {
+    // Time is identical; bytes and call counts both blow past +25%.
+    let base = report(vec![workload(
+        "w",
+        vec![("ssa", time(10_000, 500), alloc(100, 8_192))],
+    )]);
+    let cand = report(vec![workload(
+        "w",
+        vec![("ssa", time(10_000, 500), alloc(400, 65_536))],
+    )]);
+    let cmp = compare(&base, &cand, &GateConfig::default());
+    let kinds: Vec<_> = cmp.findings.iter().map(|f| f.kind).collect();
+    assert!(kinds.contains(&RegressionKind::AllocBytes), "{kinds:?}");
+    assert!(kinds.contains(&RegressionKind::AllocCount), "{kinds:?}");
+    assert!(!kinds.contains(&RegressionKind::Time), "{kinds:?}");
+}
+
+#[test]
+fn missing_workloads_and_phases_are_findings() {
+    let base = report(vec![
+        workload("gone", vec![("pst", time(10_000, 500), alloc(200, 16_384))]),
+        // The extra phase is tiny so the "kept" totals stay within the
+        // gate thresholds in the reverse comparison below.
+        workload(
+            "kept",
+            vec![
+                ("pst", time(10_000, 500), alloc(200, 16_384)),
+                ("renamed", time(100, 50), alloc(4, 64)),
+            ],
+        ),
+    ]);
+    let cand = report(vec![workload(
+        "kept",
+        vec![("pst", time(10_000, 500), alloc(200, 16_384))],
+    )]);
+    let cmp = compare(&base, &cand, &GateConfig::default());
+    let missing: Vec<_> = cmp
+        .findings
+        .iter()
+        .filter(|f| f.kind == RegressionKind::Missing)
+        .map(|f| (f.workload.as_str(), f.phase.as_str()))
+        .collect();
+    assert_eq!(missing, vec![("gone", "total"), ("kept", "renamed")]);
+
+    // Extra candidate workloads are a grown matrix, not a regression.
+    let cmp = compare(&cand, &base, &GateConfig::default());
+    assert!(cmp.passed(), "{}", cmp.render_text());
+}
+
+/// Builds a pseudo-random but schema-consistent report from a seed.
+fn arbitrary_report(seed: u64) -> BenchReport {
+    let mut rng = SplitMix64::new(seed);
+    let summary = |rng: &mut SplitMix64| {
+        let median = 1_000 + rng.below(1_000_000);
+        let spread = rng.below(median / 2 + 1);
+        Summary {
+            samples: 1 + rng.below(64),
+            min: median - spread,
+            max: median + spread + rng.below(1_000),
+            median,
+            mad: rng.below(spread + 1),
+            ci_lo: median - rng.below(spread + 1),
+            ci_hi: median + rng.below(spread + 1),
+            // Dyadic fractions survive the float -> text -> float trip
+            // exactly, so equality below is not flaky.
+            mean: median as f64 + rng.below(16) as f64 / 4.0,
+        }
+    };
+    let workloads = (0..1 + rng.below(3))
+        .map(|w| {
+            let phases = (0..1 + rng.below(PHASE_NAMES.len() as u64))
+                .map(|p| PhaseReport {
+                    name: PHASE_NAMES[p as usize].to_string(),
+                    time: summary(&mut rng),
+                    alloc: alloc(rng.below(100_000), rng.below(1 << 30)),
+                })
+                .collect();
+            WorkloadReport {
+                name: format!("workload_{w}"),
+                nodes: rng.below(10_000),
+                edges: rng.below(20_000),
+                phases,
+                total_time: summary(&mut rng),
+                alloc_total: alloc(rng.below(1_000_000), rng.below(1 << 40)),
+                alloc_unattributed_bytes: rng.below(1 << 20),
+            }
+        })
+        .collect();
+    BenchReport {
+        schema_version: BENCH_SCHEMA_VERSION,
+        label: format!("prop_{seed}"),
+        config: BenchConfig {
+            iters: 1 + rng.below(100),
+            warmup: rng.below(10),
+            bootstrap: BootstrapConfig {
+                resamples: 1 + rng.below(500),
+                seed: rng.next_u64(),
+            },
+            quick: rng.below(2) == 1,
+        },
+        workloads,
+        obs: Json::obj([
+            ("spans", Json::Arr(Vec::new())),
+            (
+                "counters",
+                Json::obj([("bench_workloads_run", Json::UInt(rng.below(100)))]),
+            ),
+        ]),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(150))]
+
+    /// `BENCH_<label>.json` round-trips: struct -> JSON text -> struct is
+    /// the identity, and the emitted JSON passes the schema validator.
+    #[test]
+    fn bench_report_roundtrips(seed in 0u64..10_000) {
+        let original = arbitrary_report(seed);
+        let json = original.to_json();
+        BenchReport::validate(&json).expect("self-built report is schema-valid");
+        let reparsed = BenchReport::parse(&json.to_string()).expect("text round-trip");
+        assert_eq!(reparsed, original);
+        // And the in-memory JSON path agrees with the text path.
+        assert_eq!(BenchReport::from_json(&json).expect("json round-trip"), original);
+    }
+
+    /// A self-comparison of any well-formed report passes the gate.
+    #[test]
+    fn self_comparison_always_passes(seed in 0u64..10_000) {
+        let r = arbitrary_report(seed);
+        let cmp = compare(&r, &r.clone(), &GateConfig::default());
+        assert!(cmp.passed(), "{}", cmp.render_text());
+    }
+}

@@ -1,0 +1,107 @@
+//! Statistics-module contracts: seeded-bootstrap determinism, and
+//! median/MAD robustness on outlier fixtures (the reason the harness
+//! reports order statistics instead of means).
+
+use proptest::test_runner::ProptestConfig;
+use proptest::{proptest, strategy::Strategy};
+use pst_perf::stats::{mad, median};
+use pst_perf::{BootstrapConfig, Summary};
+
+#[test]
+fn same_seed_means_identical_confidence_interval() {
+    let samples: Vec<u64> = (0..40).map(|i| 10_000 + (i * 997) % 3_000).collect();
+    let config = BootstrapConfig {
+        resamples: 300,
+        seed: 0xDEAD_BEEF,
+    };
+    let a = Summary::from_samples(&samples, &config);
+    let b = Summary::from_samples(&samples, &config);
+    assert_eq!(a, b, "bootstrap must be a pure function of (samples, config)");
+
+    // A different seed resamples differently; the CI is allowed to move
+    // but every summary stays internally consistent.
+    let c = Summary::from_samples(
+        &samples,
+        &BootstrapConfig {
+            resamples: 300,
+            seed: 1,
+        },
+    );
+    assert_eq!(a.median, c.median, "the median does not depend on the seed");
+    assert!(c.ci_lo <= c.median && c.median <= c.ci_hi);
+}
+
+#[test]
+fn median_and_mad_shrug_off_outliers() {
+    // A scheduler hiccup turns one sample into a 100x outlier: the mean
+    // moves by ~2x, the median and MAD do not move at all.
+    let clean: Vec<u64> = vec![100, 101, 99, 100, 102, 98, 100];
+    let mut dirty = clean.clone();
+    dirty[3] = 10_000;
+
+    assert_eq!(median(&clean), 100);
+    assert_eq!(median(&dirty), 100);
+    assert_eq!(mad(&clean), 1);
+    assert_eq!(mad(&dirty), 1);
+
+    let config = BootstrapConfig::default();
+    let s_clean = Summary::from_samples(&clean, &config);
+    let s_dirty = Summary::from_samples(&dirty, &config);
+    assert_eq!(s_clean.median, s_dirty.median);
+    assert!(
+        s_dirty.mean > 2.0 * s_clean.mean,
+        "the mean is the statistic the outlier wrecks ({} vs {})",
+        s_dirty.mean,
+        s_clean.mean
+    );
+}
+
+#[test]
+fn mad_measures_spread_not_location() {
+    // Same spread at a different location: identical MAD.
+    let low: Vec<u64> = vec![10, 20, 30, 40, 50];
+    let high: Vec<u64> = low.iter().map(|x| x + 1_000_000).collect();
+    assert_eq!(mad(&low), mad(&high));
+    assert_eq!(mad(&low), 10);
+}
+
+#[test]
+fn single_sample_degenerates_cleanly() {
+    let s = Summary::from_samples(&[42], &BootstrapConfig::default());
+    assert_eq!(
+        (s.min, s.median, s.max, s.ci_lo, s.ci_hi, s.mad),
+        (42, 42, 42, 42, 42, 0)
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Order-statistic invariants hold for arbitrary sample vectors.
+    #[test]
+    fn summary_invariants(samples in proptest::collection::vec(0u64..1_000_000, 1..64)) {
+        let s = Summary::from_samples(&samples, &BootstrapConfig::default());
+        assert_eq!(s.samples as usize, samples.len());
+        assert!(s.min <= s.ci_lo, "{s:?}");
+        assert!(s.ci_lo <= s.median && s.median <= s.ci_hi, "{s:?}");
+        assert!(s.ci_hi <= s.max, "{s:?}");
+        assert!(s.min as f64 <= s.mean && s.mean <= s.max as f64, "{s:?}");
+        // The CI brackets the point estimate of the unsampled data too.
+        assert_eq!(s.median, median(&samples));
+    }
+
+    /// `ci_overlaps` is symmetric and reflexive.
+    #[test]
+    fn overlap_is_symmetric(a in (0u64..1000).prop_map(|x| (x, x + 10)),
+                            b in (0u64..1000).prop_map(|x| (x, x + 10))) {
+        let mk = |(lo, hi): (u64, u64)| {
+            let mut s = Summary::from_samples(&[lo, hi], &BootstrapConfig::default());
+            s.ci_lo = lo;
+            s.ci_hi = hi;
+            s
+        };
+        let (sa, sb) = (mk(a), mk(b));
+        assert!(sa.ci_overlaps(&sa));
+        assert_eq!(sa.ci_overlaps(&sb), sb.ci_overlaps(&sa));
+    }
+}

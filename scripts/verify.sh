@@ -156,4 +156,79 @@ if echo "$allow_out" | grep -q '"PST-D001"'; then
 fi
 echo "lint taxonomy OK"
 
+echo "== smoke: pst bench --quick (schema-validated report + trace) =="
+benchdir=$(mktemp -d)
+trap 'rm -f "$metrics" "$lintjson"; rm -rf "$fuzzdir" "$benchdir"' EXIT
+./target/release/pst bench --quick --iters 3 --warmup 1 --label verify \
+    --out "$benchdir/BENCH_verify.json" --trace-out "$benchdir/trace.json" \
+    >/dev/null
+# The report must parse, carry the versioned schema, keep its order
+# statistics ordered, and account for every allocated byte; the Chrome
+# trace must be well-formed trace_event JSON. python3 again doubles as
+# an independent check of the hand-rolled emitter.
+python3 - "$benchdir/BENCH_verify.json" "$benchdir/trace.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+assert report["schema_version"] == 1, report["schema_version"]
+assert report["workloads"], "bench report has no workloads"
+for w in report["workloads"]:
+    assert w["phases"], f"{w['name']}: no phases"
+    attributed = sum(p["alloc"]["bytes_total"] for p in w["phases"])
+    assert attributed + w["alloc_unattributed_bytes"] \
+        == w["alloc_total"]["bytes_total"], f"{w['name']}: attribution leak"
+    for p in w["phases"]:
+        t = p["time"]
+        assert t["samples"] == 3, (w["name"], p["name"], t)
+        assert t["min"] <= t["ci_lo"] <= t["median"] <= t["ci_hi"] <= t["max"], \
+            (w["name"], p["name"], t)
+assert report["obs"]["spans"], "no embedded observability spans"
+with open(sys.argv[2]) as f:
+    trace = json.load(f)
+events = trace["traceEvents"]
+assert events, "empty Chrome trace"
+assert all(e["ph"] == "X" and e["dur"] >= 0 for e in events), "bad trace event"
+print("bench OK:", len(report["workloads"]), "workloads,",
+      len(events), "trace events")
+EOF
+
+echo "== smoke: pst bench --compare (baseline gate) =="
+# Gate the fresh quick run against the committed baseline. Thresholds
+# are generous — hardware differs between machines; the CI-overlap rule
+# and the absolute floors absorb noise, the ratio absorbs the rest.
+./target/release/pst bench --compare benchmarks/BENCH_seed.json \
+    --candidate "$benchdir/BENCH_verify.json" \
+    --threshold 900 --alloc-threshold 400 \
+    || { echo "FAIL: quick run regressed against benchmarks/BENCH_seed.json"; exit 1; }
+# The gate itself must be able to fire: shrink every baseline number
+# 100x and the same candidate must now fail with exit code 6.
+python3 - "$benchdir/BENCH_verify.json" "$benchdir/BENCH_shrunk.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+def shrink_time(s):
+    for k in ("min", "max", "median", "mad", "ci_lo", "ci_hi"):
+        s[k] //= 100
+    s["mean"] /= 100
+def shrink_alloc(a):
+    for k in ("allocs", "bytes_total", "peak_live_bytes"):
+        a[k] //= 100
+for w in report["workloads"]:
+    shrink_time(w["total_time"])
+    shrink_alloc(w["alloc_total"])
+    for p in w["phases"]:
+        shrink_time(p["time"])
+        shrink_alloc(p["alloc"])
+with open(sys.argv[2], "w") as f:
+    json.dump(report, f)
+EOF
+set +e
+./target/release/pst bench --compare "$benchdir/BENCH_shrunk.json" \
+    --candidate "$benchdir/BENCH_verify.json" >/dev/null
+code=$?
+set -e
+[ "$code" -eq 6 ] \
+    || { echo "FAIL: injected 100x regression should exit 6, got $code"; exit 1; }
+echo "bench gate OK (pass on committed baseline, exit 6 on injected regression)"
+
 echo "== verify: all checks passed =="
