@@ -57,6 +57,22 @@ fn main() {
     };
     let out = take_value(&mut args, "--out");
     let which = args.first().map(String::as_str).unwrap_or("all");
+    let run_started = Instant::now();
+    if let Ok(target) = std::env::var("PST_JOURNAL") {
+        if !target.is_empty() {
+            let seed = std::env::var("PST_TRACE_SEED")
+                .ok()
+                .and_then(|s| s.parse::<u64>().ok());
+            if let Err(e) = pst_obs::journal::install(&target, seed) {
+                eprintln!("experiments: cannot open journal `{target}`: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    pst_obs::journal::emit(pst_obs::journal::Event::RunStart {
+        command: "experiments".to_string(),
+        args: args.clone(),
+    });
     let c = corpus();
     println!("# PST paper experiments (corpus seed 1994, 254 procedures)\n");
     let analyses = analyze(&c);
@@ -87,6 +103,12 @@ fn main() {
         }
     }
     report_observability();
+    pst_obs::journal::emit(pst_obs::journal::Event::RunEnd {
+        command: "experiments".to_string(),
+        exit_code: 0,
+        nanos: run_started.elapsed().as_nanos() as u64,
+    });
+    pst_obs::journal::uninstall();
 }
 
 /// Removes `name <value>` or `name=<value>` from `args` (last one wins).
@@ -109,6 +131,7 @@ fn take_value(args: &mut Vec<String>, name: &str) -> Option<String> {
 
 /// Per-phase span/counter report for the whole run; `PST_METRICS=<path>`
 /// additionally writes the report as JSON (see docs/OBSERVABILITY.md).
+/// `-` means stderr, the same convention as the `pst` CLI.
 fn report_observability() {
     if !pst_obs::enabled() {
         return;
@@ -118,9 +141,14 @@ fn report_observability() {
     print!("{}", report.render_text());
     if let Ok(path) = std::env::var("PST_METRICS") {
         if !path.is_empty() {
-            match std::fs::write(&path, format!("{}\n", report.to_json())) {
-                Ok(()) => println!("\nmetrics written to {path}"),
-                Err(e) => eprintln!("experiments: cannot write metrics to `{path}`: {e}"),
+            let text = format!("{}\n", report.to_json());
+            if path == "-" {
+                eprint!("{text}");
+            } else {
+                match std::fs::write(&path, text) {
+                    Ok(()) => println!("\nmetrics written to {path}"),
+                    Err(e) => eprintln!("experiments: cannot write metrics to `{path}`: {e}"),
+                }
             }
         }
     }

@@ -174,9 +174,20 @@ fn example_workloads() -> Vec<Workload> {
     workloads
 }
 
-fn gate(baseline: &BenchReport, candidate: &BenchReport, opts: &BenchOptions) -> Result<(), Failure> {
+fn gate(
+    baseline: &BenchReport,
+    candidate: &BenchReport,
+    candidate_name: &str,
+    opts: &BenchOptions,
+) -> Result<(), Failure> {
     let comparison = compare(baseline, candidate, &opts.gate_config());
     print!("{}", comparison.render_text());
+    pst_obs::journal::emit(pst_obs::journal::Event::BenchVerdict {
+        baseline: opts.compare.clone().unwrap_or_default(),
+        candidate: candidate_name.to_string(),
+        findings: comparison.findings.len() as u64,
+        passed: comparison.passed(),
+    });
     if comparison.passed() {
         Ok(())
     } else {
@@ -190,7 +201,7 @@ pub fn bench_command(opts: &BenchOptions) -> Result<(), Failure> {
     if let (Some(baseline_path), Some(candidate_path)) = (&opts.compare, &opts.candidate) {
         let baseline = load_report(baseline_path, "baseline")?;
         let candidate = load_report(candidate_path, "candidate")?;
-        return gate(&baseline, &candidate, opts);
+        return gate(&baseline, &candidate, candidate_path, opts);
     }
 
     if !pst_perf::alloc::installed() {
@@ -255,7 +266,7 @@ pub fn bench_command(opts: &BenchOptions) -> Result<(), Failure> {
 
     if let Some(baseline_path) = &opts.compare {
         let baseline = load_report(baseline_path, "baseline")?;
-        return gate(&baseline, &report, opts);
+        return gate(&baseline, &report, &out_path, opts);
     }
     Ok(())
 }

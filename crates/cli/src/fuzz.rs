@@ -321,7 +321,13 @@ pub fn fuzz_command(opts: &FuzzOptions) -> Result<(), Failure> {
             }
         }
         let (graph, entry) = random_digraph(&config_for_seed(seed), seed);
-        let outcome = run_one(&graph, entry, inject, seed);
+        // Each fuzz case is a telemetry unit: its pipeline counters and
+        // phase histograms land under `seed:<N>` as well as the global
+        // aggregate, so a crash can be profiled in isolation.
+        let outcome = {
+            let _unit = pst_obs::UnitScope::enter(format!("seed:{seed}"));
+            run_one(&graph, entry, inject, seed)
+        };
         ran += 1;
         pst_obs::counter!("fuzz_inputs");
         match &outcome {
@@ -337,6 +343,12 @@ pub fn fuzz_command(opts: &FuzzOptions) -> Result<(), Failure> {
                 pst_obs::counter!("fuzz_violations");
                 let small = minimize(Input::of_graph(&graph), inject, seed);
                 let path = write_reproducer(&opts.out_dir, seed, &small)?;
+                pst_obs::journal::emit(pst_obs::journal::Event::FuzzCrash {
+                    seed,
+                    kind: "violation".to_string(),
+                    detail: first_line(report),
+                    reproducer: Some(path.clone()),
+                });
                 println!(
                     "seed {seed}: CHECKER VIOLATION ({} nodes, {} edges minimized) -> {path}",
                     small.node_count,
@@ -351,6 +363,12 @@ pub fn fuzz_command(opts: &FuzzOptions) -> Result<(), Failure> {
                 pst_obs::counter!("fuzz_panics_contained");
                 let small = minimize(Input::of_graph(&graph), inject, seed);
                 let path = write_reproducer(&opts.out_dir, seed, &small)?;
+                pst_obs::journal::emit(pst_obs::journal::Event::FuzzCrash {
+                    seed,
+                    kind: "panic".to_string(),
+                    detail: first_line(message),
+                    reproducer: Some(path.clone()),
+                });
                 println!(
                     "seed {seed}: CONTAINED PANIC `{message}` ({} nodes, {} edges minimized) -> {path}",
                     small.node_count,
@@ -382,6 +400,12 @@ pub fn fuzz_command(opts: &FuzzOptions) -> Result<(), Failure> {
         )));
     }
     Ok(())
+}
+
+/// First line of a multi-line checker report or panic message — journal
+/// events stay single-line greppable; the full text is on stdout anyway.
+fn first_line(text: &str) -> String {
+    text.lines().next().unwrap_or_default().to_string()
 }
 
 /// Writes the minimized edge list to `<dir>/<seed>.edges`.

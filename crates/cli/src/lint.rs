@@ -94,6 +94,8 @@ pub fn lint_command(opts: &LintOptions) -> Result<(), Failure> {
     // (unit name, report, DOT dump if requested)
     let mut units: Vec<(String, LintReport, Option<String>)> = Vec::new();
     if opts.edges {
+        let unit_name = opts.path.clone();
+        let _unit = pst_obs::UnitScope::enter(unit_name.as_str());
         let (graph, entry) = parse_edge_list_graph(&source)
             .map_err(|e| Failure::Analysis(format!("edge list error: {e}")))?;
         let lint = lint_graph(&graph, entry, &opts.canonicalize, &opts.config)
@@ -102,19 +104,33 @@ pub fn lint_command(opts: &LintOptions) -> Result<(), Failure> {
             .dot
             .is_some()
             .then(|| dot_with_findings(lint.canonical.cfg.graph(), &lint.report));
-        units.push((opts.path.clone(), lint.report, dot));
+        units.push((unit_name, lint.report, dot));
     } else {
         let program = parse_program(&source)
             .map_err(|e| Failure::Analysis(format!("parse error: {e}")))?;
         let lowered = lower_program(&program)
             .map_err(|e| Failure::Analysis(format!("lowering error: {e}")))?;
         for (f, ast) in lowered.iter().zip(&program.functions) {
-            let report = lint_function(f, Some(ast), &opts.config);
+            let unit_name = format!("{}#{}", opts.path, f.name);
+            let report = {
+                let _unit = pst_obs::UnitScope::enter(unit_name.as_str());
+                lint_function(f, Some(ast), &opts.config)
+            };
             let dot = opts
                 .dot
                 .is_some()
                 .then(|| dot_with_findings(f.cfg.graph(), &report));
-            units.push((format!("{}#{}", opts.path, f.name), report, dot));
+            units.push((unit_name, report, dot));
+        }
+    }
+    for (name, report, _) in &units {
+        for diag in &report.diagnostics {
+            pst_obs::journal::emit(pst_obs::journal::Event::LintFinding {
+                unit: name.clone(),
+                rule: diag.rule.to_string(),
+                severity: diag.severity.label().to_string(),
+                message: diag.message.clone(),
+            });
         }
     }
     let findings: usize = units.iter().map(|(_, r, _)| r.diagnostics.len()).sum();

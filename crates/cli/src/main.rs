@@ -60,10 +60,18 @@
 //! recorded phase tree and counters to stderr; `--metrics-json <path>`
 //! writes the same report as JSON (`-` = stderr). The `PST_METRICS`
 //! environment variable supplies a default for `--metrics-json`.
+//!
+//! `--journal <path>` appends one JSON line per structured event (run
+//! lifecycle, per-unit summaries, lint findings, fuzz crashes, bench
+//! gate verdicts) to `<path>` (`-` = stderr); `PST_JOURNAL` supplies the
+//! default and `PST_TRACE_SEED` pins the run's trace id for
+//! reproducible journals. `pst obs <file>...` aggregates journals,
+//! metrics JSON, and `BENCH_*.json` reports into one fleet view.
 
 mod bench;
 mod fuzz;
 mod lint;
+mod obs;
 
 /// Every `pst` process counts its allocations: the observability layer
 /// and `pst bench` read the totals, and the per-allocation cost is a
@@ -82,19 +90,29 @@ use pst_lang::{lower_program, parse_program, LoweredFunction, VarId};
 use pst_ssa::{place_phis_cytron, place_phis_pst, rename};
 
 const USAGE: &str = "usage: pst <regions|kinds|dot|clusters|control-regions|ssa|dataflow> \
-     <file.mini | -> [--paranoid] [--trace] [--metrics-json <path>]\n       \
+     <file.mini | -> [--paranoid] [--trace] [--metrics-json <path>] [--journal <path>]\n       \
      pst --canonicalize <edges.txt | -> [--tether] [--split-self-loops] [--paranoid]\n       \
      pst lint <file.mini | -> [--edges] [--json] [--dot <path>] \
      [--allow <rule>] [--deny <rule>]\n       \
      pst fuzz --seed-range <A>..<B> [--budget-ms <N>] [--out-dir <dir>]\n       \
      pst bench [--quick] [--label <name>] [--out <path>] [--compare <baseline.json>] \
-     [--trace-out <file>]";
+     [--trace-out <file>]\n       \
+     pst obs <journal|metrics.json|BENCH_*.json>... [--format text|json] \
+     [--level info|warn|error] [--type <event-type>] [--top <N>]";
 
 fn main() -> ExitCode {
+    let started = std::time::Instant::now();
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let trace = take_flag(&mut args, "--trace");
     let metrics_json = match take_value_flag(&mut args, "--metrics-json") {
         Ok(v) => v.or_else(|| std::env::var("PST_METRICS").ok().filter(|s| !s.is_empty())),
+        Err(msg) => {
+            eprintln!("pst: {msg}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let journal_target = match take_value_flag(&mut args, "--journal") {
+        Ok(v) => v.or_else(|| std::env::var("PST_JOURNAL").ok().filter(|s| !s.is_empty())),
         Err(msg) => {
             eprintln!("pst: {msg}\n{USAGE}");
             return ExitCode::from(2);
@@ -110,6 +128,26 @@ fn main() -> ExitCode {
         },
         split_self_loops: take_flag(&mut args, "--split-self-loops"),
     };
+    if let Some(target) = journal_target.as_deref() {
+        // PST_TRACE_SEED pins the trace id so seeded runs journal
+        // reproducibly; without it the id is minted from the clock.
+        let seed = std::env::var("PST_TRACE_SEED")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok());
+        if let Err(e) = pst_obs::journal::install(target, seed) {
+            eprintln!("pst: cannot open journal `{target}`: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    let command = if canonicalize_mode {
+        "canonicalize".to_string()
+    } else {
+        args.first().cloned().unwrap_or_default()
+    };
+    pst_obs::journal::emit(pst_obs::journal::Event::RunStart {
+        command: command.clone(),
+        args: if canonicalize_mode { args.clone() } else { args.iter().skip(1).cloned().collect() },
+    });
     let outcome = if !canonicalize_mode && args.first().map(String::as_str) == Some("fuzz") {
         args.remove(0);
         match fuzz::FuzzOptions::from_args(&mut args) {
@@ -128,37 +166,70 @@ fn main() -> ExitCode {
             Ok(opts) => lint::lint_command(&opts),
             Err(msg) => Err(Failure::Usage(msg)),
         }
+    } else if !canonicalize_mode && args.first().map(String::as_str) == Some("obs") {
+        args.remove(0);
+        match obs::ObsOptions::from_args(&mut args) {
+            Ok(opts) => obs::obs_command(&opts),
+            Err(msg) => Err(Failure::Usage(msg)),
+        }
     } else {
         dispatch(canonicalize_mode, paranoid, &options, &args)
     };
     emit_observability(trace, metrics_json.as_deref());
-    match outcome {
-        Ok(()) => ExitCode::SUCCESS,
+    let code: u8 = match &outcome {
+        Ok(()) => 0,
         Err(Failure::Usage(msg)) => {
             eprintln!("pst: {msg}\n{USAGE}");
-            ExitCode::from(2)
+            2
         }
         Err(Failure::Analysis(msg)) => {
             eprintln!("pst: {msg}");
-            ExitCode::from(1)
+            1
         }
         Err(Failure::Violation(msg)) => {
             eprintln!("pst: invariant violation: {msg}");
-            ExitCode::from(3)
+            3
         }
         Err(Failure::ContainedPanic(msg)) => {
             eprintln!("pst: contained panic: {msg}");
-            ExitCode::from(4)
+            4
         }
         Err(Failure::Lint(count)) => {
             eprintln!("pst: {count} lint finding(s)");
-            ExitCode::from(5)
+            5
         }
         Err(Failure::Regression(count)) => {
             eprintln!("pst: {count} performance regression finding(s)");
-            ExitCode::from(6)
+            6
+        }
+    };
+    finish_journal(&command, code, started);
+    ExitCode::from(code)
+}
+
+/// Mirrors the run's per-unit sub-reports into the journal (so a fleet
+/// aggregator can rank units without the metrics JSON), then closes the
+/// run with a `run_end` carrying the resolved exit code.
+fn finish_journal(command: &str, exit_code: u8, started: std::time::Instant) {
+    if !pst_obs::journal::installed() {
+        return;
+    }
+    if pst_obs::enabled() {
+        let report = pst_obs::report();
+        for (unit, u) in &report.units {
+            pst_obs::journal::emit(pst_obs::journal::Event::UnitSummary {
+                unit: unit.clone(),
+                nanos: u.nanos,
+                count: u.count,
+            });
         }
     }
+    pst_obs::journal::emit(pst_obs::journal::Event::RunEnd {
+        command: command.to_string(),
+        exit_code: exit_code as u64,
+        nanos: started.elapsed().as_nanos() as u64,
+    });
+    pst_obs::journal::uninstall();
 }
 
 /// Resolves the `(command, path)` form of the CLI and runs it.
@@ -242,6 +313,7 @@ fn emit_observability(trace: bool, json_path: Option<&str>) {
 /// Every way a command can fail, ordered by exit code (2, 1, 3, 4).
 /// A contained panic takes precedence over a checker violation when the
 /// fuzz loop sees both.
+#[derive(Debug)]
 pub enum Failure {
     Usage(String),
     Analysis(String),
@@ -274,6 +346,9 @@ fn run(command: &str, source: &str, paranoid: bool) -> Result<(), Failure> {
     let lowered =
         lower_program(&program).map_err(|e| Failure::Analysis(format!("lowering error: {e}")))?;
     for function in &lowered {
+        // Attribute every span/counter/histogram recorded below to this
+        // function's unit as well as the global aggregate.
+        let _unit = pst_obs::UnitScope::enter(function.name.as_str());
         match command {
             "regions" => regions(function),
             "kinds" => kinds(function),

@@ -329,6 +329,11 @@ fn bench_compare_passes_on_identical_reports_and_gates_regressions() {
         s.ci_lo = (s.ci_lo / 100).max(1).min(s.median);
         s.ci_hi = (s.ci_hi / 100).max(s.median);
         s.mean /= 100.0;
+        // Quantiles must stay internally consistent (p50 <= p90 <= p99
+        // within [min, max]) or schema validation rejects the report.
+        s.p50 = (s.p50 / 100).clamp(s.min, s.max);
+        s.p90 = (s.p90 / 100).clamp(s.p50, s.max);
+        s.p99 = (s.p99 / 100).clamp(s.p90, s.max);
     };
     for w in &mut shrunk.workloads {
         for p in &mut w.phases {
@@ -375,4 +380,317 @@ fn bench_usage_errors_exit_2() {
     );
     assert_eq!(code, 1, "{err}");
     assert!(err.contains("not a valid report"), "{err}");
+}
+
+// --- journal + pst obs ----------------------------------------------------
+
+/// Like [`run_in`], but with extra environment variables set.
+fn run_env(dir: &std::path::Path, args: &[&str], envs: &[(&str, &str)]) -> (String, String, i32) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_pst"));
+    cmd.args(args)
+        .current_dir(dir)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped());
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    let out = cmd.output().expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code().unwrap_or(-1),
+    )
+}
+
+const TWO_FNS: &str = "
+fn alpha(n) { s = 0; while (n > 0) { s = s + n; n = n - 1; } return s; }
+fn beta(n) { if (n > 0) { n = 1; } else { n = 2; } return n; }
+";
+
+fn parse_journal(path: &std::path::Path) -> Vec<pst_obs::journal::Record> {
+    let text = std::fs::read_to_string(path).expect("journal written");
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| pst_obs::journal::Record::parse_line(l).expect("journal line parses"))
+        .collect()
+}
+
+#[test]
+fn journal_records_run_lifecycle_and_unit_summaries() {
+    let dir = bench_dir("journal");
+    std::fs::write(dir.join("two.mini"), TWO_FNS).expect("write program");
+    let (_, err, code) = run_env(
+        &dir,
+        &["regions", "two.mini", "--journal", "j.jsonl", "--metrics-json", "m.json"],
+        &[("PST_TRACE_SEED", "7")],
+    );
+    assert_eq!(code, 0, "{err}");
+
+    let records = parse_journal(&dir.join("j.jsonl"));
+    // One trace, contiguous sequence numbers, bracketed by the lifecycle.
+    for (i, r) in records.iter().enumerate() {
+        assert_eq!(r.seq, i as u64);
+        assert_eq!(r.trace, records[0].trace);
+    }
+    assert!(matches!(
+        &records.first().expect("run_start").event,
+        pst_obs::journal::Event::RunStart { command, .. } if command == "regions"
+    ));
+    assert!(matches!(
+        &records.last().expect("run_end").event,
+        pst_obs::journal::Event::RunEnd { command, exit_code: 0, .. } if command == "regions"
+    ));
+
+    // The journaled unit summaries mirror the metrics JSON's `units`
+    // sub-reports exactly (same names, nanos, and counts).
+    let metrics_text = std::fs::read_to_string(dir.join("m.json")).expect("metrics written");
+    let metrics = pst_obs::json::Json::parse(&metrics_text).expect("metrics parse");
+    let pst_obs::json::Json::Obj(units) = metrics.get("units").expect("units section") else {
+        panic!("units is an object");
+    };
+    let mut journaled: Vec<(String, u64, u64)> = records
+        .iter()
+        .filter_map(|r| match &r.event {
+            pst_obs::journal::Event::UnitSummary { unit, nanos, count } => {
+                Some((unit.clone(), *nanos, *count))
+            }
+            _ => None,
+        })
+        .collect();
+    journaled.sort();
+    let mut expected: Vec<(String, u64, u64)> = units
+        .iter()
+        .map(|(name, u)| {
+            (
+                name.clone(),
+                u.get("nanos").unwrap().as_u64().unwrap(),
+                u.get("count").unwrap().as_u64().unwrap(),
+            )
+        })
+        .collect();
+    expected.sort();
+    assert_eq!(journaled, expected);
+    assert_eq!(journaled.len(), 2, "{journaled:?}");
+
+    // PST_TRACE_SEED pins the trace id: a second seeded run appends
+    // records with the same trace.
+    let (_, _, code) = run_env(
+        &dir,
+        &["regions", "two.mini", "--journal", "j.jsonl"],
+        &[("PST_TRACE_SEED", "7")],
+    );
+    assert_eq!(code, 0);
+    let records = parse_journal(&dir.join("j.jsonl"));
+    assert!(records.iter().all(|r| r.trace == records[0].trace));
+}
+
+#[test]
+fn obs_merges_two_journals_and_agrees_with_metrics() {
+    let dir = bench_dir("obs");
+    std::fs::write(dir.join("two.mini"), TWO_FNS).expect("write program");
+    for i in 1..=2 {
+        let (_, err, code) = run_env(
+            &dir,
+            &[
+                "regions",
+                "two.mini",
+                "--journal",
+                &format!("j{i}.jsonl"),
+                "--metrics-json",
+                &format!("m{i}.json"),
+            ],
+            &[("PST_TRACE_SEED", if i == 1 { "11" } else { "22" })],
+        );
+        assert_eq!(code, 0, "{err}");
+    }
+
+    let (out, err, code) = run_in(&dir, &["obs", "j1.jsonl", "j2.jsonl", "--format", "json"]);
+    assert_eq!(code, 0, "{err}");
+    let fleet = pst_obs::json::Json::parse(out.trim()).expect("obs json parses");
+
+    // Two distinct traces were merged.
+    let pst_obs::json::Json::Arr(traces) = fleet.get("traces").expect("traces") else {
+        panic!("traces is an array");
+    };
+    assert_eq!(traces.len(), 2);
+
+    // The fleet's per-unit totals are the sum of each run's `units`
+    // sub-reports from the metrics JSON — same names, summed nanos.
+    let mut expected: std::collections::BTreeMap<String, (u64, u64)> = Default::default();
+    for i in 1..=2 {
+        let text = std::fs::read_to_string(dir.join(format!("m{i}.json"))).expect("metrics");
+        let metrics = pst_obs::json::Json::parse(&text).expect("metrics parse");
+        let pst_obs::json::Json::Obj(units) = metrics.get("units").expect("units") else {
+            panic!("units is an object");
+        };
+        for (name, u) in units {
+            let slot = expected.entry(name.clone()).or_insert((0, 0));
+            slot.0 += u.get("nanos").unwrap().as_u64().unwrap();
+            slot.1 += u.get("count").unwrap().as_u64().unwrap();
+        }
+    }
+    let pst_obs::json::Json::Arr(top) = fleet.get("top_units").expect("top_units") else {
+        panic!("top_units is an array");
+    };
+    let ranked: Vec<(String, u64, u64)> = top
+        .iter()
+        .map(|u| {
+            (
+                match u.get("unit").unwrap() {
+                    pst_obs::json::Json::Str(s) => s.clone(),
+                    other => panic!("unit name: {other:?}"),
+                },
+                u.get("nanos").unwrap().as_u64().unwrap(),
+                u.get("count").unwrap().as_u64().unwrap(),
+            )
+        })
+        .collect();
+    assert_eq!(ranked.len(), expected.len());
+    for (name, nanos, count) in &ranked {
+        assert_eq!(expected.get(name), Some(&(*nanos, *count)), "unit {name}");
+    }
+    // Slowest-first ordering.
+    assert!(ranked.windows(2).all(|w| w[0].1 >= w[1].1), "{ranked:?}");
+}
+
+#[test]
+fn bench_compare_gates_tail_only_regression_exit_6() {
+    use pst_perf::{AllocStats, PhaseReport, Summary, WorkloadReport};
+
+    // Identical medians within the threshold, disjoint CIs, and a 4.5x
+    // p99 blowup: only the tail gate should fire.
+    let summary = |median: u64, half: u64, p99: u64| Summary {
+        samples: 30,
+        min: median - 2 * half,
+        max: p99.max(median + 2 * half),
+        median,
+        mad: half,
+        ci_lo: median - half,
+        ci_hi: median + half,
+        mean: median as f64,
+        p50: median,
+        p90: median + half,
+        p99,
+    };
+    let report = |label: &str, s: Summary| pst_perf::BenchReport {
+        schema_version: pst_perf::BENCH_SCHEMA_VERSION,
+        label: label.to_string(),
+        config: pst_perf::BenchConfig {
+            iters: 30,
+            warmup: 5,
+            bootstrap: pst_perf::BootstrapConfig::default(),
+            quick: false,
+        },
+        workloads: vec![WorkloadReport {
+            name: "w".to_string(),
+            nodes: 64,
+            edges: 96,
+            phases: vec![PhaseReport {
+                name: "pst".to_string(),
+                time: s.clone(),
+                alloc: AllocStats {
+                    allocs: 100,
+                    bytes_total: 8192,
+                    peak_live_bytes: 8192,
+                },
+            }],
+            total_time: s,
+            alloc_total: AllocStats {
+                allocs: 100,
+                bytes_total: 8192,
+                peak_live_bytes: 8192,
+            },
+            alloc_unattributed_bytes: 0,
+        }],
+        obs: pst_obs::json::Json::Obj(Vec::new()),
+    };
+    let baseline = report("base", summary(10_000, 200, 11_000));
+    let candidate = report("cand", summary(10_600, 50, 50_000));
+
+    let dir = bench_dir("tailgate");
+    std::fs::write(dir.join("base.json"), format!("{}\n", baseline.to_json())).expect("write");
+    std::fs::write(dir.join("cand.json"), format!("{}\n", candidate.to_json())).expect("write");
+    let (out, err, code) = run_in(
+        &dir,
+        &[
+            "bench",
+            "--compare",
+            "base.json",
+            "--candidate",
+            "cand.json",
+            "--journal",
+            "j.jsonl",
+        ],
+    );
+    assert_eq!(code, 6, "stdout: {out}\nstderr: {err}");
+    assert!(out.contains("[p99]"), "{out}");
+    assert!(!out.contains("[time]"), "{out}");
+
+    // The verdict is journaled for fleet aggregation.
+    let records = parse_journal(&dir.join("j.jsonl"));
+    let verdict = records
+        .iter()
+        .find_map(|r| match &r.event {
+            pst_obs::journal::Event::BenchVerdict {
+                baseline,
+                candidate,
+                findings,
+                passed,
+            } => Some((baseline.clone(), candidate.clone(), *findings, *passed)),
+            _ => None,
+        })
+        .expect("bench_verdict journaled");
+    assert_eq!(
+        verdict,
+        ("base.json".to_string(), "cand.json".to_string(), 2, false)
+    );
+}
+
+/// A contained fuzz crash must leave a `fuzz_crash` journal event whose
+/// reproducer path points at the minimized edge list. Clean builds never
+/// crash, so this runs only with `--features fault-inject`.
+#[cfg(feature = "fault-inject")]
+#[test]
+fn fuzz_crash_lands_in_journal_with_reproducer() {
+    let dir = bench_dir("fuzzjournal");
+    let (out, err, code) = run_in(
+        &dir,
+        &[
+            "fuzz",
+            "--seed-range",
+            "0..6",
+            "--inject-fault",
+            "merge-cycle-classes",
+            "--out-dir",
+            "repro",
+            "--journal",
+            "j.jsonl",
+        ],
+    );
+    assert_eq!(code, 3, "stdout: {out}\nstderr: {err}");
+    let records = parse_journal(&dir.join("j.jsonl"));
+    let crashes: Vec<_> = records
+        .iter()
+        .filter_map(|r| match &r.event {
+            pst_obs::journal::Event::FuzzCrash {
+                seed,
+                kind,
+                reproducer,
+                ..
+            } => Some((*seed, kind.clone(), reproducer.clone())),
+            _ => None,
+        })
+        .collect();
+    assert!(!crashes.is_empty(), "{records:?}");
+    for (seed, kind, reproducer) in &crashes {
+        assert_eq!(kind, "violation");
+        let path = reproducer.as_deref().expect("reproducer path journaled");
+        assert_eq!(path, &format!("repro/{seed}.edges"));
+        assert!(dir.join(path).exists(), "reproducer file missing: {path}");
+    }
+    // Crash events carry the error level so `--level error` isolates them.
+    assert!(records
+        .iter()
+        .filter(|r| matches!(r.event, pst_obs::journal::Event::FuzzCrash { .. }))
+        .all(|r| r.level == pst_obs::journal::Level::Error));
 }

@@ -183,6 +183,20 @@ impl ProgramStructureTree {
         }
         assign_depths_and_intervals(&mut regions);
 
+        // Telemetry: the shape of every build feeds two fleet-mergeable
+        // histograms — nesting depth per canonical region, and innermost
+        // size (nodes whose tightest enclosing region is this one).
+        if pst_obs::enabled() {
+            let mut innermost_size = vec![0u64; regions.len()];
+            for r in &node_region {
+                innermost_size[r.index()] += 1;
+            }
+            for (i, r) in regions.iter().enumerate().skip(1) {
+                pst_obs::histogram!("pst_region_depth", r.depth as u64);
+                pst_obs::histogram!("pst_region_size", innermost_size[i]);
+            }
+        }
+
         ProgramStructureTree {
             regions,
             node_region,

@@ -1,0 +1,104 @@
+//! Histogram contracts, proptested: quantile answers against an exact
+//! sorted-vector oracle, and merge associativity/commutativity — the
+//! property that makes per-thread, per-unit, and per-run folds
+//! order-independent.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use pst_obs::hist::{Histogram, SUBBUCKETS};
+
+fn hist_of(values: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+/// The exact order statistic the histogram approximates: the smallest
+/// element whose rank reaches `ceil(q·n)` (clamped to rank 1).
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+/// Values spanning the full log-linear grid: the exact linear range,
+/// bucket boundaries, and wide magnitudes.
+fn value_strategy() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        0u64..64,
+        (0u32..40).prop_flat_map(|e| {
+            let lo = 1u64 << e;
+            lo..(lo.saturating_mul(2))
+        }),
+        0u64..u64::MAX,
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64 })]
+
+    #[test]
+    fn quantiles_match_the_sorted_oracle_within_bucket_error(
+        values in vec(value_strategy(), 1..200),
+        // The vendored proptest has no float ranges; q = k/1000.
+        qs in vec((0u64..=1000).prop_map(|k| k as f64 / 1000.0), 1..8),
+    ) {
+        let h = hist_of(&values);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for q in qs {
+            let exact = exact_quantile(&sorted, q);
+            let approx = h.quantile(q);
+            // The walk lands in the bucket containing the exact order
+            // statistic, and the midpoint representative is within one
+            // bucket width (≤ exact/SUBBUCKETS·2, +1 for rounding).
+            let tolerance = exact / (SUBBUCKETS / 2) + 1;
+            prop_assert!(
+                approx.abs_diff(exact) <= tolerance,
+                "q={q}: approx {approx} vs exact {exact} (tolerance {tolerance})"
+            );
+            prop_assert!(h.min() <= approx && approx <= h.max());
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.min(), sorted[0]);
+        prop_assert_eq!(h.max(), *sorted.last().unwrap());
+    }
+
+    #[test]
+    fn merge_is_commutative_and_associative(
+        xs in vec(value_strategy(), 0..60),
+        ys in vec(value_strategy(), 0..60),
+        zs in vec(value_strategy(), 0..60),
+    ) {
+        let (hx, hy, hz) = (hist_of(&xs), hist_of(&ys), hist_of(&zs));
+
+        // Commutativity: x+y == y+x.
+        let mut xy = hx.clone();
+        xy.merge_from(&hy);
+        let mut yx = hy.clone();
+        yx.merge_from(&hx);
+        prop_assert_eq!(&xy, &yx);
+
+        // Associativity: (x+y)+z == x+(y+z).
+        let mut xy_z = xy.clone();
+        xy_z.merge_from(&hz);
+        let mut yz = hy.clone();
+        yz.merge_from(&hz);
+        let mut x_yz = hx.clone();
+        x_yz.merge_from(&yz);
+        prop_assert_eq!(&xy_z, &x_yz);
+
+        // And the fold equals recording every value into one histogram.
+        let all: Vec<u64> = xs.iter().chain(&ys).chain(&zs).copied().collect();
+        prop_assert_eq!(&xy_z, &hist_of(&all));
+    }
+
+    #[test]
+    fn json_round_trip_is_identity(values in vec(value_strategy(), 0..80)) {
+        let h = hist_of(&values);
+        let text = h.to_json().to_string();
+        let parsed = pst_obs::json::Json::parse(&text).unwrap();
+        prop_assert_eq!(Histogram::from_json(&parsed), Some(h));
+    }
+}

@@ -4,7 +4,9 @@
 //! and phase-by-name. A **time** regression requires *both* a median
 //! ratio beyond the threshold *and* disjoint bootstrap confidence
 //! intervals — overlap means the difference is within measurement
-//! noise, so the gate stays quiet. An **allocation** regression is
+//! noise, so the gate stays quiet. A **quantile** regression applies
+//! the same rule to the histogram-derived p99, catching tail blowups
+//! that leave the median untouched. An **allocation** regression is
 //! ratio-only (allocation counts are deterministic, so no interval is
 //! needed). Tiny absolute values are exempt via floors: a 2× blowup of
 //! a 100 ns phase is jitter, not a finding.
@@ -46,6 +48,10 @@ impl Default for GateConfig {
 pub enum RegressionKind {
     /// Median wall time grew beyond threshold with disjoint CIs.
     Time,
+    /// Tail latency (p99) grew beyond threshold with disjoint CIs —
+    /// catches regressions that widen the distribution without moving
+    /// its center (e.g. an occasional reallocation storm).
+    Quantile,
     /// Total bytes allocated grew beyond threshold.
     AllocBytes,
     /// Allocation calls grew beyond threshold.
@@ -59,6 +65,7 @@ impl RegressionKind {
     fn label(self) -> &'static str {
         match self {
             RegressionKind::Time => "time",
+            RegressionKind::Quantile => "p99",
             RegressionKind::AllocBytes => "alloc-bytes",
             RegressionKind::AllocCount => "alloc-count",
             RegressionKind::Missing => "missing",
@@ -126,6 +133,12 @@ impl Comparison {
                     fmt_ns(f.candidate),
                     f.ratio
                 ),
+                RegressionKind::Quantile => format!(
+                    "p99 {} -> {} ({:.2}x, CIs disjoint)",
+                    fmt_ns(f.baseline),
+                    fmt_ns(f.candidate),
+                    f.ratio
+                ),
                 RegressionKind::AllocBytes => {
                     format!("{} -> {} bytes ({:.2}x)", f.baseline, f.candidate, f.ratio)
                 }
@@ -170,6 +183,22 @@ fn check_time(
             baseline: baseline.median,
             candidate: candidate.median,
             ratio: r,
+        });
+    }
+    // Tail gate: p99 regressions use the same noise guards as medians —
+    // the ratio threshold, the CI-disjointness requirement (the CI is
+    // for the median, but overlapping CIs mean the distributions are
+    // within noise of each other, so a p99 verdict would be noise too),
+    // and the absolute floor.
+    let rq = ratio(baseline.p99, candidate.p99);
+    if rq > 1.0 + gate.time_ratio && significant && candidate.p99 >= gate.min_time_ns {
+        findings.push(Finding {
+            workload: workload.to_string(),
+            phase: phase.to_string(),
+            kind: RegressionKind::Quantile,
+            baseline: baseline.p99,
+            candidate: candidate.p99,
+            ratio: rq,
         });
     }
 }

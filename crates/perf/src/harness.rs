@@ -47,6 +47,24 @@ pub const PHASE_NAMES: [&str; 9] = [
     "dataflow",
 ];
 
+/// The `pst-obs` histogram each phase's per-iteration latency lands in.
+/// `histogram!` needs `&'static str` names, so the nine phase names map
+/// through this fixed table.
+pub fn phase_histogram_name(phase: &str) -> &'static str {
+    match phase {
+        "parse" => "phase_nanos_parse",
+        "lower" => "phase_nanos_lower",
+        "canonicalize" => "phase_nanos_canonicalize",
+        "dominators" => "phase_nanos_dominators",
+        "cycle_equiv" => "phase_nanos_cycle_equiv",
+        "pst" => "phase_nanos_pst",
+        "control_regions" => "phase_nanos_control_regions",
+        "ssa" => "phase_nanos_ssa",
+        "dataflow" => "phase_nanos_dataflow",
+        _ => "phase_nanos_other",
+    }
+}
+
 /// How many iterations to run and how to summarize them.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct HarnessConfig {
@@ -290,6 +308,10 @@ fn run_pipeline(input: &PreparedInput, sink: &mut impl PhaseSink) -> Result<(u64
 /// pass with per-phase snapshot attribution.
 pub fn run_workload(w: &Workload, config: &HarnessConfig) -> Result<WorkloadReport, HarnessError> {
     let _span = pst_obs::Span::enter("bench_workload");
+    // Everything this workload records — counters, gauges, phase
+    // histograms — is attributed to it as a unit, so the metrics report
+    // carries a per-workload sub-report alongside the global aggregate.
+    let _unit = pst_obs::UnitScope::enter(w.name.as_str());
     let input = prepare(w).map_err(|e| HarnessError::new(format!("{}: {}", w.name, e.message)))?;
     let in_workload = |e: HarnessError| HarnessError::new(format!("{}: {}", w.name, e.message));
 
@@ -311,6 +333,10 @@ pub fn run_workload(w: &Workload, config: &HarnessConfig) -> Result<WorkloadRepo
         let mut total = 0u64;
         for (name, ns) in t.phases {
             total += ns;
+            // Timed iterations only (warm-ups above never get here), so
+            // the latency histograms describe the same samples the
+            // Summary quantiles are computed from.
+            pst_obs::histogram!(phase_histogram_name(name), ns);
             match order.iter().position(|&o| o == name) {
                 Some(i) => samples[i].push(ns),
                 None => {
@@ -319,6 +345,7 @@ pub fn run_workload(w: &Workload, config: &HarnessConfig) -> Result<WorkloadRepo
                 }
             }
         }
+        pst_obs::histogram!("bench_iter_nanos", total);
         totals.push(total);
     }
 

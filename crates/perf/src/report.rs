@@ -18,7 +18,11 @@ use crate::stats::{BootstrapConfig, Summary};
 
 /// Version stamp written to every report; [`BenchReport::from_json`]
 /// rejects other versions.
-pub const BENCH_SCHEMA_VERSION: u64 = 1;
+///
+/// History: v1 = PR 5 (medians/MAD/bootstrap CI + alloc stats); v2 adds
+/// histogram-derived `p50`/`p90`/`p99` to every time [`Summary`] (the
+/// tail statistics the `--compare` gate checks alongside medians).
+pub const BENCH_SCHEMA_VERSION: u64 = 2;
 
 /// Harness configuration embedded in the report.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -169,6 +173,9 @@ fn summary_to_json(s: &Summary) -> Json {
         ("ci_lo", Json::UInt(s.ci_lo)),
         ("ci_hi", Json::UInt(s.ci_hi)),
         ("mean", Json::Float(s.mean)),
+        ("p50", Json::UInt(s.p50)),
+        ("p90", Json::UInt(s.p90)),
+        ("p99", Json::UInt(s.p99)),
     ])
 }
 
@@ -182,12 +189,18 @@ fn summary_from_json(j: &Json, path: &str) -> Result<Summary, SchemaError> {
         ci_lo: get_u64(j, "ci_lo", path)?,
         ci_hi: get_u64(j, "ci_hi", path)?,
         mean: get_f64(j, "mean", path)?,
+        p50: get_u64(j, "p50", path)?,
+        p90: get_u64(j, "p90", path)?,
+        p99: get_u64(j, "p99", path)?,
     };
     if s.samples == 0 {
         return Err(err(&format!("{path}.samples"), "must be positive"));
     }
     if s.min > s.median || s.median > s.max || s.ci_lo > s.ci_hi {
         return Err(err(path, "inconsistent order statistics"));
+    }
+    if s.p50 > s.p90 || s.p90 > s.p99 || s.p99 > s.max || s.p50 < s.min {
+        return Err(err(path, "inconsistent quantiles"));
     }
     Ok(s)
 }
@@ -363,18 +376,21 @@ impl BenchReport {
             );
             let _ = writeln!(
                 out,
-                "  {:<16} {:>10} {:>9} {:>10} {:>10} {:>10} {:>8}",
-                "phase", "median", "mad", "ci_lo", "ci_hi", "bytes", "allocs"
+                "  {:<16} {:>10} {:>9} {:>10} {:>10} {:>9} {:>9} {:>9} {:>10} {:>8}",
+                "phase", "median", "mad", "ci_lo", "ci_hi", "p50", "p90", "p99", "bytes", "allocs"
             );
             for p in &w.phases {
                 let _ = writeln!(
                     out,
-                    "  {:<16} {:>10} {:>9} {:>10} {:>10} {:>10} {:>8}",
+                    "  {:<16} {:>10} {:>9} {:>10} {:>10} {:>9} {:>9} {:>9} {:>10} {:>8}",
                     p.name,
                     fmt_ns(p.time.median),
                     fmt_ns(p.time.mad),
                     fmt_ns(p.time.ci_lo),
                     fmt_ns(p.time.ci_hi),
+                    fmt_ns(p.time.p50),
+                    fmt_ns(p.time.p90),
+                    fmt_ns(p.time.p99),
                     p.alloc.bytes_total,
                     p.alloc.allocs,
                 );

@@ -77,6 +77,14 @@ pub struct Summary {
     /// Arithmetic mean, kept for orientation only — comparisons use the
     /// median and the CI.
     pub mean: f64,
+    /// 50th percentile from the `pst-obs` log-linear histogram over the
+    /// same samples (≤3% relative error; tracks `median` closely).
+    pub p50: u64,
+    /// 90th percentile (histogram-derived, like `p50`).
+    pub p90: u64,
+    /// 99th percentile (histogram-derived). The tail statistic the
+    /// `--compare` gate checks alongside the median.
+    pub p99: u64,
 }
 
 impl Summary {
@@ -91,6 +99,13 @@ impl Summary {
         deviations.sort_unstable();
         let (ci_lo, ci_hi) = bootstrap_ci(&sorted, bootstrap);
         let sum: u128 = sorted.iter().map(|&x| x as u128).sum();
+        // Quantiles come from the same histogram primitive the rest of
+        // the telemetry uses, so a phase's BENCH p99 and its
+        // `phase_nanos_*` histogram in the metrics report agree.
+        let mut hist = pst_obs::Histogram::new();
+        for &x in &sorted {
+            hist.record(x);
+        }
         Summary {
             samples: sorted.len() as u64,
             min: sorted[0],
@@ -100,6 +115,9 @@ impl Summary {
             ci_lo,
             ci_hi,
             mean: sum as f64 / sorted.len() as f64,
+            p50: hist.quantile(0.50),
+            p90: hist.quantile(0.90),
+            p99: hist.quantile(0.99),
         }
     }
 

@@ -21,6 +21,9 @@ fn time(median: u64, half_width: u64) -> Summary {
         ci_lo: median.saturating_sub(half_width),
         ci_hi: median + half_width,
         mean: median as f64,
+        p50: median,
+        p90: median + half_width,
+        p99: median + 2 * half_width,
     }
 }
 
@@ -60,6 +63,9 @@ fn workload(name: &str, phases: Vec<(&str, Summary, AllocStats)>) -> WorkloadRep
         ci_lo: phases.iter().map(|(_, t, _)| t.ci_lo).sum(),
         ci_hi: phases.iter().map(|(_, t, _)| t.ci_hi).sum(),
         mean: phases.iter().map(|(_, t, _)| t.mean).sum(),
+        p50: phases.iter().map(|(_, t, _)| t.p50).sum(),
+        p90: phases.iter().map(|(_, t, _)| t.p90).sum(),
+        p99: phases.iter().map(|(_, t, _)| t.p99).sum(),
     };
     let total_alloc = AllocStats {
         allocs: phases.iter().map(|(_, _, a)| a.allocs).sum(),
@@ -128,9 +134,18 @@ fn disjoint_cis_beyond_threshold_fail_the_gate() {
     )]);
     let cmp = compare(&base, &cand, &GateConfig::default());
     assert!(!cmp.passed());
-    // The phase regressed and dragged the workload total with it.
+    // The phase regressed (median and tail) and dragged the workload
+    // total with it.
     let kinds: Vec<_> = cmp.findings.iter().map(|f| f.kind).collect();
-    assert_eq!(kinds, vec![RegressionKind::Time, RegressionKind::Time]);
+    assert_eq!(
+        kinds,
+        vec![
+            RegressionKind::Time,
+            RegressionKind::Quantile,
+            RegressionKind::Time,
+            RegressionKind::Quantile,
+        ]
+    );
     let f = &cmp.findings[0];
     assert_eq!((f.workload.as_str(), f.phase.as_str()), ("w", "dominators"));
     assert_eq!((f.baseline, f.candidate), (10_000, 20_000));
@@ -209,10 +224,12 @@ fn arbitrary_report(seed: u64) -> BenchReport {
     let summary = |rng: &mut SplitMix64| {
         let median = 1_000 + rng.below(1_000_000);
         let spread = rng.below(median / 2 + 1);
+        let max = median + spread + rng.below(1_000);
+        let p90 = median + rng.below(spread + 1);
         Summary {
             samples: 1 + rng.below(64),
             min: median - spread,
-            max: median + spread + rng.below(1_000),
+            max,
             median,
             mad: rng.below(spread + 1),
             ci_lo: median - rng.below(spread + 1),
@@ -220,6 +237,9 @@ fn arbitrary_report(seed: u64) -> BenchReport {
             // Dyadic fractions survive the float -> text -> float trip
             // exactly, so equality below is not flaky.
             mean: median as f64 + rng.below(16) as f64 / 4.0,
+            p50: median,
+            p90,
+            p99: p90 + rng.below(max - p90 + 1),
         }
     };
     let workloads = (0..1 + rng.below(3))

@@ -16,6 +16,8 @@ cargo test -q
 
 echo "== test: fault injection (checker soundness) =="
 cargo test -q -p pst-verify --features fault-inject
+# The CLI's crash-journal e2e needs an injected fault to crash on.
+cargo test -q -p pst-cli --features fault-inject
 
 echo "== doc (deny warnings) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
@@ -170,7 +172,7 @@ python3 - "$benchdir/BENCH_verify.json" "$benchdir/trace.json" <<'EOF'
 import json, sys
 with open(sys.argv[1]) as f:
     report = json.load(f)
-assert report["schema_version"] == 1, report["schema_version"]
+assert report["schema_version"] == 2, report["schema_version"]
 assert report["workloads"], "bench report has no workloads"
 for w in report["workloads"]:
     assert w["phases"], f"{w['name']}: no phases"
@@ -181,6 +183,9 @@ for w in report["workloads"]:
         t = p["time"]
         assert t["samples"] == 3, (w["name"], p["name"], t)
         assert t["min"] <= t["ci_lo"] <= t["median"] <= t["ci_hi"] <= t["max"], \
+            (w["name"], p["name"], t)
+        # Histogram-derived quantiles: ordered and inside the range.
+        assert t["min"] <= t["p50"] <= t["p90"] <= t["p99"] <= t["max"], \
             (w["name"], p["name"], t)
 assert report["obs"]["spans"], "no embedded observability spans"
 with open(sys.argv[2]) as f:
@@ -207,7 +212,8 @@ import json, sys
 with open(sys.argv[1]) as f:
     report = json.load(f)
 def shrink_time(s):
-    for k in ("min", "max", "median", "mad", "ci_lo", "ci_hi"):
+    for k in ("min", "max", "median", "mad", "ci_lo", "ci_hi",
+              "p50", "p90", "p99"):
         s[k] //= 100
     s["mean"] /= 100
 def shrink_alloc(a):
@@ -230,5 +236,51 @@ set -e
 [ "$code" -eq 6 ] \
     || { echo "FAIL: injected 100x regression should exit 6, got $code"; exit 1; }
 echo "bench gate OK (pass on committed baseline, exit 6 on injected regression)"
+
+echo "== smoke: structured event journal (JSONL schema) =="
+# A journaled quick bench must emit a well-formed JSONL stream bracketed
+# by run_start/run_end, with one trace id and contiguous sequence numbers.
+PST_TRACE_SEED=1 ./target/release/pst bench --quick --iters 2 --warmup 0 \
+    --label journal --out "$benchdir/BENCH_j1.json" \
+    --journal "$benchdir/j1.jsonl" >/dev/null
+PST_TRACE_SEED=2 ./target/release/pst bench --quick --iters 2 --warmup 0 \
+    --label journal2 --out "$benchdir/BENCH_j2.json" \
+    --journal "$benchdir/j2.jsonl" >/dev/null
+python3 - "$benchdir/j1.jsonl" <<'EOF'
+import json, sys
+records = [json.loads(l) for l in open(sys.argv[1]) if l.strip()]
+assert records, "empty journal"
+for i, r in enumerate(records):
+    assert r["seq"] == i, (i, r)
+    assert r["trace"] == records[0]["trace"], r
+    assert r["level"] in ("info", "warn", "error"), r
+    assert r["type"] in ("run_start", "run_end", "unit_summary",
+                         "lint_finding", "fuzz_crash", "bench_verdict"), r
+assert records[0]["type"] == "run_start", records[0]
+assert records[0]["data"]["command"] == "bench", records[0]
+assert records[-1]["type"] == "run_end", records[-1]
+assert records[-1]["data"]["exit_code"] == 0, records[-1]
+units = [r for r in records if r["type"] == "unit_summary"]
+assert units, "no per-workload unit summaries journaled"
+print("journal OK:", len(records), "records,", len(units), "unit summaries")
+EOF
+
+echo "== smoke: pst obs (fleet aggregation over two journals) =="
+./target/release/pst obs "$benchdir/j1.jsonl" "$benchdir/j2.jsonl" \
+    --format json > "$benchdir/fleet.json"
+python3 - "$benchdir/fleet.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    fleet = json.load(f)
+assert len(fleet["traces"]) == 2, fleet["traces"]
+assert fleet["event_counts"]["run_start"] == 2, fleet["event_counts"]
+assert fleet["event_counts"]["run_end"] == 2, fleet["event_counts"]
+top = fleet["top_units"]
+assert top, "no aggregated units"
+assert all(a["nanos"] >= b["nanos"] for a, b in zip(top, top[1:])), top
+# Every workload ran in both journals, so merged counts are even.
+assert all(u["count"] % 2 == 0 for u in top), top
+print("obs OK:", len(top), "units over", len(fleet["traces"]), "traces")
+EOF
 
 echo "== verify: all checks passed =="
