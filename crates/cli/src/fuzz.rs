@@ -420,6 +420,7 @@ fn write_reproducer(dir: &str, seed: u64, input: &Input) -> Result<String, Failu
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -89,8 +89,7 @@ impl LintOptions {
 /// Runs `pst lint`. Exit code 5 (via [`Failure::Lint`]) when any
 /// diagnostic survives the configuration.
 pub fn lint_command(opts: &LintOptions) -> Result<(), Failure> {
-    let source = read_source(&opts.path)
-        .map_err(|e| Failure::Usage(format!("cannot read `{}`: {e}", opts.path)))?;
+    let source = read_source(&opts.path).map_err(Failure::Usage)?;
     // (unit name, report, DOT dump if requested)
     let mut units: Vec<(String, LintReport, Option<String>)> = Vec::new();
     if opts.edges {

@@ -67,11 +67,22 @@
 //! default and `PST_TRACE_SEED` pins the run's trace id for
 //! reproducible journals. `pst obs <file>...` aggregates journals,
 //! metrics JSON, and `BENCH_*.json` reports into one fleet view.
+//!
+//! `serve` runs the long-lived analysis daemon: newline-delimited
+//! JSON-RPC over stdin/stdout (or TCP with `--listen addr:port`), with
+//! a content-hash LRU session cache that makes repeat queries lookups
+//! instead of recomputes (see `docs/SERVING.md`).
+
+// The CLI's request path must never panic on user input: unwrap/expect
+// are banned outside test modules (which opt back in explicitly), and
+// verify.sh runs clippy with warnings as errors to keep it that way.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 mod bench;
 mod fuzz;
 mod lint;
 mod obs;
+mod serve;
 
 /// Every `pst` process counts its allocations: the observability layer
 /// and `pst bench` read the totals, and the per-allocation cost is a
@@ -98,7 +109,9 @@ const USAGE: &str = "usage: pst <regions|kinds|dot|clusters|control-regions|ssa|
      pst bench [--quick] [--label <name>] [--out <path>] [--compare <baseline.json>] \
      [--trace-out <file>]\n       \
      pst obs <journal|metrics.json|BENCH_*.json>... [--format text|json] \
-     [--level info|warn|error] [--type <event-type>] [--top <N>]";
+     [--level info|warn|error] [--type <event-type>] [--top <N>]\n       \
+     pst serve [--listen <addr:port>] [--cache-entries <N>] [--cache-bytes <N>] \
+     [--max-request-bytes <N>]";
 
 fn main() -> ExitCode {
     let started = std::time::Instant::now();
@@ -172,6 +185,12 @@ fn main() -> ExitCode {
             Ok(opts) => obs::obs_command(&opts),
             Err(msg) => Err(Failure::Usage(msg)),
         }
+    } else if !canonicalize_mode && args.first().map(String::as_str) == Some("serve") {
+        args.remove(0);
+        match serve::ServeOptions::from_args(&mut args) {
+            Ok(opts) => serve::serve_command(&opts),
+            Err(msg) => Err(Failure::Usage(msg)),
+        }
     } else {
         dispatch(canonicalize_mode, paranoid, &options, &args)
     };
@@ -214,7 +233,10 @@ fn finish_journal(command: &str, exit_code: u8, started: std::time::Instant) {
     if !pst_obs::journal::installed() {
         return;
     }
-    if pst_obs::enabled() {
+    // The serve daemon already journals one unit_summary per request as
+    // it happens; mirroring its aggregated units here would double-count
+    // them in a fleet view.
+    if pst_obs::enabled() && command != "serve" {
         let report = pst_obs::report();
         for (unit, u) in &report.units {
             pst_obs::journal::emit(pst_obs::journal::Event::UnitSummary {
@@ -250,8 +272,7 @@ fn dispatch(
             _ => return Err(Failure::Usage("expected a command and an input path".to_string())),
         }
     };
-    let source = read_source(path)
-        .map_err(|e| Failure::Usage(format!("cannot read `{path}`: {e}")))?;
+    let source = read_source(path).map_err(Failure::Usage)?;
     if canonicalize_mode {
         canonicalize_command(&source, options, paranoid)
     } else {
@@ -329,14 +350,39 @@ pub enum Failure {
     Regression(usize),
 }
 
-fn read_source(path: &str) -> std::io::Result<String> {
-    if path == "-" {
-        let mut buf = String::new();
-        std::io::stdin().read_to_string(&mut buf)?;
-        Ok(buf)
+/// Reads the input (file path, or `-` for stdin) as UTF-8 text with
+/// precise diagnostics instead of `read_to_string`'s generic errors:
+/// empty input and non-UTF-8 bytes are rejected with exact messages
+/// (the UTF-8 error names the first invalid byte offset), and an
+/// unterminated final line is normalized with a trailing newline so the
+/// line-oriented parsers see complete lines. The serve loop applies the
+/// same rules per request line (`pst-serve`'s bounded reader).
+fn read_source(path: &str) -> Result<String, String> {
+    let bytes = if path == "-" {
+        let mut buf = Vec::new();
+        std::io::stdin()
+            .read_to_end(&mut buf)
+            .map_err(|e| format!("cannot read stdin: {e}"))?;
+        buf
     } else {
-        std::fs::read_to_string(path)
+        std::fs::read(path).map_err(|e| format!("cannot read `{path}`: {e}"))?
+    };
+    let what = if path == "-" { "stdin" } else { path };
+    if bytes.is_empty() {
+        return Err(format!(
+            "{what} is empty (expected a mini program or an edge list)"
+        ));
     }
+    let mut text = String::from_utf8(bytes).map_err(|e| {
+        format!(
+            "{what} is not valid UTF-8 (first invalid byte at offset {})",
+            e.utf8_error().valid_up_to()
+        )
+    })?;
+    if !text.ends_with('\n') {
+        text.push('\n');
+    }
+    Ok(text)
 }
 
 fn run(command: &str, source: &str, paranoid: bool) -> Result<(), Failure> {

@@ -132,8 +132,7 @@ struct Fleet {
 
 impl Fleet {
     fn ingest(&mut self, path: &str) -> Result<(), Failure> {
-        let text = crate::read_source(path)
-            .map_err(|e| Failure::Usage(format!("cannot read `{path}`: {e}")))?;
+        let text = crate::read_source(path).map_err(Failure::Usage)?;
         let kind = self.classify_and_merge(path, &text)?;
         self.files.push((path.to_string(), kind));
         Ok(())
@@ -382,6 +381,7 @@ pub fn obs_command(opts: &ObsOptions) -> Result<(), Failure> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -1,0 +1,78 @@
+//! `pst serve` — the long-lived analysis daemon (see `docs/SERVING.md`).
+//!
+//! Speaks newline-delimited JSON-RPC over stdin/stdout by default, or
+//! over TCP with `--listen addr:port` (std::net only; port 0 picks a
+//! free port and the bound address is announced on stdout). Session
+//! state lives in `pst-serve`: a content-hash LRU cache that interns
+//! parsed units and per-stage pipeline artifacts, budgeted by
+//! `--cache-entries` / `--cache-bytes` (0 = unlimited). Lines longer
+//! than `--max-request-bytes` are answered with an `oversized_request`
+//! envelope instead of being buffered.
+//!
+//! The daemon composes with the global observability flags: `--trace` /
+//! `--metrics-json` report the `serve_*` counters and latency
+//! histograms at exit, and `--journal` records one `unit_summary` event
+//! per request as it happens (which is why `finish_journal` skips the
+//! exit-time unit mirror for this command).
+
+use pst_serve::ServeConfig;
+
+use crate::{take_value_flag, Failure};
+
+/// Parsed `pst serve` options.
+pub struct ServeOptions {
+    /// TCP listen address (`addr:port`); stdin/stdout when absent.
+    pub listen: Option<String>,
+    /// Cache budgets and request size cap.
+    pub config: ServeConfig,
+}
+
+impl ServeOptions {
+    /// Parses serve-specific flags out of the remaining CLI arguments.
+    pub fn from_args(args: &mut Vec<String>) -> Result<ServeOptions, String> {
+        let listen = take_value_flag(args, "--listen")?;
+        let number = |name: &str, value: Option<String>| -> Result<Option<usize>, String> {
+            value
+                .map(|s| {
+                    s.parse::<usize>()
+                        .map_err(|_| format!("`{name}` expects a non-negative integer, got `{s}`"))
+                })
+                .transpose()
+        };
+        let cache_entries = number("--cache-entries", take_value_flag(args, "--cache-entries")?)?;
+        let cache_bytes = number("--cache-bytes", take_value_flag(args, "--cache-bytes")?)?;
+        let max_request_bytes = number(
+            "--max-request-bytes",
+            take_value_flag(args, "--max-request-bytes")?,
+        )?;
+        if let Some(extra) = args.first() {
+            return Err(format!("serve does not take `{extra}`"));
+        }
+        let mut config = ServeConfig::default();
+        if let Some(n) = cache_entries {
+            config.cache.max_entries = n;
+        }
+        if let Some(n) = cache_bytes {
+            config.cache.max_bytes = n;
+        }
+        if let Some(n) = max_request_bytes {
+            if n == 0 {
+                return Err("`--max-request-bytes` must be at least 1".to_string());
+            }
+            config.max_request_bytes = n;
+        }
+        Ok(ServeOptions { listen, config })
+    }
+}
+
+/// Runs the daemon until EOF, disconnect-after-shutdown, or a fatal
+/// transport error. Request-level failures never reach this result —
+/// they are answered in-band as structured error envelopes.
+pub fn serve_command(opts: &ServeOptions) -> Result<(), Failure> {
+    let _span = pst_obs::Span::enter("serve");
+    let outcome = match &opts.listen {
+        Some(addr) => pst_serve::serve_tcp(opts.config, addr),
+        None => pst_serve::serve_stdio(opts.config),
+    };
+    outcome.map_err(|e| Failure::Analysis(format!("serve transport error: {e}")))
+}

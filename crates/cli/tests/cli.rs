@@ -694,3 +694,346 @@ fn fuzz_crash_lands_in_journal_with_reproducer() {
         .filter(|r| matches!(r.event, pst_obs::journal::Event::FuzzCrash { .. }))
         .all(|r| r.level == pst_obs::journal::Level::Error));
 }
+
+// --- serve daemon ---------------------------------------------------------
+
+/// Runs `pst serve` with the given extra args, feeds `input` on stdin,
+/// and returns one parsed JSON reply per stdout line plus the exit code.
+fn serve(extra: &[&str], input: &str) -> (Vec<pst_obs::json::Json>, i32) {
+    let mut args = vec!["serve"];
+    args.extend_from_slice(extra);
+    let (out, err, code) = run(&args, Some(input));
+    let replies = out
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| {
+            pst_obs::json::Json::parse(l)
+                .unwrap_or_else(|e| panic!("reply is not JSON ({e}): {l}\nstderr: {err}"))
+        })
+        .collect();
+    (replies, code)
+}
+
+fn reply_ok(reply: &pst_obs::json::Json) -> bool {
+    reply.get("ok") == Some(&pst_obs::json::Json::Bool(true))
+}
+
+fn error_code(reply: &pst_obs::json::Json) -> String {
+    match reply.get("error").and_then(|e| e.get("code")) {
+        Some(pst_obs::json::Json::Str(s)) => s.clone(),
+        other => panic!("no error code in {reply} ({other:?})"),
+    }
+}
+
+fn source_request(id: u64, method: &str) -> String {
+    pst_obs::json::Json::obj([
+        ("id", pst_obs::json::Json::UInt(id)),
+        ("method", pst_obs::json::Json::Str(method.into())),
+        ("source", pst_obs::json::Json::Str(SAMPLE.into())),
+    ])
+    .to_string()
+}
+
+#[test]
+fn serve_answers_every_method_over_ndjson() {
+    let mut input = String::new();
+    for (i, method) in ["pst", "control_regions", "lint", "ssa", "dataflow"]
+        .iter()
+        .enumerate()
+    {
+        input.push_str(&source_request(i as u64, method));
+        input.push('\n');
+    }
+    input.push_str(r#"{"id":90,"method":"canonicalize","edges":"0->1 1->2 0->2"}"#);
+    input.push_str("\n{\"id\":91,\"method\":\"stats\"}\n{\"id\":92,\"method\":\"shutdown\"}\n");
+    let (replies, code) = serve(&[], &input);
+    assert_eq!(code, 0);
+    assert_eq!(replies.len(), 8);
+    for (i, reply) in replies.iter().enumerate() {
+        assert!(reply_ok(reply), "reply {i} not ok: {reply}");
+    }
+    // Analysis replies name their unit; repeated sources share one hash.
+    let unit = |r: &pst_obs::json::Json| match r.get("unit") {
+        Some(pst_obs::json::Json::Str(s)) => s.clone(),
+        other => panic!("no unit in reply: {other:?}"),
+    };
+    let first = unit(&replies[0]);
+    assert_eq!(first.len(), 16, "unit ids are 16 hex digits: {first}");
+    assert!(replies[1..5].iter().all(|r| unit(r) == first));
+    assert_ne!(unit(&replies[5]), first, "edge units hash separately");
+    // Stats reflect the traffic so far; shutdown acknowledges.
+    let stats = replies[6].get("result").expect("stats result");
+    assert_eq!(stats.get("requests").unwrap().as_u64(), Some(7));
+    assert_eq!(
+        replies[7].get("result").unwrap().get("stopping"),
+        Some(&pst_obs::json::Json::Bool(true))
+    );
+}
+
+#[test]
+fn serve_repeat_queries_come_from_the_cache() {
+    let dir = bench_dir("serve_cache");
+    let input = format!(
+        "{}\n{}\n{}\n",
+        source_request(1, "pst"),
+        source_request(2, "pst"),
+        r#"{"id":3,"method":"shutdown"}"#
+    );
+    let metrics_path = dir.join("m.json");
+    let (out, err, code) = run(
+        &["serve", "--metrics-json", metrics_path.to_str().unwrap()],
+        Some(&input),
+    );
+    assert_eq!(code, 0, "{err}");
+    let replies: Vec<_> = out
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| pst_obs::json::Json::parse(l).expect("reply parses"))
+        .collect();
+    assert_eq!(replies.len(), 3);
+    assert!(replies.iter().all(reply_ok));
+    // The first query computes, the repeat is served from the memo.
+    assert_eq!(
+        replies[0].get("cached"),
+        Some(&pst_obs::json::Json::Bool(false))
+    );
+    assert_eq!(
+        replies[1].get("cached"),
+        Some(&pst_obs::json::Json::Bool(true))
+    );
+    assert_eq!(replies[0].get("result"), replies[1].get("result"));
+
+    // The cache-hit counters land in the metrics report.
+    let metrics_text = std::fs::read_to_string(&metrics_path).expect("metrics written");
+    let metrics = pst_obs::json::Json::parse(&metrics_text).expect("metrics parse");
+    let counter = |name: &str| {
+        metrics
+            .get("counters")
+            .and_then(|c| c.get(name))
+            .and_then(|v| v.as_u64())
+            .unwrap_or(0)
+    };
+    assert_eq!(counter("serve_requests"), 3);
+    assert_eq!(counter("serve_cache_miss"), 1);
+    assert_eq!(counter("serve_cache_hit"), 1);
+    assert_eq!(counter("serve_stage_hit"), 1);
+}
+
+#[test]
+fn serve_survives_malformed_and_invalid_requests() {
+    let input = format!(
+        "this is not json\n\
+         [1,2,3]\n\
+         {{\"id\":1,\"method\":\"frobnicate\",\"source\":\"fn f() {{ return 0; }}\"}}\n\
+         {{\"id\":2,\"method\":\"pst\",\"unit\":\"00000000deadbeef\"}}\n\
+         {{\"id\":3,\"method\":\"pst\",\"source\":\"fn f( {{\"}}\n\
+         {{\"id\":4,\"method\":\"ssa\",\"edges\":\"0->1\"}}\n\
+         {}\n",
+        source_request(5, "pst")
+    );
+    let (replies, code) = serve(&[], &input);
+    assert_eq!(code, 0, "daemon exits cleanly at EOF");
+    assert_eq!(replies.len(), 7);
+    assert_eq!(error_code(&replies[0]), "parse_error");
+    assert_eq!(error_code(&replies[1]), "invalid_request");
+    assert_eq!(error_code(&replies[2]), "unknown_method");
+    assert_eq!(error_code(&replies[3]), "unknown_unit");
+    assert_eq!(error_code(&replies[4]), "analysis_error");
+    assert_eq!(error_code(&replies[5]), "unsupported");
+    // After all that, the daemon still answers real work.
+    assert!(reply_ok(&replies[6]), "{}", replies[6]);
+}
+
+#[test]
+fn serve_rejects_oversized_requests_but_keeps_serving() {
+    let huge = format!(
+        "{{\"id\":1,\"method\":\"pst\",\"source\":\"{}\"}}",
+        "x".repeat(512)
+    );
+    let input = format!("{huge}\n{{\"id\":2,\"method\":\"stats\"}}\n");
+    let (replies, code) = serve(&["--max-request-bytes", "256"], &input);
+    assert_eq!(code, 0);
+    assert_eq!(replies.len(), 2);
+    assert_eq!(error_code(&replies[0]), "oversized_request");
+    assert!(reply_ok(&replies[1]), "{}", replies[1]);
+}
+
+#[test]
+fn serve_registered_units_answer_by_id() {
+    // Register via a source request, then re-query by the returned unit
+    // id with a different method: no source re-send, still a unit hit.
+    let (replies, code) = serve(
+        &[],
+        &format!("{}\n", source_request(1, "pst")),
+    );
+    assert_eq!(code, 0);
+    let unit = match replies[0].get("unit") {
+        Some(pst_obs::json::Json::Str(s)) => s.clone(),
+        other => panic!("no unit: {other:?}"),
+    };
+    let input = format!(
+        "{}\n{{\"id\":2,\"method\":\"lint\",\"unit\":\"{unit}\"}}\n",
+        source_request(1, "pst")
+    );
+    let (replies, code) = serve(&[], &input);
+    assert_eq!(code, 0);
+    assert!(replies.iter().all(reply_ok), "{replies:?}");
+    assert_eq!(
+        replies[1].get("unit"),
+        Some(&pst_obs::json::Json::Str(unit))
+    );
+}
+
+#[test]
+fn serve_journals_one_unit_summary_per_request() {
+    let dir = bench_dir("serve_journal");
+    let input = format!(
+        "{}\n{}\n",
+        source_request(1, "pst"),
+        source_request(2, "pst")
+    );
+    let journal = dir.join("j.jsonl");
+    let (_, err, code) = run(
+        &["serve", "--journal", journal.to_str().unwrap()],
+        Some(&input),
+    );
+    assert_eq!(code, 0, "{err}");
+    let records = parse_journal(&journal);
+    let units: Vec<_> = records
+        .iter()
+        .filter_map(|r| match &r.event {
+            pst_obs::journal::Event::UnitSummary { unit, count, .. } => {
+                Some((unit.clone(), *count))
+            }
+            _ => None,
+        })
+        .collect();
+    // One summary per request — not a run-end mirror of the unit
+    // registry, which would double-count the repeated unit.
+    assert_eq!(units.len(), 2, "{units:?}");
+    assert!(units.iter().all(|(u, c)| u.starts_with("serve:") && *c == 1));
+    assert_eq!(units[0].0, units[1].0, "same unit+method, same scope name");
+}
+
+#[cfg(feature = "fault-inject")]
+#[test]
+fn serve_contains_injected_panics_and_keeps_serving() {
+    let panic_req = pst_obs::json::Json::obj([
+        ("id", pst_obs::json::Json::UInt(1)),
+        ("method", pst_obs::json::Json::Str("pst".into())),
+        ("source", pst_obs::json::Json::Str(SAMPLE.into())),
+        ("inject", pst_obs::json::Json::Str("panic".into())),
+    ])
+    .to_string();
+    let input = format!(
+        "{panic_req}\n{}\n{{\"id\":3,\"method\":\"stats\"}}\n",
+        source_request(2, "pst")
+    );
+    let (replies, code) = serve(&[], &input);
+    assert_eq!(code, 0, "daemon survives the panic");
+    assert_eq!(replies.len(), 3);
+    assert_eq!(error_code(&replies[0]), "panic");
+    assert!(reply_ok(&replies[1]), "{}", replies[1]);
+    // The panicking request's unit was quarantined, so the follow-up
+    // recomputed it from scratch.
+    assert_eq!(
+        replies[1].get("cached"),
+        Some(&pst_obs::json::Json::Bool(false))
+    );
+    let stats = replies[2].get("result").expect("stats");
+    assert_eq!(stats.get("contained_panics").unwrap().as_u64(), Some(1));
+}
+
+#[cfg(not(feature = "fault-inject"))]
+#[test]
+fn serve_reports_fault_injection_unsupported_without_the_feature() {
+    let req = pst_obs::json::Json::obj([
+        ("id", pst_obs::json::Json::UInt(1)),
+        ("method", pst_obs::json::Json::Str("pst".into())),
+        ("source", pst_obs::json::Json::Str(SAMPLE.into())),
+        ("inject", pst_obs::json::Json::Str("panic".into())),
+    ])
+    .to_string();
+    let (replies, code) = serve(&[], &format!("{req}\n"));
+    assert_eq!(code, 0);
+    assert_eq!(error_code(&replies[0]), "unsupported");
+}
+
+#[test]
+fn serve_usage_errors_exit_2() {
+    for bad in [
+        &["serve", "--cache-entries", "many"][..],
+        &["serve", "--max-request-bytes", "0"][..],
+        &["serve", "extra-arg"][..],
+        &["serve", "--listen"][..],
+    ] {
+        let (_, err, code) = run(bad, Some(""));
+        assert_eq!(code, 2, "{bad:?}: {err}");
+    }
+}
+
+// --- stdin edge cases -----------------------------------------------------
+
+/// Like [`run`], but feeds raw bytes (possibly invalid UTF-8) on stdin.
+fn run_bytes(args: &[&str], stdin: &[u8]) -> (String, String, i32) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_pst"));
+    cmd.args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped());
+    let mut child = cmd.spawn().expect("binary runs");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin piped")
+        .write_all(stdin)
+        .expect("write stdin");
+    let out = child.wait_with_output().expect("wait");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code().unwrap_or(-1),
+    )
+}
+
+#[test]
+fn empty_stdin_is_a_usage_error() {
+    let (_, err, code) = run(&["regions", "-"], Some(""));
+    assert_eq!(code, 2, "{err}");
+    assert!(err.contains("stdin is empty"), "{err}");
+}
+
+#[test]
+fn non_utf8_stdin_reports_the_offending_offset() {
+    let mut bytes = b"fn f(n) { return ".to_vec();
+    bytes.extend_from_slice(&[0xFF, 0xFE]);
+    bytes.extend_from_slice(b"; }\n");
+    let (_, err, code) = run_bytes(&["regions", "-"], &bytes);
+    assert_eq!(code, 2, "{err}");
+    assert!(
+        err.contains("not valid UTF-8 (first invalid byte at offset 17)"),
+        "{err}"
+    );
+}
+
+#[test]
+fn unterminated_final_line_on_stdin_still_parses() {
+    let (out, err, code) = run(
+        &["regions", "-"],
+        Some("fn f(n) { return n; }"), // no trailing newline
+    );
+    assert_eq!(code, 0, "{err}");
+    assert!(out.contains("fn f"), "{out}");
+}
+
+#[test]
+fn non_utf8_file_reports_the_offending_offset() {
+    let path = std::env::temp_dir().join("pst_cli_bad_utf8.mini");
+    std::fs::write(&path, [0x66, 0x6E, 0xC0, 0x0A]).expect("write file");
+    let (_, err, code) = run(&["regions", path.to_str().unwrap()], None);
+    assert_eq!(code, 2, "{err}");
+    assert!(
+        err.contains("not valid UTF-8 (first invalid byte at offset 2)"),
+        "{err}"
+    );
+}

@@ -968,7 +968,10 @@ mod tests {
     static TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
     fn locked() -> std::sync::MutexGuard<'static, ()> {
-        TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner())
+        // Same poison-recovery idiom as every lock in this workspace
+        // (see docs/SERVING.md § locking): a panicked holder must not
+        // wedge later acquisitions.
+        TEST_LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 
     #[test]

@@ -12,7 +12,9 @@
 //!
 //! Phase vocabulary (a workload reports the subset it exercises):
 //! `parse`, `lower`, `canonicalize`, `dominators`, `cycle_equiv`,
-//! `pst`, `control_regions`, `ssa`, `dataflow`.
+//! `pst`, `control_regions`, `ssa`, `dataflow` — plus `serve_cold` /
+//! `serve_hot` for the in-process daemon workload, which measures the
+//! `pst serve` request path instead of the one-shot pipeline.
 
 use std::fmt;
 use std::hint::black_box;
@@ -25,8 +27,10 @@ use pst_dominators::{dominator_tree, postdominator_tree};
 use pst_lang::{
     lower_program, parse_program, pretty_function, LoweredFunction, VarId,
 };
+use pst_obs::json::Json;
+use pst_serve::{ServeConfig, Session};
 use pst_ssa::{place_phis_pst_unchecked, rename};
-use pst_workloads::{generate_function, random_cfg, random_digraph};
+use pst_workloads::{generate_function, random_cfg, random_digraph, ProgramGenConfig};
 
 use crate::alloc::{self, AllocDelta};
 use crate::report::{AllocStats, PhaseReport, WorkloadReport};
@@ -35,7 +39,7 @@ use crate::workload::{Workload, WorkloadSpec};
 
 /// The canonical phase order; reports list phases in first-execution
 /// order, which is a subsequence of this.
-pub const PHASE_NAMES: [&str; 9] = [
+pub const PHASE_NAMES: [&str; 11] = [
     "parse",
     "lower",
     "canonicalize",
@@ -45,6 +49,8 @@ pub const PHASE_NAMES: [&str; 9] = [
     "control_regions",
     "ssa",
     "dataflow",
+    "serve_cold",
+    "serve_hot",
 ];
 
 /// The `pst-obs` histogram each phase's per-iteration latency lands in.
@@ -61,6 +67,8 @@ pub fn phase_histogram_name(phase: &str) -> &'static str {
         "control_regions" => "phase_nanos_control_regions",
         "ssa" => "phase_nanos_ssa",
         "dataflow" => "phase_nanos_dataflow",
+        "serve_cold" => "phase_nanos_serve_cold",
+        "serve_hot" => "phase_nanos_serve_hot",
         _ => "phase_nanos_other",
     }
 }
@@ -191,6 +199,9 @@ enum PreparedInput {
 
 fn prepare(w: &Workload) -> Result<PreparedInput, HarnessError> {
     match &w.spec {
+        WorkloadSpec::ServeMix { .. } => Err(HarnessError::new(
+            "serve workloads take the dedicated daemon path, not the pipeline",
+        )),
         WorkloadSpec::MiniSource { source } => Ok(PreparedInput::Source(source.clone())),
         WorkloadSpec::GenProg { config, seed } => {
             let f = generate_function("bench", config, *seed);
@@ -312,8 +323,11 @@ pub fn run_workload(w: &Workload, config: &HarnessConfig) -> Result<WorkloadRepo
     // histograms — is attributed to it as a unit, so the metrics report
     // carries a per-workload sub-report alongside the global aggregate.
     let _unit = pst_obs::UnitScope::enter(w.name.as_str());
-    let input = prepare(w).map_err(|e| HarnessError::new(format!("{}: {}", w.name, e.message)))?;
     let in_workload = |e: HarnessError| HarnessError::new(format!("{}: {}", w.name, e.message));
+    if let WorkloadSpec::ServeMix { units, seed } = &w.spec {
+        return run_serve_workload(w, *units, *seed, config).map_err(in_workload);
+    }
+    let input = prepare(w).map_err(|e| HarnessError::new(format!("{}: {}", w.name, e.message)))?;
 
     for _ in 0..config.warmup {
         let mut t = TimerSink::default();
@@ -375,6 +389,167 @@ pub fn run_workload(w: &Workload, config: &HarnessConfig) -> Result<WorkloadRepo
     pst_obs::counter!("bench_workloads_run");
     pst_obs::counter!("bench_iterations", iters);
     pst_obs::gauge!("bench_workload_nodes", nodes as usize);
+
+    Ok(WorkloadReport {
+        name: w.name.clone(),
+        nodes,
+        edges,
+        phases,
+        total_time: Summary::from_samples(&totals, &config.bootstrap),
+        alloc_total: AllocStats {
+            allocs: outer.allocs,
+            bytes_total: outer.bytes,
+            peak_live_bytes: outer.peak_live_bytes,
+        },
+        alloc_unattributed_bytes: outer.bytes.saturating_sub(attributed_bytes),
+    })
+}
+
+/// The request mix one serve workload drives: a generated mini unit per
+/// slot, each queried with two methods from a rotating schedule, so the
+/// batch exercises unit registration, stage interning, and per-method
+/// memo hits rather than a single code path.
+fn prepare_serve_mix(units: usize, seed: u64) -> Result<(Vec<String>, u64, u64), HarnessError> {
+    const METHODS: [&str; 4] = ["pst", "control_regions", "ssa", "lint"];
+    let gen_config = ProgramGenConfig {
+        target_stmts: 40,
+        max_depth: 5,
+        num_vars: 12,
+        goto_prob: 0.05,
+        loop_prob: 0.3,
+    };
+    let mut lines = Vec::with_capacity(units * 2);
+    let (mut nodes, mut edges) = (0u64, 0u64);
+    for i in 0..units {
+        let f = generate_function("serve", &gen_config, seed.wrapping_add(i as u64));
+        let source = pretty_function(&f);
+        // The report's nodes/edges describe the registered units, same
+        // as the pipeline workloads describe their analyzed CFGs.
+        let program = parse_program(&source)
+            .map_err(|e| HarnessError::new(format!("serve mix unit {i}: parse: {e}")))?;
+        let lowered = lower_program(&program)
+            .map_err(|e| HarnessError::new(format!("serve mix unit {i}: lower: {e}")))?;
+        for lf in &lowered {
+            nodes += lf.cfg.node_count() as u64;
+            edges += lf.cfg.edge_count() as u64;
+        }
+        for (k, method) in [METHODS[i % 4], METHODS[(i + 2) % 4]].into_iter().enumerate() {
+            lines.push(
+                Json::obj([
+                    ("id", Json::UInt((i * 2 + k) as u64)),
+                    ("method", Json::Str(method.to_string())),
+                    ("source", Json::Str(source.clone())),
+                ])
+                .to_string(),
+            );
+        }
+    }
+    Ok((lines, nodes, edges))
+}
+
+/// Measures the `pst serve` request path with an in-process daemon:
+/// per timed iteration, a fresh session answers the whole request mix
+/// twice — the cold batch registers every unit (cache misses, full
+/// pipeline), the hot batch repeats the identical requests (memo hits).
+/// `serve_cold` / `serve_hot` become ordinary gated phases, and the
+/// request throughput lands in the `serve_requests_per_sec` gauge.
+fn run_serve_workload(
+    w: &Workload,
+    units: usize,
+    seed: u64,
+    config: &HarnessConfig,
+) -> Result<WorkloadReport, HarnessError> {
+    let (lines, nodes, edges) = prepare_serve_mix(units, seed)?;
+
+    // One validation pass: every reply in the mix must be ok (a broken
+    // request means a broken workload, caught before any timing).
+    {
+        let mut session = Session::new(ServeConfig::default());
+        for line in &lines {
+            let reply = session.handle_line(line);
+            let ok = Json::parse(&reply.line)
+                .ok()
+                .and_then(|j| j.get("ok").cloned())
+                == Some(Json::Bool(true));
+            if !ok {
+                return Err(HarnessError::new(format!(
+                    "serve mix request failed: {} -> {}",
+                    line, reply.line
+                )));
+            }
+        }
+    }
+
+    let drive = |session: &mut Session| {
+        for line in &lines {
+            black_box(session.handle_line(line));
+        }
+    };
+
+    for _ in 0..config.warmup {
+        let mut session = Session::new(ServeConfig::default());
+        drive(&mut session);
+        drive(&mut session);
+    }
+
+    let iters = config.iters.max(1);
+    let mut cold_samples = Vec::with_capacity(iters as usize);
+    let mut hot_samples = Vec::with_capacity(iters as usize);
+    let mut totals = Vec::with_capacity(iters as usize);
+    for _ in 0..iters {
+        let mut session = Session::new(ServeConfig::default());
+        let start = Instant::now();
+        drive(&mut session);
+        let cold = start.elapsed().as_nanos() as u64;
+        let start = Instant::now();
+        drive(&mut session);
+        let hot = start.elapsed().as_nanos() as u64;
+        pst_obs::histogram!("phase_nanos_serve_cold", cold);
+        pst_obs::histogram!("phase_nanos_serve_hot", hot);
+        pst_obs::histogram!("bench_iter_nanos", cold + hot);
+        cold_samples.push(cold);
+        hot_samples.push(hot);
+        totals.push(cold + hot);
+    }
+
+    // Dedicated allocation pass, same shape as the pipeline path: the
+    // outer delta wraps both batches, so attributed + unattributed
+    // equals the total exactly.
+    let mut asink = AllocSink::default();
+    alloc::reset_peak();
+    let before = alloc::snapshot();
+    let mut session = Session::new(ServeConfig::default());
+    asink.phase("serve_cold", || drive(&mut session));
+    asink.phase("serve_hot", || drive(&mut session));
+    let after = alloc::snapshot();
+    let outer = alloc::delta(&before, &after);
+    drop(session);
+
+    let requests = lines.len() as u64 * 2 * iters;
+    let spent: u64 = totals.iter().sum();
+    pst_obs::gauge!(
+        "serve_requests_per_sec",
+        (requests as f64 * 1e9 / spent.max(1) as f64) as u64
+    );
+    pst_obs::counter!("bench_workloads_run");
+    pst_obs::counter!("bench_iterations", iters);
+    pst_obs::gauge!("bench_workload_nodes", nodes as usize);
+
+    let mut attributed_bytes = 0u64;
+    let mut phases = Vec::with_capacity(2);
+    for (name, samples) in [("serve_cold", &cold_samples), ("serve_hot", &hot_samples)] {
+        let d = asink.get(name);
+        attributed_bytes += d.bytes;
+        phases.push(PhaseReport {
+            name: name.to_string(),
+            time: Summary::from_samples(samples, &config.bootstrap),
+            alloc: AllocStats {
+                allocs: d.allocs,
+                bytes_total: d.bytes,
+                peak_live_bytes: d.peak_live_bytes,
+            },
+        });
+    }
 
     Ok(WorkloadReport {
         name: w.name.clone(),
@@ -466,5 +641,34 @@ mod tests {
         // The canonical CFG may shrink (unreachable pruning) or grow
         // (synthetic entry/exit/latches); it just has to be non-trivial.
         assert!(r.nodes > 2, "canonical CFG is non-trivial");
+    }
+
+    #[test]
+    fn serve_workload_reports_cold_and_hot_phases() {
+        let w = Workload {
+            name: "serve/mix3".into(),
+            spec: WorkloadSpec::ServeMix {
+                units: 3,
+                seed: 0x5E12E,
+            },
+        };
+        let r = run_workload(&w, &tiny()).unwrap();
+        let names: Vec<&str> = r.phases.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names, ["serve_cold", "serve_hot"]);
+        assert!(r.phases.iter().all(|p| p.time.samples == 2));
+        assert!(r.nodes > 0 && r.edges > 0, "units contribute CFG sizes");
+        // Both batches allocate, and the outer delta covers them both.
+        assert!(r.alloc_total.bytes_total >= r.phases[0].alloc.bytes_total);
+    }
+
+    #[test]
+    fn serve_workload_is_not_a_pipeline_input() {
+        let Err(err) = prepare(&Workload {
+            name: "serve/mix1".into(),
+            spec: WorkloadSpec::ServeMix { units: 1, seed: 0 },
+        }) else {
+            panic!("serve spec must be rejected by the pipeline preparer");
+        };
+        assert!(err.message.contains("daemon path"), "{}", err.message);
     }
 }

@@ -46,6 +46,19 @@ pub enum WorkloadSpec {
         /// Generator seed.
         seed: u64,
     },
+    /// An in-process `pst serve` daemon driven with a seeded NDJSON
+    /// request mix: a cold batch registers every unit (all cache
+    /// misses), a hot batch repeats the identical requests (all served
+    /// from the session cache). Phases are `serve_cold` / `serve_hot`,
+    /// so the compare gate turns both one-shot pipeline latency *and*
+    /// cache-hit latency into gated numbers; the `serve_requests_per_sec`
+    /// gauge lands in the report's embedded obs section.
+    ServeMix {
+        /// Number of generated mini-language units in the mix.
+        units: usize,
+        /// Generator seed (unit sources and method rotation).
+        seed: u64,
+    },
 }
 
 /// A named benchmark input.
@@ -98,6 +111,13 @@ fn random_cfg(nodes: usize, seed: u64) -> Workload {
     }
 }
 
+fn serve_mix(units: usize, seed: u64) -> Workload {
+    Workload {
+        name: format!("serve/mix{units}"),
+        spec: WorkloadSpec::ServeMix { units, seed },
+    }
+}
+
 fn messy_digraph(nodes: usize, seed: u64) -> Workload {
     Workload {
         name: format!("digraph_messy/{nodes}"),
@@ -127,6 +147,7 @@ pub fn standard_matrix(quick: bool) -> Vec<Workload> {
         genprog("genprog/structured", 150, 0.0, 0xBEEF),
         genprog("genprog/unstructured", 150, 0.15, 0xBEEF),
         messy_digraph(64, 0xD16),
+        serve_mix(6, 0x5E12E),
     ];
     if !quick {
         matrix.extend([
@@ -134,6 +155,7 @@ pub fn standard_matrix(quick: bool) -> Vec<Workload> {
             random_cfg(4096, 0xC0FFEE),
             genprog("genprog/large", 1500, 0.04, 0xBEEF),
             messy_digraph(512, 0xD16),
+            serve_mix(16, 0x5E12E),
         ]);
     }
     matrix

@@ -1,0 +1,285 @@
+//! The session LRU cache.
+//!
+//! Units are keyed by content hash ([`crate::hash::content_hash`]) and
+//! evicted least-recently-used under two configurable budgets: an entry
+//! count (`--cache-entries`) and an approximate byte total
+//! (`--cache-bytes`). Byte accounting is approximate by design — entries
+//! report an estimate of their retained heap, and the estimate is
+//! refreshed whenever a new pipeline stage is interned into a unit (so
+//! a unit that has grown a PST and an SSA form weighs more than it did
+//! at parse time).
+//!
+//! Recency is a monotone tick, not wall-clock time, so eviction order is
+//! deterministic for a given request sequence.
+
+use std::collections::HashMap;
+
+/// Cache budgets. Zero means "no limit" for either axis.
+#[derive(Clone, Copy, Debug)]
+pub struct CacheConfig {
+    /// Maximum number of resident units (0 = unlimited).
+    pub max_entries: usize,
+    /// Maximum approximate resident bytes (0 = unlimited).
+    pub max_bytes: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            max_entries: 256,
+            max_bytes: 64 << 20,
+        }
+    }
+}
+
+/// Monotone lifetime counters, surfaced by the `stats` method and
+/// mirrored into `serve_*` obs counters by the session.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Unit lookups that found a resident entry.
+    pub hits: u64,
+    /// Unit lookups that found nothing.
+    pub misses: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+    /// Entries inserted.
+    pub insertions: u64,
+}
+
+struct Slot<V> {
+    value: V,
+    bytes: usize,
+    last_used: u64,
+}
+
+/// A least-recently-used map with entry and byte budgets.
+pub struct LruCache<V> {
+    slots: HashMap<u64, Slot<V>>,
+    config: CacheConfig,
+    tick: u64,
+    total_bytes: usize,
+    stats: CacheStats,
+}
+
+impl<V> LruCache<V> {
+    /// An empty cache under the given budgets.
+    pub fn new(config: CacheConfig) -> Self {
+        LruCache {
+            slots: HashMap::new(),
+            config,
+            tick: 0,
+            total_bytes: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    fn bump(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Looks up a unit, refreshing its recency and counting the
+    /// hit/miss.
+    pub fn get(&mut self, key: u64) -> Option<&mut V> {
+        let tick = self.bump();
+        match self.slots.get_mut(&key) {
+            Some(slot) => {
+                slot.last_used = tick;
+                self.stats.hits += 1;
+                Some(&mut slot.value)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Membership probe that does not disturb recency or stats.
+    pub fn contains(&self, key: u64) -> bool {
+        self.slots.contains_key(&key)
+    }
+
+    /// Mutable access without counting a hit or refreshing recency —
+    /// for follow-up work within a request that already paid its one
+    /// stats-counting [`LruCache::get`].
+    pub fn peek_mut(&mut self, key: u64) -> Option<&mut V> {
+        self.slots.get_mut(&key).map(|slot| &mut slot.value)
+    }
+
+    /// Inserts (or replaces) an entry, then evicts least-recently-used
+    /// entries until budgets hold. The just-inserted key is never
+    /// evicted, so one oversized unit may occupy the cache alone.
+    /// Returns how many entries were evicted.
+    pub fn insert(&mut self, key: u64, value: V, bytes: usize) -> usize {
+        let tick = self.bump();
+        if let Some(old) = self.slots.insert(
+            key,
+            Slot {
+                value,
+                bytes,
+                last_used: tick,
+            },
+        ) {
+            self.total_bytes -= old.bytes;
+        }
+        self.total_bytes += bytes;
+        self.stats.insertions += 1;
+        self.enforce(Some(key))
+    }
+
+    /// Refreshes an entry's byte estimate (after a pipeline stage was
+    /// interned into it), evicting *other* entries if the growth pushed
+    /// the cache over budget. Returns how many entries were evicted.
+    pub fn update_bytes(&mut self, key: u64, bytes: usize) -> usize {
+        if let Some(slot) = self.slots.get_mut(&key) {
+            self.total_bytes -= slot.bytes;
+            slot.bytes = bytes;
+            self.total_bytes += bytes;
+            self.enforce(Some(key))
+        } else {
+            0
+        }
+    }
+
+    /// Drops an entry outright (used to quarantine a unit whose
+    /// pipeline panicked — its artifacts are suspect).
+    pub fn remove(&mut self, key: u64) -> Option<V> {
+        self.slots.remove(&key).map(|slot| {
+            self.total_bytes -= slot.bytes;
+            slot.value
+        })
+    }
+
+    fn over_budget(&self) -> bool {
+        let CacheConfig {
+            max_entries,
+            max_bytes,
+        } = self.config;
+        (max_entries > 0 && self.slots.len() > max_entries)
+            || (max_bytes > 0 && self.total_bytes > max_bytes)
+    }
+
+    fn enforce(&mut self, keep: Option<u64>) -> usize {
+        let mut evicted = 0;
+        while self.over_budget() {
+            let victim = self
+                .slots
+                .iter()
+                .filter(|(k, _)| Some(**k) != keep)
+                .min_by_key(|(_, slot)| slot.last_used)
+                .map(|(k, _)| *k);
+            match victim {
+                Some(k) => {
+                    self.remove(k);
+                    self.stats.evictions += 1;
+                    evicted += 1;
+                }
+                None => break, // only the protected entry remains
+            }
+        }
+        evicted
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Approximate resident bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.total_bytes
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// The active budgets.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    fn cache(max_entries: usize, max_bytes: usize) -> LruCache<&'static str> {
+        LruCache::new(CacheConfig {
+            max_entries,
+            max_bytes,
+        })
+    }
+
+    #[test]
+    fn evicts_least_recently_used_by_entry_count() {
+        let mut c = cache(2, 0);
+        c.insert(1, "one", 10);
+        c.insert(2, "two", 10);
+        assert!(c.get(1).is_some()); // 1 is now fresher than 2
+        let evicted = c.insert(3, "three", 10);
+        assert_eq!(evicted, 1);
+        assert!(c.contains(1) && c.contains(3) && !c.contains(2));
+    }
+
+    #[test]
+    fn evicts_by_byte_budget_and_keeps_oversized_insert() {
+        let mut c = cache(0, 100);
+        c.insert(1, "a", 60);
+        c.insert(2, "b", 60);
+        assert!(!c.contains(1) && c.contains(2));
+        assert_eq!(c.total_bytes(), 60);
+        // An entry bigger than the whole budget still lands, alone.
+        c.insert(3, "big", 500);
+        assert_eq!(c.len(), 1);
+        assert!(c.contains(3));
+    }
+
+    #[test]
+    fn update_bytes_never_evicts_the_updated_key() {
+        let mut c = cache(0, 100);
+        c.insert(1, "a", 40);
+        c.insert(2, "b", 40);
+        let evicted = c.update_bytes(2, 90); // 1 must go, 2 must stay
+        assert_eq!(evicted, 1);
+        assert!(c.contains(2) && !c.contains(1));
+        assert_eq!(c.total_bytes(), 90);
+    }
+
+    #[test]
+    fn stats_count_hits_misses_evictions() {
+        let mut c = cache(1, 0);
+        assert!(c.get(9).is_none());
+        c.insert(1, "a", 1);
+        assert!(c.get(1).is_some());
+        c.insert(2, "b", 1); // evicts 1
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.evictions, s.insertions), (1, 1, 1, 2));
+    }
+
+    #[test]
+    fn remove_releases_bytes() {
+        let mut c = cache(0, 0);
+        c.insert(1, "a", 30);
+        assert_eq!(c.remove(1), Some("a"));
+        assert_eq!((c.len(), c.total_bytes()), (0, 0));
+        assert_eq!(c.remove(1), None);
+    }
+
+    #[test]
+    fn replacement_does_not_double_count_bytes() {
+        let mut c = cache(0, 0);
+        c.insert(1, "a", 30);
+        c.insert(1, "a2", 50);
+        assert_eq!(c.total_bytes(), 50);
+        assert_eq!(c.len(), 1);
+    }
+}

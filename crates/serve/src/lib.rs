@@ -1,0 +1,44 @@
+//! `pst-serve` — the long-lived analysis daemon behind `pst serve`.
+//!
+//! The paper frames the Program Structure Tree as a *reusable* artifact:
+//! build it once, answer region queries repeatedly (§5's control-region
+//! partition, §6's φ-placement and dataflow consumers). The one-shot CLI
+//! throws that reuse away — every invocation re-parses and recomputes
+//! the whole pipeline. This crate keeps the artifacts alive: a session
+//! holds an LRU cache keyed by content hash that interns parsed units,
+//! canonicalized CFGs, and per-stage pipeline results, so a repeat query
+//! at any stage is a lookup, not a recompute.
+//!
+//! The wire protocol is newline-delimited JSON-RPC over stdin/stdout or
+//! TCP (std::net only, zero dependencies) — see [`proto`] and
+//! `docs/SERVING.md`. Every request is fault-isolated: malformed JSON,
+//! invalid graphs, and contained panics come back as structured error
+//! envelopes while the daemon keeps serving.
+//!
+//! Module map:
+//! - [`hash`] — SplitMix64 content hashing for unit ids
+//! - [`proto`] — request/response envelopes and error codes
+//! - [`cache`] — the budgeted LRU unit cache
+//! - [`session`] — artifact interning, dispatch, panic containment
+//! - [`server`] — bounded line reader plus the stdio/TCP loops
+//!
+//! Telemetry: `serve_*` counters (requests, errors, panics, cache
+//! hit/miss/eviction/quarantine, stage hit/miss), `serve_request_nanos`
+//! plus cold/hot latency histograms, a `UnitScope` per request, and —
+//! when a journal is installed — one `unit_summary` event per request.
+
+// The daemon's request path must never panic on user input; unwrap and
+// expect are banned outside test modules (each test module opts back in
+// explicitly). verify.sh runs clippy with these as hard errors.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+pub mod cache;
+pub mod hash;
+pub mod proto;
+pub mod server;
+pub mod session;
+
+pub use cache::{CacheConfig, CacheStats, LruCache};
+pub use proto::{ErrorCode, Method, Request, RequestInput};
+pub use server::{serve_listener, serve_stdio, serve_stream, serve_tcp};
+pub use session::{Reply, ServeConfig, Session};

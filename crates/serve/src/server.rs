@@ -1,0 +1,242 @@
+//! The serving loops: stdin/stdout and TCP (std::net only).
+//!
+//! Both transports share [`serve_stream`], which reads one request line
+//! at a time with a *bounded* reader: a line longer than
+//! `max_request_bytes` is drained without buffering and answered with
+//! an `oversized_request` envelope, and a non-UTF-8 line is answered
+//! with `invalid_utf8` naming the first bad byte offset — the daemon
+//! never dies on input, it answers. Blank lines are skipped; EOF (or a
+//! client disconnect, over TCP) ends the stream cleanly; an
+//! acknowledged `shutdown` ends the daemon.
+//!
+//! The TCP listener serves connections *sequentially* against one
+//! shared session, so cache state persists across clients and the
+//! daemon needs no locks at all — the only `Mutex`es in the whole
+//! serving path are `pst-obs` internals, every one of which recovers
+//! from poisoning via `into_inner` (see `docs/SERVING.md`).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpListener;
+
+use crate::session::{Reply, ServeConfig, Session};
+
+/// One bounded read off the request stream.
+enum Line {
+    /// Stream ended before any byte of a new line.
+    Eof,
+    /// A complete UTF-8 line within the size cap (no trailing newline;
+    /// an unterminated final line is still a request).
+    Text(String),
+    /// Line exceeded the cap; carries the actual byte length drained.
+    Oversized(usize),
+    /// Line was not UTF-8; carries the offset of the first invalid byte.
+    InvalidUtf8(usize),
+}
+
+/// Reads one `\n`-terminated line, buffering at most `cap` bytes.
+/// Oversized lines are drained to the newline but never held in memory.
+fn read_bounded_line<R: BufRead>(reader: &mut R, cap: usize) -> std::io::Result<Line> {
+    let mut buf = Vec::new();
+    let mut total = 0usize;
+    loop {
+        let available = reader.fill_buf()?;
+        if available.is_empty() {
+            if total == 0 {
+                return Ok(Line::Eof);
+            }
+            break;
+        }
+        let (consumed, done) = match available.iter().position(|&b| b == b'\n') {
+            Some(pos) => (pos + 1, true),
+            None => (available.len(), false),
+        };
+        let chunk_len = if done { consumed - 1 } else { consumed };
+        total += chunk_len;
+        if total <= cap {
+            buf.extend_from_slice(&available[..chunk_len]);
+        }
+        reader.consume(consumed);
+        if done {
+            break;
+        }
+    }
+    if total > cap {
+        return Ok(Line::Oversized(total));
+    }
+    match String::from_utf8(buf) {
+        Ok(text) => Ok(Line::Text(text)),
+        Err(e) => Ok(Line::InvalidUtf8(e.utf8_error().valid_up_to())),
+    }
+}
+
+/// Serves one request stream to completion. Returns `true` when a
+/// `shutdown` request ended it, `false` on EOF/disconnect.
+pub fn serve_stream<R: BufRead, W: Write>(
+    session: &mut Session,
+    reader: &mut R,
+    writer: &mut W,
+) -> std::io::Result<bool> {
+    let cap = session.config().max_request_bytes;
+    loop {
+        let reply: Reply = match read_bounded_line(reader, cap)? {
+            Line::Eof => return Ok(false),
+            Line::Text(line) if line.trim().is_empty() => continue,
+            Line::Text(line) => session.handle_line(&line),
+            Line::Oversized(actual) => session.oversized_reply(actual),
+            Line::InvalidUtf8(offset) => session.invalid_utf8_reply(offset),
+        };
+        writer.write_all(reply.line.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        if reply.shutdown {
+            return Ok(true);
+        }
+    }
+}
+
+/// Serves stdin → stdout until EOF or `shutdown`.
+pub fn serve_stdio(config: ServeConfig) -> std::io::Result<()> {
+    let mut session = Session::new(config);
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut reader = stdin.lock();
+    let mut writer = stdout.lock();
+    serve_stream(&mut session, &mut reader, &mut writer)?;
+    Ok(())
+}
+
+/// Binds `addr` (`addr:port`; port 0 picks a free port) and serves TCP
+/// connections sequentially against one shared session. The bound
+/// address is announced on stdout as `pst serve: listening on <addr>`
+/// so callers that requested port 0 can find the port. A per-connection
+/// I/O error drops that client and keeps the daemon alive; `shutdown`
+/// stops the accept loop.
+pub fn serve_tcp(config: ServeConfig, addr: &str) -> std::io::Result<()> {
+    let listener = TcpListener::bind(addr)?;
+    {
+        let mut out = std::io::stdout().lock();
+        writeln!(out, "pst serve: listening on {}", listener.local_addr()?)?;
+        out.flush()?;
+    }
+    serve_listener(config, listener)
+}
+
+/// Serves an already-bound listener (see [`serve_tcp`]); split out so
+/// tests can bind their own port without racing on rebinds.
+pub fn serve_listener(config: ServeConfig, listener: TcpListener) -> std::io::Result<()> {
+    let mut session = Session::new(config);
+    for stream in listener.incoming() {
+        let Ok(stream) = stream else { continue };
+        let Ok(write_half) = stream.try_clone() else {
+            continue;
+        };
+        let mut reader = BufReader::new(stream);
+        let mut writer = write_half;
+        match serve_stream(&mut session, &mut reader, &mut writer) {
+            Ok(true) => break,
+            Ok(false) | Err(_) => continue,
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use pst_obs::json::Json;
+
+    fn drive(input: &[u8], config: ServeConfig) -> (Vec<Json>, bool) {
+        let mut session = Session::new(config);
+        let mut reader = std::io::Cursor::new(input.to_vec());
+        let mut out = Vec::new();
+        let shutdown = serve_stream(&mut session, &mut reader, &mut out).unwrap();
+        let replies = String::from_utf8(out)
+            .unwrap()
+            .lines()
+            .map(|l| Json::parse(l).expect("every reply line is JSON"))
+            .collect();
+        (replies, shutdown)
+    }
+
+    #[test]
+    fn round_trip_blank_lines_eof_and_shutdown() {
+        let input = b"\n{\"id\": 1, \"method\": \"stats\"}\n\n{\"method\": \"shutdown\"}\n{\"method\": \"stats\"}\n";
+        let (replies, shutdown) = drive(input, ServeConfig::default());
+        // Blank lines answered nothing; the post-shutdown request was
+        // never read.
+        assert_eq!(replies.len(), 2);
+        assert!(shutdown);
+        assert_eq!(replies[0].get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(replies[0].get("id"), Some(&Json::UInt(1)));
+    }
+
+    #[test]
+    fn unterminated_final_line_is_still_a_request() {
+        let (replies, shutdown) = drive(b"{\"method\": \"stats\"}", ServeConfig::default());
+        assert_eq!(replies.len(), 1);
+        assert!(!shutdown);
+        assert_eq!(replies[0].get("ok"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn oversized_line_is_drained_and_answered_then_serving_continues() {
+        let config = ServeConfig {
+            max_request_bytes: 64,
+            ..ServeConfig::default()
+        };
+        let big = format!("{{\"method\": \"pst\", \"source\": \"{}\"}}", "x".repeat(500));
+        let input = format!("{big}\n{{\"method\": \"stats\"}}\n");
+        let (replies, _) = drive(input.as_bytes(), config);
+        assert_eq!(replies.len(), 2);
+        assert_eq!(
+            replies[0].get("error").and_then(|e| e.get("code")),
+            Some(&Json::Str("oversized_request".into()))
+        );
+        assert_eq!(replies[1].get("ok"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn invalid_utf8_line_reports_the_bad_offset() {
+        let mut input = b"{\"method\": \"stats\"".to_vec();
+        input.push(0xff);
+        input.extend_from_slice(b"}\n{\"method\": \"stats\"}\n");
+        let (replies, _) = drive(&input, ServeConfig::default());
+        assert_eq!(replies.len(), 2);
+        let err = replies[0].get("error").unwrap();
+        assert_eq!(err.get("code"), Some(&Json::Str("invalid_utf8".into())));
+        match err.get("message") {
+            Some(Json::Str(m)) => assert!(m.contains("offset 18"), "got: {m}"),
+            other => panic!("no message: {other:?}"),
+        }
+        assert_eq!(replies[1].get("ok"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn tcp_round_trip_on_a_test_bound_port() {
+        // Bind our own free port, serve it in a thread, talk to it.
+        use std::io::{BufRead as _, BufReader, Write as _};
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            serve_listener(ServeConfig::default(), listener).unwrap();
+        });
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(b"{\"id\": 1, \"method\": \"stats\"}\n{\"method\": \"shutdown\"}\n")
+            .unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let reply = Json::parse(line.trim()).unwrap();
+        assert_eq!(reply.get("ok"), Some(&Json::Bool(true)));
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        let bye = Json::parse(line.trim()).unwrap();
+        assert_eq!(
+            bye.get("result").and_then(|r| r.get("stopping")),
+            Some(&Json::Bool(true))
+        );
+        server.join().unwrap();
+    }
+}

@@ -1,0 +1,912 @@
+//! Session state: the content-hash unit cache plus the request
+//! dispatcher.
+//!
+//! A *unit* is one registered input — mini-language source or a raw
+//! edge-list digraph — keyed by [`crate::hash::content_hash`] over its
+//! text. Registering a unit parses (and for edge lists, canonicalizes)
+//! it once; every later request against the same content is a cache
+//! lookup. Within a unit, artifacts are interned per *stage*: the PST is
+//! built at most once and shared by `pst`, `ssa`, and `dataflow`, and
+//! each method's final result JSON is memoized, so a repeat query is a
+//! clone, not a recompute.
+//!
+//! Every request is fault-isolated with `catch_unwind` (the same
+//! containment the fuzz loop uses): a panicking request produces a
+//! structured `panic` error envelope, the touched unit is evicted from
+//! the cache (its artifacts are suspect), and the daemon keeps serving.
+//!
+//! Telemetry reuses the v2 plumbing: `serve_*` counters for cache
+//! traffic, latency histograms split cold/hot, a `UnitScope` per request
+//! (so `--metrics-json` carries per-unit sub-reports), and — when a
+//! journal is installed — one `unit_summary` event per request.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
+
+use pst_cfg::{canonicalize, parse_edge_list_graph, CanonicalizeOptions, Canonicalized, Graph, NodeId};
+use pst_core::{collapse_all, ControlRegions, ProgramStructureTree, PstStats};
+use pst_dataflow::{solve_iterative, QpgContext, SingleVariableReachingDefs};
+use pst_lang::{lower_program, parse_program, LoweredFunction, VarId};
+use pst_obs::json::Json;
+use pst_ssa::{place_phis_pst, rename};
+
+use crate::cache::{CacheConfig, LruCache};
+use crate::hash::{content_hash, unit_hex};
+use crate::proto::{error_response, ok_response, ErrorCode, Method, Request, RequestInput};
+
+/// Domain tags for [`content_hash`]: the same bytes registered as mini
+/// source and as an edge list are different units.
+const KIND_MINI: u64 = 1;
+const KIND_EDGES: u64 = 2;
+
+/// Daemon configuration (cache budgets + request size cap).
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// LRU budgets for the unit cache.
+    pub cache: CacheConfig,
+    /// Maximum accepted request-line length in bytes; longer lines get
+    /// an `oversized_request` envelope (enforced by the server loop).
+    pub max_request_bytes: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            cache: CacheConfig::default(),
+            max_request_bytes: 4 << 20,
+        }
+    }
+}
+
+/// One response line plus whether the daemon should stop after it.
+#[derive(Clone, Debug)]
+pub struct Reply {
+    /// The serialized JSON envelope (no trailing newline).
+    pub line: String,
+    /// True after a `shutdown` request was acknowledged.
+    pub shutdown: bool,
+}
+
+impl Reply {
+    fn of(envelope: Json) -> Reply {
+        Reply {
+            line: envelope.to_string(),
+            shutdown: false,
+        }
+    }
+}
+
+/// Per-function pipeline artifacts of a mini-language unit.
+struct FnArtifacts {
+    f: LoweredFunction,
+    ast: pst_lang::Function,
+    /// Interned on first use; shared by `pst`, `ssa`, and `dataflow`.
+    pst: Option<ProgramStructureTree>,
+}
+
+impl FnArtifacts {
+    fn pst(&mut self) -> &ProgramStructureTree {
+        self.pst
+            .get_or_insert_with(|| ProgramStructureTree::build(&self.f.cfg))
+    }
+}
+
+/// An edge-list unit: the raw digraph plus its Definition-1 repair.
+struct EdgeArtifacts {
+    graph: Graph,
+    entry: NodeId,
+    canonical: Canonicalized,
+    pst: Option<ProgramStructureTree>,
+}
+
+impl EdgeArtifacts {
+    fn pst(&mut self) -> &ProgramStructureTree {
+        self.pst
+            .get_or_insert_with(|| ProgramStructureTree::build(&self.canonical.cfg))
+    }
+}
+
+enum UnitData {
+    Mini(Vec<FnArtifacts>),
+    Edges(Box<EdgeArtifacts>),
+}
+
+/// A resident unit: parsed artifacts plus memoized per-method results.
+struct Unit {
+    data: UnitData,
+    source_len: usize,
+    /// `(method name, memoized result)` — methods take no parameters
+    /// beyond the unit, so one slot per method suffices.
+    results: Vec<(&'static str, Json)>,
+    /// Running estimate of the memoized results' rendered size.
+    results_bytes: usize,
+}
+
+impl Unit {
+    fn cached_result(&self, method: &'static str) -> Option<&Json> {
+        self.results
+            .iter()
+            .find(|(m, _)| *m == method)
+            .map(|(_, r)| r)
+    }
+
+    fn memoize(&mut self, method: &'static str, result: &Json) {
+        self.results_bytes += result.to_string().len() * 2;
+        self.results.push((method, result.clone()));
+    }
+
+    /// Approximate retained heap: a crude, monotone estimate is all the
+    /// byte budget needs (see `cache.rs`).
+    fn approx_bytes(&self) -> usize {
+        let mut bytes = 512 + self.source_len * 8 + self.results_bytes;
+        match &self.data {
+            UnitData::Mini(functions) => {
+                for fa in functions {
+                    bytes += fa.f.cfg.node_count() * 160 + fa.f.statement_count() * 48;
+                    if fa.pst.is_some() {
+                        bytes += fa.f.cfg.node_count() * 96;
+                    }
+                }
+            }
+            UnitData::Edges(e) => {
+                bytes += e.graph.node_count() * 96 + e.canonical.cfg.node_count() * 160;
+                if e.pst.is_some() {
+                    bytes += e.canonical.cfg.node_count() * 96;
+                }
+            }
+        }
+        bytes
+    }
+}
+
+struct Answer {
+    unit: String,
+    /// True when the result came out of the per-method memo (the unit
+    /// was resident *and* this method had already run on it).
+    cached: bool,
+    result: Json,
+}
+
+type MethodError = (ErrorCode, String);
+
+/// The daemon's session state. One instance serves one connection
+/// stream; all methods are answered through [`Session::handle_line`].
+pub struct Session {
+    cache: LruCache<Unit>,
+    config: ServeConfig,
+    requests: u64,
+    panics: u64,
+    /// Unit touched by the in-flight request, for quarantine on panic.
+    touched: Option<u64>,
+}
+
+impl Session {
+    /// A fresh session under the given budgets.
+    pub fn new(config: ServeConfig) -> Session {
+        Session {
+            cache: LruCache::new(config.cache),
+            config,
+            requests: 0,
+            panics: 0,
+            touched: None,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Answers one request line. Never panics: malformed JSON, invalid
+    /// graphs, and contained panics all come back as error envelopes.
+    pub fn handle_line(&mut self, line: &str) -> Reply {
+        let started = Instant::now();
+        self.requests += 1;
+        pst_obs::counter!("serve_requests");
+        let req = match Request::parse(line) {
+            Ok(r) => r,
+            Err(e) => return self.error_reply(&e.id, e.code, &e.message),
+        };
+        match req.method {
+            Method::Shutdown => {
+                let nanos = started.elapsed().as_nanos() as u64;
+                let result = Json::obj([("stopping", Json::Bool(true))]);
+                let mut reply = Reply::of(ok_response(&req.id, None, None, nanos, result));
+                reply.shutdown = true;
+                reply
+            }
+            Method::Stats => {
+                let nanos = started.elapsed().as_nanos() as u64;
+                Reply::of(ok_response(&req.id, None, None, nanos, self.stats_json()))
+            }
+            _ => self.handle_analysis(&req, started),
+        }
+    }
+
+    /// The envelope the server loop emits for a line that exceeded
+    /// [`ServeConfig::max_request_bytes`]. No id: the line was dropped
+    /// unparsed.
+    pub fn oversized_reply(&mut self, actual: usize) -> Reply {
+        self.requests += 1;
+        pst_obs::counter!("serve_requests");
+        self.error_reply(
+            &Json::Null,
+            ErrorCode::OversizedRequest,
+            &format!(
+                "request line is {actual} bytes; the limit is {} (--max-request-bytes)",
+                self.config.max_request_bytes
+            ),
+        )
+    }
+
+    /// The envelope the server loop emits for a non-UTF-8 request line.
+    pub fn invalid_utf8_reply(&mut self, valid_up_to: usize) -> Reply {
+        self.requests += 1;
+        pst_obs::counter!("serve_requests");
+        self.error_reply(
+            &Json::Null,
+            ErrorCode::InvalidUtf8,
+            &format!("request line is not valid UTF-8 (first invalid byte at offset {valid_up_to})"),
+        )
+    }
+
+    fn error_reply(&mut self, id: &Json, code: ErrorCode, message: &str) -> Reply {
+        pst_obs::counter!("serve_errors");
+        Reply::of(error_response(id, code, message))
+    }
+
+    /// Runs a unit-bearing method under panic containment. The default
+    /// panic hook is suppressed for the duration (panics are contained
+    /// and reported as data, same as the fuzz loop), and a panicking
+    /// request evicts the unit it touched — its interned artifacts are
+    /// suspect.
+    fn handle_analysis(&mut self, req: &Request, started: Instant) -> Reply {
+        self.touched = None;
+        let previous_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            // Fold this request's thread-local counters into the global
+            // aggregate even if it panics: work done before the crash is
+            // data, not noise.
+            let _fold = pst_obs::fold_on_drop();
+            self.answer(req)
+        }));
+        std::panic::set_hook(previous_hook);
+        let nanos = started.elapsed().as_nanos() as u64;
+        pst_obs::histogram!("serve_request_nanos", nanos);
+        match outcome {
+            Ok(Ok(answer)) => {
+                pst_obs::histogram!(
+                    if answer.cached {
+                        "serve_hot_nanos"
+                    } else {
+                        "serve_cold_nanos"
+                    },
+                    nanos
+                );
+                pst_obs::journal::emit(pst_obs::journal::Event::UnitSummary {
+                    unit: format!("serve:{}#{}", answer.unit, req.method.name()),
+                    nanos,
+                    count: 1,
+                });
+                Reply::of(ok_response(
+                    &req.id,
+                    Some(&answer.unit),
+                    Some(answer.cached),
+                    nanos,
+                    answer.result,
+                ))
+            }
+            Ok(Err((code, message))) => self.error_reply(&req.id, code, &message),
+            Err(payload) => {
+                self.panics += 1;
+                pst_obs::counter!("serve_panics");
+                if let Some(key) = self.touched.take() {
+                    if self.cache.remove(key).is_some() {
+                        pst_obs::counter!("serve_cache_quarantined");
+                    }
+                }
+                self.error_reply(
+                    &req.id,
+                    ErrorCode::Panic,
+                    &format!(
+                        "request panicked (contained; the daemon keeps serving): {}",
+                        panic_message(payload)
+                    ),
+                )
+            }
+        }
+    }
+
+    /// Resolves the unit (registering inline input on a miss) and
+    /// computes or replays the method result.
+    fn answer(&mut self, req: &Request) -> Result<Answer, MethodError> {
+        let key = match &req.input {
+            RequestInput::MiniSource(s) => content_hash(KIND_MINI, s.as_bytes()),
+            RequestInput::EdgeList(s) => content_hash(KIND_EDGES, s.as_bytes()),
+            RequestInput::Unit(k) => *k,
+            RequestInput::None => {
+                return Err((
+                    ErrorCode::InvalidRequest,
+                    format!(
+                        "method `{}` needs an input: `source`, `edges`, or `unit`",
+                        req.method.name()
+                    ),
+                ))
+            }
+        };
+        self.touched = Some(key);
+        let hex = unit_hex(key);
+        let _unit_scope = pst_obs::UnitScope::enter(format!("serve:{}#{}", hex, req.method.name()));
+
+        // Exactly one recency-and-stats-counting cache access per request.
+        let resident = self.cache.get(key).is_some();
+        if resident {
+            pst_obs::counter!("serve_cache_hit");
+        } else {
+            pst_obs::counter!("serve_cache_miss");
+            let unit = match &req.input {
+                RequestInput::MiniSource(s) => register_mini(s)?,
+                RequestInput::EdgeList(s) => register_edges(s)?,
+                RequestInput::Unit(_) => {
+                    return Err((
+                        ErrorCode::UnknownUnit,
+                        format!("unit `{hex}` is not registered (or was evicted); resend its `source` or `edges`"),
+                    ))
+                }
+                RequestInput::None => unreachable!("handled above"),
+            };
+            let bytes = unit.approx_bytes();
+            let evicted = self.cache.insert(key, unit, bytes);
+            pst_obs::counter!("serve_cache_eviction", evicted);
+        }
+
+        // Fault injection sits after unit resolution on purpose: a test
+        // panic must exercise the quarantine path, not dodge it.
+        if let Some(kind) = req.inject.as_deref() {
+            fault_inject(kind)?;
+        }
+
+        let method = req.method.name();
+        let Some(unit) = self.cache.peek_mut(key) else {
+            return Err((
+                ErrorCode::UnknownUnit,
+                format!("unit `{hex}` was evicted while registering (cache budgets too small)"),
+            ));
+        };
+        if let Some(result) = unit.cached_result(method) {
+            pst_obs::counter!("serve_stage_hit");
+            return Ok(Answer {
+                unit: hex,
+                cached: true,
+                result: result.clone(),
+            });
+        }
+        pst_obs::counter!("serve_stage_miss");
+        let result = compute(unit, req.method)?;
+        unit.memoize(method, &result);
+        let bytes = unit.approx_bytes();
+        let evicted = self.cache.update_bytes(key, bytes);
+        pst_obs::counter!("serve_cache_eviction", evicted);
+        Ok(Answer {
+            unit: hex,
+            cached: false,
+            result,
+        })
+    }
+
+    /// The `stats` method result.
+    fn stats_json(&self) -> Json {
+        let s = self.cache.stats();
+        let cfg = self.cache.config();
+        Json::obj([
+            ("requests", Json::UInt(self.requests)),
+            ("contained_panics", Json::UInt(self.panics)),
+            (
+                "max_request_bytes",
+                Json::UInt(self.config.max_request_bytes as u64),
+            ),
+            (
+                "cache",
+                Json::obj([
+                    ("entries", Json::UInt(self.cache.len() as u64)),
+                    ("bytes", Json::UInt(self.cache.total_bytes() as u64)),
+                    ("max_entries", Json::UInt(cfg.max_entries as u64)),
+                    ("max_bytes", Json::UInt(cfg.max_bytes as u64)),
+                    ("hits", Json::UInt(s.hits)),
+                    ("misses", Json::UInt(s.misses)),
+                    ("evictions", Json::UInt(s.evictions)),
+                    ("insertions", Json::UInt(s.insertions)),
+                ]),
+            ),
+        ])
+    }
+}
+
+/// `"inject"` handling: compiled-in only under `fault-inject` (e2e panic
+/// containment tests); production builds refuse it loudly.
+#[cfg(feature = "fault-inject")]
+fn fault_inject(kind: &str) -> Result<(), MethodError> {
+    match kind {
+        "panic" => panic!("injected fault: panic"),
+        other => Err((
+            ErrorCode::InvalidRequest,
+            format!("unknown fault `{other}` (this build understands: panic)"),
+        )),
+    }
+}
+
+#[cfg(not(feature = "fault-inject"))]
+fn fault_inject(_kind: &str) -> Result<(), MethodError> {
+    Err((
+        ErrorCode::Unsupported,
+        "fault injection is not compiled into this build (rebuild with --features fault-inject)"
+            .to_string(),
+    ))
+}
+
+/// Best-effort extraction of a panic payload message (same shape as the
+/// fuzz loop's).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Parses + lowers mini source into a resident unit.
+fn register_mini(source: &str) -> Result<Unit, MethodError> {
+    let analysis = |msg: String| (ErrorCode::AnalysisError, msg);
+    let program =
+        parse_program(source).map_err(|e| analysis(format!("parse error: {e}")))?;
+    let lowered =
+        lower_program(&program).map_err(|e| analysis(format!("lowering error: {e}")))?;
+    let functions = lowered
+        .into_iter()
+        .zip(program.functions)
+        .map(|(f, ast)| FnArtifacts { f, ast, pst: None })
+        .collect();
+    Ok(Unit {
+        data: UnitData::Mini(functions),
+        source_len: source.len(),
+        results: Vec::new(),
+        results_bytes: 0,
+    })
+}
+
+/// Parses + canonicalizes an edge list into a resident unit.
+fn register_edges(source: &str) -> Result<Unit, MethodError> {
+    let analysis = |msg: String| (ErrorCode::AnalysisError, msg);
+    let (graph, entry) =
+        parse_edge_list_graph(source).map_err(|e| analysis(format!("edge list error: {e}")))?;
+    let canonical = canonicalize(&graph, entry, &CanonicalizeOptions::default())
+        .map_err(|e| analysis(format!("canonicalize error: {e}")))?;
+    Ok(Unit {
+        data: UnitData::Edges(Box::new(EdgeArtifacts {
+            graph,
+            entry,
+            canonical,
+            pst: None,
+        })),
+        source_len: source.len(),
+        results: Vec::new(),
+        results_bytes: 0,
+    })
+}
+
+/// Computes one method's result over a resident unit.
+fn compute(unit: &mut Unit, method: Method) -> Result<Json, MethodError> {
+    match (&mut unit.data, method) {
+        (UnitData::Mini(functions), Method::Pst) => Ok(Json::Arr(
+            functions.iter_mut().map(mini_pst_json).collect(),
+        )),
+        (UnitData::Mini(functions), Method::ControlRegions) => Ok(Json::Arr(
+            functions
+                .iter()
+                .map(|fa| control_regions_json(&fa.f.name, &fa.f.cfg))
+                .collect(),
+        )),
+        (UnitData::Mini(functions), Method::Lint) => {
+            let config = pst_analysis::LintConfig::new();
+            Ok(Json::Arr(
+                functions
+                    .iter()
+                    .map(|fa| {
+                        pst_analysis::lint_function(&fa.f, Some(&fa.ast), &config)
+                            .to_json(&fa.f.name)
+                    })
+                    .collect(),
+            ))
+        }
+        (UnitData::Mini(functions), Method::Ssa) => functions
+            .iter_mut()
+            .map(mini_ssa_json)
+            .collect::<Result<Vec<_>, _>>()
+            .map(Json::Arr),
+        (UnitData::Mini(functions), Method::Dataflow) => functions
+            .iter_mut()
+            .map(mini_dataflow_json)
+            .collect::<Result<Vec<_>, _>>()
+            .map(Json::Arr),
+        (UnitData::Mini(_), Method::Canonicalize) => Err((
+            ErrorCode::Unsupported,
+            "`canonicalize` applies to edge-list units; this unit is mini-language source"
+                .to_string(),
+        )),
+        (UnitData::Edges(e), Method::Pst) => {
+            let cfg_nodes = e.canonical.cfg.node_count();
+            let cfg_edges = e.canonical.cfg.edge_count();
+            let pst = e.pst();
+            let stats = PstStats::of(pst);
+            Ok(Json::obj([
+                ("nodes", Json::UInt(cfg_nodes as u64)),
+                ("edges", Json::UInt(cfg_edges as u64)),
+                ("regions", Json::UInt(stats.region_count as u64)),
+                ("max_depth", Json::UInt(stats.max_depth as u64)),
+                ("average_depth", Json::Float(stats.average_depth())),
+                (
+                    "max_collapsed_size",
+                    Json::UInt(stats.max_collapsed_size as u64),
+                ),
+                ("tree", Json::Str(pst.render())),
+            ]))
+        }
+        (UnitData::Edges(e), Method::ControlRegions) => {
+            Ok(control_regions_json("<edges>", &e.canonical.cfg))
+        }
+        (UnitData::Edges(e), Method::Lint) => {
+            let lint = pst_analysis::lint_graph(
+                &e.graph,
+                e.entry,
+                &CanonicalizeOptions::default(),
+                &pst_analysis::LintConfig::new(),
+            )
+            .map_err(|err| (ErrorCode::AnalysisError, format!("canonicalize error: {err}")))?;
+            Ok(lint.report.to_json("<edges>"))
+        }
+        (UnitData::Edges(e), Method::Canonicalize) => {
+            let counts = e.canonical.report.counts();
+            Ok(Json::obj([
+                ("identity", Json::Bool(e.canonical.report.is_identity())),
+                ("input_nodes", Json::UInt(e.graph.node_count() as u64)),
+                ("input_edges", Json::UInt(e.graph.edge_count() as u64)),
+                ("nodes", Json::UInt(e.canonical.cfg.node_count() as u64)),
+                ("edges", Json::UInt(e.canonical.cfg.edge_count() as u64)),
+                (
+                    "repairs",
+                    Json::obj([
+                        (
+                            "pruned_unreachable",
+                            Json::UInt(counts.pruned_unreachable as u64),
+                        ),
+                        (
+                            "tethered_unreachable",
+                            Json::UInt(counts.tethered_unreachable as u64),
+                        ),
+                        (
+                            "synthetic_entries",
+                            Json::UInt(counts.synthetic_entries as u64),
+                        ),
+                        ("synthetic_exits", Json::UInt(counts.synthetic_exits as u64)),
+                        ("merged_exits", Json::UInt(counts.merged_exits as u64)),
+                        (
+                            "virtual_loop_exits",
+                            Json::UInt(counts.virtual_loop_exits as u64),
+                        ),
+                        (
+                            "split_self_loops",
+                            Json::UInt(counts.split_self_loops as u64),
+                        ),
+                    ]),
+                ),
+                ("report", Json::Str(e.canonical.report.to_string())),
+            ]))
+        }
+        (UnitData::Edges(_), Method::Ssa | Method::Dataflow) => Err((
+            ErrorCode::Unsupported,
+            format!(
+                "`{}` needs a mini-language unit with variables; this unit is a raw edge list",
+                method.name()
+            ),
+        )),
+        (_, Method::Stats | Method::Shutdown) => {
+            unreachable!("unit-less methods are dispatched before unit resolution")
+        }
+    }
+}
+
+fn mini_pst_json(fa: &mut FnArtifacts) -> Json {
+    let name = fa.f.name.clone();
+    let blocks = fa.f.cfg.node_count();
+    let edges = fa.f.cfg.edge_count();
+    let statements = fa.f.statement_count();
+    let pst = fa.pst();
+    let stats = PstStats::of(pst);
+    Json::obj([
+        ("name", Json::Str(name)),
+        ("blocks", Json::UInt(blocks as u64)),
+        ("edges", Json::UInt(edges as u64)),
+        ("statements", Json::UInt(statements as u64)),
+        ("regions", Json::UInt(stats.region_count as u64)),
+        ("max_depth", Json::UInt(stats.max_depth as u64)),
+        ("average_depth", Json::Float(stats.average_depth())),
+        (
+            "max_collapsed_size",
+            Json::UInt(stats.max_collapsed_size as u64),
+        ),
+        ("tree", Json::Str(pst.render())),
+    ])
+}
+
+fn control_regions_json(name: &str, cfg: &pst_cfg::Cfg) -> Json {
+    let cr = ControlRegions::compute(cfg);
+    Json::obj([
+        ("name", Json::Str(name.to_string())),
+        ("classes", Json::UInt(cr.num_classes() as u64)),
+        (
+            "groups",
+            Json::Arr(
+                cr.groups()
+                    .iter()
+                    .map(|nodes| {
+                        Json::Arr(
+                            nodes
+                                .iter()
+                                .map(|n| Json::Str(n.to_string()))
+                                .collect(),
+                        )
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn mini_ssa_json(fa: &mut FnArtifacts) -> Result<Json, MethodError> {
+    let analysis = |msg: String| (ErrorCode::AnalysisError, msg);
+    let name = fa.f.name.clone();
+    let pst = fa.pst().clone();
+    let collapsed = collapse_all(&fa.f.cfg, &pst);
+    let sparse = place_phis_pst(&fa.f, &pst, &collapsed)
+        .map_err(|e| analysis(format!("fn {name}: {e}")))?;
+    let form = rename(&fa.f, &sparse.placement)
+        .map_err(|e| analysis(format!("fn {name}: {e}")))?;
+    let mut per_var = vec![0u64; fa.f.var_count()];
+    for phis in &form.phi_nodes {
+        for phi in phis {
+            per_var[phi.var.index()] += 1;
+        }
+    }
+    Ok(Json::obj([
+        ("name", Json::Str(name)),
+        ("phis", Json::UInt(form.total_phis() as u64)),
+        (
+            "phis_per_var",
+            Json::obj(
+                (0..fa.f.var_count())
+                    .map(|v| (fa.f.var_name(VarId::from_index(v)).to_string(), Json::UInt(per_var[v]))),
+            ),
+        ),
+    ]))
+}
+
+fn mini_dataflow_json(fa: &mut FnArtifacts) -> Result<Json, MethodError> {
+    let name = fa.f.name.clone();
+    let qpg_failure =
+        |e: pst_dataflow::QpgError| (ErrorCode::AnalysisError, format!("fn {name}: QPG error: {e}"));
+    let pst = fa.pst().clone();
+    let ctx = QpgContext::new(&fa.f.cfg, &pst).map_err(qpg_failure)?;
+    let mut vars = Vec::new();
+    for v in 0..fa.f.var_count() {
+        let var = VarId::from_index(v);
+        let problem = SingleVariableReachingDefs::new(&fa.f, var);
+        let qpg = ctx.build_from_sites(problem.sites()).map_err(qpg_failure)?;
+        let sparse = ctx.solve(&qpg, &problem).map_err(qpg_failure)?;
+        let full = solve_iterative(&fa.f.cfg, &problem);
+        let exit_defs: Vec<Json> = sparse
+            .value_in(fa.f.cfg.exit())
+            .iter()
+            .map(|i| Json::Str(format!("{}", problem.sites()[i])))
+            .collect();
+        vars.push(Json::obj([
+            ("var", Json::Str(fa.f.var_name(var).to_string())),
+            ("qpg_nodes", Json::UInt(qpg.node_count() as u64)),
+            ("cfg_nodes", Json::UInt(fa.f.cfg.node_count() as u64)),
+            ("exit_defs", Json::Arr(exit_defs)),
+            ("agrees", Json::Bool(sparse == full)),
+        ]));
+    }
+    Ok(Json::obj([
+        ("name", Json::Str(fa.f.name.clone())),
+        ("vars", Json::Arr(vars)),
+    ]))
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    const MINI: &str = "fn f(n) { s = 0; while (n > 0) { s = s + n; n = n - 1; } return s; }";
+
+    fn request(json: &str) -> String {
+        json.to_string()
+    }
+
+    fn parsed(reply: &Reply) -> Json {
+        Json::parse(&reply.line).expect("reply must be valid JSON")
+    }
+
+    fn session() -> Session {
+        Session::new(ServeConfig::default())
+    }
+
+    #[test]
+    fn pst_round_trip_hits_the_cache_on_repeat() {
+        let mut s = session();
+        let line = request(&format!(
+            r#"{{"id": 1, "method": "pst", "source": {}}}"#,
+            Json::Str(MINI.to_string())
+        ));
+        let first = parsed(&s.handle_line(&line));
+        assert_eq!(first.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(first.get("cached"), Some(&Json::Bool(false)));
+        let unit = match first.get("unit") {
+            Some(Json::Str(u)) => u.clone(),
+            other => panic!("no unit in reply: {other:?}"),
+        };
+        // Repeat inline: stage memo hit.
+        let second = parsed(&s.handle_line(&line));
+        assert_eq!(second.get("cached"), Some(&Json::Bool(true)));
+        assert_eq!(second.get("result"), first.get("result"));
+        // Query by unit id: same memo.
+        let by_unit = parsed(&s.handle_line(&request(&format!(
+            r#"{{"id": 2, "method": "pst", "unit": "{unit}"}}"#
+        ))));
+        assert_eq!(by_unit.get("cached"), Some(&Json::Bool(true)));
+        // A *different* method on the same unit is a unit hit, stage miss.
+        let lint = parsed(&s.handle_line(&request(&format!(
+            r#"{{"id": 3, "method": "lint", "unit": "{unit}"}}"#
+        ))));
+        assert_eq!(lint.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(lint.get("cached"), Some(&Json::Bool(false)));
+        // Stats must show 3 unit hits (repeat, by-unit, lint), 1 miss.
+        let stats = parsed(&s.handle_line(r#"{"method": "stats"}"#));
+        let cache = stats.get("result").and_then(|r| r.get("cache")).unwrap();
+        assert_eq!(cache.get("hits"), Some(&Json::UInt(3)));
+        assert_eq!(cache.get("misses"), Some(&Json::UInt(1)));
+    }
+
+    #[test]
+    fn all_methods_answer_on_both_unit_kinds() {
+        let mut s = session();
+        let mini = Json::Str(MINI.to_string());
+        for method in ["pst", "control_regions", "lint", "ssa", "dataflow"] {
+            let r = parsed(&s.handle_line(&format!(
+                r#"{{"method": "{method}", "source": {mini}}}"#
+            )));
+            assert_eq!(r.get("ok"), Some(&Json::Bool(true)), "mini {method}");
+        }
+        let edges = Json::Str("0->1\n1->2\n0->2\n".to_string());
+        for method in ["pst", "control_regions", "lint", "canonicalize"] {
+            let r = parsed(&s.handle_line(&format!(
+                r#"{{"method": "{method}", "edges": {edges}}}"#
+            )));
+            assert_eq!(r.get("ok"), Some(&Json::Bool(true)), "edges {method}");
+        }
+        // Kind mismatches are typed `unsupported` errors.
+        for (method, field, input) in [
+            ("canonicalize", "source", &mini),
+            ("ssa", "edges", &edges),
+            ("dataflow", "edges", &edges),
+        ] {
+            let r = parsed(&s.handle_line(&format!(
+                r#"{{"method": "{method}", "{field}": {input}}}"#
+            )));
+            assert_eq!(r.get("ok"), Some(&Json::Bool(false)), "{method}");
+            assert_eq!(
+                r.get("error").and_then(|e| e.get("code")),
+                Some(&Json::Str("unsupported".into()))
+            );
+        }
+    }
+
+    #[test]
+    fn errors_are_structured_and_do_not_stop_the_session() {
+        let mut s = session();
+        let code_of = |r: &Json| {
+            r.get("error")
+                .and_then(|e| e.get("code"))
+                .cloned()
+                .expect("error envelope")
+        };
+        let r = parsed(&s.handle_line("{ not json"));
+        assert_eq!(code_of(&r), Json::Str("parse_error".into()));
+        let r = parsed(&s.handle_line(r#"{"method": "pst", "unit": "00000000000000aa"}"#));
+        assert_eq!(code_of(&r), Json::Str("unknown_unit".into()));
+        let r = parsed(&s.handle_line(r#"{"method": "pst"}"#));
+        assert_eq!(code_of(&r), Json::Str("invalid_request".into()));
+        let r = parsed(&s.handle_line(r#"{"method": "pst", "source": "fn ("}"#));
+        assert_eq!(code_of(&r), Json::Str("analysis_error".into()));
+        // ...and a well-formed request still succeeds afterwards.
+        let ok = parsed(&s.handle_line(&format!(
+            r#"{{"method": "pst", "source": {}}}"#,
+            Json::Str(MINI.to_string())
+        )));
+        assert_eq!(ok.get("ok"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn shutdown_acknowledges_then_flags_the_loop() {
+        let mut s = session();
+        let reply = s.handle_line(r#"{"id": "bye", "method": "shutdown"}"#);
+        assert!(reply.shutdown);
+        let r = Json::parse(&reply.line).unwrap();
+        assert_eq!(r.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(r.get("id"), Some(&Json::Str("bye".into())));
+    }
+
+    #[test]
+    fn eviction_under_a_tiny_budget_forgets_old_units() {
+        let mut s = Session::new(ServeConfig {
+            cache: CacheConfig {
+                max_entries: 1,
+                max_bytes: 0,
+            },
+            ..ServeConfig::default()
+        });
+        let a = format!(r#"{{"method": "pst", "source": {}}}"#, Json::Str(MINI.into()));
+        let b = r#"{"method": "pst", "edges": "0->1\n"}"#.to_string();
+        let first = parsed(&s.handle_line(&a));
+        let unit_a = match first.get("unit") {
+            Some(Json::Str(u)) => u.clone(),
+            _ => unreachable!(),
+        };
+        let _ = s.handle_line(&b); // evicts unit a
+        let r = parsed(&s.handle_line(&format!(r#"{{"method": "pst", "unit": "{unit_a}"}}"#)));
+        assert_eq!(
+            r.get("error").and_then(|e| e.get("code")),
+            Some(&Json::Str("unknown_unit".into()))
+        );
+    }
+
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn injected_panic_is_contained_and_quarantines_the_unit() {
+        let mut s = session();
+        let mini = Json::Str(MINI.to_string());
+        let ok = parsed(&s.handle_line(&format!(r#"{{"method": "pst", "source": {mini}}}"#)));
+        assert_eq!(ok.get("cached"), Some(&Json::Bool(false)));
+        let boom = parsed(&s.handle_line(&format!(
+            r#"{{"id": 9, "method": "pst", "source": {mini}, "inject": "panic"}}"#
+        )));
+        assert_eq!(boom.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(
+            boom.get("error").and_then(|e| e.get("code")),
+            Some(&Json::Str("panic".into()))
+        );
+        assert_eq!(boom.get("id"), Some(&Json::UInt(9)));
+        // The unit was quarantined: the same query recomputes from scratch
+        // (cached=false), and the daemon is still healthy.
+        let again = parsed(&s.handle_line(&format!(r#"{{"method": "pst", "source": {mini}}}"#)));
+        assert_eq!(again.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(again.get("cached"), Some(&Json::Bool(false)));
+    }
+
+    #[cfg(not(feature = "fault-inject"))]
+    #[test]
+    fn inject_is_refused_without_the_feature() {
+        let mut s = session();
+        let r = parsed(&s.handle_line(&format!(
+            r#"{{"method": "pst", "source": {}, "inject": "panic"}}"#,
+            Json::Str(MINI.to_string())
+        )));
+        assert_eq!(
+            r.get("error").and_then(|e| e.get("code")),
+            Some(&Json::Str("unsupported".into()))
+        );
+    }
+}

@@ -237,6 +237,51 @@ set -e
     || { echo "FAIL: injected 100x regression should exit 6, got $code"; exit 1; }
 echo "bench gate OK (pass on committed baseline, exit 6 on injected regression)"
 
+echo "== gate: no unwrap/expect in the request path =="
+# Belt-and-suspenders for the in-source clippy denies
+# (#![deny(clippy::unwrap_used, clippy::expect_used)] in pst-cli and
+# pst-serve): non-test code in either crate must not call .unwrap() or
+# .expect(. Test modules sit at the bottom of each file behind
+# #[cfg(test)], so everything before that marker is production code.
+unwraps=$(for f in crates/cli/src/*.rs crates/serve/src/*.rs; do
+    awk -v file="$f" '/#\[cfg\(test\)\]/{intest=1}
+        intest==0 && /\.unwrap\(\)|\.expect\(/{print file":"FNR": "$0}' "$f"
+done)
+[ -z "$unwraps" ] \
+    || { echo "FAIL: unwrap/expect in the request path:"; echo "$unwraps"; exit 1; }
+echo "unwrap gate OK"
+
+echo "== smoke: pst serve (NDJSON round trip, cache hit, error envelope) =="
+# Drive the daemon over stdin: the same pst query twice (second must be
+# served from the session cache), one garbage line (must get a
+# structured error envelope, not kill the daemon), then a clean
+# shutdown. The metrics JSON must show the cache counters firing.
+servemetrics="$benchdir/serve_metrics.json"
+servereplies="$benchdir/serve_replies.ndjson"
+printf '%s\n%s\nthis is not json\n%s\n' \
+    '{"id":1,"method":"pst","source":"fn f(n) { s = 0; while (n > 0) { s = s + n; n = n - 1; } return s; }"}' \
+    '{"id":2,"method":"lint","source":"fn f(n) { s = 0; while (n > 0) { s = s + n; n = n - 1; } return s; }"}' \
+    '{"id":4,"method":"shutdown"}' \
+    | ./target/release/pst serve --metrics-json "$servemetrics" > "$servereplies" \
+    || { echo "FAIL: serve daemon exited nonzero"; exit 1; }
+python3 - "$servemetrics" "$servereplies" <<'EOF'
+import json, sys
+with open(sys.argv[2]) as f:
+    replies = [json.loads(l) for l in f if l.strip()]
+assert len(replies) == 4, replies
+assert replies[0]["ok"] and not replies[0]["cached"], replies[0]
+# Same source, different method: unit cache hit, stage recompute.
+assert replies[1]["ok"] and replies[1]["unit"] == replies[0]["unit"], replies[1]
+assert not replies[2]["ok"] and replies[2]["error"]["code"] == "parse_error", replies[2]
+assert replies[3]["ok"] and replies[3]["result"]["stopping"], replies[3]
+with open(sys.argv[1]) as f:
+    counters = json.load(f)["counters"]
+assert counters["serve_requests"] == 4, counters
+assert counters["serve_cache_miss"] == 1, counters
+assert counters["serve_cache_hit"] == 1, counters
+print("serve OK: unit", replies[0]["unit"], "answered, cached, and shut down")
+EOF
+
 echo "== smoke: structured event journal (JSONL schema) =="
 # A journaled quick bench must emit a well-formed JSONL stream bracketed
 # by run_start/run_end, with one trace id and contiguous sequence numbers.
