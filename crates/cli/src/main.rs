@@ -110,8 +110,10 @@ const USAGE: &str = "usage: pst <regions|kinds|dot|clusters|control-regions|ssa|
      [--trace-out <file>]\n       \
      pst obs <journal|metrics.json|BENCH_*.json>... [--format text|json] \
      [--level info|warn|error] [--type <event-type>] [--top <N>]\n       \
-     pst serve [--listen <addr:port>] [--cache-entries <N>] [--cache-bytes <N>] \
-     [--max-request-bytes <N>]";
+     pst serve [--listen <addr:port>] [--workers <N>] [--request-timeout-ms <N>] \
+     [--max-inflight <N>] [--cache-entries <N>] [--cache-bytes <N>] \
+     [--max-request-bytes <N>] [--cache-snapshot <path>] [--snapshot-every <N>] \
+     [--inject-fault panic|slow|drop-conn|corrupt-snapshot]";
 
 fn main() -> ExitCode {
     let started = std::time::Instant::now();

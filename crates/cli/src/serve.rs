@@ -9,13 +9,21 @@
 //! than `--max-request-bytes` are answered with an `oversized_request`
 //! envelope instead of being buffered.
 //!
+//! Fleet knobs (`docs/SERVING.md` § Operations): `--workers` sizes the
+//! TCP worker pool and session shard count, `--request-timeout-ms` arms
+//! the cooperative per-request deadline, `--max-inflight` bounds the
+//! admission gate (excess is shed with an `overloaded` envelope),
+//! `--cache-snapshot`/`--snapshot-every` persist the cache across
+//! restarts, and `--inject-fault` (fault-inject builds only) turns the
+//! daemon into its own chaos monkey.
+//!
 //! The daemon composes with the global observability flags: `--trace` /
 //! `--metrics-json` report the `serve_*` counters and latency
 //! histograms at exit, and `--journal` records one `unit_summary` event
 //! per request as it happens (which is why `finish_journal` skips the
 //! exit-time unit mirror for this command).
 
-use pst_serve::ServeConfig;
+use pst_serve::{ServeConfig, ServeFault};
 
 use crate::{take_value_flag, Failure};
 
@@ -23,7 +31,7 @@ use crate::{take_value_flag, Failure};
 pub struct ServeOptions {
     /// TCP listen address (`addr:port`); stdin/stdout when absent.
     pub listen: Option<String>,
-    /// Cache budgets and request size cap.
+    /// Cache budgets, request size cap, and fleet knobs.
     pub config: ServeConfig,
 }
 
@@ -45,6 +53,18 @@ impl ServeOptions {
             "--max-request-bytes",
             take_value_flag(args, "--max-request-bytes")?,
         )?;
+        let workers = number("--workers", take_value_flag(args, "--workers")?)?;
+        let request_timeout_ms = number(
+            "--request-timeout-ms",
+            take_value_flag(args, "--request-timeout-ms")?,
+        )?;
+        let max_inflight = number("--max-inflight", take_value_flag(args, "--max-inflight")?)?;
+        let snapshot_path = take_value_flag(args, "--cache-snapshot")?;
+        let snapshot_every = number(
+            "--snapshot-every",
+            take_value_flag(args, "--snapshot-every")?,
+        )?;
+        let inject_fault = take_value_flag(args, "--inject-fault")?;
         if let Some(extra) = args.first() {
             return Err(format!("serve does not take `{extra}`"));
         }
@@ -61,18 +81,46 @@ impl ServeOptions {
             }
             config.max_request_bytes = n;
         }
+        if let Some(n) = workers {
+            if n == 0 {
+                return Err("`--workers` must be at least 1".to_string());
+            }
+            config.workers = n;
+        }
+        if let Some(n) = request_timeout_ms {
+            config.request_timeout_ms = n as u64;
+        }
+        if let Some(n) = max_inflight {
+            config.max_inflight = n;
+        }
+        config.snapshot_path = snapshot_path;
+        if let Some(n) = snapshot_every {
+            config.snapshot_every = n as u64;
+        }
+        if let Some(kind) = inject_fault {
+            if !cfg!(feature = "fault-inject") {
+                return Err(
+                    "`--inject-fault` needs a build with the fault-inject feature".to_string(),
+                );
+            }
+            config.inject_fault = Some(ServeFault::parse(&kind).ok_or_else(|| {
+                format!(
+                    "`--inject-fault` expects panic|slow|drop-conn|corrupt-snapshot, got `{kind}`"
+                )
+            })?);
+        }
         Ok(ServeOptions { listen, config })
     }
 }
 
-/// Runs the daemon until EOF, disconnect-after-shutdown, or a fatal
-/// transport error. Request-level failures never reach this result —
-/// they are answered in-band as structured error envelopes.
+/// Runs the daemon until EOF, disconnect-after-shutdown, drain, or a
+/// fatal transport error. Request-level failures never reach this
+/// result — they are answered in-band as structured error envelopes.
 pub fn serve_command(opts: &ServeOptions) -> Result<(), Failure> {
     let _span = pst_obs::Span::enter("serve");
     let outcome = match &opts.listen {
-        Some(addr) => pst_serve::serve_tcp(opts.config, addr),
-        None => pst_serve::serve_stdio(opts.config),
+        Some(addr) => pst_serve::serve_tcp(opts.config.clone(), addr),
+        None => pst_serve::serve_stdio(opts.config.clone()),
     };
     outcome.map_err(|e| Failure::Analysis(format!("serve transport error: {e}")))
 }

@@ -972,6 +972,310 @@ fn serve_usage_errors_exit_2() {
     }
 }
 
+// --- serve: deadlines, drain, snapshots, and TCP fleet behavior -----------
+
+#[test]
+fn serve_stdio_drain_acknowledges_in_flight_then_exits() {
+    let input = format!(
+        "{}\n{{\"id\":2,\"method\":\"drain\"}}\n",
+        source_request(1, "pst")
+    );
+    let (replies, code) = serve(&[], &input);
+    assert_eq!(code, 0, "drain is a clean exit");
+    assert_eq!(replies.len(), 2);
+    assert!(reply_ok(&replies[0]), "{}", replies[0]);
+    assert_eq!(
+        replies[1].get("result").and_then(|r| r.get("draining")),
+        Some(&pst_obs::json::Json::Bool(true))
+    );
+}
+
+#[test]
+fn serve_snapshot_warm_restart_hits_cache_on_first_query() {
+    let dir = bench_dir("serve_snapshot");
+    let snap = dir.join("cache.snapshot");
+    let snap = snap.to_str().unwrap();
+
+    // First life: compute one unit, drain (which flushes a snapshot).
+    let input = format!(
+        "{}\n{{\"id\":2,\"method\":\"drain\"}}\n",
+        source_request(1, "pst")
+    );
+    let (replies, code) = serve(&["--cache-snapshot", snap], &input);
+    assert_eq!(code, 0);
+    assert!(reply_ok(&replies[0]), "{}", replies[0]);
+    assert!(std::path::Path::new(snap).exists(), "snapshot written");
+
+    // Second life: the very first repeat query is already a memo hit,
+    // and stats show where the warmth came from.
+    let input = format!(
+        "{}\n{{\"id\":2,\"method\":\"stats\"}}\n{{\"id\":3,\"method\":\"shutdown\"}}\n",
+        source_request(1, "pst")
+    );
+    let (replies, code) = serve(&["--cache-snapshot", snap], &input);
+    assert_eq!(code, 0);
+    assert_eq!(
+        replies[0].get("cached"),
+        Some(&pst_obs::json::Json::Bool(true)),
+        "warm restart answers the first query from the restored cache: {}",
+        replies[0]
+    );
+    let stats = replies[1].get("result").expect("stats result");
+    assert!(
+        stats.get("snapshot_restored_units").unwrap().as_u64() >= Some(1),
+        "{stats}"
+    );
+}
+
+#[test]
+fn serve_corrupt_snapshot_means_cold_start_not_death() {
+    let dir = bench_dir("serve_snapshot_corrupt");
+    let snap = dir.join("cache.snapshot");
+    std::fs::write(&snap, "{\"pst_snapshot\":1,\"entries\":9}\ngarbage").unwrap();
+    let input = format!(
+        "{}\n{{\"id\":2,\"method\":\"shutdown\"}}\n",
+        source_request(1, "pst")
+    );
+    let (replies, code) = serve(&["--cache-snapshot", snap.to_str().unwrap()], &input);
+    assert_eq!(code, 0, "a bad snapshot is a cold start, not a crash");
+    assert!(reply_ok(&replies[0]), "{}", replies[0]);
+    assert_eq!(
+        replies[0].get("cached"),
+        Some(&pst_obs::json::Json::Bool(false))
+    );
+}
+
+#[cfg(feature = "fault-inject")]
+fn slow_request(id: u64) -> String {
+    pst_obs::json::Json::obj([
+        ("id", pst_obs::json::Json::UInt(id)),
+        ("method", pst_obs::json::Json::Str("pst".into())),
+        ("source", pst_obs::json::Json::Str(SAMPLE.into())),
+        ("inject", pst_obs::json::Json::Str("slow".into())),
+    ])
+    .to_string()
+}
+
+#[cfg(feature = "fault-inject")]
+#[test]
+fn serve_deadline_exceeded_is_answered_in_band() {
+    // The injected 50ms stall blows a 5ms budget; the next request is
+    // unaffected because deadlines are per-request.
+    let input = format!(
+        "{}\n{}\n{{\"id\":3,\"method\":\"stats\"}}\n",
+        slow_request(1),
+        source_request(2, "pst")
+    );
+    let (replies, code) = serve(&["--request-timeout-ms", "5"], &input);
+    assert_eq!(code, 0);
+    assert_eq!(replies.len(), 3);
+    assert_eq!(error_code(&replies[0]), "deadline_exceeded");
+    assert!(reply_ok(&replies[1]), "{}", replies[1]);
+    assert!(reply_ok(&replies[2]), "{}", replies[2]);
+}
+
+/// A `pst serve --listen` child process: spawns on port 0, parses the
+/// announced address, and kills the daemon on drop so a failed test
+/// never leaks a process.
+struct ServeDaemon {
+    child: std::process::Child,
+}
+
+impl ServeDaemon {
+    fn spawn(extra: &[&str]) -> (ServeDaemon, String) {
+        use std::io::BufRead as _;
+        let mut args = vec!["serve", "--listen", "127.0.0.1:0"];
+        args.extend_from_slice(extra);
+        let mut child = Command::new(env!("CARGO_BIN_EXE_pst"))
+            .args(&args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("daemon spawns");
+        let mut line = String::new();
+        std::io::BufReader::new(child.stdout.as_mut().expect("stdout piped"))
+            .read_line(&mut line)
+            .expect("announce line");
+        let addr = line
+            .trim()
+            .rsplit(' ')
+            .next()
+            .unwrap_or_else(|| panic!("no address in announce line {line:?}"))
+            .to_string();
+        (ServeDaemon { child }, addr)
+    }
+
+    /// Waits up to ~10s for a clean exit (after shutdown/drain).
+    fn wait_exit(&mut self) -> i32 {
+        for _ in 0..200 {
+            if let Some(status) = self.child.try_wait().expect("try_wait") {
+                return status.code().unwrap_or(-1);
+            }
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        }
+        panic!("daemon did not exit after drain/shutdown");
+    }
+
+    fn alive(&mut self) -> bool {
+        self.child.try_wait().expect("try_wait").is_none()
+    }
+}
+
+impl Drop for ServeDaemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// One NDJSON client connection to a TCP daemon.
+struct Conn {
+    stream: std::net::TcpStream,
+    reader: std::io::BufReader<std::net::TcpStream>,
+}
+
+impl Conn {
+    fn open(addr: &str) -> Conn {
+        let stream = std::net::TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+            .expect("read timeout");
+        let reader = std::io::BufReader::new(stream.try_clone().expect("clone"));
+        Conn { stream, reader }
+    }
+
+    fn send(&mut self, line: &str) {
+        writeln!(self.stream, "{line}").expect("send");
+        self.stream.flush().expect("flush");
+    }
+
+    fn recv(&mut self) -> pst_obs::json::Json {
+        use std::io::BufRead as _;
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("recv");
+        pst_obs::json::Json::parse(line.trim())
+            .unwrap_or_else(|e| panic!("reply is not JSON ({e}): {line:?}"))
+    }
+
+    fn request(&mut self, line: &str) -> pst_obs::json::Json {
+        self.send(line);
+        self.recv()
+    }
+}
+
+#[test]
+fn serve_tcp_survives_abrupt_disconnects() {
+    let (mut daemon, addr) = ServeDaemon::spawn(&["--workers", "2"]);
+    // Three clients connect, one does half a request, all vanish.
+    for i in 0..3u64 {
+        let mut conn = Conn::open(&addr);
+        if i == 0 {
+            write!(conn.stream, "{{\"id\":1,\"meth").expect("partial write");
+        }
+        drop(conn);
+    }
+    // The daemon still answers a well-behaved client afterwards.
+    let mut conn = Conn::open(&addr);
+    let reply = conn.request(&source_request(1, "pst"));
+    assert!(reply_ok(&reply), "{reply}");
+    assert!(daemon.alive(), "abrupt disconnects never kill the daemon");
+    conn.send(r#"{"id":2,"method":"shutdown"}"#);
+    assert_eq!(daemon.wait_exit(), 0);
+}
+
+#[cfg(feature = "fault-inject")]
+#[test]
+fn serve_tcp_overload_shed_carries_retry_hint_and_retry_succeeds() {
+    let (mut daemon, addr) =
+        ServeDaemon::spawn(&["--workers", "2", "--max-inflight", "1"]);
+
+    // Client A pipelines slow requests, holding the single admission
+    // slot for ~50ms apiece; client B keeps knocking until it is shed.
+    let mut a = Conn::open(&addr);
+    for i in 0..4u64 {
+        a.send(&slow_request(10 + i));
+    }
+    let mut b = Conn::open(&addr);
+    let mut shed = None;
+    for _ in 0..20 {
+        let reply = b.request(&source_request(2, "control_regions"));
+        if reply.get("ok") == Some(&pst_obs::json::Json::Bool(false)) {
+            shed = Some(reply);
+            break;
+        }
+    }
+    let shed = shed.expect("the saturated gate sheds at least one request");
+    assert_eq!(error_code(&shed), "overloaded");
+    let retry_after = shed
+        .get("error")
+        .and_then(|e| e.get("retry_after_ms"))
+        .and_then(|v| v.as_u64())
+        .expect("shed envelope carries a backoff hint");
+    assert!(retry_after >= 10, "{shed}");
+
+    // Backing off and retrying succeeds once the slot clears.
+    std::thread::sleep(std::time::Duration::from_millis(300));
+    let reply = b.request(&source_request(3, "control_regions"));
+    assert!(reply_ok(&reply), "retry after backoff: {reply}");
+    for _ in 0..4 {
+        assert!(reply_ok(&a.recv()), "slow requests still complete");
+    }
+    assert!(daemon.alive());
+    b.send(r#"{"id":4,"method":"shutdown"}"#);
+    assert_eq!(daemon.wait_exit(), 0);
+}
+
+#[cfg(feature = "fault-inject")]
+#[test]
+fn serve_tcp_drain_finishes_in_flight_requests_then_exits() {
+    let (mut daemon, addr) = ServeDaemon::spawn(&["--workers", "2"]);
+    let mut a = Conn::open(&addr);
+    let mut b = Conn::open(&addr);
+    // A's request stalls ~50ms in the daemon; B drains mid-flight.
+    a.send(&slow_request(1));
+    std::thread::sleep(std::time::Duration::from_millis(10));
+    let bye = b.request(r#"{"id":2,"method":"drain"}"#);
+    assert_eq!(
+        bye.get("result").and_then(|r| r.get("draining")),
+        Some(&pst_obs::json::Json::Bool(true)),
+        "{bye}"
+    );
+    // Drain finishes in-flight work: A's reply still arrives.
+    let reply = a.recv();
+    assert!(reply_ok(&reply), "in-flight request completes: {reply}");
+    assert_eq!(daemon.wait_exit(), 0);
+}
+
+#[cfg(feature = "fault-inject")]
+#[test]
+fn serve_tcp_chaos_panics_are_envelopes_and_the_daemon_outlives_them() {
+    let (mut daemon, addr) =
+        ServeDaemon::spawn(&["--workers", "2", "--inject-fault", "panic"]);
+    let mut conn = Conn::open(&addr);
+    let (mut oks, mut panics) = (0, 0);
+    for i in 0..12u64 {
+        let reply = conn.request(&source_request(i, "pst"));
+        if reply_ok(&reply) {
+            oks += 1;
+        } else {
+            assert_eq!(error_code(&reply), "panic");
+            panics += 1;
+        }
+    }
+    assert!(oks > 0 && panics > 0, "chaos mixes clean and faulty replies");
+    let stats = conn.request(r#"{"id":90,"method":"stats"}"#);
+    assert!(reply_ok(&stats), "{stats}");
+    let result = stats.get("result").expect("stats result");
+    assert_eq!(
+        result.get("contained_panics").unwrap().as_u64(),
+        Some(panics)
+    );
+    assert!(daemon.alive(), "the chaos daemon never dies");
+    conn.send(r#"{"id":91,"method":"shutdown"}"#);
+    assert_eq!(daemon.wait_exit(), 0);
+}
+
 // --- stdin edge cases -----------------------------------------------------
 
 /// Like [`run`], but feeds raw bytes (possibly invalid UTF-8) on stdin.

@@ -62,7 +62,7 @@ fn stmt(depth: u32, in_loop: bool) -> BoxedStrategy<Stmt> {
     }
     let block = |in_loop| {
         proptest::collection::vec(stmt(depth - 1, in_loop), 0..4)
-            .prop_map(|stmts| Block::new(stmts))
+            .prop_map(Block::new)
     };
     let mut options: Vec<BoxedStrategy<Stmt>> = vec![
         assign(),

@@ -400,6 +400,17 @@ pub fn trace_id() -> Option<String> {
     lock_sink().as_ref().map(|s| s.trace.clone())
 }
 
+/// Flushes the installed sink without removing it. No-op when no sink
+/// is installed. Long-lived processes (the serve daemon's drain path)
+/// call this at lifecycle edges; per-event writes already flush
+/// line-by-line, so this exists to force out any buffering an exotic
+/// sink might add.
+pub fn flush() {
+    if let Some(sink) = lock_sink().as_mut() {
+        let _ = sink.out.flush();
+    }
+}
+
 /// Removes the sink (tests; also flushes). Subsequent [`emit`]s no-op.
 pub fn uninstall() {
     if let Some(mut sink) = lock_sink().take() {

@@ -59,6 +59,27 @@ pub enum WorkloadSpec {
         /// Generator seed (unit sources and method rotation).
         seed: u64,
     },
+    /// An in-process *concurrent* `pst serve` daemon: `clients` scoped
+    /// threads fire the same seeded request mix (staggered starting
+    /// offsets, so shard access never convoys in lockstep) at one
+    /// shared, sharded session with the admission gate armed below the
+    /// client count — `overloaded` sheds are retried with deterministic
+    /// jittered exponential backoff, measured rather than lost. Because
+    /// clients overlap, the daemon computes each unit once and answers
+    /// the rest from the shared memo cache, so aggregate requests/sec
+    /// must beat the sequential mix even on a single core. Phases reuse
+    /// `serve_cold` / `serve_hot`; the `serve_conc_requests_per_sec`
+    /// gauge is asserted against the sequential mix by the verify
+    /// script.
+    ServeConc {
+        /// Number of generated mini-language units in the shared mix
+        /// (same recipe as [`WorkloadSpec::ServeMix`]).
+        units: usize,
+        /// Concurrent client threads.
+        clients: usize,
+        /// Generator seed (unit sources, method rotation, jitter).
+        seed: u64,
+    },
 }
 
 /// A named benchmark input.
@@ -118,6 +139,17 @@ fn serve_mix(units: usize, seed: u64) -> Workload {
     }
 }
 
+fn serve_conc(units: usize, clients: usize, seed: u64) -> Workload {
+    Workload {
+        name: format!("serve/conc{clients}"),
+        spec: WorkloadSpec::ServeConc {
+            units,
+            clients,
+            seed,
+        },
+    }
+}
+
 fn messy_digraph(nodes: usize, seed: u64) -> Workload {
     Workload {
         name: format!("digraph_messy/{nodes}"),
@@ -148,6 +180,7 @@ pub fn standard_matrix(quick: bool) -> Vec<Workload> {
         genprog("genprog/unstructured", 150, 0.15, 0xBEEF),
         messy_digraph(64, 0xD16),
         serve_mix(6, 0x5E12E),
+        serve_conc(6, 8, 0x5E12E),
     ];
     if !quick {
         matrix.extend([

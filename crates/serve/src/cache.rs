@@ -201,6 +201,22 @@ impl<V> LruCache<V> {
         self.stats
     }
 
+    /// The monotone recency tick: one per lookup or insertion, never
+    /// wall-clock. Exposed so the daemon can report a deterministic
+    /// logical-age alongside occupancy.
+    pub fn tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// Resident values ordered least-recently-used first — the order a
+    /// snapshot should persist them in, so that replaying the snapshot
+    /// through [`LruCache::insert`] reproduces today's eviction order.
+    pub fn values_by_recency(&self) -> Vec<&V> {
+        let mut slots: Vec<&Slot<V>> = self.slots.values().collect();
+        slots.sort_by_key(|slot| slot.last_used);
+        slots.into_iter().map(|slot| &slot.value).collect()
+    }
+
     /// The active budgets.
     pub fn config(&self) -> CacheConfig {
         self.config
@@ -272,6 +288,17 @@ mod tests {
         assert_eq!(c.remove(1), Some("a"));
         assert_eq!((c.len(), c.total_bytes()), (0, 0));
         assert_eq!(c.remove(1), None);
+    }
+
+    #[test]
+    fn values_by_recency_orders_least_recent_first() {
+        let mut c = cache(0, 0);
+        c.insert(1, "a", 1);
+        c.insert(2, "b", 1);
+        c.insert(3, "c", 1);
+        assert!(c.get(1).is_some()); // 1 is now the freshest
+        assert_eq!(c.values_by_recency(), vec![&"b", &"c", &"a"]);
+        assert!(c.tick() >= 4);
     }
 
     #[test]

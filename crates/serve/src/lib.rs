@@ -15,15 +15,28 @@
 //! invalid graphs, and contained panics come back as structured error
 //! envelopes while the daemon keeps serving.
 //!
+//! The daemon is built to survive fleets, not demos: a bounded worker
+//! pool serves concurrent TCP connections against sharded sessions
+//! ([`shared`]), cooperative per-request deadlines and an in-flight
+//! admission gate bound tail latency under overload (`deadline_exceeded`
+//! / `overloaded` envelopes), `drain`/`shutdown` finish in-flight work
+//! before exiting, and the cache persists across restarts through
+//! crash-safe snapshots (the private `snapshot` module).
+//!
 //! Module map:
 //! - [`hash`] — SplitMix64 content hashing for unit ids
 //! - [`proto`] — request/response envelopes and error codes
 //! - [`cache`] — the budgeted LRU unit cache
 //! - [`session`] — artifact interning, dispatch, panic containment
-//! - [`server`] — bounded line reader plus the stdio/TCP loops
+//! - [`shared`] — sharded concurrent front-end: admission, drain,
+//!   snapshot lifecycle, aggregated stats
+//! - `snapshot` — versioned, checksummed, atomically-written cache
+//!   snapshots (internal; driven by [`shared`])
+//! - [`server`] — bounded line reader, worker pool, stdio/TCP loops
 //!
 //! Telemetry: `serve_*` counters (requests, errors, panics, cache
-//! hit/miss/eviction/quarantine, stage hit/miss), `serve_request_nanos`
+//! hit/miss/eviction/quarantine, stage hit/miss, shed, conn_errors,
+//! deadline_exceeded, snapshot saves/restores), `serve_request_nanos`
 //! plus cold/hot latency histograms, a `UnitScope` per request, and —
 //! when a journal is installed — one `unit_summary` event per request.
 
@@ -37,8 +50,11 @@ pub mod hash;
 pub mod proto;
 pub mod server;
 pub mod session;
+pub mod shared;
+mod snapshot;
 
 pub use cache::{CacheConfig, CacheStats, LruCache};
 pub use proto::{ErrorCode, Method, Request, RequestInput};
 pub use server::{serve_listener, serve_stdio, serve_stream, serve_tcp};
-pub use session::{Reply, ServeConfig, Session};
+pub use session::{Reply, ServeConfig, ServeFault, Session};
+pub use shared::SharedSession;

@@ -42,13 +42,16 @@ pub enum Method {
     Canonicalize,
     /// Session cache statistics and `serve_*` counters.
     Stats,
+    /// Graceful drain: stop admitting new work, finish in-flight
+    /// requests, flush journal/metrics, then exit.
+    Drain,
     /// Acknowledge and stop serving after this response.
     Shutdown,
 }
 
 impl Method {
     /// Every method, in documentation order.
-    pub const ALL: [Method; 8] = [
+    pub const ALL: [Method; 9] = [
         Method::Pst,
         Method::ControlRegions,
         Method::Lint,
@@ -56,6 +59,7 @@ impl Method {
         Method::Dataflow,
         Method::Canonicalize,
         Method::Stats,
+        Method::Drain,
         Method::Shutdown,
     ];
 
@@ -69,6 +73,7 @@ impl Method {
             Method::Dataflow => "dataflow",
             Method::Canonicalize => "canonicalize",
             Method::Stats => "stats",
+            Method::Drain => "drain",
             Method::Shutdown => "shutdown",
         }
     }
@@ -100,6 +105,13 @@ pub enum ErrorCode {
     Unsupported,
     /// The pipeline rejected the input with a proper error.
     AnalysisError,
+    /// The request ran past its `--request-timeout-ms` budget and was
+    /// abandoned at a cooperative checkpoint between analysis phases.
+    DeadlineExceeded,
+    /// The daemon is saturated (or draining) and shed this request
+    /// before doing any work; the envelope carries a `retry_after_ms`
+    /// hint for the client's backoff.
+    Overloaded,
     /// The pipeline panicked; the panic was contained and the daemon
     /// keeps serving.
     Panic,
@@ -117,6 +129,8 @@ impl ErrorCode {
             ErrorCode::UnknownUnit => "unknown_unit",
             ErrorCode::Unsupported => "unsupported",
             ErrorCode::AnalysisError => "analysis_error",
+            ErrorCode::DeadlineExceeded => "deadline_exceeded",
+            ErrorCode::Overloaded => "overloaded",
             ErrorCode::Panic => "panic",
         }
     }
@@ -298,6 +312,26 @@ pub fn error_response(id: &Json, code: ErrorCode, message: &str) -> Json {
     ])
 }
 
+/// Builds the overload-shedding envelope: an `overloaded` error whose
+/// error object carries a `retry_after_ms` backoff hint for the client.
+pub fn overloaded_response(id: &Json, message: &str, retry_after_ms: u64) -> Json {
+    Json::obj([
+        ("id", id.clone()),
+        ("ok", Json::Bool(false)),
+        (
+            "error",
+            Json::obj([
+                (
+                    "code",
+                    Json::Str(ErrorCode::Overloaded.as_str().to_string()),
+                ),
+                ("message", Json::Str(message.to_string())),
+                ("retry_after_ms", Json::UInt(retry_after_ms)),
+            ]),
+        ),
+    ])
+}
+
 #[cfg(test)]
 #[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
@@ -347,5 +381,22 @@ mod tests {
             parsed.get("error").and_then(|e| e.get("code")),
             Some(&Json::Str("panic".into()))
         );
+        let shed = overloaded_response(&Json::UInt(5), "saturated", 40);
+        let parsed = Json::parse(&shed.to_string()).unwrap();
+        assert_eq!(
+            parsed.get("error").and_then(|e| e.get("code")),
+            Some(&Json::Str("overloaded".into()))
+        );
+        assert_eq!(
+            parsed.get("error").and_then(|e| e.get("retry_after_ms")),
+            Some(&Json::UInt(40))
+        );
+    }
+
+    #[test]
+    fn drain_parses_as_an_inputless_method() {
+        let r = Request::parse(r#"{"id": 2, "method": "drain"}"#).unwrap();
+        assert_eq!(r.method, Method::Drain);
+        assert_eq!(r.input, RequestInput::None);
     }
 }

@@ -1,24 +1,48 @@
-//! The serving loops: stdin/stdout and TCP (std::net only).
+//! The serving loops: stdin/stdout and a concurrent TCP front (std::net
+//! only).
 //!
-//! Both transports share [`serve_stream`], which reads one request line
-//! at a time with a *bounded* reader: a line longer than
-//! `max_request_bytes` is drained without buffering and answered with
-//! an `oversized_request` envelope, and a non-UTF-8 line is answered
-//! with `invalid_utf8` naming the first bad byte offset — the daemon
-//! never dies on input, it answers. Blank lines are skipped; EOF (or a
-//! client disconnect, over TCP) ends the stream cleanly; an
-//! acknowledged `shutdown` ends the daemon.
+//! Both transports share the bounded `LineReader`: a line longer than
+//! `max_request_bytes` is drained without buffering and answered with an
+//! `oversized_request` envelope, and a non-UTF-8 line is answered with
+//! `invalid_utf8` naming the first bad byte offset — the daemon never
+//! dies on input, it answers. Blank lines are skipped; EOF (or a client
+//! disconnect, over TCP) ends that stream cleanly; an acknowledged
+//! `shutdown` or `drain` ends the daemon.
 //!
-//! The TCP listener serves connections *sequentially* against one
-//! shared session, so cache state persists across clients and the
-//! daemon needs no locks at all — the only `Mutex`es in the whole
-//! serving path are `pst-obs` internals, every one of which recovers
-//! from poisoning via `into_inner` (see `docs/SERVING.md`).
+//! The TCP path is a bounded worker pool (`--workers N`, scoped threads)
+//! behind a non-blocking accept loop. Accepted connections land in a
+//! bounded queue; when the queue is full the connection is shed with a
+//! raw `overloaded` envelope instead of silently queueing unbounded
+//! work. Worker streams carry a short read timeout so an idle or
+//! wedged client can never pin a worker across a drain: every timeout
+//! tick re-checks the drain flag. A failed `accept()` or a mid-stream
+//! I/O error is counted (`serve_conn_errors`) and never stops the
+//! accept loop — connection trouble is per-client, not per-daemon.
+//!
+//! Drain choreography: `drain`/`shutdown` flips the shared monotone
+//! flag; the accept loop stops accepting and closes the queue; each
+//! worker finishes (and answers) its in-flight request, refuses to read
+//! further lines, and exits; the scope joins; then the owning thread
+//! runs the epilogue (cache snapshot, journal/metrics flush).
 
-use std::io::{BufRead, BufReader, Write};
-use std::net::TcpListener;
+use std::collections::VecDeque;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
 
-use crate::session::{Reply, ServeConfig, Session};
+use pst_obs::json::Json;
+
+use crate::proto::overloaded_response;
+use crate::session::{Reply, ServeConfig};
+use crate::shared::SharedSession;
+
+/// How often a blocked worker re-checks lifecycle flags.
+const POLL_TICK: Duration = Duration::from_millis(50);
+/// Accept-loop sleep when no connection is pending.
+const ACCEPT_TICK: Duration = Duration::from_millis(5);
+/// Pending-connection queue bound, per worker.
+const QUEUE_PER_WORKER: usize = 4;
 
 /// One bounded read off the request stream.
 enum Line {
@@ -33,110 +57,325 @@ enum Line {
     InvalidUtf8(usize),
 }
 
-/// Reads one `\n`-terminated line, buffering at most `cap` bytes.
-/// Oversized lines are drained to the newline but never held in memory.
-fn read_bounded_line<R: BufRead>(reader: &mut R, cap: usize) -> std::io::Result<Line> {
-    let mut buf = Vec::new();
-    let mut total = 0usize;
-    loop {
-        let available = reader.fill_buf()?;
-        if available.is_empty() {
-            if total == 0 {
-                return Ok(Line::Eof);
+/// A bounded line reader that survives read timeouts: partial-line
+/// state persists across calls, so a stream with a read timeout can be
+/// polled (`Ok(None)` = no complete line yet, check the drain flag and
+/// come back) without ever corrupting or dropping request bytes.
+struct LineReader<R> {
+    reader: R,
+    cap: usize,
+    buf: Vec<u8>,
+    total: usize,
+}
+
+impl<R: BufRead> LineReader<R> {
+    fn new(reader: R, cap: usize) -> Self {
+        LineReader {
+            reader,
+            cap,
+            buf: Vec::new(),
+            total: 0,
+        }
+    }
+
+    /// Reads one `\n`-terminated line, buffering at most `cap` bytes
+    /// (oversized lines are drained to the newline but never held).
+    /// `Ok(None)` means the read timed out mid-line; call again.
+    fn read_line(&mut self) -> io::Result<Option<Line>> {
+        loop {
+            let available = match self.reader.fill_buf() {
+                Ok(available) => available,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock
+                            | io::ErrorKind::TimedOut
+                            | io::ErrorKind::Interrupted
+                    ) =>
+                {
+                    return Ok(None)
+                }
+                Err(e) => return Err(e),
+            };
+            if available.is_empty() {
+                if self.total == 0 {
+                    return Ok(Some(Line::Eof));
+                }
+                break; // unterminated final line is still a request
             }
-            break;
+            let (consumed, done) = match available.iter().position(|&b| b == b'\n') {
+                Some(pos) => (pos + 1, true),
+                None => (available.len(), false),
+            };
+            let chunk_len = if done { consumed - 1 } else { consumed };
+            self.total += chunk_len;
+            if self.total <= self.cap {
+                let chunk = &available[..chunk_len];
+                self.buf.extend_from_slice(chunk);
+            }
+            self.reader.consume(consumed);
+            if done {
+                break;
+            }
         }
-        let (consumed, done) = match available.iter().position(|&b| b == b'\n') {
-            Some(pos) => (pos + 1, true),
-            None => (available.len(), false),
-        };
-        let chunk_len = if done { consumed - 1 } else { consumed };
-        total += chunk_len;
-        if total <= cap {
-            buf.extend_from_slice(&available[..chunk_len]);
+        let total = std::mem::take(&mut self.total);
+        let buf = std::mem::take(&mut self.buf);
+        if total > self.cap {
+            return Ok(Some(Line::Oversized(total)));
         }
-        reader.consume(consumed);
-        if done {
-            break;
+        match String::from_utf8(buf) {
+            Ok(text) => Ok(Some(Line::Text(text))),
+            Err(e) => Ok(Some(Line::InvalidUtf8(e.utf8_error().valid_up_to()))),
         }
-    }
-    if total > cap {
-        return Ok(Line::Oversized(total));
-    }
-    match String::from_utf8(buf) {
-        Ok(text) => Ok(Line::Text(text)),
-        Err(e) => Ok(Line::InvalidUtf8(e.utf8_error().valid_up_to())),
     }
 }
 
-/// Serves one request stream to completion. Returns `true` when a
-/// `shutdown` request ended it, `false` on EOF/disconnect.
+fn reply_for(shared: &SharedSession, line: Line) -> Option<Reply> {
+    match line {
+        Line::Eof => None,
+        Line::Text(text) if text.trim().is_empty() => Some(Reply {
+            line: String::new(),
+            shutdown: false,
+            drop_conn: false,
+        }),
+        Line::Text(text) => Some(shared.handle_line(&text)),
+        Line::Oversized(actual) => Some(shared.oversized_reply(actual)),
+        Line::InvalidUtf8(offset) => Some(shared.invalid_utf8_reply(offset)),
+    }
+}
+
+/// Serves one request stream to completion against the shared session.
+/// Returns `true` when a `shutdown`/`drain` acknowledged on *this*
+/// stream ended it, `false` on EOF/disconnect (or when a drain from
+/// another stream stopped the daemon).
 pub fn serve_stream<R: BufRead, W: Write>(
-    session: &mut Session,
+    shared: &SharedSession,
     reader: &mut R,
     writer: &mut W,
-) -> std::io::Result<bool> {
-    let cap = session.config().max_request_bytes;
+) -> io::Result<bool> {
+    let cap = shared.config().max_request_bytes;
+    let mut lines = LineReader::new(reader, cap);
     loop {
-        let reply: Reply = match read_bounded_line(reader, cap)? {
-            Line::Eof => return Ok(false),
-            Line::Text(line) if line.trim().is_empty() => continue,
-            Line::Text(line) => session.handle_line(&line),
-            Line::Oversized(actual) => session.oversized_reply(actual),
-            Line::InvalidUtf8(offset) => session.invalid_utf8_reply(offset),
+        let line = match lines.read_line()? {
+            Some(line) => line,
+            // Timeout tick on a timeout-capable stream: stop reading if
+            // the daemon is draining, otherwise poll again.
+            None if shared.is_draining() => return Ok(false),
+            None => continue,
         };
+        let Some(reply) = reply_for(shared, line) else {
+            return Ok(false); // EOF
+        };
+        if reply.line.is_empty() {
+            continue; // blank input line
+        }
+        if reply.drop_conn {
+            // Injected drop-conn fault: vanish without replying. The
+            // client sees an abrupt disconnect and is expected to retry.
+            return Ok(false);
+        }
         writer.write_all(reply.line.as_bytes())?;
         writer.write_all(b"\n")?;
         writer.flush()?;
         if reply.shutdown {
             return Ok(true);
         }
+        if shared.is_draining() {
+            return Ok(false);
+        }
     }
 }
 
-/// Serves stdin → stdout until EOF or `shutdown`.
-pub fn serve_stdio(config: ServeConfig) -> std::io::Result<()> {
-    let mut session = Session::new(config);
-    let stdin = std::io::stdin();
-    let stdout = std::io::stdout();
+/// Serves stdin → stdout until EOF or `shutdown`/`drain`. Stdio has one
+/// stream, so the worker pool collapses to the calling thread
+/// (`workers` is forced to 1 — one shard, no idle mutex traffic).
+pub fn serve_stdio(mut config: ServeConfig) -> io::Result<()> {
+    config.workers = 1;
+    let shared = SharedSession::new(config);
+    let stdin = io::stdin();
+    let stdout = io::stdout();
     let mut reader = stdin.lock();
     let mut writer = stdout.lock();
-    serve_stream(&mut session, &mut reader, &mut writer)?;
-    Ok(())
+    let result = serve_stream(&shared, &mut reader, &mut writer);
+    shared.finish();
+    result.map(|_| ())
 }
 
 /// Binds `addr` (`addr:port`; port 0 picks a free port) and serves TCP
-/// connections sequentially against one shared session. The bound
-/// address is announced on stdout as `pst serve: listening on <addr>`
-/// so callers that requested port 0 can find the port. A per-connection
-/// I/O error drops that client and keeps the daemon alive; `shutdown`
-/// stops the accept loop.
-pub fn serve_tcp(config: ServeConfig, addr: &str) -> std::io::Result<()> {
+/// connections concurrently. The bound address is announced on stdout
+/// as `pst serve: listening on <addr>` so callers that requested port 0
+/// can find the port.
+pub fn serve_tcp(config: ServeConfig, addr: &str) -> io::Result<()> {
     let listener = TcpListener::bind(addr)?;
     {
-        let mut out = std::io::stdout().lock();
+        let mut out = io::stdout().lock();
         writeln!(out, "pst serve: listening on {}", listener.local_addr()?)?;
         out.flush()?;
     }
     serve_listener(config, listener)
 }
 
-/// Serves an already-bound listener (see [`serve_tcp`]); split out so
-/// tests can bind their own port without racing on rebinds.
-pub fn serve_listener(config: ServeConfig, listener: TcpListener) -> std::io::Result<()> {
-    let mut session = Session::new(config);
-    for stream in listener.incoming() {
-        let Ok(stream) = stream else { continue };
-        let Ok(write_half) = stream.try_clone() else {
-            continue;
-        };
-        let mut reader = BufReader::new(stream);
-        let mut writer = write_half;
-        match serve_stream(&mut session, &mut reader, &mut writer) {
-            Ok(true) => break,
-            Ok(false) | Err(_) => continue,
+/// A bounded hand-off queue from the accept loop to the worker pool.
+/// Push beyond the bound is refused (the caller sheds the connection);
+/// closing wakes every blocked worker.
+struct ConnQueue {
+    state: Mutex<(VecDeque<TcpStream>, bool)>,
+    ready: Condvar,
+    bound: usize,
+}
+
+impl ConnQueue {
+    fn new(bound: usize) -> ConnQueue {
+        ConnQueue {
+            state: Mutex::new((VecDeque::new(), false)),
+            ready: Condvar::new(),
+            bound,
         }
     }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, (VecDeque<TcpStream>, bool)> {
+        // Poison recovery, per docs/SERVING.md § Locking: the queue
+        // holds plain connection handles; a panicking worker cannot
+        // leave them inconsistent.
+        self.state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Enqueues a connection, or returns it when the queue is full.
+    fn push(&self, stream: TcpStream) -> Result<(), TcpStream> {
+        let mut state = self.lock();
+        if state.1 || state.0.len() >= self.bound {
+            return Err(stream);
+        }
+        state.0.push_back(stream);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next connection; `None` once closed and drained.
+    fn pop(&self) -> Option<TcpStream> {
+        let mut state = self.lock();
+        loop {
+            if let Some(stream) = state.0.pop_front() {
+                return Some(stream);
+            }
+            if state.1 {
+                return None;
+            }
+            let (next, _timeout) = self
+                .ready
+                .wait_timeout(state, POLL_TICK)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            state = next;
+        }
+    }
+
+    /// Stops accepting pushes and wakes all workers. Already-queued
+    /// connections are still handed out (they were accepted; shedding
+    /// them now would strand clients silently).
+    fn close(&self) {
+        self.lock().1 = true;
+        self.ready.notify_all();
+    }
+}
+
+/// Writes a raw `overloaded` envelope to a connection the queue
+/// refused, then drops it. Best-effort: the client may already be gone.
+fn shed_connection(shared: &SharedSession, mut stream: TcpStream) {
+    pst_obs::counter!("serve_shed");
+    let line = overloaded_response(
+        &Json::Null,
+        &format!(
+            "daemon accept queue is full ({} workers; --workers); retry after the hint",
+            shared.config().workers
+        ),
+        25,
+    )
+    .to_string();
+    let _ = stream.write_all(line.as_bytes());
+    let _ = stream.write_all(b"\n");
+}
+
+/// Serves one accepted connection on a worker thread. All I/O errors
+/// are counted and end only this connection.
+fn serve_conn(shared: &SharedSession, stream: TcpStream) {
+    // A short read timeout turns a blocked worker into a poller, so an
+    // idle connection can never hold a worker hostage across a drain.
+    if stream.set_read_timeout(Some(POLL_TICK)).is_err() {
+        shared.note_conn_error();
+        return;
+    }
+    let write_half = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => {
+            shared.note_conn_error();
+            return;
+        }
+    };
+    let mut reader = BufReader::new(stream);
+    let mut writer = write_half;
+    if let Err(_e) = serve_stream(shared, &mut reader, &mut writer) {
+        shared.note_conn_error();
+    }
+}
+
+/// Serves an already-bound listener (see [`serve_tcp`]); split out so
+/// tests can bind their own port without racing on rebinds. Returns
+/// after a `shutdown`/`drain` finished the in-flight work and the
+/// epilogue (snapshot + telemetry flush) ran.
+pub fn serve_listener(config: ServeConfig, listener: TcpListener) -> io::Result<()> {
+    let shared = SharedSession::new(config);
+    let workers = shared.config().workers.max(1);
+    listener.set_nonblocking(true)?;
+    let queue = ConnQueue::new(workers * QUEUE_PER_WORKER);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                while let Some(stream) = queue.pop() {
+                    serve_conn(&shared, stream);
+                    // Fold this connection's thread-local telemetry so a
+                    // crash after any connection loses nothing.
+                    pst_obs::flush_thread();
+                }
+                pst_obs::flush_thread();
+            });
+        }
+        // The accept loop owns the lifecycle: poll, hand off, and stop
+        // accepting the moment a drain is acknowledged anywhere.
+        loop {
+            if shared.is_draining() {
+                break;
+            }
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    shared.note_connection();
+                    // Accepted sockets must not inherit the listener's
+                    // non-blocking mode (platform-dependent).
+                    if stream.set_nonblocking(false).is_err() {
+                        shared.note_conn_error();
+                        continue;
+                    }
+                    if let Err(refused) = queue.push(stream) {
+                        shed_connection(&shared, refused);
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(ACCEPT_TICK);
+                }
+                Err(_) => {
+                    // Satellite fix: a failed accept() is counted and
+                    // the loop keeps serving — it used to be silently
+                    // skipped and could never be observed.
+                    shared.note_conn_error();
+                    std::thread::sleep(ACCEPT_TICK);
+                }
+            }
+        }
+        queue.close();
+    });
+    shared.finish();
+    pst_obs::flush_thread();
     Ok(())
 }
 
@@ -144,13 +383,12 @@ pub fn serve_listener(config: ServeConfig, listener: TcpListener) -> std::io::Re
 #[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
-    use pst_obs::json::Json;
 
     fn drive(input: &[u8], config: ServeConfig) -> (Vec<Json>, bool) {
-        let mut session = Session::new(config);
+        let shared = SharedSession::new(config);
         let mut reader = std::io::Cursor::new(input.to_vec());
         let mut out = Vec::new();
-        let shutdown = serve_stream(&mut session, &mut reader, &mut out).unwrap();
+        let shutdown = serve_stream(&shared, &mut reader, &mut out).unwrap();
         let replies = String::from_utf8(out)
             .unwrap()
             .lines()
@@ -169,6 +407,18 @@ mod tests {
         assert!(shutdown);
         assert_eq!(replies[0].get("ok"), Some(&Json::Bool(true)));
         assert_eq!(replies[0].get("id"), Some(&Json::UInt(1)));
+    }
+
+    #[test]
+    fn drain_ends_the_stream_like_shutdown() {
+        let input = b"{\"id\": 1, \"method\": \"drain\"}\n{\"method\": \"stats\"}\n";
+        let (replies, shutdown) = drive(input, ServeConfig::default());
+        assert_eq!(replies.len(), 1);
+        assert!(shutdown);
+        assert_eq!(
+            replies[0].get("result").and_then(|r| r.get("draining")),
+            Some(&Json::Bool(true))
+        );
     }
 
     #[test]
@@ -235,6 +485,54 @@ mod tests {
         let bye = Json::parse(line.trim()).unwrap();
         assert_eq!(
             bye.get("result").and_then(|r| r.get("stopping")),
+            Some(&Json::Bool(true))
+        );
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn concurrent_clients_are_all_answered_and_drain_finishes_in_flight() {
+        use std::io::{BufRead as _, BufReader, Write as _};
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let config = ServeConfig {
+            workers: 4,
+            ..ServeConfig::default()
+        };
+        let server = std::thread::spawn(move || {
+            serve_listener(config, listener).unwrap();
+        });
+        // Several concurrent clients, each with its own unit.
+        let clients: Vec<_> = (0..4)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+                    let line = format!(
+                        "{{\"id\": {i}, \"method\": \"pst\", \"source\": \"fn c{i}(n) {{ return n; }}\"}}\n"
+                    );
+                    stream.write_all(line.as_bytes()).unwrap();
+                    let mut reader = BufReader::new(stream);
+                    let mut reply = String::new();
+                    reader.read_line(&mut reply).unwrap();
+                    Json::parse(reply.trim()).unwrap()
+                })
+            })
+            .collect();
+        for (i, client) in clients.into_iter().enumerate() {
+            let reply = client.join().unwrap();
+            assert_eq!(reply.get("ok"), Some(&Json::Bool(true)), "client {i}");
+        }
+        // Drain from a fresh connection ends the daemon gracefully.
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(b"{\"id\": \"bye\", \"method\": \"drain\"}\n")
+            .unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let bye = Json::parse(line.trim()).unwrap();
+        assert_eq!(
+            bye.get("result").and_then(|r| r.get("draining")),
             Some(&Json::Bool(true))
         );
         server.join().unwrap();

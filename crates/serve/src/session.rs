@@ -35,18 +35,83 @@ use crate::hash::{content_hash, unit_hex};
 use crate::proto::{error_response, ok_response, ErrorCode, Method, Request, RequestInput};
 
 /// Domain tags for [`content_hash`]: the same bytes registered as mini
-/// source and as an edge list are different units.
-const KIND_MINI: u64 = 1;
-const KIND_EDGES: u64 = 2;
+/// source and as an edge list are different units. Snapshots persist
+/// these as `"mini"` / `"edges"` (see `snapshot.rs`).
+pub(crate) const KIND_MINI: u64 = 1;
+pub(crate) const KIND_EDGES: u64 = 2;
 
-/// Daemon configuration (cache budgets + request size cap).
-#[derive(Clone, Copy, Debug)]
+/// A daemon-level chaos fault (`pst serve --inject-fault <kind>`,
+/// honored only by `fault-inject` builds). The enum itself is always
+/// compiled so flag parsing stays feature-free; *firing* is gated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServeFault {
+    /// Periodically panic inside the analysis path (exercises
+    /// containment + quarantine).
+    Panic,
+    /// Periodically sleep 50ms inside the analysis path (exercises the
+    /// cooperative deadline).
+    Slow,
+    /// Periodically compute the answer but drop the connection without
+    /// replying (exercises client reconnect/retry).
+    DropConn,
+    /// Corrupt every cache-snapshot write (exercises cold-start
+    /// tolerance on the next boot).
+    CorruptSnapshot,
+}
+
+impl ServeFault {
+    /// Parses the `--inject-fault` flag value.
+    pub fn parse(kind: &str) -> Option<ServeFault> {
+        match kind {
+            "panic" => Some(ServeFault::Panic),
+            "slow" => Some(ServeFault::Slow),
+            "drop-conn" => Some(ServeFault::DropConn),
+            "corrupt-snapshot" => Some(ServeFault::CorruptSnapshot),
+            _ => None,
+        }
+    }
+
+    /// The flag spelling (diagnostics).
+    pub fn name(self) -> &'static str {
+        match self {
+            ServeFault::Panic => "panic",
+            ServeFault::Slow => "slow",
+            ServeFault::DropConn => "drop-conn",
+            ServeFault::CorruptSnapshot => "corrupt-snapshot",
+        }
+    }
+}
+
+/// Daemon configuration: cache budgets, request size cap, and the
+/// fleet-facing knobs (worker pool, deadlines, admission, snapshots).
+#[derive(Clone, Debug)]
 pub struct ServeConfig {
     /// LRU budgets for the unit cache.
     pub cache: CacheConfig,
     /// Maximum accepted request-line length in bytes; longer lines get
     /// an `oversized_request` envelope (enforced by the server loop).
     pub max_request_bytes: usize,
+    /// TCP worker pool size; also the session shard count (each shard
+    /// is an independent `Mutex<Session>`, so requests for different
+    /// units proceed in parallel). Stdio mode forces 1.
+    pub workers: usize,
+    /// Cooperative per-request deadline in milliseconds (0 = none);
+    /// checked between analysis phases, answered `deadline_exceeded`.
+    pub request_timeout_ms: u64,
+    /// Admission gate: maximum analysis requests in flight at once
+    /// (0 = unlimited). Excess requests are shed with an `overloaded`
+    /// envelope carrying a `retry_after_ms` hint.
+    pub max_inflight: usize,
+    /// Cache snapshot file (`--cache-snapshot`): loaded at startup
+    /// (tolerating a missing/corrupt file by starting cold), written
+    /// periodically and on drain/shutdown via write-then-rename.
+    pub snapshot_path: Option<String>,
+    /// Periodic snapshot cadence in admitted requests (0 = only on
+    /// drain/shutdown).
+    pub snapshot_every: u64,
+    /// Daemon-level chaos fault; `None` in production. Only
+    /// `fault-inject` builds ever fire it.
+    pub inject_fault: Option<ServeFault>,
 }
 
 impl Default for ServeConfig {
@@ -54,17 +119,28 @@ impl Default for ServeConfig {
         ServeConfig {
             cache: CacheConfig::default(),
             max_request_bytes: 4 << 20,
+            workers: 4,
+            request_timeout_ms: 0,
+            max_inflight: 64,
+            snapshot_path: None,
+            snapshot_every: 32,
+            inject_fault: None,
         }
     }
 }
 
-/// One response line plus whether the daemon should stop after it.
+/// One response line plus transport directives for the serving loop.
 #[derive(Clone, Debug)]
 pub struct Reply {
     /// The serialized JSON envelope (no trailing newline).
     pub line: String,
-    /// True after a `shutdown` request was acknowledged.
+    /// True after a `shutdown` or `drain` request was acknowledged —
+    /// the stream stops reading after writing this reply.
     pub shutdown: bool,
+    /// True when an injected `drop-conn` fault fired: the serving loop
+    /// must close the connection *without* writing the line (the client
+    /// sees an abrupt disconnect and is expected to retry).
+    pub drop_conn: bool,
 }
 
 impl Reply {
@@ -72,6 +148,7 @@ impl Reply {
         Reply {
             line: envelope.to_string(),
             shutdown: false,
+            drop_conn: false,
         }
     }
 }
@@ -112,9 +189,14 @@ enum UnitData {
 }
 
 /// A resident unit: parsed artifacts plus memoized per-method results.
+/// The registered source text is retained so the unit (and its memos)
+/// can be persisted into a cache snapshot and re-registered on restart.
 struct Unit {
     data: UnitData,
-    source_len: usize,
+    /// Domain tag ([`KIND_MINI`] / [`KIND_EDGES`]).
+    kind: u64,
+    /// The registered input text, verbatim.
+    source: String,
     /// `(method name, memoized result)` — methods take no parameters
     /// beyond the unit, so one slot per method suffices.
     results: Vec<(&'static str, Json)>,
@@ -138,7 +220,7 @@ impl Unit {
     /// Approximate retained heap: a crude, monotone estimate is all the
     /// byte budget needs (see `cache.rs`).
     fn approx_bytes(&self) -> usize {
-        let mut bytes = 512 + self.source_len * 8 + self.results_bytes;
+        let mut bytes = 512 + self.source.len() * 8 + self.results_bytes;
         match &self.data {
             UnitData::Mini(functions) => {
                 for fa in functions {
@@ -165,19 +247,66 @@ struct Answer {
     /// was resident *and* this method had already run on it).
     cached: bool,
     result: Json,
+    /// True when an injected `drop-conn` daemon fault fired on this
+    /// request (the serving loop drops the connection unreplied).
+    drop_conn: bool,
 }
 
 type MethodError = (ErrorCode, String);
 
-/// The daemon's session state. One instance serves one connection
-/// stream; all methods are answered through [`Session::handle_line`].
+/// One unit as a snapshot sees it: `(kind tag, source text, memoized
+/// results)`.
+pub(crate) type ExportedUnit = (u64, String, Vec<(&'static str, Json)>);
+
+/// The in-flight request's cooperative deadline, checked at phase
+/// boundaries (after registration, after fault injection, and between
+/// per-function analyses). There is no preemption: a single pathological
+/// phase can overrun, but the paper's linear-time bounds keep phases
+/// short, so boundary checks bound the overshoot tightly in practice.
+#[derive(Clone, Copy)]
+struct Deadline {
+    at: Option<Instant>,
+    budget_ms: u64,
+}
+
+impl Deadline {
+    fn check(self) -> Result<(), MethodError> {
+        match self.at {
+            Some(at) if Instant::now() >= at => {
+                pst_obs::counter!("serve_deadline_exceeded");
+                Err((
+                    ErrorCode::DeadlineExceeded,
+                    format!(
+                        "request exceeded its {}ms budget (--request-timeout-ms); \
+                         partial work was abandoned at a phase boundary",
+                        self.budget_ms
+                    ),
+                ))
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+/// The daemon's session state — one cache shard. A sequential caller
+/// drives it through [`Session::handle_line`]; the concurrent daemon
+/// wraps several shards in `Mutex`es behind
+/// [`crate::shared::SharedSession`] and dispatches through
+/// [`Session::handle_request`].
 pub struct Session {
     cache: LruCache<Unit>,
     config: ServeConfig,
     requests: u64,
     panics: u64,
+    quarantined: u64,
     /// Unit touched by the in-flight request, for quarantine on panic.
     touched: Option<u64>,
+    /// Cooperative deadline of the in-flight request.
+    deadline: Option<Instant>,
+    /// Analysis-request counter for periodic daemon-fault firing; only
+    /// `fault-inject` builds touch it.
+    #[cfg_attr(not(feature = "fault-inject"), allow(dead_code))]
+    fault_cycle: u64,
 }
 
 impl Session {
@@ -188,13 +317,38 @@ impl Session {
             config,
             requests: 0,
             panics: 0,
+            quarantined: 0,
             touched: None,
+            deadline: None,
+            fault_cycle: 0,
         }
     }
 
     /// The active configuration.
     pub fn config(&self) -> &ServeConfig {
         &self.config
+    }
+
+    /// Contained-panic count (aggregated across shards by the shared
+    /// front-end).
+    pub fn contained_panics(&self) -> u64 {
+        self.panics
+    }
+
+    /// Units quarantined after a contained panic.
+    pub fn quarantined_units(&self) -> u64 {
+        self.quarantined
+    }
+
+    /// This shard's cache occupancy/traffic, for stats aggregation:
+    /// `(entries, bytes, tick, lifetime stats)`.
+    pub fn cache_snapshot_stats(&self) -> (usize, usize, u64, crate::cache::CacheStats) {
+        (
+            self.cache.len(),
+            self.cache.total_bytes(),
+            self.cache.tick(),
+            self.cache.stats(),
+        )
     }
 
     /// Answers one request line. Never panics: malformed JSON, invalid
@@ -207,6 +361,14 @@ impl Session {
             Ok(r) => r,
             Err(e) => return self.error_reply(&e.id, e.code, &e.message),
         };
+        self.handle_request(&req, started)
+    }
+
+    /// Dispatches one parsed request. Entry points count
+    /// `serve_requests` themselves ([`Session::handle_line`] for the
+    /// sequential path, the shared front-end for the concurrent one) so
+    /// a request is counted exactly once however it arrives.
+    pub fn handle_request(&mut self, req: &Request, started: Instant) -> Reply {
         match req.method {
             Method::Shutdown => {
                 let nanos = started.elapsed().as_nanos() as u64;
@@ -215,11 +377,23 @@ impl Session {
                 reply.shutdown = true;
                 reply
             }
+            Method::Drain => {
+                let nanos = started.elapsed().as_nanos() as u64;
+                let result = Json::obj([("draining", Json::Bool(true))]);
+                let mut reply = Reply::of(ok_response(&req.id, None, None, nanos, result));
+                reply.shutdown = true;
+                reply
+            }
             Method::Stats => {
                 let nanos = started.elapsed().as_nanos() as u64;
                 Reply::of(ok_response(&req.id, None, None, nanos, self.stats_json()))
             }
-            _ => self.handle_analysis(&req, started),
+            _ => {
+                self.deadline = (self.config.request_timeout_ms > 0).then(|| {
+                    started + std::time::Duration::from_millis(self.config.request_timeout_ms)
+                });
+                self.handle_analysis(req, started)
+            }
         }
     }
 
@@ -289,13 +463,15 @@ impl Session {
                     nanos,
                     count: 1,
                 });
-                Reply::of(ok_response(
+                let mut reply = Reply::of(ok_response(
                     &req.id,
                     Some(&answer.unit),
                     Some(answer.cached),
                     nanos,
                     answer.result,
-                ))
+                ));
+                reply.drop_conn = answer.drop_conn;
+                reply
             }
             Ok(Err((code, message))) => self.error_reply(&req.id, code, &message),
             Err(payload) => {
@@ -303,6 +479,7 @@ impl Session {
                 pst_obs::counter!("serve_panics");
                 if let Some(key) = self.touched.take() {
                     if self.cache.remove(key).is_some() {
+                        self.quarantined += 1;
                         pst_obs::counter!("serve_cache_quarantined");
                     }
                 }
@@ -337,6 +514,10 @@ impl Session {
         };
         self.touched = Some(key);
         let hex = unit_hex(key);
+        let deadline = Deadline {
+            at: self.deadline,
+            budget_ms: self.config.request_timeout_ms,
+        };
         let _unit_scope = pst_obs::UnitScope::enter(format!("serve:{}#{}", hex, req.method.name()));
 
         // Exactly one recency-and-stats-counting cache access per request.
@@ -360,12 +541,16 @@ impl Session {
             let evicted = self.cache.insert(key, unit, bytes);
             pst_obs::counter!("serve_cache_eviction", evicted);
         }
+        deadline.check()?;
 
         // Fault injection sits after unit resolution on purpose: a test
-        // panic must exercise the quarantine path, not dodge it.
+        // panic must exercise the quarantine path, not dodge it. The
+        // daemon-level chaos fault fires at the same point.
         if let Some(kind) = req.inject.as_deref() {
             fault_inject(kind)?;
         }
+        let drop_conn = self.daemon_fault()?;
+        deadline.check()?;
 
         let method = req.method.name();
         let Some(unit) = self.cache.peek_mut(key) else {
@@ -380,10 +565,11 @@ impl Session {
                 unit: hex,
                 cached: true,
                 result: result.clone(),
+                drop_conn,
             });
         }
         pst_obs::counter!("serve_stage_miss");
-        let result = compute(unit, req.method)?;
+        let result = compute(unit, req.method, deadline)?;
         unit.memoize(method, &result);
         let bytes = unit.approx_bytes();
         let evicted = self.cache.update_bytes(key, bytes);
@@ -392,7 +578,83 @@ impl Session {
             unit: hex,
             cached: false,
             result,
+            drop_conn,
         })
+    }
+
+    /// Fires the daemon-level `--inject-fault` chaos fault, if one is
+    /// configured and this is a firing cycle. Only `fault-inject` builds
+    /// compile the firing logic; production builds never configure a
+    /// fault (the CLI refuses the flag), so this is a no-op there.
+    /// Returns true when the connection should be dropped unreplied.
+    #[cfg(feature = "fault-inject")]
+    fn daemon_fault(&mut self) -> Result<bool, MethodError> {
+        let Some(fault) = self.config.inject_fault else {
+            return Ok(false);
+        };
+        self.fault_cycle += 1;
+        // Fire on every third analysis request so the chaos workload
+        // mixes faulty and clean traffic on one connection.
+        if self.fault_cycle % 3 != 2 {
+            return Ok(false);
+        }
+        pst_obs::counter!("serve_injected_faults");
+        match fault {
+            ServeFault::Panic => panic!("injected fault: daemon panic"),
+            ServeFault::Slow => {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+                Ok(false)
+            }
+            ServeFault::DropConn => Ok(true),
+            // Fires at snapshot-write time, not per request.
+            ServeFault::CorruptSnapshot => Ok(false),
+        }
+    }
+
+    #[cfg(not(feature = "fault-inject"))]
+    fn daemon_fault(&mut self) -> Result<bool, MethodError> {
+        Ok(false)
+    }
+
+    /// Snapshot export: `(kind, source, memoized results)` for every
+    /// resident unit, least-recently-used first, so replaying the list
+    /// through [`Session::restore_unit`] reproduces today's eviction
+    /// order.
+    pub(crate) fn export_units(&self) -> Vec<ExportedUnit> {
+        self.cache
+            .values_by_recency()
+            .into_iter()
+            .map(|u| (u.kind, u.source.clone(), u.results.clone()))
+            .collect()
+    }
+
+    /// Re-registers one snapshot entry (warm restart), restoring its
+    /// memoized results so the first repeat query answers `cached: true`.
+    pub(crate) fn restore_unit(
+        &mut self,
+        kind: u64,
+        source: &str,
+        results: &[(String, Json)],
+    ) -> Result<(), MethodError> {
+        let mut unit = match kind {
+            KIND_MINI => register_mini(source)?,
+            KIND_EDGES => register_edges(source)?,
+            other => {
+                return Err((
+                    ErrorCode::InvalidRequest,
+                    format!("snapshot entry has unknown unit kind {other}"),
+                ))
+            }
+        };
+        for (name, result) in results {
+            if let Some(method) = Method::ALL.iter().copied().find(|m| m.name() == name) {
+                unit.memoize(method.name(), result);
+            }
+        }
+        let key = content_hash(kind, source.as_bytes());
+        let bytes = unit.approx_bytes();
+        self.cache.insert(key, unit, bytes);
+        Ok(())
     }
 
     /// The `stats` method result.
@@ -402,6 +664,14 @@ impl Session {
         Json::obj([
             ("requests", Json::UInt(self.requests)),
             ("contained_panics", Json::UInt(self.panics)),
+            ("quarantined_units", Json::UInt(self.quarantined)),
+            // Saturation fields, uniform with the concurrent daemon's
+            // aggregated stats: the sequential session is its own single
+            // worker and handles the `stats` request itself, so nothing
+            // else is in flight.
+            ("uptime_ticks", Json::UInt(self.cache.tick())),
+            ("in_flight", Json::UInt(0)),
+            ("workers", Json::UInt(1)),
             (
                 "max_request_bytes",
                 Json::UInt(self.config.max_request_bytes as u64),
@@ -429,9 +699,13 @@ impl Session {
 fn fault_inject(kind: &str) -> Result<(), MethodError> {
     match kind {
         "panic" => panic!("injected fault: panic"),
+        "slow" => {
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            Ok(())
+        }
         other => Err((
             ErrorCode::InvalidRequest,
-            format!("unknown fault `{other}` (this build understands: panic)"),
+            format!("unknown fault `{other}` (this build understands: panic, slow)"),
         )),
     }
 }
@@ -471,7 +745,8 @@ fn register_mini(source: &str) -> Result<Unit, MethodError> {
         .collect();
     Ok(Unit {
         data: UnitData::Mini(functions),
-        source_len: source.len(),
+        kind: KIND_MINI,
+        source: source.to_string(),
         results: Vec::new(),
         results_bytes: 0,
     })
@@ -491,46 +766,62 @@ fn register_edges(source: &str) -> Result<Unit, MethodError> {
             canonical,
             pst: None,
         })),
-        source_len: source.len(),
+        kind: KIND_EDGES,
+        source: source.to_string(),
         results: Vec::new(),
         results_bytes: 0,
     })
 }
 
-/// Computes one method's result over a resident unit.
-fn compute(unit: &mut Unit, method: Method) -> Result<Json, MethodError> {
+/// Computes one method's result over a resident unit. The deadline is
+/// re-checked between per-function analyses (the phase boundaries of a
+/// multi-function mini unit); a single function's pipeline runs to
+/// completion once started.
+fn compute(unit: &mut Unit, method: Method, deadline: Deadline) -> Result<Json, MethodError> {
     match (&mut unit.data, method) {
-        (UnitData::Mini(functions), Method::Pst) => Ok(Json::Arr(
-            functions.iter_mut().map(mini_pst_json).collect(),
-        )),
-        (UnitData::Mini(functions), Method::ControlRegions) => Ok(Json::Arr(
-            functions
-                .iter()
-                .map(|fa| control_regions_json(&fa.f.name, &fa.f.cfg))
-                .collect(),
-        )),
+        (UnitData::Mini(functions), Method::Pst) => {
+            let mut out = Vec::with_capacity(functions.len());
+            for fa in functions.iter_mut() {
+                deadline.check()?;
+                out.push(mini_pst_json(fa));
+            }
+            Ok(Json::Arr(out))
+        }
+        (UnitData::Mini(functions), Method::ControlRegions) => {
+            let mut out = Vec::with_capacity(functions.len());
+            for fa in functions.iter() {
+                deadline.check()?;
+                out.push(control_regions_json(&fa.f.name, &fa.f.cfg));
+            }
+            Ok(Json::Arr(out))
+        }
         (UnitData::Mini(functions), Method::Lint) => {
             let config = pst_analysis::LintConfig::new();
-            Ok(Json::Arr(
-                functions
-                    .iter()
-                    .map(|fa| {
-                        pst_analysis::lint_function(&fa.f, Some(&fa.ast), &config)
-                            .to_json(&fa.f.name)
-                    })
-                    .collect(),
-            ))
+            let mut out = Vec::with_capacity(functions.len());
+            for fa in functions.iter() {
+                deadline.check()?;
+                out.push(
+                    pst_analysis::lint_function(&fa.f, Some(&fa.ast), &config).to_json(&fa.f.name),
+                );
+            }
+            Ok(Json::Arr(out))
         }
-        (UnitData::Mini(functions), Method::Ssa) => functions
-            .iter_mut()
-            .map(mini_ssa_json)
-            .collect::<Result<Vec<_>, _>>()
-            .map(Json::Arr),
-        (UnitData::Mini(functions), Method::Dataflow) => functions
-            .iter_mut()
-            .map(mini_dataflow_json)
-            .collect::<Result<Vec<_>, _>>()
-            .map(Json::Arr),
+        (UnitData::Mini(functions), Method::Ssa) => {
+            let mut out = Vec::with_capacity(functions.len());
+            for fa in functions.iter_mut() {
+                deadline.check()?;
+                out.push(mini_ssa_json(fa)?);
+            }
+            Ok(Json::Arr(out))
+        }
+        (UnitData::Mini(functions), Method::Dataflow) => {
+            let mut out = Vec::with_capacity(functions.len());
+            for fa in functions.iter_mut() {
+                deadline.check()?;
+                out.push(mini_dataflow_json(fa)?);
+            }
+            Ok(Json::Arr(out))
+        }
         (UnitData::Mini(_), Method::Canonicalize) => Err((
             ErrorCode::Unsupported,
             "`canonicalize` applies to edge-list units; this unit is mini-language source"
@@ -612,7 +903,7 @@ fn compute(unit: &mut Unit, method: Method) -> Result<Json, MethodError> {
                 method.name()
             ),
         )),
-        (_, Method::Stats | Method::Shutdown) => {
+        (_, Method::Stats | Method::Drain | Method::Shutdown) => {
             unreachable!("unit-less methods are dispatched before unit resolution")
         }
     }
@@ -836,6 +1127,56 @@ mod tests {
             r#"{{"method": "pst", "source": {}}}"#,
             Json::Str(MINI.to_string())
         )));
+        assert_eq!(ok.get("ok"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn drain_acknowledges_then_flags_the_loop() {
+        let mut s = session();
+        let reply = s.handle_line(r#"{"id": "d", "method": "drain"}"#);
+        assert!(reply.shutdown);
+        let r = parsed(&reply);
+        assert_eq!(r.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(
+            r.get("result").and_then(|x| x.get("draining")),
+            Some(&Json::Bool(true))
+        );
+    }
+
+    #[test]
+    fn stats_reports_saturation_fields() {
+        let mut s = session();
+        let _ = s.handle_line(&format!(
+            r#"{{"method": "pst", "source": {}}}"#,
+            Json::Str(MINI.to_string())
+        ));
+        let r = parsed(&s.handle_line(r#"{"method": "stats"}"#));
+        let result = r.get("result").unwrap();
+        assert_eq!(result.get("workers"), Some(&Json::UInt(1)));
+        assert_eq!(result.get("in_flight"), Some(&Json::UInt(0)));
+        assert_eq!(result.get("quarantined_units"), Some(&Json::UInt(0)));
+        let ticks = result.get("uptime_ticks").and_then(Json::as_u64).unwrap();
+        assert!(ticks >= 1, "uptime_ticks = {ticks}");
+    }
+
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn slow_injection_with_a_tight_budget_exceeds_the_deadline() {
+        let mut s = Session::new(ServeConfig {
+            request_timeout_ms: 5,
+            ..ServeConfig::default()
+        });
+        let mini = Json::Str(MINI.to_string());
+        let r = parsed(&s.handle_line(&format!(
+            r#"{{"id": 1, "method": "pst", "source": {mini}, "inject": "slow"}}"#
+        )));
+        assert_eq!(r.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(
+            r.get("error").and_then(|e| e.get("code")),
+            Some(&Json::Str("deadline_exceeded".into()))
+        );
+        // Without the slow fault the same budget is plenty.
+        let ok = parsed(&s.handle_line(&format!(r#"{{"method": "pst", "source": {mini}}}"#)));
         assert_eq!(ok.get("ok"), Some(&Json::Bool(true)));
     }
 

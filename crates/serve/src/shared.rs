@@ -1,0 +1,561 @@
+//! The concurrent daemon front-end: shards, admission, drain, snapshots.
+//!
+//! [`SharedSession`] wraps N [`Session`] shards (N = `--workers`), each
+//! behind its own poison-recovering `Mutex`. Requests route to a shard
+//! by content-hash key, so concurrent requests for *different* units
+//! proceed in parallel while requests for the *same* unit serialize on
+//! its shard — which is exactly the ordering the per-unit memo wants.
+//! Unit-less control methods (`stats`, `drain`, `shutdown`) and the
+//! admission gate are handled here, above the shards.
+//!
+//! Lifecycle flags are monotone (`draining`, `stopping` only ever go
+//! false→true), so workers can read them lock-free at loop boundaries:
+//!
+//! * **admitting** — the normal state; analysis requests pass the
+//!   in-flight gate or are shed with an `overloaded` envelope.
+//! * **draining** — after `drain` or `shutdown`: no new work admitted,
+//!   in-flight requests finish and their replies are written, then the
+//!   process flushes (snapshot, journal, metrics) and exits.
+//!
+//! Shard budgets: the configured cache budgets are *totals*; each shard
+//! gets an even share so `--cache-entries 256 --workers 4` still caps
+//! the daemon at ~256 resident units.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard};
+use std::time::Instant;
+
+use pst_obs::json::Json;
+
+use crate::hash::content_hash;
+use crate::proto::{
+    error_response, ok_response, overloaded_response, ErrorCode, Method, Request, RequestInput,
+};
+use crate::session::{ServeConfig, ServeFault, Session, KIND_EDGES, KIND_MINI};
+use crate::snapshot::{self, SnapshotError};
+
+/// Decrements the in-flight gauge however the request ends (including
+/// by panic containment inside the shard).
+struct InFlightGuard<'a>(&'a AtomicUsize);
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Shared daemon state: session shards plus the cross-cutting gauges
+/// and lifecycle flags. One instance serves all connections.
+pub struct SharedSession {
+    shards: Vec<Mutex<Session>>,
+    config: ServeConfig,
+    /// All requests seen (any method, malformed included).
+    requests: AtomicU64,
+    /// Analysis requests admitted past the gate (snapshot cadence).
+    admitted: AtomicU64,
+    /// Logical uptime: one tick per request plus one per accepted
+    /// connection. Deterministic for a given traffic sequence, unlike
+    /// wall-clock.
+    ticks: AtomicU64,
+    /// Analysis requests currently inside a shard.
+    in_flight: AtomicUsize,
+    /// Requests shed by the admission gate.
+    shed: AtomicU64,
+    /// Failed accepts / mid-stream connection I/O errors.
+    conn_errors: AtomicU64,
+    /// Units restored from the startup snapshot (warm-restart gauge).
+    restored: u64,
+    /// Monotone false→true; `shutdown` and `drain` both set it. Workers
+    /// and the accept loop read it lock-free at loop boundaries.
+    draining: AtomicBool,
+    /// Serializes snapshot writes and provides unique tmp suffixes.
+    snapshot_seq: Mutex<u64>,
+}
+
+fn lock<'a, T>(mutex: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    // Poison recovery, per docs/SERVING.md § Locking: a panic inside a
+    // shard is already contained and reported as an envelope; the data
+    // is a unit cache, safe to keep serving.
+    mutex.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Splits a total budget evenly across shards, rounding up, preserving
+/// 0 = unlimited.
+fn share(total: usize, shards: usize) -> usize {
+    if total == 0 {
+        0
+    } else {
+        total.div_ceil(shards)
+    }
+}
+
+impl SharedSession {
+    /// Builds the shard set and, when `--cache-snapshot` names a file,
+    /// warm-restores it (tolerating every defect by starting cold).
+    pub fn new(config: ServeConfig) -> SharedSession {
+        let shard_count = config.workers.max(1);
+        let mut shard_config = config.clone();
+        shard_config.cache.max_entries = share(config.cache.max_entries, shard_count);
+        shard_config.cache.max_bytes = share(config.cache.max_bytes, shard_count);
+        let shards = (0..shard_count)
+            .map(|_| Mutex::new(Session::new(shard_config.clone())))
+            .collect();
+        let mut shared = SharedSession {
+            shards,
+            config,
+            requests: AtomicU64::new(0),
+            admitted: AtomicU64::new(0),
+            ticks: AtomicU64::new(0),
+            in_flight: AtomicUsize::new(0),
+            shed: AtomicU64::new(0),
+            conn_errors: AtomicU64::new(0),
+            restored: 0,
+            draining: AtomicBool::new(false),
+            snapshot_seq: Mutex::new(0),
+        };
+        shared.restore_snapshot();
+        shared
+    }
+
+    /// The active configuration (with the *total* cache budgets, not
+    /// the per-shard share).
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// True once `drain` or `shutdown` was acknowledged: stop admitting
+    /// and stop reading; finish what is in flight.
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Analysis requests currently inside shards.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.load(Ordering::SeqCst)
+    }
+
+    /// Units restored from the startup snapshot.
+    pub fn restored_units(&self) -> u64 {
+        self.restored
+    }
+
+    /// Counts an accepted connection (one uptime tick).
+    pub fn note_connection(&self) {
+        self.ticks.fetch_add(1, Ordering::SeqCst);
+        pst_obs::counter!("serve_connections");
+    }
+
+    /// Counts a failed `accept()` or a mid-stream connection I/O error.
+    /// Connection trouble is the *client's* problem; the daemon logs a
+    /// counter and keeps serving everyone else.
+    pub fn note_conn_error(&self) {
+        self.conn_errors.fetch_add(1, Ordering::SeqCst);
+        pst_obs::counter!("serve_conn_errors");
+    }
+
+    fn count_request(&self) {
+        self.requests.fetch_add(1, Ordering::SeqCst);
+        self.ticks.fetch_add(1, Ordering::SeqCst);
+        pst_obs::counter!("serve_requests");
+    }
+
+    fn error_reply(&self, id: &Json, code: ErrorCode, message: &str) -> crate::session::Reply {
+        pst_obs::counter!("serve_errors");
+        crate::session::Reply {
+            line: error_response(id, code, message).to_string(),
+            shutdown: false,
+            drop_conn: false,
+        }
+    }
+
+    /// The envelope for a line exceeding `--max-request-bytes`.
+    pub fn oversized_reply(&self, actual: usize) -> crate::session::Reply {
+        self.count_request();
+        self.error_reply(
+            &Json::Null,
+            ErrorCode::OversizedRequest,
+            &format!(
+                "request line is {actual} bytes; the limit is {} (--max-request-bytes)",
+                self.config.max_request_bytes
+            ),
+        )
+    }
+
+    /// The envelope for a non-UTF-8 request line.
+    pub fn invalid_utf8_reply(&self, valid_up_to: usize) -> crate::session::Reply {
+        self.count_request();
+        self.error_reply(
+            &Json::Null,
+            ErrorCode::InvalidUtf8,
+            &format!("request line is not valid UTF-8 (first invalid byte at offset {valid_up_to})"),
+        )
+    }
+
+    /// Answers one request line from any worker thread. Control methods
+    /// are handled here; analysis requests pass the admission gate and
+    /// route to a shard by content key.
+    pub fn handle_line(&self, line: &str) -> crate::session::Reply {
+        let started = Instant::now();
+        self.count_request();
+        let req = match Request::parse(line) {
+            Ok(r) => r,
+            Err(e) => return self.error_reply(&e.id, e.code, &e.message),
+        };
+        match req.method {
+            Method::Shutdown => {
+                self.draining.store(true, Ordering::SeqCst);
+                let nanos = started.elapsed().as_nanos() as u64;
+                let result = Json::obj([("stopping", Json::Bool(true))]);
+                crate::session::Reply {
+                    line: ok_response(&req.id, None, None, nanos, result).to_string(),
+                    shutdown: true,
+                    drop_conn: false,
+                }
+            }
+            Method::Drain => {
+                self.draining.store(true, Ordering::SeqCst);
+                pst_obs::counter!("serve_drains");
+                let nanos = started.elapsed().as_nanos() as u64;
+                let result = Json::obj([
+                    ("draining", Json::Bool(true)),
+                    ("in_flight", Json::UInt(self.in_flight() as u64)),
+                ]);
+                crate::session::Reply {
+                    line: ok_response(&req.id, None, None, nanos, result).to_string(),
+                    shutdown: true,
+                    drop_conn: false,
+                }
+            }
+            Method::Stats => {
+                let nanos = started.elapsed().as_nanos() as u64;
+                crate::session::Reply {
+                    line: ok_response(&req.id, None, None, nanos, self.stats_json()).to_string(),
+                    shutdown: false,
+                    drop_conn: false,
+                }
+            }
+            _ => self.handle_analysis(&req, started),
+        }
+    }
+
+    fn handle_analysis(&self, req: &Request, started: Instant) -> crate::session::Reply {
+        if self.is_draining() {
+            self.shed.fetch_add(1, Ordering::SeqCst);
+            pst_obs::counter!("serve_shed");
+            return crate::session::Reply {
+                line: overloaded_response(
+                    &req.id,
+                    "daemon is draining; no new work is admitted — retry against a fresh instance",
+                    0,
+                )
+                .to_string(),
+                shutdown: false,
+                drop_conn: false,
+            };
+        }
+        // Admission gate: claim a slot optimistically, release and shed
+        // if that claim overshot the bound.
+        let occupied = self.in_flight.fetch_add(1, Ordering::SeqCst);
+        if self.config.max_inflight > 0 && occupied >= self.config.max_inflight {
+            self.in_flight.fetch_sub(1, Ordering::SeqCst);
+            self.shed.fetch_add(1, Ordering::SeqCst);
+            pst_obs::counter!("serve_shed");
+            // Hint scales with saturation so a thundering herd spreads
+            // out; the bench client adds jitter on top.
+            let retry_after_ms = 10 + 5 * (occupied.min(100) as u64);
+            return crate::session::Reply {
+                line: overloaded_response(
+                    &req.id,
+                    &format!(
+                        "daemon is at its in-flight limit ({}; --max-inflight); retry after the hint",
+                        self.config.max_inflight
+                    ),
+                    retry_after_ms,
+                )
+                .to_string(),
+                shutdown: false,
+                drop_conn: false,
+            };
+        }
+        let _slot = InFlightGuard(&self.in_flight);
+        let shard = self.shard_of(&req.input);
+        let reply = lock(&self.shards[shard]).handle_request(req, started);
+
+        let admitted = self.admitted.fetch_add(1, Ordering::SeqCst) + 1;
+        if self.config.snapshot_every > 0 && admitted.is_multiple_of(self.config.snapshot_every) {
+            self.save_snapshot();
+        }
+        reply
+    }
+
+    /// Routes an input to its shard: same content, same shard, always.
+    fn shard_of(&self, input: &RequestInput) -> usize {
+        let key = match input {
+            RequestInput::MiniSource(s) => content_hash(KIND_MINI, s.as_bytes()),
+            RequestInput::EdgeList(s) => content_hash(KIND_EDGES, s.as_bytes()),
+            RequestInput::Unit(k) => *k,
+            // Input-less analysis requests error inside any shard.
+            RequestInput::None => 0,
+        };
+        (key % self.shards.len() as u64) as usize
+    }
+
+    /// Aggregated `stats` reply across all shards.
+    fn stats_json(&self) -> Json {
+        let mut entries = 0u64;
+        let mut bytes = 0u64;
+        let mut panics = 0u64;
+        let mut quarantined = 0u64;
+        let mut stats = crate::cache::CacheStats::default();
+        for shard in &self.shards {
+            let s = lock(shard);
+            let (e, b, _tick, cs) = s.cache_snapshot_stats();
+            entries += e as u64;
+            bytes += b as u64;
+            stats.hits += cs.hits;
+            stats.misses += cs.misses;
+            stats.evictions += cs.evictions;
+            stats.insertions += cs.insertions;
+            panics += s.contained_panics();
+            quarantined += s.quarantined_units();
+        }
+        let cfg = self.config.cache;
+        Json::obj([
+            ("requests", Json::UInt(self.requests.load(Ordering::SeqCst))),
+            ("contained_panics", Json::UInt(panics)),
+            ("quarantined_units", Json::UInt(quarantined)),
+            ("uptime_ticks", Json::UInt(self.ticks.load(Ordering::SeqCst))),
+            ("in_flight", Json::UInt(self.in_flight() as u64)),
+            ("workers", Json::UInt(self.shards.len() as u64)),
+            ("draining", Json::Bool(self.is_draining())),
+            ("shed", Json::UInt(self.shed.load(Ordering::SeqCst))),
+            (
+                "conn_errors",
+                Json::UInt(self.conn_errors.load(Ordering::SeqCst)),
+            ),
+            ("snapshot_restored_units", Json::UInt(self.restored)),
+            (
+                "max_request_bytes",
+                Json::UInt(self.config.max_request_bytes as u64),
+            ),
+            (
+                "cache",
+                Json::obj([
+                    ("entries", Json::UInt(entries)),
+                    ("bytes", Json::UInt(bytes)),
+                    ("max_entries", Json::UInt(cfg.max_entries as u64)),
+                    ("max_bytes", Json::UInt(cfg.max_bytes as u64)),
+                    ("hits", Json::UInt(stats.hits)),
+                    ("misses", Json::UInt(stats.misses)),
+                    ("evictions", Json::UInt(stats.evictions)),
+                    ("insertions", Json::UInt(stats.insertions)),
+                ]),
+            ),
+        ])
+    }
+
+    /// Loads the startup snapshot, if configured. Every defect — missing
+    /// file, truncation, checksum mismatch, version skew, an entry that
+    /// no longer parses — degrades to a cold (or partial) start with a
+    /// log line; a snapshot is never a boot dependency.
+    fn restore_snapshot(&mut self) {
+        let Some(path) = self.config.snapshot_path.clone() else {
+            return;
+        };
+        let entries = match snapshot::load(&path) {
+            Ok(entries) => entries,
+            Err(SnapshotError::Missing) => {
+                eprintln!("pst serve: no cache snapshot at {path}; starting cold");
+                return;
+            }
+            Err(e) => {
+                eprintln!("pst serve: {e}; starting cold");
+                pst_obs::counter!("serve_snapshot_load_failed");
+                return;
+            }
+        };
+        let mut restored = 0u64;
+        for entry in &entries {
+            let shard = self.shard_of(&RequestInput::Unit(content_hash(
+                entry.kind,
+                entry.source.as_bytes(),
+            )));
+            let outcome =
+                lock(&self.shards[shard]).restore_unit(entry.kind, &entry.source, &entry.results);
+            match outcome {
+                Ok(()) => restored += 1,
+                Err((_, message)) => {
+                    eprintln!("pst serve: snapshot entry skipped: {message}");
+                }
+            }
+        }
+        self.restored = restored;
+        pst_obs::counter!("serve_snapshot_restored", restored);
+        eprintln!(
+            "pst serve: restored {restored} of {} snapshot unit(s) from {path}",
+            entries.len()
+        );
+    }
+
+    /// Writes the cache snapshot, if configured. Atomic (write tmp,
+    /// rename) and serialized across callers; failures are logged and
+    /// counted, never fatal.
+    pub fn save_snapshot(&self) {
+        let Some(path) = &self.config.snapshot_path else {
+            return;
+        };
+        let mut seq = lock(&self.snapshot_seq);
+        *seq += 1;
+        let mut entries = Vec::new();
+        for shard in &self.shards {
+            entries.extend(lock(shard).export_units());
+        }
+        let corrupt = cfg!(feature = "fault-inject")
+            && self.config.inject_fault == Some(ServeFault::CorruptSnapshot);
+        if corrupt {
+            pst_obs::counter!("serve_injected_faults");
+        }
+        match snapshot::save(path, *seq, &entries, corrupt) {
+            Ok(()) => {
+                pst_obs::counter!("serve_snapshot_saved");
+            }
+            Err(e) => {
+                eprintln!("pst serve: snapshot write to {path} failed: {e}");
+                pst_obs::counter!("serve_snapshot_save_failed");
+            }
+        }
+    }
+
+    /// Drain epilogue, run once by the owning thread after the serving
+    /// loops stop: persist the cache and push telemetry out.
+    pub fn finish(&self) {
+        self.save_snapshot();
+        pst_obs::journal::flush();
+        pst_obs::flush_thread();
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use crate::cache::CacheConfig;
+
+    const MINI: &str = "fn f(n) { s = 0; while (n > 0) { s = s + n; n = n - 1; } return s; }";
+
+    fn config(workers: usize) -> ServeConfig {
+        ServeConfig {
+            workers,
+            ..ServeConfig::default()
+        }
+    }
+
+    fn parsed(reply: &crate::session::Reply) -> Json {
+        Json::parse(&reply.line).unwrap()
+    }
+
+    fn pst_line(source: &str) -> String {
+        format!(
+            r#"{{"method": "pst", "source": {}}}"#,
+            Json::Str(source.to_string())
+        )
+    }
+
+    #[test]
+    fn routes_repeat_content_to_the_same_shard_for_a_memo_hit() {
+        let shared = SharedSession::new(config(4));
+        let first = parsed(&shared.handle_line(&pst_line(MINI)));
+        assert_eq!(first.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(first.get("cached"), Some(&Json::Bool(false)));
+        let second = parsed(&shared.handle_line(&pst_line(MINI)));
+        assert_eq!(second.get("cached"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn stats_aggregates_shards_and_reports_saturation() {
+        let shared = SharedSession::new(config(3));
+        for i in 0..4 {
+            let src = format!("fn f{i}(n) {{ return n; }}");
+            let r = parsed(&shared.handle_line(&pst_line(&src)));
+            assert_eq!(r.get("ok"), Some(&Json::Bool(true)), "unit {i}");
+        }
+        let stats = parsed(&shared.handle_line(r#"{"method": "stats"}"#));
+        let result = stats.get("result").unwrap();
+        assert_eq!(result.get("requests"), Some(&Json::UInt(5)));
+        assert_eq!(result.get("workers"), Some(&Json::UInt(3)));
+        assert_eq!(result.get("in_flight"), Some(&Json::UInt(0)));
+        assert_eq!(result.get("draining"), Some(&Json::Bool(false)));
+        let cache = result.get("cache").unwrap();
+        assert_eq!(cache.get("misses"), Some(&Json::UInt(4)));
+        assert_eq!(cache.get("entries"), Some(&Json::UInt(4)));
+    }
+
+    #[test]
+    fn drain_stops_admitting_but_still_answers_stats() {
+        let shared = SharedSession::new(config(2));
+        let drain = shared.handle_line(r#"{"id": 1, "method": "drain"}"#);
+        assert!(drain.shutdown);
+        let r = parsed(&drain);
+        assert_eq!(
+            r.get("result").and_then(|x| x.get("draining")),
+            Some(&Json::Bool(true))
+        );
+        let shed = parsed(&shared.handle_line(&pst_line(MINI)));
+        assert_eq!(shed.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(
+            shed.get("error").and_then(|e| e.get("code")),
+            Some(&Json::Str("overloaded".into()))
+        );
+        // Control-plane methods still work while draining.
+        let stats = parsed(&shared.handle_line(r#"{"method": "stats"}"#));
+        assert_eq!(stats.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(
+            stats.get("result").and_then(|x| x.get("draining")),
+            Some(&Json::Bool(true))
+        );
+    }
+
+    #[test]
+    fn zero_max_inflight_admits_everything() {
+        let shared = SharedSession::new(ServeConfig {
+            max_inflight: 0,
+            ..config(2)
+        });
+        let r = parsed(&shared.handle_line(&pst_line(MINI)));
+        assert_eq!(r.get("ok"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn shard_budget_share_rounds_up_and_preserves_unlimited() {
+        assert_eq!(share(0, 4), 0);
+        assert_eq!(share(256, 4), 64);
+        assert_eq!(share(10, 3), 4);
+        assert_eq!(share(1, 8), 1);
+    }
+
+    #[test]
+    fn snapshot_round_trip_warms_the_restarted_daemon() {
+        let dir = std::env::temp_dir().join(format!("pst-shared-snap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.snapshot").to_string_lossy().into_owned();
+        let _ = std::fs::remove_file(&path);
+        let cfg = ServeConfig {
+            snapshot_path: Some(path.clone()),
+            snapshot_every: 0, // only on drain
+            cache: CacheConfig::default(),
+            ..config(2)
+        };
+        let first = SharedSession::new(cfg.clone());
+        let cold = parsed(&first.handle_line(&pst_line(MINI)));
+        assert_eq!(cold.get("cached"), Some(&Json::Bool(false)));
+        first.finish();
+        assert_eq!(first.restored_units(), 0);
+
+        let second = SharedSession::new(cfg);
+        assert_eq!(second.restored_units(), 1);
+        let warm = parsed(&second.handle_line(&pst_line(MINI)));
+        assert_eq!(warm.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(warm.get("cached"), Some(&Json::Bool(true)));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -16,8 +16,10 @@ cargo test -q
 
 echo "== test: fault injection (checker soundness) =="
 cargo test -q -p pst-verify --features fault-inject
-# The CLI's crash-journal e2e needs an injected fault to crash on.
+# The CLI's crash-journal e2e needs an injected fault to crash on; the
+# daemon's deadline/overload/drain/chaos e2e needs the injectable stall.
 cargo test -q -p pst-cli --features fault-inject
+cargo test -q -p pst-serve --features fault-inject
 
 echo "== doc (deny warnings) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
@@ -103,10 +105,75 @@ repro=$(ls "$fuzzdir"/injected/*.edges 2>/dev/null | head -1)
     || { echo "FAIL: injected fault left no minimized reproducer"; exit 1; }
 ./target/release/pst --canonicalize "$repro" >/dev/null \
     || { echo "FAIL: reproducer $repro does not re-run"; exit 1; }
+echo "fault taxonomy OK ($(basename "$repro") reproduces)"
+
+echo "== chaos: pst serve --inject-fault (daemon survives every fault class) =="
+# The fault-inject daemon is its own chaos monkey: for every fault
+# class, a 50-request mixed workload must yield structured envelopes
+# only — dropped connections are reconnected, overload sheds are
+# retried after the envelope's own backoff hint, and the daemon must
+# survive to answer a final stats probe and exit 0 on shutdown.
+for fault in panic slow drop-conn corrupt-snapshot; do
+    python3 - "$fault" "$fuzzdir" <<'EOF'
+import json, socket, subprocess, sys, time
+fault, tmp = sys.argv[1], sys.argv[2]
+cmd = ["./target/release/pst", "serve", "--listen", "127.0.0.1:0",
+       "--workers", "2", "--inject-fault", fault]
+if fault == "corrupt-snapshot":
+    cmd += ["--cache-snapshot", f"{tmp}/chaos.snapshot", "--snapshot-every", "5"]
+daemon = subprocess.Popen(cmd, stdout=subprocess.PIPE,
+                          stderr=subprocess.DEVNULL, text=True)
+addr = daemon.stdout.readline().strip().rsplit(" ", 1)[1]
+host, port = addr.rsplit(":", 1)
+
+def connect():
+    s = socket.create_connection((host, int(port)), timeout=10)
+    s.settimeout(10)
+    return s, s.makefile("r")
+
+sock, reader = connect()
+answered = 0
+for i in range(50):
+    src = ("fn f(n) { x = %d; while (n > 0) { n = n - 1; x = x + n; } "
+           "return x; }" % i)
+    method = ["pst", "control_regions", "ssa", "lint"][i % 4]
+    req = (json.dumps({"id": i, "method": method, "source": src}) + "\n").encode()
+    for attempt in range(8):
+        try:
+            sock.sendall(req)
+            line = reader.readline()
+        except OSError:
+            line = ""
+        if not line:
+            # drop-conn chaos hung up mid-request: the daemon must still
+            # be alive, and a fresh connection must be accepted.
+            assert daemon.poll() is None, f"{fault}: daemon died"
+            sock, reader = connect()
+            continue
+        reply = json.loads(line)  # every reply is a structured envelope
+        assert reply.get("id") == i, (fault, reply)
+        if reply.get("ok") is False and reply["error"]["code"] == "overloaded":
+            time.sleep(reply["error"].get("retry_after_ms", 10) / 1000)
+            continue
+        answered += 1
+        break
+    else:
+        raise AssertionError(f"{fault}: request {i} never answered")
+assert answered == 50, f"{fault}: only {answered} of 50 answered"
+assert daemon.poll() is None, f"{fault}: daemon died during the batch"
+sock.sendall(b'{"id":99,"method":"stats"}\n')
+stats = json.loads(reader.readline())
+assert stats["ok"], (fault, stats)
+sock.sendall(b'{"id":100,"method":"shutdown"}\n')
+json.loads(reader.readline())
+assert daemon.wait(timeout=10) == 0, f"{fault}: unclean exit"
+print(f"chaos OK: {fault} — 50/50 structured replies, daemon survived")
+EOF
+done
+
 # Rebuild the release binary without the test-only feature so later
 # consumers of target/release/pst get the production configuration.
 cargo build -q --release -p pst-cli
-echo "fault taxonomy OK ($(basename "$repro") reproduces)"
 
 echo "== smoke: pst lint (examples corpus, JSON schema) =="
 # Every example must lint to parseable JSON with the documented shape;
@@ -188,6 +255,12 @@ for w in report["workloads"]:
         assert t["min"] <= t["p50"] <= t["p90"] <= t["p99"] <= t["max"], \
             (w["name"], p["name"], t)
 assert report["obs"]["spans"], "no embedded observability spans"
+# The concurrent daemon workload must out-serve the sequential mix:
+# shared-cache concurrency is the daemon's value proposition, so the
+# throughput gauges are a gate, not a decoration.
+gauges = report["obs"]["gauges"]
+conc, seq = gauges["serve_conc_requests_per_sec"], gauges["serve_requests_per_sec"]
+assert conc > seq, f"serve/conc8 must beat serve/mix6: {conc} <= {seq} req/s"
 with open(sys.argv[2]) as f:
     trace = json.load(f)
 events = trace["traceEvents"]
@@ -281,6 +354,34 @@ assert counters["serve_cache_miss"] == 1, counters
 assert counters["serve_cache_hit"] == 1, counters
 print("serve OK: unit", replies[0]["unit"], "answered, cached, and shut down")
 EOF
+
+echo "== smoke: pst serve --cache-snapshot (crash-safe warm restart) =="
+# First life computes a unit and drains (which flushes a snapshot);
+# the second life's very first repeat query must be a cache hit.
+snap="$benchdir/cache.snapshot"
+printf '%s\n%s\n' \
+    '{"id":1,"method":"pst","source":"fn g(n) { return n; }"}' \
+    '{"id":2,"method":"drain"}' \
+    | ./target/release/pst serve --cache-snapshot "$snap" >/dev/null \
+    || { echo "FAIL: snapshot-writing serve run exited nonzero"; exit 1; }
+[ -s "$snap" ] || { echo "FAIL: no snapshot written on drain"; exit 1; }
+warm=$(printf '%s\n%s\n' \
+    '{"id":1,"method":"pst","source":"fn g(n) { return n; }"}' \
+    '{"id":2,"method":"shutdown"}' \
+    | ./target/release/pst serve --cache-snapshot "$snap") \
+    || { echo "FAIL: warm-restart serve run exited nonzero"; exit 1; }
+echo "$warm" | head -1 | grep -q '"cached":true' \
+    || { echo "FAIL: warm restart did not hit the restored cache"; exit 1; }
+# A truncated snapshot is a logged cold start, never a dead daemon.
+head -c 20 "$snap" > "$snap.trunc" && mv "$snap.trunc" "$snap"
+cold=$(printf '%s\n%s\n' \
+    '{"id":1,"method":"pst","source":"fn g(n) { return n; }"}' \
+    '{"id":2,"method":"shutdown"}' \
+    | ./target/release/pst serve --cache-snapshot "$snap") \
+    || { echo "FAIL: serve died on a truncated snapshot"; exit 1; }
+echo "$cold" | head -1 | grep -q '"cached":false' \
+    || { echo "FAIL: truncated snapshot should mean a cold start"; exit 1; }
+echo "snapshot OK: warm restart hits, truncation degrades to cold start"
 
 echo "== smoke: structured event journal (JSONL schema) =="
 # A journaled quick bench must emit a well-formed JSONL stream bracketed
