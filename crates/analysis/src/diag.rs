@@ -49,6 +49,25 @@ pub struct Rule {
     pub severity: Severity,
     /// One-line description for `docs/ANALYSIS.md` and `--help`-ish dumps.
     pub summary: &'static str,
+    /// A minimal input that trips the rule, shown by `pst lint --explain`.
+    pub example: &'static str,
+    /// What to do about a finding, shown by `pst lint --explain`.
+    pub fix: &'static str,
+}
+
+impl Rule {
+    /// Multi-line documentation card rendered by `pst lint --explain`.
+    pub fn explain(&self) -> String {
+        format!(
+            "{} ({})\nseverity: {}\n\n{}\n\nexample:\n{}\n\nfix: {}\n",
+            self.id,
+            self.name,
+            self.severity.label(),
+            self.summary,
+            self.example,
+            self.fix
+        )
+    }
 }
 
 /// The shipped rule catalog (see `docs/ANALYSIS.md`).
@@ -59,24 +78,36 @@ pub const RULES: &[Rule] = &[
         severity: Severity::Warning,
         summary: "a retreating edge targets a node that does not dominate its source \
                   (irreducible control flow; witness edges listed)",
+        example: "  0->1 1->2 2->1 0->2   # the cycle {1,2} can be entered at 1 or at 2",
+        fix: "restructure the overlapping jumps so every loop has a single header \
+              that dominates its body (node splitting or an explicit dispatch flag)",
     },
     Rule {
         id: "PST-S002",
         name: "multi-entry-loop",
         severity: Severity::Warning,
         summary: "a strongly connected component is entered at two or more distinct nodes",
+        example: "  0->1 0->2 1->2 2->1 1->3 2->3   # edges from outside reach both 1 and 2",
+        fix: "funnel all entries through one loop header so the loop forms a \
+              single-entry region the PST can nest",
     },
     Rule {
         id: "PST-S003",
         name: "unreachable-code",
         severity: Severity::Warning,
         summary: "statements or nodes that no entry-to-exit path executes were pruned",
+        example: "  fn f(a) { return a; b = 1; }   # the assignment follows the return",
+        fix: "delete the dead statements, or fix the control flow that was supposed \
+              to reach them",
     },
     Rule {
         id: "PST-S004",
         name: "infinite-region",
         severity: Severity::Warning,
         summary: "a region cannot reach the exit (virtual exit edges were synthesized)",
+        example: "  0->1 1->2 2->1   # the cycle {1,2} has no edge leaving it",
+        fix: "give the trapped region an exit path (a break condition or error \
+              return); canonicalization only papers over it with a virtual edge",
     },
     Rule {
         id: "PST-S005",
@@ -84,6 +115,9 @@ pub const RULES: &[Rule] = &[
         severity: Severity::Info,
         summary: "a chain of single-node SESE regions whose nodes do nothing \
                   (label ladders, empty plumbing)",
+        example: "  0->1 1->2 2->3 3->4   # a straight-line ladder of empty blocks",
+        fix: "collapse the pass-through blocks; they add PST depth without adding \
+              structure",
     },
     Rule {
         id: "PST-C001",
@@ -91,6 +125,9 @@ pub const RULES: &[Rule] = &[
         severity: Severity::Warning,
         summary: "every successor of a branch is control-equivalent to the branch itself, \
                   so the branch decides nothing",
+        example: "  0->1 0->1   # both arms of the branch at 0 land on the same node",
+        fix: "remove the condition or make the arms actually diverge; as written the \
+              test's outcome is unobservable",
     },
     Rule {
         id: "PST-C002",
@@ -98,6 +135,41 @@ pub const RULES: &[Rule] = &[
         severity: Severity::Warning,
         summary: "a branch arm is an empty region that falls straight back into the \
                   branch's own control region",
+        example: "  fn f(c) { if (c) { } return c; }   # the then-arm does nothing",
+        fix: "drop the empty arm (invert the condition if the other arm has the \
+              body), or fill in the work the arm was meant to do",
+    },
+    Rule {
+        id: "PST-C101",
+        name: "invariant-loop-guard",
+        severity: Severity::Warning,
+        summary: "a loop guard reads only variables no statement in the loop body can \
+                  change, so once entered the loop can never terminate by itself",
+        example: "  fn spin(n) { m = n; while (m > 0) { n = n - 1; } return n; }",
+        fix: "update the guard's variables inside the loop body, or guard on the \
+              variable the body actually modifies",
+    },
+    Rule {
+        id: "PST-C102",
+        name: "synthetic-termination-dependence",
+        severity: Severity::Warning,
+        summary: "code is control dependent on a predicate that only branches because \
+                  canonicalization synthesized a virtual loop exit — the real program \
+                  decides it by (not) terminating",
+        example: "  0->1 1->2 2->1   # node 2's only 'branch' is the synthetic exit on the cycle",
+        fix: "give the trapped loop a real exit condition so downstream code depends \
+              on an actual branch instead of a termination assumption",
+    },
+    Rule {
+        id: "PST-C103",
+        name: "order-dependent-pair",
+        severity: Severity::Warning,
+        summary: "two nodes always both execute, but a branch decides which runs first \
+                  (a decisive order dependence / DOD witness); node-level slicing that \
+                  ignores order will miscompile this",
+        example: "  0->1 0->2 1->2 2->1   # the branch at 0 picks whether 1 or 2 runs first",
+        fix: "if the two program points share state, order matters: restructure so \
+              the order is fixed, or make the slicer order-aware",
     },
     Rule {
         id: "PST-D001",
@@ -105,12 +177,16 @@ pub const RULES: &[Rule] = &[
         severity: Severity::Error,
         summary: "a variable is read where no definition reaches (sparse reaching \
                   definitions over the QPG)",
+        example: "  fn f(a) { if (a) { x = 1; } return x; }   # x unset when a is false",
+        fix: "initialize the variable on every path before the read",
     },
     Rule {
         id: "PST-D002",
         name: "dead-definition",
         severity: Severity::Warning,
         summary: "an assignment whose value no use can observe",
+        example: "  fn f(a) { x = 1; x = 2; return x; }   # the first store is overwritten",
+        fix: "delete the assignment, or fix the code that was supposed to read it",
     },
 ];
 

@@ -95,6 +95,7 @@ pub fn lint_function(
     structural::bureaucratic_regions(f, &pst, &mut sink);
     controldep::vacuous_branches(&f.cfg, &regions, Some(f), &mut sink);
     controldep::empty_branch_arms(f, &regions, &mut sink);
+    controldep::invariant_loop_guards(f, &mut sink);
     dataflow::uninitialized_uses(f, &pst, &mut sink);
     dataflow::dead_definitions(f, &pst, &mut sink);
     sink.into_report()
@@ -105,8 +106,8 @@ pub fn lint_function(
 /// renders).
 #[derive(Clone, Debug)]
 pub struct GraphLint {
-    /// The findings. `PST-S003`/`PST-S004` diagnostics refer to *input*
-    /// node ids (what the canonicalization report recorded); the rules
+    /// The findings. `PST-S003`/`PST-S004` diagnostics and `PST-C103`
+    /// (which runs on the raw input) refer to *input* node ids; the rules
     /// that ran on the repaired CFG refer to its node ids.
     pub report: LintReport,
     /// The canonicalization outcome the structural rules consumed.
@@ -135,6 +136,8 @@ pub fn lint_graph(
     structural::infinite_regions(&canonical.report, &mut sink);
     let regions = ControlRegions::compute(&canonical.cfg);
     controldep::vacuous_branches(&canonical.cfg, &regions, None, &mut sink);
+    controldep::synthetic_termination_dependence(graph, &canonical, &mut sink);
+    controldep::order_dependent_pairs(graph, &mut sink);
     Ok(GraphLint {
         report: sink.into_report(),
         canonical,

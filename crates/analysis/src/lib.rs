@@ -24,12 +24,16 @@
 //! | family | rules | artifact consumed |
 //! |---|---|---|
 //! | structural | `PST-S001`…`PST-S005` | reducibility witnesses, SCCs, canonicalization report, PST |
-//! | control dependence | `PST-C001`, `PST-C002` | control regions (cycle equivalence) |
+//! | weak control dependence | `PST-C001`, `PST-C002` | control regions (cycle equivalence) |
+//! | strong control dependence | `PST-C101`…`PST-C103` | NTSCD/DOD and the classic relation (`pst-controldep`, `docs/CONTROLDEP.md`) |
 //! | dataflow | `PST-D001`, `PST-D002` | QPG-solved reaching definitions |
 //!
-//! Every rule is linear in the size of the CFG plus the artifact it reads,
-//! preserving the paper's linear-time story end to end; the `lint_*`
-//! observability counters make that measurable.
+//! The structural, weak-control-dependence and dataflow rules are linear
+//! in the size of the CFG plus the artifact they read, preserving the
+//! paper's linear-time story; the strong family pays the documented
+//! NTSCD/DOD costs (`O(N·(N+E))` and budgeted `O(N²·(N+E))`) for
+//! termination-sensitive findings no linear rule can see. The `lint_*`
+//! observability counters make all of it measurable.
 //!
 //! # Examples
 //!

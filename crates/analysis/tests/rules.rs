@@ -205,6 +205,85 @@ fn c002_silent_when_arms_do_work() {
     assert!(!fired(&lint_src(STRUCTURED), "PST-C002"));
 }
 
+// ---------------------------------------------------------------- PST-C101
+
+#[test]
+fn c101_fires_on_loop_that_never_updates_its_guard() {
+    // The guard reads `m`; the body only changes `n`.
+    let report = lint_src("fn spin(n) { m = n; while (m > 0) { n = n - 1; } return n; }");
+    assert!(fired(&report, "PST-C101"), "{report:?}");
+    let d = report
+        .diagnostics
+        .iter()
+        .find(|d| d.rule == "PST-C101")
+        .unwrap();
+    assert_eq!(d.severity, Severity::Warning);
+    assert!(d.message.contains('m'), "{}", d.message);
+    assert!(d.pos.is_some(), "anchored to the `while` keyword");
+}
+
+#[test]
+fn c101_fires_on_invariant_inner_loop_of_healthy_outer() {
+    // The outer loop makes progress on `i`; the inner one never touches `m`.
+    let src = "fn f(n) {
+        i = 0;
+        m = n;
+        while (i < n) {
+            while (m > 0) { i = i + 2; }
+            i = i + 1;
+        }
+        return i;
+    }";
+    assert!(fired(&lint_src(src), "PST-C101"));
+}
+
+#[test]
+fn c101_silent_when_the_body_updates_the_guard() {
+    assert!(!fired(&lint_src(STRUCTURED), "PST-C101"));
+    assert!(!fired(
+        &lint_src("fn f(n) { while (n > 0) { n = n - 1; } return n; }"),
+        "PST-C101"
+    ));
+}
+
+// ---------------------------------------------------------------- PST-C102
+
+#[test]
+fn c102_fires_on_dependence_via_virtual_loop_exit() {
+    // The cycle {1,2} cannot reach a sink; canonicalization adds a virtual
+    // exit edge, and only that synthetic branch makes anything control
+    // dependent on the cycle.
+    let report = lint_edges("0->1\n1->2\n2->1");
+    assert!(fired(&report, "PST-C102"), "{report:?}");
+}
+
+#[test]
+fn c102_silent_when_every_loop_has_a_real_exit() {
+    assert!(!fired(&lint_edges("0->1\n1->2\n2->1\n1->3"), "PST-C102"));
+    assert!(!fired(&lint_edges("0->1\n1->2"), "PST-C102"));
+}
+
+// ---------------------------------------------------------------- PST-C103
+
+#[test]
+fn c103_fires_on_order_deciding_branch() {
+    // 1 and 2 always both execute, but the branch at 0 decides the order.
+    let report = lint_edges("0->1\n0->2\n1->2\n2->1");
+    assert!(fired(&report, "PST-C103"), "{report:?}");
+    let d = report
+        .diagnostics
+        .iter()
+        .find(|d| d.rule == "PST-C103")
+        .unwrap();
+    assert!(d.nodes.len() >= 3, "branch plus the ordered pair are named");
+}
+
+#[test]
+fn c103_silent_on_order_free_graphs() {
+    assert!(!fired(&lint_edges("0->1\n0->2\n1->3\n2->3"), "PST-C103"));
+    assert!(!fired(&lint_edges("0->1\n1->2\n2->1\n1->3"), "PST-C103"));
+}
+
 // ---------------------------------------------------------------- PST-D001
 
 #[test]
@@ -315,8 +394,8 @@ fn every_rule_has_catalog_metadata() {
 fn mini_reports_run_the_mini_rule_set() {
     let report = lint_src(STRUCTURED);
     for id in [
-        "PST-S001", "PST-S002", "PST-S003", "PST-S005", "PST-C001", "PST-C002", "PST-D001",
-        "PST-D002",
+        "PST-S001", "PST-S002", "PST-S003", "PST-S005", "PST-C001", "PST-C002", "PST-C101",
+        "PST-D001", "PST-D002",
     ] {
         assert!(report.rules_run.contains(&id), "{id} should run on mini input");
     }
@@ -336,7 +415,9 @@ fn graph_reports_run_the_graph_rule_set() {
         &LintConfig::new(),
     )
     .unwrap();
-    for id in ["PST-S001", "PST-S002", "PST-S003", "PST-S004", "PST-C001"] {
+    for id in [
+        "PST-S001", "PST-S002", "PST-S003", "PST-S004", "PST-C001", "PST-C102", "PST-C103",
+    ] {
         assert!(lint.report.rules_run.contains(&id), "{id} should run on graphs");
     }
     assert!(!lint.report.rules_run.contains(&"PST-D001"));

@@ -14,7 +14,9 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 use pst_cfg::{canonicalize, CanonicalizeOptions, Graph, NodeId};
-use pst_verify::{compute_artifacts_for_cfg, verify_artifacts, VerifyConfig};
+use pst_verify::{
+    compute_artifacts_for_cfg, verify_artifacts, verify_strong_on_digraph, VerifyConfig,
+};
 use pst_workloads::{random_digraph, DigraphConfig};
 
 use crate::{take_value_flag, Failure};
@@ -145,6 +147,15 @@ fn run_one(graph: &Graph, entry: NodeId, inject: InjectSpec, fault_seed: u64) ->
         // Fold this unit's counters into the global aggregate even if it
         // panics: the tally recorded before the crash is data, not noise.
         let _fold = pst_obs::fold_on_drop();
+        // NTSCD/DOD are defined on the raw digraph itself: check them
+        // against their oracles *before* canonicalization repairs away the
+        // non-terminating regions where they differ from the classic
+        // relation.
+        let strong = verify_strong_on_digraph(graph, &VerifyConfig::default());
+        if !strong.is_clean() {
+            return Outcome::Violation(strong.to_string());
+        }
+        let strong_exhausted = !strong.exhausted_checkers().is_empty();
         let canonical = match canonicalize(graph, entry, &CanonicalizeOptions::default()) {
             Ok(c) => c,
             Err(_) => return Outcome::Rejected,
@@ -166,7 +177,7 @@ fn run_one(graph: &Graph, entry: NodeId, inject: InjectSpec, fault_seed: u64) ->
         let report = verify_artifacts(&artifacts, &VerifyConfig::default());
         if report.is_clean() {
             Outcome::Clean {
-                exhausted: !report.exhausted_checkers().is_empty(),
+                exhausted: strong_exhausted || !report.exhausted_checkers().is_empty(),
             }
         } else {
             Outcome::Violation(report.to_string())

@@ -7,8 +7,10 @@
 //! writes Graphviz with flagged nodes and edges highlighted. Any finding
 //! makes the process exit 5 (after `--allow`/`--deny` filtering), so the
 //! command slots into CI next to the 0/1/2/3/4 taxonomy of the other modes.
+//! `--explain <rule>` prints a rule's documentation card (summary,
+//! severity, example, fix hint) and exits without reading any input.
 
-use pst_analysis::{dot_with_findings, lint_function, lint_graph, LintConfig, LintReport};
+use pst_analysis::{find_rule, dot_with_findings, lint_function, lint_graph, LintConfig, LintReport};
 use pst_cfg::{parse_edge_list_graph, CanonicalizeOptions};
 use pst_lang::{lower_program, parse_program};
 
@@ -16,7 +18,9 @@ use crate::{read_source, Failure};
 
 /// Parsed `pst lint` options.
 pub struct LintOptions {
-    /// Input path (`-` = stdin).
+    /// Print the documentation card of this rule and exit (no input read).
+    pub explain: Option<String>,
+    /// Input path (`-` = stdin). Unused (and empty) under `--explain`.
     pub path: String,
     /// Emit machine-readable JSON instead of human text.
     pub json: bool,
@@ -39,6 +43,7 @@ impl LintOptions {
         let json = crate::take_flag(args, "--json");
         let edges = crate::take_flag(args, "--edges");
         let dot = crate::take_value_flag(args, "--dot")?;
+        let explain = crate::take_value_flag(args, "--explain")?;
         let mut config = LintConfig::new();
         // `--allow`/`--deny` repeat and interact (last mention of a rule
         // wins), so consume them in order rather than via take_value_flag.
@@ -72,10 +77,17 @@ impl LintOptions {
             })?;
         }
         let path = match (args.first(), args.get(1)) {
+            _ if explain.is_some() => {
+                if !args.is_empty() {
+                    return Err("`--explain` takes no input path".to_string());
+                }
+                String::new()
+            }
             (Some(p), None) => p.clone(),
             _ => return Err("lint expects exactly one input path".to_string()),
         };
         Ok(LintOptions {
+            explain,
             path,
             json,
             edges,
@@ -89,6 +101,15 @@ impl LintOptions {
 /// Runs `pst lint`. Exit code 5 (via [`Failure::Lint`]) when any
 /// diagnostic survives the configuration.
 pub fn lint_command(opts: &LintOptions) -> Result<(), Failure> {
+    if let Some(key) = &opts.explain {
+        let rule = find_rule(key).ok_or_else(|| {
+            Failure::Usage(format!(
+                "unknown lint rule `{key}` (see docs/ANALYSIS.md for the catalog)"
+            ))
+        })?;
+        print!("{}", rule.explain());
+        return Ok(());
+    }
     let source = read_source(&opts.path).map_err(Failure::Usage)?;
     // (unit name, report, DOT dump if requested)
     let mut units: Vec<(String, LintReport, Option<String>)> = Vec::new();

@@ -105,6 +105,7 @@ const USAGE: &str = "usage: pst <regions|kinds|dot|clusters|control-regions|ssa|
      pst --canonicalize <edges.txt | -> [--tether] [--split-self-loops] [--paranoid]\n       \
      pst lint <file.mini | -> [--edges] [--json] [--dot <path>] \
      [--allow <rule>] [--deny <rule>]\n       \
+     pst lint --explain <rule>\n       \
      pst fuzz --seed-range <A>..<B> [--budget-ms <N>] [--out-dir <dir>]\n       \
      pst bench [--quick] [--label <name>] [--out <path>] [--compare <baseline.json>] \
      [--trace-out <file>]\n       \

@@ -15,7 +15,7 @@
 
 use std::collections::HashMap;
 
-use pst_cfg::{Cfg, NodeId};
+use pst_cfg::Cfg;
 
 use crate::ControlDependence;
 
@@ -126,21 +126,10 @@ pub fn linear_control_regions(cfg: &Cfg) -> ControlRegions {
     ControlRegions::compute(cfg)
 }
 
-/// Groups `nodes` by an arbitrary partition — test helper comparing
-/// partitions irrespective of class numbering. Kept public for the
-/// integration tests.
-pub fn partition_signature(cr: &ControlRegions, node_count: usize) -> Vec<Vec<usize>> {
-    let mut groups: Vec<Vec<usize>> = vec![Vec::new(); cr.num_classes()];
-    for i in 0..node_count {
-        groups[cr.class(NodeId::from_index(i)) as usize].push(i);
-    }
-    groups.sort();
-    groups
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::partition_signature;
     use pst_cfg::parse_edge_list;
 
     fn all_three_agree(desc: &str) {

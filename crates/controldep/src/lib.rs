@@ -1,21 +1,44 @@
-//! Control dependence and the paper's control-region baselines.
+//! Control dependence: the paper's control-region baselines plus the
+//! strong (non-termination-sensitive) subsystem.
 //!
+//! The crate has two halves.
+//!
+//! **Weak (classic) control dependence and the paper's baselines.**
 //! The reproduced paper's §5 shows how to compute *control regions* —
 //! equivalence classes of nodes with identical control dependences — in
 //! `O(E)` time, improving on Ferrante–Ottenstein–Warren's hashing approach
-//! and Cytron–Ferrante–Sarkar's `O(E·N)` partition refinement. This crate
-//! implements the slower predecessors:
+//! and Cytron–Ferrante–Sarkar's `O(E·N)` partition refinement:
 //!
 //! * [`ControlDependence`] — the full edge-based control-dependence
-//!   relation over the FOW-augmented CFG (`start → end` edge added),
+//!   relation over the strongly connected closure (Theorem-7 form),
+//! * [`ClassicControlDeps`] — the textbook node-level FOW relation,
 //! * [`fow_control_regions`] — group nodes by hashing their CD sets,
 //! * [`cfs_control_regions`] — iterated partition refinement,
 //! * [`linear_control_regions`] — re-export of the `O(E)` algorithm from
 //!   `pst-core` so benches compare all three from one import.
 //!
-//! All three algorithms produce identical partitions (the paper's
+//! All three region algorithms produce identical partitions (the paper's
 //! Theorem 7); the property tests in this crate verify that on thousands
 //! of random CFGs.
+//!
+//! **Strong control dependence.** Classic control dependence is
+//! termination-insensitive: code after a loop that may spin forever
+//! looks unconditional. Following Chalupa et al., "Fast Computation of
+//! Strong Control Dependencies" (PAPERS.md):
+//!
+//! * [`Ntscd`] — non-termination-sensitive control dependence over
+//!   maximal paths, on arbitrary digraphs,
+//! * [`Dod`] — decisive order dependence, the pair-ordering cases
+//!   NTSCD misses,
+//! * [`StrongControlDeps`] — the combined artifact with a
+//!   strong-region partition (identical NTSCD sets — the strong
+//!   analogue of Theorem 7's control regions).
+//!
+//! Partition plumbing shared by both halves and by `pst-verify` lives
+//! in [`canonical_partition`] / [`same_partition`] /
+//! [`partition_signature`]. See `docs/CONTROLDEP.md` for the full
+//! weak-vs-strong story, complexity table, and the `PST-C1xx` lint
+//! family built on top.
 //!
 //! # Examples
 //!
@@ -33,9 +56,17 @@
 
 mod baselines;
 mod cdg;
+mod dod;
+mod ntscd;
+mod partition;
+mod strong;
 
 pub use baselines::{
     cfs_control_regions, cfs_from_dependence, fow_control_regions, fow_from_dependence,
-    linear_control_regions, partition_signature, ControlRegions,
+    linear_control_regions, ControlRegions,
 };
 pub use cdg::ControlDependence;
+pub use dod::{Dod, DodWitness, DEFAULT_DOD_BUDGET};
+pub use ntscd::Ntscd;
+pub use partition::{canonical_partition, partition_signature, same_partition};
+pub use strong::{ClassicControlDeps, StrongControlDeps};

@@ -1,0 +1,107 @@
+//! Canonical partition comparison.
+//!
+//! Several layers of the workspace need to ask "are these two node
+//! partitions the same, irrespective of class numbering?" — the
+//! baseline-agreement tests in this crate, the cycle-equivalence and
+//! control-region checkers in `pst-verify`, and the strong-region
+//! partition of [`crate::StrongControlDeps`]. This module is the one
+//! canonical implementation they all share: renumber class labels by
+//! first occurrence, then compare with `==`.
+
+use pst_cfg::NodeId;
+use pst_core::ControlRegions;
+
+/// Renumbers arbitrary class labels into a canonical form: classes are
+/// numbered `0, 1, 2, …` in order of first occurrence. Two labelings
+/// describe the same partition iff their canonical forms are equal.
+///
+/// # Examples
+///
+/// ```
+/// use pst_controldep::canonical_partition;
+/// assert_eq!(canonical_partition(&[7, 7, 3, 7]), vec![0, 0, 1, 0]);
+/// assert_eq!(
+///     canonical_partition(&[2, 2, 9, 2]),
+///     canonical_partition(&[0, 0, 1, 0]),
+/// );
+/// ```
+pub fn canonical_partition(labels: &[u32]) -> Vec<u32> {
+    let mut remap: Vec<Option<u32>> = Vec::new();
+    let mut next = 0u32;
+    labels
+        .iter()
+        .map(|&raw| {
+            let idx = raw as usize;
+            if idx >= remap.len() {
+                remap.resize(idx + 1, None);
+            }
+            *remap[idx].get_or_insert_with(|| {
+                let c = next;
+                next += 1;
+                c
+            })
+        })
+        .collect()
+}
+
+/// Whether two class labelings describe the same partition of
+/// `0..labels.len()`, irrespective of numbering.
+///
+/// # Examples
+///
+/// ```
+/// use pst_controldep::same_partition;
+/// assert!(same_partition(&[0, 0, 1], &[5, 5, 2]));
+/// assert!(!same_partition(&[0, 0, 1], &[0, 1, 1]));
+/// ```
+pub fn same_partition(a: &[u32], b: &[u32]) -> bool {
+    a.len() == b.len() && canonical_partition(a) == canonical_partition(b)
+}
+
+/// Groups `0..node_count` by class — a numbering-independent partition
+/// signature with sorted groups, handy for test assertions and dumps.
+///
+/// # Examples
+///
+/// ```
+/// use pst_cfg::parse_edge_list;
+/// use pst_controldep::{cfs_control_regions, partition_signature};
+/// let cfg = parse_edge_list("0->1 0->2 1->3 2->3").unwrap();
+/// let cr = cfs_control_regions(&cfg);
+/// let sig = partition_signature(&cr, cfg.node_count());
+/// assert_eq!(sig, vec![vec![0, 3], vec![1], vec![2]]);
+/// ```
+pub fn partition_signature(cr: &ControlRegions, node_count: usize) -> Vec<Vec<usize>> {
+    let mut groups: Vec<Vec<usize>> = vec![Vec::new(); cr.num_classes()];
+    for i in 0..node_count {
+        groups[cr.class(NodeId::from_index(i)) as usize].push(i);
+    }
+    groups.sort();
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_form_is_first_occurrence_order() {
+        assert_eq!(canonical_partition(&[]), Vec::<u32>::new());
+        assert_eq!(canonical_partition(&[9]), vec![0]);
+        assert_eq!(canonical_partition(&[4, 1, 4, 0, 1]), vec![0, 1, 0, 2, 1]);
+    }
+
+    #[test]
+    fn same_partition_ignores_numbering_only() {
+        assert!(same_partition(&[3, 3, 8], &[0, 0, 7]));
+        assert!(!same_partition(&[0, 1], &[0, 0]));
+        assert!(!same_partition(&[0, 1], &[0, 1, 2]));
+    }
+
+    #[test]
+    fn signature_matches_from_classes_renumbering() {
+        let cr = ControlRegions::from_classes(vec![5, 5, 2, 9]);
+        let sig = partition_signature(&cr, 4);
+        assert_eq!(sig, vec![vec![0, 1], vec![2], vec![3]]);
+    }
+}

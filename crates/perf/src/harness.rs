@@ -12,15 +12,22 @@
 //!
 //! Phase vocabulary (a workload reports the subset it exercises):
 //! `parse`, `lower`, `canonicalize`, `dominators`, `cycle_equiv`,
-//! `pst`, `control_regions`, `ssa`, `dataflow` — plus `serve_cold` /
-//! `serve_hot` for the in-process daemon workload, which measures the
-//! `pst serve` request path instead of the one-shot pipeline.
+//! `pst`, `control_regions`, `ssa`, `dataflow` — plus `cd_fow` /
+//! `cd_cfs` / `cd_linear` / `ntscd` / `dod` for the
+//! `controldep/strong*` family (classic control-region baselines
+//! against the strong analyses), and `serve_cold` / `serve_hot` for
+//! the in-process daemon workload, which measures the `pst serve`
+//! request path instead of the one-shot pipeline.
 
 use std::fmt;
 use std::hint::black_box;
 use std::time::Instant;
 
 use pst_cfg::{canonicalize, CanonicalizeOptions, Cfg, Graph, NodeId};
+use pst_controldep::{
+    cfs_control_regions, fow_control_regions, linear_control_regions, Dod, Ntscd,
+    DEFAULT_DOD_BUDGET,
+};
 use pst_core::{collapse_all, ControlRegions, CycleEquiv, ProgramStructureTree};
 use pst_dataflow::{QpgContext, SingleVariableReachingDefs};
 use pst_dominators::{dominator_tree, postdominator_tree};
@@ -30,16 +37,19 @@ use pst_lang::{
 use pst_obs::json::Json;
 use pst_serve::{ServeConfig, Session, SharedSession};
 use pst_ssa::{place_phis_pst_unchecked, rename};
-use pst_workloads::{generate_function, random_cfg, random_digraph, ProgramGenConfig};
+use pst_workloads::{
+    generate_function, irreducible_mesh, random_cfg, random_digraph, DigraphConfig,
+    ProgramGenConfig,
+};
 
 use crate::alloc::{self, AllocDelta};
 use crate::report::{AllocStats, PhaseReport, WorkloadReport};
 use crate::stats::{BootstrapConfig, Summary};
-use crate::workload::{Workload, WorkloadSpec};
+use crate::workload::{StrongCdShape, Workload, WorkloadSpec};
 
 /// The canonical phase order; reports list phases in first-execution
 /// order, which is a subsequence of this.
-pub const PHASE_NAMES: [&str; 11] = [
+pub const PHASE_NAMES: [&str; 16] = [
     "parse",
     "lower",
     "canonicalize",
@@ -47,6 +57,11 @@ pub const PHASE_NAMES: [&str; 11] = [
     "cycle_equiv",
     "pst",
     "control_regions",
+    "cd_fow",
+    "cd_cfs",
+    "cd_linear",
+    "ntscd",
+    "dod",
     "ssa",
     "dataflow",
     "serve_cold",
@@ -65,6 +80,11 @@ pub fn phase_histogram_name(phase: &str) -> &'static str {
         "cycle_equiv" => "phase_nanos_cycle_equiv",
         "pst" => "phase_nanos_pst",
         "control_regions" => "phase_nanos_control_regions",
+        "cd_fow" => "phase_nanos_cd_fow",
+        "cd_cfs" => "phase_nanos_cd_cfs",
+        "cd_linear" => "phase_nanos_cd_linear",
+        "ntscd" => "phase_nanos_ntscd",
+        "dod" => "phase_nanos_dod",
         "ssa" => "phase_nanos_ssa",
         "dataflow" => "phase_nanos_dataflow",
         "serve_cold" => "phase_nanos_serve_cold",
@@ -195,6 +215,12 @@ enum PreparedInput {
     Source(String),
     Cfg(Cfg),
     Digraph(Graph, NodeId),
+    /// A strong-control-dependence input: the valid CFG the classic
+    /// baselines run on, plus the raw digraph the strong analyses run
+    /// on (identical to `cfg.graph()` except for the terminal-SCC
+    /// shape, where the raw graph keeps its inescapable cycles and the
+    /// CFG is its canonicalized repair).
+    StrongCd { cfg: Cfg, graph: Graph },
 }
 
 fn prepare(w: &Workload) -> Result<PreparedInput, HarnessError> {
@@ -217,6 +243,45 @@ fn prepare(w: &Workload) -> Result<PreparedInput, HarnessError> {
         WorkloadSpec::RandomDigraph { config, seed } => {
             let (g, entry) = random_digraph(config, *seed);
             Ok(PreparedInput::Digraph(g, entry))
+        }
+        WorkloadSpec::StrongCd { shape, size, seed } => {
+            let (cfg, graph) = match shape {
+                StrongCdShape::Random => {
+                    let cfg = random_cfg(*size, *size / 4, *seed)
+                        .map_err(|e| HarnessError::new(format!("random_cfg: {e}")))?;
+                    let graph = cfg.graph().clone();
+                    (cfg, graph)
+                }
+                StrongCdShape::Irreducible => {
+                    let cfg = irreducible_mesh(*size);
+                    let graph = cfg.graph().clone();
+                    (cfg, graph)
+                }
+                StrongCdShape::TerminalScc => {
+                    let (g, entry) = random_digraph(
+                        &DigraphConfig {
+                            nodes: *size,
+                            edges: *size + *size / 2,
+                            force_entry_predecessor: false,
+                            force_unreachable: false,
+                            force_infinite_loop: true,
+                            force_multiple_exits: true,
+                            force_self_loop: true,
+                        },
+                        *seed,
+                    );
+                    // The baselines need a valid Definition-1 CFG;
+                    // canonicalize once here (untimed) so iterations
+                    // measure only the dependence analyses.
+                    let canonical =
+                        canonicalize(&g, entry, &CanonicalizeOptions::default())
+                            .map_err(|e| {
+                                HarnessError::new(format!("canonicalize: {e}"))
+                            })?;
+                    (canonical.cfg, g)
+                }
+            };
+            Ok(PreparedInput::StrongCd { cfg, graph })
         }
     }
 }
@@ -299,6 +364,19 @@ fn run_pipeline(input: &PreparedInput, sink: &mut impl PhaseSink) -> Result<(u64
             let pst = analyze_cfg(cfg, sink);
             black_box(&pst);
             Ok((cfg.node_count() as u64, cfg.edge_count() as u64))
+        }
+        PreparedInput::StrongCd { cfg, graph } => {
+            let fow = sink.phase("cd_fow", || fow_control_regions(cfg));
+            black_box(&fow);
+            let cfs = sink.phase("cd_cfs", || cfs_control_regions(cfg));
+            black_box(&cfs);
+            let lin = sink.phase("cd_linear", || linear_control_regions(cfg));
+            black_box(&lin);
+            let ntscd = sink.phase("ntscd", || Ntscd::compute(graph));
+            black_box(&ntscd);
+            let dod = sink.phase("dod", || Dod::compute_budgeted(graph, DEFAULT_DOD_BUDGET));
+            black_box(&dod);
+            Ok((graph.node_count() as u64, graph.edge_count() as u64))
         }
         PreparedInput::Digraph(graph, entry) => {
             let canonical = sink
@@ -839,6 +917,33 @@ mod tests {
         // The canonical CFG may shrink (unreachable pruning) or grow
         // (synthetic entry/exit/latches); it just has to be non-trivial.
         assert!(r.nodes > 2, "canonical CFG is non-trivial");
+    }
+
+    #[test]
+    fn strong_cd_workloads_report_the_dependence_phases() {
+        for shape in [
+            StrongCdShape::Random,
+            StrongCdShape::Irreducible,
+            StrongCdShape::TerminalScc,
+        ] {
+            let w = Workload {
+                name: format!("controldep/test/{shape:?}"),
+                spec: WorkloadSpec::StrongCd {
+                    shape,
+                    size: 24,
+                    seed: 0x5CD,
+                },
+            };
+            let r = run_workload(&w, &tiny()).unwrap();
+            let names: Vec<&str> = r.phases.iter().map(|p| p.name.as_str()).collect();
+            assert_eq!(
+                names,
+                ["cd_fow", "cd_cfs", "cd_linear", "ntscd", "dod"],
+                "{shape:?}"
+            );
+            assert!(r.phases.iter().all(|p| p.time.samples == 2));
+            assert!(r.nodes > 0 && r.edges > 0);
+        }
     }
 
     #[test]

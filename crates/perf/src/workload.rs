@@ -46,6 +46,19 @@ pub enum WorkloadSpec {
         /// Generator seed.
         seed: u64,
     },
+    /// A seeded input for the strong-control-dependence family: the
+    /// pipeline times the three classic control-region baselines
+    /// (`cd_fow`, `cd_cfs`, `cd_linear`) on the valid CFG and the
+    /// strong analyses (`ntscd`, `dod`) on the raw digraph, so the
+    /// weak-vs-strong cost gap is a gated number per shape.
+    StrongCd {
+        /// Which graph family to stress.
+        shape: StrongCdShape,
+        /// Shape-specific size knob (node count, or mesh ring size).
+        size: usize,
+        /// Generator seed (ignored by the deterministic mesh shape).
+        seed: u64,
+    },
     /// An in-process `pst serve` daemon driven with a seeded NDJSON
     /// request mix: a cold batch registers every unit (all cache
     /// misses), a hot batch repeats the identical requests (all served
@@ -80,6 +93,26 @@ pub enum WorkloadSpec {
         /// Generator seed (unit sources, method rotation, jitter).
         seed: u64,
     },
+}
+
+/// The graph families the `controldep/strong*` workloads sweep. Each
+/// stresses a different cost regime of the strong analyses: random
+/// valid CFGs are the common case, the irreducible mesh defeats
+/// interval/structural shortcuts, and the terminal-SCC-heavy digraph
+/// maximizes the nodes whose maximal paths never reach the exit —
+/// exactly where NTSCD diverges from classic control dependence.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StrongCdShape {
+    /// A seeded valid random CFG ([`pst_workloads::random_cfg`]).
+    Random,
+    /// The deterministic multi-entry loop mesh
+    /// ([`pst_workloads::irreducible_mesh`]).
+    Irreducible,
+    /// A seeded digraph with forced inescapable cycles
+    /// ([`pst_workloads::random_digraph`] with `force_infinite_loop`);
+    /// the classic baselines run on its canonicalized CFG, the strong
+    /// analyses on the raw graph.
+    TerminalScc,
 }
 
 /// A named benchmark input.
@@ -150,6 +183,18 @@ fn serve_conc(units: usize, clients: usize, seed: u64) -> Workload {
     }
 }
 
+fn strong_cd(shape: StrongCdShape, size: usize, seed: u64) -> Workload {
+    let family = match shape {
+        StrongCdShape::Random => "strong_random",
+        StrongCdShape::Irreducible => "strong_irreducible",
+        StrongCdShape::TerminalScc => "strong_sccheavy",
+    };
+    Workload {
+        name: format!("controldep/{family}/{size}"),
+        spec: WorkloadSpec::StrongCd { shape, size, seed },
+    }
+}
+
 fn messy_digraph(nodes: usize, seed: u64) -> Workload {
     Workload {
         name: format!("digraph_messy/{nodes}"),
@@ -179,6 +224,9 @@ pub fn standard_matrix(quick: bool) -> Vec<Workload> {
         genprog("genprog/structured", 150, 0.0, 0xBEEF),
         genprog("genprog/unstructured", 150, 0.15, 0xBEEF),
         messy_digraph(64, 0xD16),
+        strong_cd(StrongCdShape::Random, 64, 0x5CD),
+        strong_cd(StrongCdShape::Irreducible, 48, 0x5CD),
+        strong_cd(StrongCdShape::TerminalScc, 64, 0x5CD),
         serve_mix(6, 0x5E12E),
         serve_conc(6, 8, 0x5E12E),
     ];
@@ -188,6 +236,9 @@ pub fn standard_matrix(quick: bool) -> Vec<Workload> {
             random_cfg(4096, 0xC0FFEE),
             genprog("genprog/large", 1500, 0.04, 0xBEEF),
             messy_digraph(512, 0xD16),
+            strong_cd(StrongCdShape::Random, 256, 0x5CD),
+            strong_cd(StrongCdShape::Irreducible, 96, 0x5CD),
+            strong_cd(StrongCdShape::TerminalScc, 128, 0x5CD),
             serve_mix(16, 0x5E12E),
         ]);
     }

@@ -32,6 +32,9 @@ pub enum Method {
     Pst,
     /// Control-dependence equivalence classes (§5, Theorem 7).
     ControlRegions,
+    /// Strong control dependence: NTSCD relation, DOD witnesses, and the
+    /// strong-region partition (`pst-controldep`, `docs/CONTROLDEP.md`).
+    Controldep,
     /// Structural lint diagnostics (`pst-analysis`).
     Lint,
     /// φ-placement and SSA renaming (§6.1). Mini units only.
@@ -51,9 +54,10 @@ pub enum Method {
 
 impl Method {
     /// Every method, in documentation order.
-    pub const ALL: [Method; 9] = [
+    pub const ALL: [Method; 10] = [
         Method::Pst,
         Method::ControlRegions,
+        Method::Controldep,
         Method::Lint,
         Method::Ssa,
         Method::Dataflow,
@@ -68,6 +72,7 @@ impl Method {
         match self {
             Method::Pst => "pst",
             Method::ControlRegions => "control_regions",
+            Method::Controldep => "controldep",
             Method::Lint => "lint",
             Method::Ssa => "ssa",
             Method::Dataflow => "dataflow",

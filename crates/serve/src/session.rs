@@ -795,6 +795,15 @@ fn compute(unit: &mut Unit, method: Method, deadline: Deadline) -> Result<Json, 
             }
             Ok(Json::Arr(out))
         }
+        (UnitData::Mini(functions), Method::Controldep) => {
+            let mut out = Vec::with_capacity(functions.len());
+            for fa in functions.iter() {
+                deadline.check()?;
+                let strong = pst_controldep::StrongControlDeps::of_cfg(&fa.f.cfg);
+                out.push(controldep_json(&fa.f.name, &strong));
+            }
+            Ok(Json::Arr(out))
+        }
         (UnitData::Mini(functions), Method::Lint) => {
             let config = pst_analysis::LintConfig::new();
             let mut out = Vec::with_capacity(functions.len());
@@ -847,6 +856,22 @@ fn compute(unit: &mut Unit, method: Method, deadline: Deadline) -> Result<Json, 
         }
         (UnitData::Edges(e), Method::ControlRegions) => {
             Ok(control_regions_json("<edges>", &e.canonical.cfg))
+        }
+        (UnitData::Edges(e), Method::Controldep) => {
+            // NTSCD and DOD are defined on the raw digraph itself — no
+            // canonicalization, non-terminating regions intact. The
+            // classic relation needs a valid CFG, so its size is reported
+            // from the Definition-1 repair for comparison.
+            let strong = pst_controldep::StrongControlDeps::of_graph(&e.graph);
+            let classic = pst_controldep::ClassicControlDeps::compute(&e.canonical.cfg);
+            let mut j = controldep_json("<edges>", &strong);
+            if let Json::Obj(fields) = &mut j {
+                fields.push((
+                    "classic_deps_canonical".to_string(),
+                    Json::UInt(classic.relation_size() as u64),
+                ));
+            }
+            Ok(j)
         }
         (UnitData::Edges(e), Method::Lint) => {
             let lint = pst_analysis::lint_graph(
@@ -954,6 +979,69 @@ fn control_regions_json(name: &str, cfg: &pst_cfg::Cfg) -> Json {
             ),
         ),
     ])
+}
+
+/// Renders one unit's strong-control-dependence summary: relation sizes,
+/// DOD witnesses, the strong-region partition, and — when the classic
+/// relation is available — the termination-sensitive surplus per branch.
+fn controldep_json(name: &str, strong: &pst_controldep::StrongControlDeps) -> Json {
+    let ntscd = strong.ntscd();
+    let dod = strong.dod();
+    let regions = strong.regions();
+    let mut fields: Vec<(String, Json)> = vec![
+        ("name".to_string(), Json::Str(name.to_string())),
+        (
+            "ntscd_deps".to_string(),
+            Json::UInt(ntscd.relation_size() as u64),
+        ),
+        (
+            "dod_witnesses".to_string(),
+            Json::Arr(
+                dod.witnesses()
+                    .iter()
+                    .map(|w| {
+                        Json::Arr(vec![
+                            Json::UInt(w.branch.index() as u64),
+                            Json::UInt(w.first.index() as u64),
+                            Json::UInt(w.second.index() as u64),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("dod_complete".to_string(), Json::Bool(dod.is_complete())),
+        (
+            "strong_regions".to_string(),
+            Json::UInt(regions.num_classes() as u64),
+        ),
+    ];
+    if let Some(classic) = strong.classic() {
+        fields.push((
+            "classic_deps".to_string(),
+            Json::UInt(classic.relation_size() as u64),
+        ));
+        let mut sensitive = Vec::new();
+        for i in 0..ntscd.node_count() {
+            let branch = NodeId::from_index(i);
+            let extra = strong.termination_sensitive_deps(branch);
+            if !extra.is_empty() {
+                sensitive.push(Json::obj([
+                    ("branch", Json::UInt(i as u64)),
+                    (
+                        "nodes",
+                        Json::Arr(
+                            extra
+                                .iter()
+                                .map(|n| Json::UInt(n.index() as u64))
+                                .collect(),
+                        ),
+                    ),
+                ]));
+            }
+        }
+        fields.push(("termination_sensitive".to_string(), Json::Arr(sensitive)));
+    }
+    Json::Obj(fields)
 }
 
 fn mini_ssa_json(fa: &mut FnArtifacts) -> Result<Json, MethodError> {
@@ -1075,14 +1163,14 @@ mod tests {
     fn all_methods_answer_on_both_unit_kinds() {
         let mut s = session();
         let mini = Json::Str(MINI.to_string());
-        for method in ["pst", "control_regions", "lint", "ssa", "dataflow"] {
+        for method in ["pst", "control_regions", "controldep", "lint", "ssa", "dataflow"] {
             let r = parsed(&s.handle_line(&format!(
                 r#"{{"method": "{method}", "source": {mini}}}"#
             )));
             assert_eq!(r.get("ok"), Some(&Json::Bool(true)), "mini {method}");
         }
         let edges = Json::Str("0->1\n1->2\n0->2\n".to_string());
-        for method in ["pst", "control_regions", "lint", "canonicalize"] {
+        for method in ["pst", "control_regions", "controldep", "lint", "canonicalize"] {
             let r = parsed(&s.handle_line(&format!(
                 r#"{{"method": "{method}", "edges": {edges}}}"#
             )));

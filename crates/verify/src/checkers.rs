@@ -13,9 +13,14 @@
 //! | [`check_pst`] | Theorem 1 | dominance membership vs. tree containment |
 //! | [`check_control_regions`] | Theorem 7 | `fow_control_regions` (CDG baseline) |
 //! | [`check_phi`] | Theorem 9 | `place_phis_cytron` (IDF baseline) |
+//! | [`check_ntscd`] | NTSCD (Chalupa et al.) | SCC + reachability maximal-path oracle |
+//! | [`check_dod`] | DOD (Chalupa et al.) | exhaustive pair enumeration |
+//!
+//! Partition comparison is delegated to `pst_controldep::canonical_partition`
+//! — the one canonical helper the whole workspace shares.
 
-use pst_cfg::{Cfg, EdgeId, EdgeSplit, NodeId};
-use pst_controldep::fow_control_regions;
+use pst_cfg::{Cfg, EdgeId, EdgeSplit, Graph, NodeId, Sccs};
+use pst_controldep::{canonical_partition, fow_control_regions, StrongControlDeps};
 use pst_core::{
     cycle_equiv_slow_undirected, CanonicalRegions, ControlRegions, ProgramStructureTree,
 };
@@ -24,23 +29,9 @@ use pst_lang::LoweredFunction;
 use pst_ssa::{place_phis_cytron, PhiPlacement};
 
 use crate::report::{CheckerId, ViolationReport};
-
-/// Renumbers a labelling by first occurrence so two labellings describe
-/// the same partition iff their canonical forms are equal.
-fn canonical_partition(labels: &[u32]) -> Vec<u32> {
-    let mut map = std::collections::HashMap::new();
-    let mut next = 0u32;
-    labels
-        .iter()
-        .map(|&l| {
-            *map.entry(l).or_insert_with(|| {
-                let c = next;
-                next += 1;
-                c
-            })
-        })
-        .collect()
-}
+use crate::strong_oracle::{
+    distinct_successors, oracle_dod, oracle_inevitable, oracle_ntscd, oracle_ordered,
+};
 
 /// Checks the fast cycle-equivalence partition over `S = G + (end→start)`
 /// against the slow undirected oracle (Definition 3), under `budget`
@@ -379,6 +370,179 @@ pub fn check_phi(function: &LoweredFunction, placement: &PhiPlacement) -> Violat
                     "variable `{name}` has a spurious φ at node {}",
                     node.index()
                 ));
+            }
+        }
+    }
+    report
+}
+
+/// Whether the graph is acyclic: every SCC trivial and no self-loops.
+/// On a valid CFG this is exactly the guaranteed-termination class —
+/// every node reaches the exit, so any cycle could be pumped into an
+/// infinite maximal path (see docs/CONTROLDEP.md).
+fn is_acyclic(graph: &Graph) -> bool {
+    let sccs = Sccs::new(graph);
+    let mut size = vec![0usize; sccs.count()];
+    for x in graph.nodes() {
+        size[sccs.component(x)] += 1;
+    }
+    size.iter().all(|&s| s <= 1) && !graph.nodes().any(|x| graph.successors(x).any(|s| s == x))
+}
+
+fn fmt_nodes(nodes: &[NodeId]) -> String {
+    let items: Vec<String> = nodes.iter().map(|n| n.index().to_string()).collect();
+    format!("{{{}}}", items.join(", "))
+}
+
+/// Checks the NTSCD relation against the naive maximal-path oracle
+/// (`strong_oracle`), node by node, under `budget` oracle steps. When
+/// the artifact carries a classic relation and the graph is acyclic
+/// (every maximal path terminates), additionally asserts NTSCD ≡
+/// classic control dependence — the theorem that the strong relation
+/// degrades to the paper's weak one on the guaranteed-termination
+/// class.
+pub fn check_ntscd(
+    graph: &Graph,
+    strong: &StrongControlDeps,
+    budget: Option<u64>,
+) -> ViolationReport {
+    let mut report = ViolationReport::new(CheckerId::Ntscd);
+    let n = graph.node_count();
+    let ntscd = strong.ntscd();
+    if ntscd.node_count() != n {
+        report.push(format!(
+            "relation covers {} nodes but the graph has {n}",
+            ntscd.node_count()
+        ));
+        return report;
+    }
+    let cost = (n as u64) * (n as u64 + graph.edge_count() as u64 + 1);
+    if budget.is_some_and(|b| cost > b) {
+        report.budget_exhausted = true;
+        return report;
+    }
+    let oracle = oracle_ntscd(graph);
+    for (i, want) in oracle.iter().enumerate() {
+        let node = NodeId::from_index(i);
+        let got = ntscd.deps_of(node);
+        if got != want.as_slice() {
+            report.push(format!(
+                "node {i}: NTSCD set {} but the maximal-path oracle derives {}",
+                fmt_nodes(got),
+                fmt_nodes(want),
+            ));
+            if report.violations.len() == crate::report::MAX_RECORDED_VIOLATIONS {
+                return report;
+            }
+        }
+    }
+    if let Some(classic) = strong.classic() {
+        if is_acyclic(graph) {
+            for i in 0..n {
+                let node = NodeId::from_index(i);
+                if ntscd.deps_of(node) != classic.deps_of(node) {
+                    report.push(format!(
+                        "acyclic graph, node {i}: NTSCD {} differs from classic CD {}",
+                        fmt_nodes(ntscd.deps_of(node)),
+                        fmt_nodes(classic.deps_of(node)),
+                    ));
+                    if report.violations.len() == crate::report::MAX_RECORDED_VIOLATIONS {
+                        return report;
+                    }
+                }
+            }
+        }
+    }
+    report
+}
+
+/// Checks the DOD witness set. Every reported witness is re-proved
+/// from its definition via the maximal-path oracles (soundness); when
+/// the artifact claims completeness and the budget allows, the
+/// exhaustive enumeration is compared in full (no missing witnesses).
+pub fn check_dod(graph: &Graph, strong: &StrongControlDeps, budget: Option<u64>) -> ViolationReport {
+    let mut report = ViolationReport::new(CheckerId::Dod);
+    let dod = strong.dod();
+    let n = graph.node_count() as u64;
+    let per_pass = n + graph.edge_count() as u64 + 1;
+    let full_cost = n * n * per_pass;
+    if dod.is_complete() && budget.is_none_or(|b| full_cost <= b) {
+        // Exact comparison both ways.
+        let got: Vec<(NodeId, NodeId, NodeId)> = dod
+            .witnesses()
+            .iter()
+            .map(|w| (w.branch, w.first, w.second))
+            .collect();
+        let want = oracle_dod(graph);
+        for w in &want {
+            if !got.contains(w) {
+                report.push(format!(
+                    "missing witness: branch {} decides the order of ({}, {})",
+                    w.0.index(),
+                    w.1.index(),
+                    w.2.index()
+                ));
+                if report.violations.len() == crate::report::MAX_RECORDED_VIOLATIONS {
+                    return report;
+                }
+            }
+        }
+        for w in &got {
+            if !want.contains(w) {
+                report.push(format!(
+                    "spurious witness: branch {} does not decide the order of ({}, {})",
+                    w.0.index(),
+                    w.1.index(),
+                    w.2.index()
+                ));
+                if report.violations.len() == crate::report::MAX_RECORDED_VIOLATIONS {
+                    return report;
+                }
+            }
+        }
+        return report;
+    }
+    // Budget (or declared truncation) forbids full enumeration: still
+    // re-prove each reported witness individually.
+    let witness_cost = (dod.witnesses().len() as u64) * 4 * per_pass;
+    if budget.is_some_and(|b| witness_cost > b) {
+        report.budget_exhausted = true;
+        return report;
+    }
+    if dod.is_complete() {
+        // We had the budget for the soundness pass but not the
+        // completeness sweep: the check is partial.
+        report.budget_exhausted = true;
+    }
+    for w in dod.witnesses() {
+        let (p, a, b) = (w.branch, w.first, w.second);
+        if a >= b {
+            report.push(format!(
+                "witness ({}, {}, {}) is not normalized (first < second)",
+                p.index(),
+                a.index(),
+                b.index()
+            ));
+            continue;
+        }
+        let succs = distinct_successors(graph, p);
+        let in_a = oracle_inevitable(graph, a);
+        let in_b = oracle_inevitable(graph, b);
+        let a_first = oracle_ordered(graph, a, b);
+        let b_first = oracle_ordered(graph, b, a);
+        let holds = in_a[p.index()]
+            && in_b[p.index()]
+            && succs.iter().any(|s| a_first[s.index()])
+            && succs.iter().any(|s| b_first[s.index()]);
+        if !holds {
+            report.push(format!(
+                "witness rejected by the oracle: branch {} does not decide the order of ({}, {})",
+                p.index(),
+                a.index(),
+                b.index()
+            ));
+            if report.violations.len() == crate::report::MAX_RECORDED_VIOLATIONS {
+                return report;
             }
         }
     }

@@ -8,6 +8,8 @@
 //! merely re-reads the artifact would pass, and the proptests in
 //! `tests/fault_injection.rs` would catch that vacuity.
 
+use pst_cfg::NodeId;
+use pst_controldep::{Dod, DodWitness, Ntscd, StrongControlDeps};
 use pst_core::{ControlRegions, CycleEquiv, RegionId};
 use pst_ssa::PhiPlacement;
 
@@ -31,17 +33,24 @@ pub enum FaultKind {
     DropPhiSite,
     /// Merge two control regions into one.
     MergeControlRegions,
+    /// Insert one `(node, branch)` pair the NTSCD relation does not
+    /// contain.
+    AddSpuriousNtscdDep,
+    /// Append a fabricated DOD witness triple.
+    ForgeDodWitness,
 }
 
 impl FaultKind {
     /// Every fault kind, for table-driven tests.
-    pub const ALL: [FaultKind; 6] = [
+    pub const ALL: [FaultKind; 8] = [
         FaultKind::SwapBracketNames,
         FaultKind::MergeCycleClasses,
         FaultKind::SplitCycleClass,
         FaultKind::ReparentRegion,
         FaultKind::DropPhiSite,
         FaultKind::MergeControlRegions,
+        FaultKind::AddSpuriousNtscdDep,
+        FaultKind::ForgeDodWitness,
     ];
 
     /// Stable lowercase name (used by the CLI's `--inject-fault`).
@@ -53,6 +62,8 @@ impl FaultKind {
             FaultKind::ReparentRegion => "reparent-region",
             FaultKind::DropPhiSite => "drop-phi-site",
             FaultKind::MergeControlRegions => "merge-control-regions",
+            FaultKind::AddSpuriousNtscdDep => "add-spurious-ntscd-dep",
+            FaultKind::ForgeDodWitness => "forge-dod-witness",
         }
     }
 
@@ -72,6 +83,8 @@ impl FaultKind {
             FaultKind::ReparentRegion => CheckerId::Pst,
             FaultKind::DropPhiSite => CheckerId::Phi,
             FaultKind::MergeControlRegions => CheckerId::ControlRegions,
+            FaultKind::AddSpuriousNtscdDep => CheckerId::Ntscd,
+            FaultKind::ForgeDodWitness => CheckerId::Dod,
         }
     }
 }
@@ -233,6 +246,70 @@ pub fn inject(artifacts: &mut PipelineArtifacts, plan: &FaultPlan) -> Option<Str
                 .collect();
             artifacts.control_regions = ControlRegions::from_classes(mutated);
             Some(format!("merged control region {b} into region {a}"))
+        }
+        FaultKind::AddSpuriousNtscdDep => {
+            let n = artifacts.cfg().node_count();
+            if n == 0 {
+                return None;
+            }
+            let mut deps = artifacts.strong.ntscd().clone().into_raw();
+            // Scan from a random offset for a (node, branch) pair the
+            // relation does not contain; only a complete relation (every
+            // node depending on every node) leaves nothing to add.
+            let total = n * n;
+            let start = (rng.next() % total as u64) as usize;
+            let mut found = None;
+            for k in 0..total {
+                let idx = (start + k) % total;
+                let (node, branch) = (idx / n, idx % n);
+                if let Err(pos) = deps[node].binary_search(&NodeId::from_index(branch)) {
+                    found = Some((node, branch, pos));
+                    break;
+                }
+            }
+            let (node, branch, pos) = found?;
+            deps[node].insert(pos, NodeId::from_index(branch));
+            artifacts.strong = StrongControlDeps::from_parts(
+                Ntscd::from_raw(deps),
+                artifacts.strong.dod().clone(),
+                artifacts.strong.classic().cloned(),
+            );
+            Some(format!(
+                "added a spurious NTSCD dependence of node {node} on node {branch}"
+            ))
+        }
+        FaultKind::ForgeDodWitness => {
+            let n = artifacts.cfg().node_count();
+            if n < 3 {
+                return None;
+            }
+            let mut witnesses = artifacts.strong.dod().clone().into_raw();
+            let complete = artifacts.strong.dod().is_complete();
+            for _attempt in 0..64 {
+                let p = (rng.next() % n as u64) as usize;
+                let x = (rng.next() % n as u64) as usize;
+                let y = (rng.next() % n as u64) as usize;
+                if x == y {
+                    continue;
+                }
+                let (a, b) = if x < y { (x, y) } else { (y, x) };
+                let forged = DodWitness {
+                    branch: NodeId::from_index(p),
+                    first: NodeId::from_index(a),
+                    second: NodeId::from_index(b),
+                };
+                let Err(pos) = witnesses.binary_search(&forged) else {
+                    continue;
+                };
+                witnesses.insert(pos, forged);
+                artifacts.strong = StrongControlDeps::from_parts(
+                    artifacts.strong.ntscd().clone(),
+                    Dod::from_raw(witnesses, complete),
+                    artifacts.strong.classic().cloned(),
+                );
+                return Some(format!("forged a DOD witness ({p}; {a}, {b})"));
+            }
+            None
         }
     }
 }

@@ -29,13 +29,17 @@ mod checkers;
 mod fault;
 mod pipeline;
 mod report;
+mod strong_oracle;
 
-pub use checkers::{check_control_regions, check_cycle_equiv, check_phi, check_pst, check_sese};
+pub use checkers::{
+    check_control_regions, check_cycle_equiv, check_dod, check_ntscd, check_phi, check_pst,
+    check_sese,
+};
 #[cfg(feature = "fault-inject")]
 pub use fault::{inject, FaultKind, FaultPlan};
 pub use pipeline::{
     compute_artifacts, compute_artifacts_for_cfg, synthetic_function, verify_artifacts,
-    PipelineArtifacts, VerifyConfig, DEFAULT_ORACLE_BUDGET,
+    verify_strong_on_digraph, PipelineArtifacts, VerifyConfig, DEFAULT_ORACLE_BUDGET,
 };
 pub use report::{CheckerId, VerifyReport, ViolationReport, MAX_RECORDED_VIOLATIONS};
 
@@ -65,7 +69,10 @@ mod tests {
         };
         let report = verify_artifacts(&artifacts, &config);
         assert!(report.is_clean(), "{report}");
-        assert_eq!(report.exhausted_checkers(), vec![CheckerId::CycleEquiv]);
+        assert_eq!(
+            report.exhausted_checkers(),
+            vec![CheckerId::CycleEquiv, CheckerId::Ntscd, CheckerId::Dod]
+        );
     }
 
     #[test]

@@ -5,13 +5,15 @@
 //! so fault injection can corrupt them *between* computation and
 //! checking — exactly the seam where a real bug would sit.
 
-use pst_cfg::Cfg;
+use pst_cfg::{Cfg, Graph};
+use pst_controldep::StrongControlDeps;
 use pst_core::{collapse_all, CanonicalRegions, ControlRegions, ProgramStructureTree};
 use pst_lang::{BlockInfo, LoweredFunction, StmtInfo, VarId};
 use pst_ssa::{place_phis_pst_unchecked, PhiPlacement};
 
 use crate::checkers::{
-    check_control_regions, check_cycle_equiv, check_phi, check_pst, check_sese,
+    check_control_regions, check_cycle_equiv, check_dod, check_ntscd, check_phi, check_pst,
+    check_sese,
 };
 use crate::report::VerifyReport;
 
@@ -53,6 +55,9 @@ pub struct PipelineArtifacts {
     pub control_regions: ControlRegions,
     /// PST-driven φ-placement for the function's variables.
     pub phi: PhiPlacement,
+    /// Strong control dependence: NTSCD, DOD, and the classic
+    /// node-level relation over the same CFG.
+    pub strong: StrongControlDeps,
 }
 
 impl PipelineArtifacts {
@@ -107,12 +112,14 @@ pub fn compute_artifacts(function: LoweredFunction) -> PipelineArtifacts {
     let control_regions = ControlRegions::compute(&function.cfg);
     let collapsed = collapse_all(&function.cfg, &pst);
     let phi = place_phis_pst_unchecked(&function, &pst, &collapsed).placement;
+    let strong = StrongControlDeps::of_cfg(&function.cfg);
     PipelineArtifacts {
         function,
         detection,
         pst,
         control_regions,
         phi,
+        strong,
     }
 }
 
@@ -121,7 +128,7 @@ pub fn compute_artifacts_for_cfg(cfg: &Cfg) -> PipelineArtifacts {
     compute_artifacts(synthetic_function(cfg))
 }
 
-/// Runs all five checkers over `artifacts` and aggregates the verdicts.
+/// Runs all seven checkers over `artifacts` and aggregates the verdicts.
 ///
 /// Never panics on corrupted artifacts; records obs counters
 /// `verify_checks_run`, `verify_violations`, and
@@ -135,6 +142,31 @@ pub fn verify_artifacts(artifacts: &PipelineArtifacts, config: &VerifyConfig) ->
         check_pst(cfg, &artifacts.pst),
         check_control_regions(cfg, &artifacts.control_regions),
         check_phi(&artifacts.function, &artifacts.phi),
+        check_ntscd(cfg.graph(), &artifacts.strong, config.oracle_budget),
+        check_dod(cfg.graph(), &artifacts.strong, config.oracle_budget),
+    ];
+    let report = VerifyReport { reports };
+    pst_obs::counter!("verify_checks_run", report.reports.len() as u64);
+    pst_obs::counter!("verify_violations", report.violation_count() as u64);
+    pst_obs::counter!(
+        "verify_budget_exhausted",
+        report.exhausted_checkers().len() as u64
+    );
+    report
+}
+
+/// Strong-control-dependence verification for an **arbitrary digraph**
+/// — no canonicalization, no exit node, non-terminating regions left
+/// intact. This is the form `pst fuzz` runs on every raw input before
+/// repairing it: NTSCD and DOD are defined on exactly these graphs,
+/// and their most interesting behaviour (termination-sensitive deps,
+/// order witnesses) lives on the inputs canonicalization would patch.
+pub fn verify_strong_on_digraph(graph: &Graph, config: &VerifyConfig) -> VerifyReport {
+    let _span = pst_obs::Span::enter("verify_strong");
+    let strong = StrongControlDeps::of_graph(graph);
+    let reports = vec![
+        check_ntscd(graph, &strong, config.oracle_budget),
+        check_dod(graph, &strong, config.oracle_budget),
     ];
     let report = VerifyReport { reports };
     pst_obs::counter!("verify_checks_run", report.reports.len() as u64);

@@ -19,16 +19,23 @@ pub enum CheckerId {
     ControlRegions,
     /// PST φ-placement vs. the Cytron baseline (Theorem 9).
     Phi,
+    /// NTSCD vs. the naive maximal-path oracle (plus classic-CD
+    /// equivalence on acyclic graphs).
+    Ntscd,
+    /// DOD witnesses vs. exhaustive maximal-path enumeration.
+    Dod,
 }
 
 impl CheckerId {
     /// All checkers, in pipeline order.
-    pub const ALL: [CheckerId; 5] = [
+    pub const ALL: [CheckerId; 7] = [
         CheckerId::CycleEquiv,
         CheckerId::Sese,
         CheckerId::Pst,
         CheckerId::ControlRegions,
         CheckerId::Phi,
+        CheckerId::Ntscd,
+        CheckerId::Dod,
     ];
 
     /// Stable lowercase name (used in reports, counters, and the CLI).
@@ -39,6 +46,8 @@ impl CheckerId {
             CheckerId::Pst => "pst",
             CheckerId::ControlRegions => "control-regions",
             CheckerId::Phi => "phi",
+            CheckerId::Ntscd => "ntscd",
+            CheckerId::Dod => "dod",
         }
     }
 }

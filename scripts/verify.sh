@@ -73,7 +73,7 @@ echo "$canon" | grep -q "merged exit" \
     || { echo "FAIL: canonicalize did not report the merged exits"; exit 1; }
 echo "$canon" | grep -q "cross-checked against the slow-bracket oracle" \
     || { echo "FAIL: canonicalize skipped the oracle cross-check"; exit 1; }
-echo "$canon" | grep -q "paranoid: all 5 invariant checkers passed" \
+echo "$canon" | grep -q "paranoid: all 7 invariant checkers passed" \
     || { echo "FAIL: --paranoid did not run the checker battery"; exit 1; }
 echo "canonicalize OK"
 
@@ -106,6 +106,20 @@ repro=$(ls "$fuzzdir"/injected/*.edges 2>/dev/null | head -1)
 ./target/release/pst --canonicalize "$repro" >/dev/null \
     || { echo "FAIL: reproducer $repro does not re-run"; exit 1; }
 echo "fault taxonomy OK ($(basename "$repro") reproduces)"
+
+# The strong-control-dependence checkers must catch their own faults
+# too: a spurious NTSCD dependence and a forged DOD witness each flag
+# the pipeline (exit 3), proving the new oracles are not tautologies.
+for fault in add-spurious-ntscd-dep forge-dod-witness; do
+    set +e
+    ./target/release/pst fuzz --seed-range 0..8 --inject-fault "$fault" \
+        --out-dir "$fuzzdir/strong-$fault" >/dev/null 2>&1
+    code=$?
+    set -e
+    [ "$code" -eq 3 ] \
+        || { echo "FAIL: --inject-fault $fault should exit 3, got $code"; exit 1; }
+done
+echo "strong-CD fault taxonomy OK (ntscd and dod checkers fire)"
 
 echo "== chaos: pst serve --inject-fault (daemon survives every fault class) =="
 # The fault-inject daemon is its own chaos monkey: for every fault
@@ -212,18 +226,53 @@ code=$?
 set -e
 [ "$code" -eq 5 ] \
     || { echo "FAIL: lint on defects.mini should exit 5, got $code"; exit 1; }
-for rule in PST-S001 PST-C002 PST-D001 PST-D002; do
+for rule in PST-S001 PST-C002 PST-C101 PST-D001 PST-D002; do
     echo "$defect_out" | grep -q "\"$rule\"" \
         || { echo "FAIL: defects.mini did not trip $rule"; exit 1; }
 done
 # --allow must silence a rule; --deny escalates without changing the exit.
 allow_out=$(./target/release/pst lint examples/defects.mini --json \
     --allow PST-D001 --allow PST-D002 --allow PST-S001 --allow PST-S002 \
-    --allow PST-C002 || true)
+    --allow PST-C002 --allow PST-C101 || true)
 if echo "$allow_out" | grep -q '"PST-D001"'; then
     echo "FAIL: --allow PST-D001 did not silence the rule"; exit 1
 fi
 echo "lint taxonomy OK"
+
+echo "== smoke: pst lint --edges (strong control dependence rules) =="
+# The canonical DOD digraph must trip both graph-side C1xx rules: the
+# 1<->2 cycle only exits through a virtual loop-exit edge (PST-C102)
+# and branch 0 decides the order of nodes 1 and 2 (PST-C103).
+dodgraph="$fuzzdir/dod.edges"
+printf '0->1\n0->2\n1->2\n2->1\n' > "$dodgraph"
+set +e
+graph_out=$(./target/release/pst lint --edges "$dodgraph" --json)
+code=$?
+set -e
+[ "$code" -eq 5 ] \
+    || { echo "FAIL: lint --edges on the DOD graph should exit 5, got $code"; exit 1; }
+for rule in PST-C102 PST-C103; do
+    echo "$graph_out" | grep -q "\"$rule\"" \
+        || { echo "FAIL: the DOD graph did not trip $rule"; exit 1; }
+done
+echo "graph lint OK (PST-C102 and PST-C103 fire)"
+
+echo "== smoke: pst lint --explain (rule cards) =="
+for rule in PST-C101 PST-C102 PST-C103; do
+    explain_out=$(./target/release/pst lint --explain "$rule") \
+        || { echo "FAIL: pst lint --explain $rule exited nonzero"; exit 1; }
+    echo "$explain_out" | grep -q "severity:" \
+        || { echo "FAIL: --explain $rule printed no severity"; exit 1; }
+    echo "$explain_out" | grep -q "fix:" \
+        || { echo "FAIL: --explain $rule printed no fix"; exit 1; }
+done
+set +e
+./target/release/pst lint --explain PST-X999 >/dev/null 2>&1
+code=$?
+set -e
+[ "$code" -eq 2 ] \
+    || { echo "FAIL: --explain on an unknown rule should exit 2, got $code"; exit 1; }
+echo "explain OK (cards print, unknown rule is a usage error)"
 
 echo "== smoke: pst bench --quick (schema-validated report + trace) =="
 benchdir=$(mktemp -d)
@@ -255,6 +304,15 @@ for w in report["workloads"]:
         assert t["min"] <= t["p50"] <= t["p90"] <= t["p99"] <= t["max"], \
             (w["name"], p["name"], t)
 assert report["obs"]["spans"], "no embedded observability spans"
+# The strong-control-dependence family must be present with all three
+# shapes, each timing the five dependence phases.
+strong = [w for w in report["workloads"] if w["name"].startswith("controldep/strong")]
+families = {w["name"].split("/")[1] for w in strong}
+assert families == {"strong_random", "strong_irreducible", "strong_sccheavy"}, families
+for w in strong:
+    names = [p["name"] for p in w["phases"]]
+    assert names == ["cd_fow", "cd_cfs", "cd_linear", "ntscd", "dod"], \
+        (w["name"], names)
 # The concurrent daemon workload must out-serve the sequential mix:
 # shared-cache concurrency is the daemon's value proposition, so the
 # throughput gauges are a gate, not a decoration.
@@ -331,9 +389,10 @@ echo "== smoke: pst serve (NDJSON round trip, cache hit, error envelope) =="
 # shutdown. The metrics JSON must show the cache counters firing.
 servemetrics="$benchdir/serve_metrics.json"
 servereplies="$benchdir/serve_replies.ndjson"
-printf '%s\n%s\nthis is not json\n%s\n' \
+printf '%s\n%s\n%s\nthis is not json\n%s\n' \
     '{"id":1,"method":"pst","source":"fn f(n) { s = 0; while (n > 0) { s = s + n; n = n - 1; } return s; }"}' \
     '{"id":2,"method":"lint","source":"fn f(n) { s = 0; while (n > 0) { s = s + n; n = n - 1; } return s; }"}' \
+    '{"id":3,"method":"controldep","source":"fn f(n) { s = 0; while (n > 0) { s = s + n; n = n - 1; } return s; }"}' \
     '{"id":4,"method":"shutdown"}' \
     | ./target/release/pst serve --metrics-json "$servemetrics" > "$servereplies" \
     || { echo "FAIL: serve daemon exited nonzero"; exit 1; }
@@ -341,17 +400,25 @@ python3 - "$servemetrics" "$servereplies" <<'EOF'
 import json, sys
 with open(sys.argv[2]) as f:
     replies = [json.loads(l) for l in f if l.strip()]
-assert len(replies) == 4, replies
+assert len(replies) == 5, replies
 assert replies[0]["ok"] and not replies[0]["cached"], replies[0]
 # Same source, different method: unit cache hit, stage recompute.
 assert replies[1]["ok"] and replies[1]["unit"] == replies[0]["unit"], replies[1]
-assert not replies[2]["ok"] and replies[2]["error"]["code"] == "parse_error", replies[2]
-assert replies[3]["ok"] and replies[3]["result"]["stopping"], replies[3]
+# Strong control dependence on the same unit: another cache hit; the
+# while loop makes the NTSCD relation non-empty and the DOD search must
+# come back empty-and-complete on a valid CFG.
+assert replies[2]["ok"] and replies[2]["unit"] == replies[0]["unit"], replies[2]
+cd = replies[2]["result"][0]
+assert cd["ntscd_deps"] > 0, cd
+assert cd["dod_witnesses"] == [] and cd["dod_complete"], cd
+assert cd["strong_regions"] > 0 and cd["classic_deps"] >= 0, cd
+assert not replies[3]["ok"] and replies[3]["error"]["code"] == "parse_error", replies[3]
+assert replies[4]["ok"] and replies[4]["result"]["stopping"], replies[4]
 with open(sys.argv[1]) as f:
     counters = json.load(f)["counters"]
-assert counters["serve_requests"] == 4, counters
+assert counters["serve_requests"] == 5, counters
 assert counters["serve_cache_miss"] == 1, counters
-assert counters["serve_cache_hit"] == 1, counters
+assert counters["serve_cache_hit"] == 2, counters
 print("serve OK: unit", replies[0]["unit"], "answered, cached, and shut down")
 EOF
 

@@ -30,10 +30,13 @@ proptest! {
     /// multi-entry-loop, vacuous-branch, uninitialized-use) must not fire
     /// on any of it. The smell rules are explicitly allowed out:
     /// generated code legitimately contains statements cut off by a
-    /// `break`/`return` (PST-S003) and empty branch arms when the
-    /// statement budget runs out mid-block (PST-C002); PST-S005 and
-    /// PST-D002 are silenced for symmetry so this test pins down exactly
-    /// the always-silent set.
+    /// `break`/`return` (PST-S003), empty branch arms when the
+    /// statement budget runs out mid-block (PST-C002), and loops whose
+    /// random bodies never touch the guard variables — the generator
+    /// promises well-formedness, not termination, so the
+    /// possibly-non-terminating-loop rule (PST-C101) can genuinely fire
+    /// on its output; PST-S005 and PST-D002 are silenced for symmetry
+    /// so this test pins down exactly the always-silent set.
     #[test]
     fn correctness_rules_are_silent_on_structured_corpus(seed in 0u64..200) {
         let config = ProgramGenConfig {
@@ -43,7 +46,7 @@ proptest! {
         let function = generate_function("gen", &config, seed);
         let lowered = lower_function(&function).expect("generator output lowers");
         let mut lint_config = LintConfig::new();
-        for smell in ["PST-S003", "PST-S005", "PST-C002", "PST-D002"] {
+        for smell in ["PST-S003", "PST-S005", "PST-C002", "PST-C101", "PST-D002"] {
             lint_config.allow(smell).unwrap();
         }
         let report = lint_function(&lowered, Some(&function), &lint_config);
@@ -60,11 +63,14 @@ proptest! {
 fn graph_lint_counters_scale_linearly_with_edges() {
     let _l = locked();
     assert!(pst_obs::enabled(), "build with the default `obs` feature");
-    // Each graph-mode rule touches every node and edge at most a constant
-    // number of times (reducibility DFS, one SCC pass, a scan of the
-    // repair list, one class comparison per out-edge), so total recorded
-    // work is bounded by a fixed multiple of E. The sizes span two orders
-    // of magnitude in edge count.
+    // Each linear graph-mode rule touches every node and edge at most a
+    // constant number of times (reducibility DFS, one SCC pass, a scan of
+    // the repair list, one class comparison per out-edge), so total
+    // recorded work is bounded by a fixed multiple of E. The strong
+    // control-dependence rules (PST-C102/C103) are documented as
+    // non-linear and record to `lint_strongdep_work` instead, which is
+    // deliberately outside this bound. The sizes span two orders of
+    // magnitude in edge count.
     const C: f64 = 8.0;
     let mut edge_counts = Vec::new();
     for n in [20, 200, 2000, 4000] {
@@ -83,6 +89,10 @@ fn graph_lint_counters_scale_linearly_with_edges() {
         let work =
             report.counter("lint_structural_work") + report.counter("lint_controldep_work");
         assert!(work > 0, "lint recorded no work at n={n}");
+        assert!(
+            report.counter("lint_strongdep_work") > 0,
+            "strong rules recorded no work at n={n}"
+        );
         assert!(
             (work as f64) <= C * e as f64,
             "lint work {work} exceeds {C}*E (E={e}) at n={n}: not linear"
@@ -107,7 +117,7 @@ fn function_lint_counters_scale_with_program_size() {
         let lowered = lower_function(&function).expect("generator output lowers");
         pst_obs::reset();
         let report = lint_function(&lowered, Some(&function), &LintConfig::new());
-        assert_eq!(report.rules_run.len(), 8, "all mini rules ran");
+        assert_eq!(report.rules_run.len(), 9, "all mini rules ran");
         let obs = pst_obs::report();
         let size = lowered.statement_count()
             + lowered.cfg.node_count()
