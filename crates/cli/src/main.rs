@@ -83,6 +83,7 @@ mod fuzz;
 mod lint;
 mod obs;
 mod serve;
+mod top;
 
 /// Every `pst` process counts its allocations: the observability layer
 /// and `pst bench` read the totals, and the per-allocation cost is a
@@ -114,7 +115,9 @@ const USAGE: &str = "usage: pst <regions|kinds|dot|clusters|control-regions|ssa|
      pst serve [--listen <addr:port>] [--workers <N>] [--request-timeout-ms <N>] \
      [--max-inflight <N>] [--cache-entries <N>] [--cache-bytes <N>] \
      [--max-request-bytes <N>] [--cache-snapshot <path>] [--snapshot-every <N>] \
-     [--inject-fault panic|slow|drop-conn|corrupt-snapshot]";
+     [--metrics-window-ms <N>] [--slowlog-ms <N>] [--metrics-listen <addr:port>] \
+     [--inject-fault panic|slow|drop-conn|corrupt-snapshot]\n       \
+     pst top --addr <addr:port> [--once] [--format text|json] [--interval-ms <N>]";
 
 fn main() -> ExitCode {
     let started = std::time::Instant::now();
@@ -192,6 +195,12 @@ fn main() -> ExitCode {
         args.remove(0);
         match serve::ServeOptions::from_args(&mut args) {
             Ok(opts) => serve::serve_command(&opts),
+            Err(msg) => Err(Failure::Usage(msg)),
+        }
+    } else if !canonicalize_mode && args.first().map(String::as_str) == Some("top") {
+        args.remove(0);
+        match top::TopOptions::from_args(&mut args) {
+            Ok(opts) => top::top_command(&opts),
             Err(msg) => Err(Failure::Usage(msg)),
         }
     } else {

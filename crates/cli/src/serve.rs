@@ -17,6 +17,14 @@
 //! restarts, and `--inject-fault` (fault-inject builds only) turns the
 //! daemon into its own chaos monkey.
 //!
+//! Live telemetry (`docs/SERVING.md` § Live telemetry):
+//! `--metrics-window-ms` sets the windowed-series tick width (0
+//! disables the `metrics`/`slowlog` methods entirely), `--slowlog-ms`
+//! arms `slow_request` journal events past the threshold, and
+//! `--metrics-listen addr:port` opens a one-shot HTTP responder with
+//! the Prometheus-style text exposition (scrape with `curl`, watch
+//! with `pst top`).
+//!
 //! The daemon composes with the global observability flags: `--trace` /
 //! `--metrics-json` report the `serve_*` counters and latency
 //! histograms at exit, and `--journal` records one `unit_summary` event
@@ -65,6 +73,12 @@ impl ServeOptions {
             take_value_flag(args, "--snapshot-every")?,
         )?;
         let inject_fault = take_value_flag(args, "--inject-fault")?;
+        let metrics_window_ms = number(
+            "--metrics-window-ms",
+            take_value_flag(args, "--metrics-window-ms")?,
+        )?;
+        let slowlog_ms = number("--slowlog-ms", take_value_flag(args, "--slowlog-ms")?)?;
+        let metrics_listen = take_value_flag(args, "--metrics-listen")?;
         if let Some(extra) = args.first() {
             return Err(format!("serve does not take `{extra}`"));
         }
@@ -97,6 +111,13 @@ impl ServeOptions {
         if let Some(n) = snapshot_every {
             config.snapshot_every = n as u64;
         }
+        if let Some(n) = metrics_window_ms {
+            config.metrics_window_ms = n as u64;
+        }
+        if let Some(n) = slowlog_ms {
+            config.slowlog_ms = n as u64;
+        }
+        config.metrics_listen = metrics_listen;
         if let Some(kind) = inject_fault {
             if !cfg!(feature = "fault-inject") {
                 return Err(

@@ -1106,6 +1106,41 @@ impl ServeDaemon {
         (ServeDaemon { child }, addr)
     }
 
+    /// Like [`ServeDaemon::spawn`], but with a metrics responder on a
+    /// free port; returns the scrape address announced on the second
+    /// stdout line.
+    fn spawn_with_metrics(extra: &[&str]) -> (ServeDaemon, String, String) {
+        use std::io::BufRead as _;
+        let mut args = vec![
+            "serve",
+            "--listen",
+            "127.0.0.1:0",
+            "--metrics-listen",
+            "127.0.0.1:0",
+        ];
+        args.extend_from_slice(extra);
+        let mut child = Command::new(env!("CARGO_BIN_EXE_pst"))
+            .args(&args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("daemon spawns");
+        let mut reader = std::io::BufReader::new(child.stdout.as_mut().expect("stdout piped"));
+        let mut read_addr = || {
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("announce line");
+            line.trim()
+                .rsplit(' ')
+                .next()
+                .unwrap_or_else(|| panic!("no address in announce line {line:?}"))
+                .to_string()
+        };
+        let addr = read_addr();
+        let metrics_addr = read_addr();
+        (ServeDaemon { child }, addr, metrics_addr)
+    }
+
     /// Waits up to ~10s for a clean exit (after shutdown/drain).
     fn wait_exit(&mut self) -> i32 {
         for _ in 0..200 {
@@ -1274,6 +1309,188 @@ fn serve_tcp_chaos_panics_are_envelopes_and_the_daemon_outlives_them() {
     assert!(daemon.alive(), "the chaos daemon never dies");
     conn.send(r#"{"id":91,"method":"shutdown"}"#);
     assert_eq!(daemon.wait_exit(), 0);
+}
+
+// --- live telemetry: metrics, slowlog, pst top ----------------------------
+
+#[test]
+fn serve_metrics_rpc_reports_windowed_series_in_json_and_text() {
+    use pst_obs::json::Json;
+    let input = format!(
+        "{}\n{}\n{}\n{{\"id\":4,\"method\":\"metrics\"}}\n\
+         {{\"id\":5,\"method\":\"metrics\",\"format\":\"text\"}}\n\
+         {{\"id\":6,\"method\":\"slowlog\"}}\n",
+        source_request(1, "pst"),
+        source_request(2, "pst"),
+        source_request(3, "lint"),
+    );
+    let (replies, code) = serve(&[], &input);
+    assert_eq!(code, 0);
+    assert_eq!(replies.len(), 6);
+    for (i, reply) in replies.iter().enumerate() {
+        assert!(reply_ok(reply), "reply {i} not ok: {reply}");
+    }
+
+    // JSON view: per-method totals plus the merged window, and the
+    // repeated `pst` request shows up as a windowed cache hit.
+    let metrics = replies[3].get("result").expect("metrics result");
+    let pst = metrics
+        .get("methods")
+        .and_then(|m| m.get("pst"))
+        .expect("pst series");
+    assert_eq!(pst.get("requests_total").unwrap().as_u64(), Some(2));
+    assert_eq!(pst.get("cache_hits_total").unwrap().as_u64(), Some(1));
+    let window = pst.get("window").expect("window");
+    assert_eq!(window.get("requests").unwrap().as_u64(), Some(2));
+    assert!(window.get("p99_nanos").unwrap().as_u64().unwrap() > 0);
+    let lint = metrics
+        .get("methods")
+        .and_then(|m| m.get("lint"))
+        .expect("lint series");
+    assert_eq!(lint.get("requests_total").unwrap().as_u64(), Some(1));
+
+    // Text view: the same series as a Prometheus-style exposition.
+    let text = replies[4].get("result").expect("text result");
+    assert_eq!(text.get("format"), Some(&Json::Str("text".into())));
+    let body = match text.get("body") {
+        Some(Json::Str(s)) => s.clone(),
+        other => panic!("no text body: {other:?}"),
+    };
+    assert!(body.contains("# TYPE pst_serve_requests_total counter"), "{body}");
+    assert!(body.contains("pst_serve_requests_total{method=\"pst\"} 2"), "{body}");
+    assert!(body.contains("# TYPE pst_serve_latency_nanos summary"), "{body}");
+    assert!(body.contains("quantile=\"0.99\""), "{body}");
+    assert!(body.contains("pst_serve_shard_requests_total{shard=\"0\"}"), "{body}");
+
+    // The slowlog ring captures the slowest requests even without a
+    // `--slowlog-ms` threshold (the threshold only gates journaling).
+    let slowlog = replies[5].get("result").expect("slowlog result");
+    let entries = match slowlog.get("entries") {
+        Some(Json::Arr(v)) => v,
+        other => panic!("no slowlog entries: {other:?}"),
+    };
+    assert!(!entries.is_empty(), "{slowlog}");
+    assert!(entries[0].get("phases").is_some(), "{slowlog}");
+}
+
+/// Scrapes the one-shot HTTP metrics responder once, returning the raw
+/// HTTP response (status line, headers, body).
+fn scrape(addr: &str) -> String {
+    use std::io::Read as _;
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect scrape");
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .expect("read timeout");
+    stream
+        .write_all(b"GET /metrics HTTP/1.0\r\n\r\n")
+        .expect("scrape request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("scrape response");
+    response
+}
+
+#[test]
+fn serve_tcp_metrics_listener_answers_scrapes_and_pst_top_snapshots() {
+    let (mut daemon, addr, metrics_addr) = ServeDaemon::spawn_with_metrics(&[]);
+    let mut conn = Conn::open(&addr);
+    for id in 1..=4u64 {
+        let reply = conn.request(&source_request(id, "pst"));
+        assert!(reply_ok(&reply), "{reply}");
+    }
+
+    // First scrape: proper HTTP framing and typed families.
+    let first = scrape(&metrics_addr);
+    assert!(first.starts_with("HTTP/1.0 200 OK"), "{first}");
+    assert!(first.contains("Content-Type: text/plain; version=0.0.4"), "{first}");
+    let body = first.split("\r\n\r\n").nth(1).expect("scrape body");
+    assert!(body.contains("# TYPE pst_serve_requests_total counter"), "{body}");
+    assert!(body.contains("pst_serve_requests_total{method=\"pst\"} 4"), "{body}");
+    assert!(body.contains("# TYPE pst_serve_in_flight gauge"), "{body}");
+
+    // Counters are monotone across scrapes: more traffic, bigger totals.
+    let reply = conn.request(&source_request(5, "pst"));
+    assert!(reply_ok(&reply), "{reply}");
+    let second = scrape(&metrics_addr);
+    assert!(
+        second.contains("pst_serve_requests_total{method=\"pst\"} 5"),
+        "{second}"
+    );
+
+    // `pst top --once --format json` pairs the metrics and stats views.
+    let (out, err, code) = run(&["top", "--addr", &addr, "--once", "--format", "json"], None);
+    assert_eq!(code, 0, "pst top failed: {err}");
+    let snapshot = pst_obs::json::Json::parse(out.trim()).expect("top JSON");
+    let total = snapshot
+        .get("metrics")
+        .and_then(|m| m.get("methods"))
+        .and_then(|m| m.get("pst"))
+        .and_then(|p| p.get("requests_total"))
+        .and_then(|v| v.as_u64());
+    assert_eq!(total, Some(5), "{snapshot}");
+    assert!(snapshot.get("stats").and_then(|s| s.get("workers")).is_some(), "{snapshot}");
+
+    // The human table renders a header and the active method row.
+    let (out, err, code) = run(&["top", "--addr", &addr, "--once"], None);
+    assert_eq!(code, 0, "{err}");
+    assert!(out.contains("METHOD"), "{out}");
+    assert!(out.contains("pst  "), "{out}");
+
+    conn.send(r#"{"id":90,"method":"shutdown"}"#);
+    assert_eq!(daemon.wait_exit(), 0);
+}
+
+#[cfg(feature = "fault-inject")]
+#[test]
+fn serve_slowlog_attributes_injected_stalls_and_journals_slow_requests() {
+    use pst_obs::json::Json;
+    let dir = bench_dir("serve_slowlog");
+    let journal = dir.join("journal.jsonl");
+    let journal_arg = journal.to_string_lossy().into_owned();
+    let input = format!(
+        "{}\n{}\n{{\"id\":3,\"method\":\"slowlog\"}}\n",
+        slow_request(1),
+        source_request(2, "pst"),
+    );
+    let (replies, code) = serve(&["--slowlog-ms", "10", "--journal", &journal_arg], &input);
+    assert_eq!(code, 0);
+    assert_eq!(replies.len(), 3);
+    for (i, reply) in replies.iter().enumerate() {
+        assert!(reply_ok(reply), "reply {i} not ok: {reply}");
+    }
+
+    // Slowest first: the injected 50ms stall leads, and the stall is
+    // attributed to the inject phase rather than compute.
+    let result = replies[2].get("result").expect("slowlog result");
+    let entries = match result.get("entries") {
+        Some(Json::Arr(v)) => v,
+        other => panic!("no slowlog entries: {other:?}"),
+    };
+    assert_eq!(entries.len(), 2, "{result}");
+    let top = &entries[0];
+    assert_eq!(top.get("method"), Some(&Json::Str("pst".into())));
+    let phases = top.get("phases").expect("phases");
+    let inject = phases.get("inject_nanos").unwrap().as_u64().unwrap();
+    assert!(inject >= 40_000_000, "stall not attributed to inject: {phases}");
+    assert!(
+        top.get("total_nanos").unwrap().as_u64().unwrap() >= inject,
+        "{top}"
+    );
+
+    // Only the stalled request crossed the 10ms threshold, so exactly
+    // one slow_request event lands in the journal.
+    let slow: Vec<_> = parse_journal(&journal)
+        .into_iter()
+        .filter(|r| matches!(r.event, pst_obs::journal::Event::SlowRequest { .. }))
+        .collect();
+    assert_eq!(slow.len(), 1, "{slow:?}");
+    assert_eq!(slow[0].level, pst_obs::journal::Level::Warn);
+    match &slow[0].event {
+        pst_obs::journal::Event::SlowRequest { method, total_nanos, .. } => {
+            assert_eq!(method, "pst");
+            assert!(*total_nanos >= 10_000_000);
+        }
+        other => panic!("not a slow_request: {other:?}"),
+    }
 }
 
 // --- stdin edge cases -----------------------------------------------------

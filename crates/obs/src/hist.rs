@@ -156,6 +156,13 @@ impl Histogram {
     /// Folds another histogram into this one. Bucket counts add
     /// exactly, so merging is associative and commutative and the
     /// per-thread / per-unit / per-run fold order never matters.
+    ///
+    /// An empty histogram is the merge identity on **both** sides:
+    /// merging an empty operand changes nothing (its `min` sentinel is
+    /// `u64::MAX` and its `max` is 0, so the extreme folds are no-ops),
+    /// and merging into an empty receiver yields an exact copy. The
+    /// windowed ring in [`crate::window`] leans on this when idle ticks
+    /// contribute empty buckets.
     pub fn merge_from(&mut self, other: &Histogram) {
         for &(index, n) in &other.buckets {
             match self.buckets.binary_search_by_key(&index, |&(i, _)| i) {
@@ -365,11 +372,40 @@ mod tests {
     #[test]
     fn empty_histogram_is_benign() {
         let h = Histogram::new();
-        assert_eq!(h.quantile(0.5), 0);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 0, "empty quantile({q}) is the documented 0");
+        }
         assert_eq!(h.min(), 0);
         assert_eq!(h.max(), 0);
         assert_eq!(h.mean(), 0.0);
         let j = h.to_json();
         assert_eq!(Histogram::from_json(&j), Some(h));
+    }
+
+    #[test]
+    fn merge_with_an_empty_operand_is_the_identity_both_ways() {
+        let mut populated = Histogram::new();
+        for v in [1u64, 31, 32, 4_096, 123_456_789] {
+            populated.record(v);
+        }
+
+        // Empty on the right: nothing changes, including the exact
+        // extremes (the empty min sentinel must not leak through).
+        let mut merged = populated.clone();
+        merged.merge_from(&Histogram::new());
+        assert_eq!(merged, populated);
+        assert_eq!((merged.min(), merged.max()), (1, 123_456_789));
+
+        // Empty on the left: the receiver becomes an exact copy.
+        let mut receiver = Histogram::new();
+        receiver.merge_from(&populated);
+        assert_eq!(receiver, populated);
+        assert_eq!(receiver.quantile(0.5), populated.quantile(0.5));
+
+        // Empty with empty stays empty (and stays the JSON identity).
+        let mut both = Histogram::new();
+        both.merge_from(&Histogram::new());
+        assert!(both.is_empty());
+        assert_eq!(Histogram::from_json(&both.to_json()), Some(both));
     }
 }

@@ -3,8 +3,8 @@
 //! The metrics report answers "what did this run measure"; the journal
 //! answers "what *happened*, across runs": a durable, append-only JSONL
 //! stream of typed events — run start/end, per-unit summaries, lint
-//! findings, fuzz crashes, bench gate verdicts — that `pst obs` can
-//! merge across many runs into one fleet view.
+//! findings, fuzz crashes, serve slowlog entries, bench gate verdicts —
+//! that `pst obs` can merge across many runs into one fleet view.
 //!
 //! Each line is one [`Record`]: a monotonic sequence offset (`seq`), a
 //! run-scoped trace id (deterministic when the run was seeded via
@@ -109,6 +109,19 @@ pub enum Event {
         /// Path of the minimized reproducer, when one was written.
         reproducer: Option<String>,
     },
+    /// One `pst serve` request that crossed the daemon's slowlog
+    /// threshold (`--slowlog-ms`), with its phase attribution so fleet
+    /// views can tell a slow compute from a slow fault injection.
+    SlowRequest {
+        /// The RPC method (`pst`, `controldep`, ...).
+        method: String,
+        /// The unit the request resolved to, when it got that far.
+        unit: Option<String>,
+        /// End-to-end request wall time, nanoseconds.
+        total_nanos: u64,
+        /// Nanoseconds spent in the analysis compute phase.
+        compute_nanos: u64,
+    },
     /// The outcome of a `pst bench --compare` gate.
     BenchVerdict {
         /// Baseline file the candidate was gated against.
@@ -131,6 +144,7 @@ impl Event {
             Event::UnitSummary { .. } => "unit_summary",
             Event::LintFinding { .. } => "lint_finding",
             Event::FuzzCrash { .. } => "fuzz_crash",
+            Event::SlowRequest { .. } => "slow_request",
             Event::BenchVerdict { .. } => "bench_verdict",
         }
     }
@@ -141,7 +155,9 @@ impl Event {
             Event::RunStart { .. } | Event::RunEnd { .. } | Event::UnitSummary { .. } => {
                 Level::Info
             }
-            Event::LintFinding { .. } | Event::BenchVerdict { .. } => Level::Warn,
+            Event::LintFinding { .. } | Event::SlowRequest { .. } | Event::BenchVerdict { .. } => {
+                Level::Warn
+            }
             Event::FuzzCrash { .. } => Level::Error,
         }
     }
@@ -197,6 +213,23 @@ impl Event {
                         None => Json::Null,
                     },
                 ),
+            ]),
+            Event::SlowRequest {
+                method,
+                unit,
+                total_nanos,
+                compute_nanos,
+            } => Json::obj([
+                ("method", Json::Str(method.clone())),
+                (
+                    "unit",
+                    match unit {
+                        Some(u) => Json::Str(u.clone()),
+                        None => Json::Null,
+                    },
+                ),
+                ("total_nanos", Json::UInt(*total_nanos)),
+                ("compute_nanos", Json::UInt(*compute_nanos)),
             ]),
             Event::BenchVerdict {
                 baseline,
@@ -259,6 +292,16 @@ impl Event {
                     Json::Str(p) => Some(p.clone()),
                     _ => return None,
                 },
+            }),
+            "slow_request" => Some(Event::SlowRequest {
+                method: s(data, "method")?,
+                unit: match data.get("unit")? {
+                    Json::Null => None,
+                    Json::Str(u) => Some(u.clone()),
+                    _ => return None,
+                },
+                total_nanos: data.get("total_nanos")?.as_u64()?,
+                compute_nanos: data.get("compute_nanos")?.as_u64()?,
             }),
             "bench_verdict" => Some(Event::BenchVerdict {
                 baseline: s(data, "baseline")?,

@@ -11,7 +11,9 @@
 //!    [`gauge!`] / [`histogram!`] record into thread-local registries
 //!    that are folded into a global aggregate when threads exit and
 //!    snapshotted by [`report`]. Histograms are log-linear
-//!    ([`hist::Histogram`]) with mergeable buckets and quantile queries.
+//!    ([`hist::Histogram`]) with mergeable buckets and quantile queries;
+//!    [`window`] adds their live counterparts ([`WindowedHistogram`],
+//!    [`RollingCounter`]) rotated on an injectable tick clock.
 //! 3. **Unit-scoped trace contexts** — [`UnitScope::enter`]`("main#f")`
 //!    attributes everything recorded while the guard lives to that unit
 //!    (a function, fuzz case, bench workload, shard item) *as well as*
@@ -56,10 +58,12 @@
 pub mod hist;
 pub mod journal;
 pub mod json;
+pub mod window;
 
 use std::collections::BTreeMap;
 
 pub use hist::Histogram;
+pub use window::{RollingCounter, WindowedHistogram};
 use json::Json;
 
 /// Whether observability was compiled in (`enabled` feature).

@@ -52,6 +52,14 @@ fn event_strategy() -> impl Strategy<Value = Event> {
                 reproducer,
             }
         ),
+        (s(), proptest::option::of(s()), 0u64..u64::MAX, 0u64..u64::MAX).prop_map(
+            |(method, unit, total_nanos, compute_nanos)| Event::SlowRequest {
+                method,
+                unit,
+                total_nanos,
+                compute_nanos,
+            }
+        ),
         (s(), s(), 0u64..100, proptest::sample::select(vec![true, false])).prop_map(
             |(baseline, candidate, findings, passed)| Event::BenchVerdict {
                 baseline,

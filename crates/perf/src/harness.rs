@@ -617,6 +617,36 @@ fn run_serve_workload(
         "serve_requests_per_sec",
         (requests as f64 * 1e9 / spent.max(1) as f64) as u64
     );
+
+    // Price the live-telemetry layer itself: the same hot batch through
+    // a single-shard SharedSession with the windowed series on (default
+    // window) vs off (`--metrics-window-ms 0`). The gauge is the on/off
+    // throughput ratio in percent — ~100 means the per-request series
+    // fold is lost in the noise. Only the full-matrix mix is wide
+    // enough for a stable ratio, so the quick matrix skips it.
+    if units >= 16 {
+        let hot_nanos = |window_ms: u64| -> u64 {
+            let shared = SharedSession::new(ServeConfig {
+                workers: 1,
+                metrics_window_ms: window_ms,
+                ..ServeConfig::default()
+            });
+            for line in &lines {
+                black_box(shared.handle_line(line));
+            }
+            let start = Instant::now();
+            for line in &lines {
+                black_box(shared.handle_line(line));
+            }
+            (start.elapsed().as_nanos() as u64).max(1)
+        };
+        let on = hot_nanos(1000);
+        let off = hot_nanos(0);
+        pst_obs::gauge!(
+            "serve_telemetry_overhead",
+            ((off as f64 / on as f64) * 100.0) as u64
+        );
+    }
     pst_obs::counter!("bench_workloads_run");
     pst_obs::counter!("bench_iterations", iters);
     pst_obs::gauge!("bench_workload_nodes", nodes as usize);

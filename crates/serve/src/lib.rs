@@ -30,6 +30,8 @@
 //! - [`session`] — artifact interning, dispatch, panic containment
 //! - [`shared`] — sharded concurrent front-end: admission, drain,
 //!   snapshot lifecycle, aggregated stats
+//! - [`metrics`] — live telemetry: windowed per-method/per-shard
+//!   series, the slow-request ring, Prometheus-style text exposition
 //! - `snapshot` — versioned, checksummed, atomically-written cache
 //!   snapshots (internal; driven by [`shared`])
 //! - [`server`] — bounded line reader, worker pool, stdio/TCP loops
@@ -38,7 +40,10 @@
 //! hit/miss/eviction/quarantine, stage hit/miss, shed, conn_errors,
 //! deadline_exceeded, snapshot saves/restores), `serve_request_nanos`
 //! plus cold/hot latency histograms, a `UnitScope` per request, and —
-//! when a journal is installed — one `unit_summary` event per request.
+//! when a journal is installed — one `unit_summary` event per request
+//! plus `slow_request` events past the `--slowlog-ms` threshold. The
+//! `metrics` and `slowlog` methods (and the `--metrics-listen` HTTP
+//! responder) expose the live windowed view; see [`metrics`].
 
 // The daemon's request path must never panic on user input; unwrap and
 // expect are banned outside test modules (each test module opts back in
@@ -47,6 +52,7 @@
 
 pub mod cache;
 pub mod hash;
+pub mod metrics;
 pub mod proto;
 pub mod server;
 pub mod session;
@@ -54,6 +60,7 @@ pub mod shared;
 mod snapshot;
 
 pub use cache::{CacheConfig, CacheStats, LruCache};
+pub use metrics::{LiveMetrics, RequestOutcome};
 pub use proto::{ErrorCode, Method, Request, RequestInput};
 pub use server::{serve_listener, serve_stdio, serve_stream, serve_tcp};
 pub use session::{Reply, ServeConfig, ServeFault, Session};

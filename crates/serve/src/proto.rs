@@ -45,6 +45,13 @@ pub enum Method {
     Canonicalize,
     /// Session cache statistics and `serve_*` counters.
     Stats,
+    /// Live windowed telemetry: per-method and per-shard latency
+    /// quantiles, rates, and cache-hit ratios over the last N windows.
+    /// `"format": "text"` asks for Prometheus-style text exposition.
+    Metrics,
+    /// The bounded ring of the slowest requests seen so far, each with a
+    /// per-phase timing breakdown.
+    Slowlog,
     /// Graceful drain: stop admitting new work, finish in-flight
     /// requests, flush journal/metrics, then exit.
     Drain,
@@ -54,7 +61,7 @@ pub enum Method {
 
 impl Method {
     /// Every method, in documentation order.
-    pub const ALL: [Method; 10] = [
+    pub const ALL: [Method; 12] = [
         Method::Pst,
         Method::ControlRegions,
         Method::Controldep,
@@ -63,6 +70,8 @@ impl Method {
         Method::Dataflow,
         Method::Canonicalize,
         Method::Stats,
+        Method::Metrics,
+        Method::Slowlog,
         Method::Drain,
         Method::Shutdown,
     ];
@@ -78,6 +87,8 @@ impl Method {
             Method::Dataflow => "dataflow",
             Method::Canonicalize => "canonicalize",
             Method::Stats => "stats",
+            Method::Metrics => "metrics",
+            Method::Slowlog => "slowlog",
             Method::Drain => "drain",
             Method::Shutdown => "shutdown",
         }
@@ -150,7 +161,8 @@ pub enum RequestInput {
     EdgeList(String),
     /// A previously registered unit id (content-hash key).
     Unit(u64),
-    /// No input (only valid for `stats` / `shutdown`).
+    /// No input (only valid for the unit-less control methods:
+    /// `stats`, `metrics`, `slowlog`, `drain`, `shutdown`).
     None,
 }
 
@@ -167,6 +179,9 @@ pub struct Request {
     /// (e2e panic-containment tests); carried so production builds can
     /// reject it loudly instead of silently ignoring it.
     pub inject: Option<String>,
+    /// The `"format"` field (`metrics` only): `"text"` selects the
+    /// Prometheus-style exposition; absent or `"json"` selects JSON.
+    pub format: Option<String>,
 }
 
 /// A request that could not be parsed into a [`Request`].
@@ -242,6 +257,7 @@ impl Request {
         let edges = text_field("edges")?;
         let unit = text_field("unit")?;
         let inject = text_field("inject")?;
+        let format = text_field("format")?;
         let given = [source.is_some(), edges.is_some(), unit.is_some()]
             .iter()
             .filter(|&&g| g)
@@ -274,6 +290,7 @@ impl Request {
             method,
             input,
             inject,
+            format,
         })
     }
 }
@@ -396,6 +413,19 @@ mod tests {
             parsed.get("error").and_then(|e| e.get("retry_after_ms")),
             Some(&Json::UInt(40))
         );
+    }
+
+    #[test]
+    fn metrics_and_slowlog_parse_with_an_optional_format() {
+        let r = Request::parse(r#"{"id": 4, "method": "metrics", "format": "text"}"#).unwrap();
+        assert_eq!(r.method, Method::Metrics);
+        assert_eq!(r.format.as_deref(), Some("text"));
+        assert_eq!(r.input, RequestInput::None);
+        let r = Request::parse(r#"{"method": "slowlog"}"#).unwrap();
+        assert_eq!(r.method, Method::Slowlog);
+        assert_eq!(r.format, None);
+        let e = Request::parse(r#"{"method": "metrics", "format": 3}"#).unwrap_err();
+        assert_eq!(e.code, ErrorCode::InvalidRequest);
     }
 
     #[test]

@@ -137,6 +137,7 @@ fn reply_for(shared: &SharedSession, line: Line) -> Option<Reply> {
             line: String::new(),
             shutdown: false,
             drop_conn: false,
+            outcome: None,
         }),
         Line::Text(text) => Some(shared.handle_line(&text)),
         Line::Oversized(actual) => Some(shared.oversized_reply(actual)),
@@ -188,17 +189,87 @@ pub fn serve_stream<R: BufRead, W: Write>(
 
 /// Serves stdin → stdout until EOF or `shutdown`/`drain`. Stdio has one
 /// stream, so the worker pool collapses to the calling thread
-/// (`workers` is forced to 1 — one shard, no idle mutex traffic).
+/// (`workers` is forced to 1 — one shard, no idle mutex traffic). A
+/// `--metrics-listen` responder, when configured, runs on a side thread
+/// (announced on stderr — stdout belongs to the NDJSON replies).
 pub fn serve_stdio(mut config: ServeConfig) -> io::Result<()> {
     config.workers = 1;
+    let metrics = match &config.metrics_listen {
+        Some(addr) => {
+            let listener = bind_metrics(addr)?;
+            eprintln!("pst serve: metrics on {}", listener.local_addr()?);
+            Some(listener)
+        }
+        None => None,
+    };
     let shared = SharedSession::new(config);
     let stdin = io::stdin();
     let stdout = io::stdout();
-    let mut reader = stdin.lock();
-    let mut writer = stdout.lock();
-    let result = serve_stream(&shared, &mut reader, &mut writer);
+    let stopped = std::sync::atomic::AtomicBool::new(false);
+    let result = std::thread::scope(|scope| {
+        if let Some(listener) = &metrics {
+            scope.spawn(|| {
+                while !stopped.load(std::sync::atomic::Ordering::SeqCst) && !shared.is_draining() {
+                    poll_metrics(&shared, listener);
+                    std::thread::sleep(ACCEPT_TICK);
+                }
+            });
+        }
+        let mut reader = stdin.lock();
+        let mut writer = stdout.lock();
+        let result = serve_stream(&shared, &mut reader, &mut writer);
+        stopped.store(true, std::sync::atomic::Ordering::SeqCst);
+        result
+    });
     shared.finish();
     result.map(|_| ())
+}
+
+/// Binds the one-shot HTTP metrics responder (non-blocking, polled by
+/// whichever loop owns the daemon's idle ticks).
+fn bind_metrics(addr: &str) -> io::Result<TcpListener> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    Ok(listener)
+}
+
+/// Drains every pending metrics connection: read the request
+/// best-effort, answer one `HTTP/1.0 200` text exposition, close. Any
+/// connection trouble is counted and never stops the daemon.
+fn poll_metrics(shared: &SharedSession, listener: &TcpListener) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if stream.set_nonblocking(false).is_err() {
+                    shared.note_conn_error();
+                    continue;
+                }
+                answer_metrics_conn(shared, stream);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+            Err(_) => {
+                shared.note_conn_error();
+                return;
+            }
+        }
+    }
+}
+
+/// Answers one scrape. The request line is read (bounded, best-effort)
+/// only to let well-behaved HTTP clients finish writing; the response
+/// is the same exposition for every path.
+fn answer_metrics_conn(shared: &SharedSession, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let mut scratch = [0u8; 1024];
+    let _ = io::Read::read(&mut stream, &mut scratch);
+    let body = shared.render_metrics_text();
+    let response = format!(
+        "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    if stream.write_all(response.as_bytes()).is_err() {
+        shared.note_conn_error();
+    }
 }
 
 /// Binds `addr` (`addr:port`; port 0 picks a free port) and serves TCP
@@ -325,6 +396,18 @@ fn serve_conn(shared: &SharedSession, stream: TcpStream) {
 /// after a `shutdown`/`drain` finished the in-flight work and the
 /// epilogue (snapshot + telemetry flush) ran.
 pub fn serve_listener(config: ServeConfig, listener: TcpListener) -> io::Result<()> {
+    let metrics = match &config.metrics_listen {
+        Some(addr) => {
+            let bound = bind_metrics(addr)?;
+            // Announced like the main listener so a port-0 caller can
+            // find the scrape endpoint.
+            let mut out = io::stdout().lock();
+            writeln!(out, "pst serve: metrics on {}", bound.local_addr()?)?;
+            out.flush()?;
+            Some(bound)
+        }
+        None => None,
+    };
     let shared = SharedSession::new(config);
     let workers = shared.config().workers.max(1);
     listener.set_nonblocking(true)?;
@@ -342,10 +425,14 @@ pub fn serve_listener(config: ServeConfig, listener: TcpListener) -> io::Result<
             });
         }
         // The accept loop owns the lifecycle: poll, hand off, and stop
-        // accepting the moment a drain is acknowledged anywhere.
+        // accepting the moment a drain is acknowledged anywhere. Metrics
+        // scrapes piggyback on the same loop's idle ticks.
         loop {
             if shared.is_draining() {
                 break;
+            }
+            if let Some(m) = &metrics {
+                poll_metrics(&shared, m);
             }
             match listener.accept() {
                 Ok((stream, _peer)) => {

@@ -112,6 +112,22 @@ pub struct ServeConfig {
     /// Daemon-level chaos fault; `None` in production. Only
     /// `fault-inject` builds ever fire it.
     pub inject_fault: Option<ServeFault>,
+    /// Width of one live-telemetry window in milliseconds
+    /// (`--metrics-window-ms`); 0 disables the windowed series, the
+    /// `metrics`/`slowlog` methods, and the slowlog ring entirely (the
+    /// perf harness prices exactly this on/off delta).
+    pub metrics_window_ms: u64,
+    /// How many windows the live rings retain.
+    pub metrics_windows: usize,
+    /// Slow-request journal threshold in milliseconds (`--slowlog-ms`);
+    /// 0 emits no `slow_request` journal events, but the slowlog ring
+    /// still captures the top-K slowest requests.
+    pub slowlog_ms: u64,
+    /// Slowlog ring capacity (top-K by total latency).
+    pub slowlog_capacity: usize,
+    /// Address for the one-shot HTTP metrics responder
+    /// (`--metrics-listen addr:port`); `None` disables it.
+    pub metrics_listen: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -125,6 +141,11 @@ impl Default for ServeConfig {
             snapshot_path: None,
             snapshot_every: 32,
             inject_fault: None,
+            metrics_window_ms: 1000,
+            metrics_windows: 8,
+            slowlog_ms: 0,
+            slowlog_capacity: 32,
+            metrics_listen: None,
         }
     }
 }
@@ -141,6 +162,9 @@ pub struct Reply {
     /// must close the connection *without* writing the line (the client
     /// sees an abrupt disconnect and is expected to retry).
     pub drop_conn: bool,
+    /// What the analysis request looked like, for the live-metrics
+    /// layer. `None` for control methods and pre-dispatch failures.
+    pub outcome: Option<crate::metrics::RequestOutcome>,
 }
 
 impl Reply {
@@ -149,6 +173,7 @@ impl Reply {
             line: envelope.to_string(),
             shutdown: false,
             drop_conn: false,
+            outcome: None,
         }
     }
 }
@@ -250,6 +275,11 @@ struct Answer {
     /// True when an injected `drop-conn` daemon fault fired on this
     /// request (the serving loop drops the connection unreplied).
     drop_conn: bool,
+    /// Phase timings for the slowlog: unit resolution/registration,
+    /// fault injection, and method computation.
+    register_nanos: u64,
+    inject_nanos: u64,
+    compute_nanos: u64,
 }
 
 type MethodError = (ErrorCode, String);
@@ -299,6 +329,12 @@ pub struct Session {
     requests: u64,
     panics: u64,
     quarantined: u64,
+    /// Lifetime latency of memo-hit requests (always compiled, unlike
+    /// the feature-gated `histogram!` mirror): feeds the
+    /// `serve_hot_p50/p99_nanos` stats fields.
+    hot_nanos: pst_obs::Histogram,
+    /// Lifetime latency of recompute requests.
+    cold_nanos: pst_obs::Histogram,
     /// Unit touched by the in-flight request, for quarantine on panic.
     touched: Option<u64>,
     /// Cooperative deadline of the in-flight request.
@@ -318,6 +354,8 @@ impl Session {
             requests: 0,
             panics: 0,
             quarantined: 0,
+            hot_nanos: pst_obs::Histogram::new(),
+            cold_nanos: pst_obs::Histogram::new(),
             touched: None,
             deadline: None,
             fault_cycle: 0,
@@ -338,6 +376,17 @@ impl Session {
     /// Units quarantined after a contained panic.
     pub fn quarantined_units(&self) -> u64 {
         self.quarantined
+    }
+
+    /// Folds this shard's lifetime hot/cold latency histograms into the
+    /// caller's accumulators (stats aggregation across shards).
+    pub(crate) fn merge_latency_into(
+        &self,
+        hot: &mut pst_obs::Histogram,
+        cold: &mut pst_obs::Histogram,
+    ) {
+        hot.merge_from(&self.hot_nanos);
+        cold.merge_from(&self.cold_nanos);
     }
 
     /// This shard's cache occupancy/traffic, for stats aggregation:
@@ -388,6 +437,17 @@ impl Session {
                 let nanos = started.elapsed().as_nanos() as u64;
                 Reply::of(ok_response(&req.id, None, None, nanos, self.stats_json()))
             }
+            // Live telemetry lives in the shared front-end (one series
+            // set above the shards); a bare sequential session has none.
+            Method::Metrics | Method::Slowlog => self.error_reply(
+                &req.id,
+                ErrorCode::Unsupported,
+                &format!(
+                    "`{}` is answered by the concurrent daemon front-end; \
+                     run `pst serve` with --metrics-window-ms > 0",
+                    req.method.name()
+                ),
+            ),
             _ => {
                 self.deadline = (self.config.request_timeout_ms > 0).then(|| {
                     started + std::time::Duration::from_millis(self.config.request_timeout_ms)
@@ -448,6 +508,16 @@ impl Session {
         std::panic::set_hook(previous_hook);
         let nanos = started.elapsed().as_nanos() as u64;
         pst_obs::histogram!("serve_request_nanos", nanos);
+        let failed_outcome = |method: Method| crate::metrics::RequestOutcome {
+            method: method.name(),
+            unit: None,
+            ok: false,
+            cached: false,
+            total_nanos: nanos,
+            register_nanos: 0,
+            inject_nanos: 0,
+            compute_nanos: 0,
+        };
         match outcome {
             Ok(Ok(answer)) => {
                 pst_obs::histogram!(
@@ -458,6 +528,11 @@ impl Session {
                     },
                     nanos
                 );
+                if answer.cached {
+                    self.hot_nanos.record(nanos);
+                } else {
+                    self.cold_nanos.record(nanos);
+                }
                 pst_obs::journal::emit(pst_obs::journal::Event::UnitSummary {
                     unit: format!("serve:{}#{}", answer.unit, req.method.name()),
                     nanos,
@@ -471,9 +546,23 @@ impl Session {
                     answer.result,
                 ));
                 reply.drop_conn = answer.drop_conn;
+                reply.outcome = Some(crate::metrics::RequestOutcome {
+                    method: req.method.name(),
+                    unit: Some(answer.unit),
+                    ok: true,
+                    cached: answer.cached,
+                    total_nanos: nanos,
+                    register_nanos: answer.register_nanos,
+                    inject_nanos: answer.inject_nanos,
+                    compute_nanos: answer.compute_nanos,
+                });
                 reply
             }
-            Ok(Err((code, message))) => self.error_reply(&req.id, code, &message),
+            Ok(Err((code, message))) => {
+                let mut reply = self.error_reply(&req.id, code, &message);
+                reply.outcome = Some(failed_outcome(req.method));
+                reply
+            }
             Err(payload) => {
                 self.panics += 1;
                 pst_obs::counter!("serve_panics");
@@ -483,14 +572,16 @@ impl Session {
                         pst_obs::counter!("serve_cache_quarantined");
                     }
                 }
-                self.error_reply(
+                let mut reply = self.error_reply(
                     &req.id,
                     ErrorCode::Panic,
                     &format!(
                         "request panicked (contained; the daemon keeps serving): {}",
                         panic_message(payload)
                     ),
-                )
+                );
+                reply.outcome = Some(failed_outcome(req.method));
+                reply
             }
         }
     }
@@ -521,6 +612,7 @@ impl Session {
         let _unit_scope = pst_obs::UnitScope::enter(format!("serve:{}#{}", hex, req.method.name()));
 
         // Exactly one recency-and-stats-counting cache access per request.
+        let register_started = Instant::now();
         let resident = self.cache.get(key).is_some();
         if resident {
             pst_obs::counter!("serve_cache_hit");
@@ -541,15 +633,20 @@ impl Session {
             let evicted = self.cache.insert(key, unit, bytes);
             pst_obs::counter!("serve_cache_eviction", evicted);
         }
+        let register_nanos = register_started.elapsed().as_nanos() as u64;
         deadline.check()?;
 
         // Fault injection sits after unit resolution on purpose: a test
         // panic must exercise the quarantine path, not dodge it. The
-        // daemon-level chaos fault fires at the same point.
+        // daemon-level chaos fault fires at the same point. Timing the
+        // phase separately pins an injected stall on `inject` in the
+        // slowlog breakdown, not on `compute`.
+        let inject_started = Instant::now();
         if let Some(kind) = req.inject.as_deref() {
             fault_inject(kind)?;
         }
         let drop_conn = self.daemon_fault()?;
+        let inject_nanos = inject_started.elapsed().as_nanos() as u64;
         deadline.check()?;
 
         let method = req.method.name();
@@ -566,10 +663,15 @@ impl Session {
                 cached: true,
                 result: result.clone(),
                 drop_conn,
+                register_nanos,
+                inject_nanos,
+                compute_nanos: 0,
             });
         }
         pst_obs::counter!("serve_stage_miss");
+        let compute_started = Instant::now();
         let result = compute(unit, req.method, deadline)?;
+        let compute_nanos = compute_started.elapsed().as_nanos() as u64;
         unit.memoize(method, &result);
         let bytes = unit.approx_bytes();
         let evicted = self.cache.update_bytes(key, bytes);
@@ -579,6 +681,9 @@ impl Session {
             cached: false,
             result,
             drop_conn,
+            register_nanos,
+            inject_nanos,
+            compute_nanos,
         })
     }
 
@@ -675,6 +780,22 @@ impl Session {
             (
                 "max_request_bytes",
                 Json::UInt(self.config.max_request_bytes as u64),
+            ),
+            (
+                "serve_hot_p50_nanos",
+                Json::UInt(self.hot_nanos.quantile(0.5)),
+            ),
+            (
+                "serve_hot_p99_nanos",
+                Json::UInt(self.hot_nanos.quantile(0.99)),
+            ),
+            (
+                "serve_cold_p50_nanos",
+                Json::UInt(self.cold_nanos.quantile(0.5)),
+            ),
+            (
+                "serve_cold_p99_nanos",
+                Json::UInt(self.cold_nanos.quantile(0.99)),
             ),
             (
                 "cache",
@@ -928,7 +1049,7 @@ fn compute(unit: &mut Unit, method: Method, deadline: Deadline) -> Result<Json, 
                 method.name()
             ),
         )),
-        (_, Method::Stats | Method::Drain | Method::Shutdown) => {
+        (_, Method::Stats | Method::Metrics | Method::Slowlog | Method::Drain | Method::Shutdown) => {
             unreachable!("unit-less methods are dispatched before unit resolution")
         }
     }

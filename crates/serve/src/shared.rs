@@ -28,6 +28,7 @@ use std::time::Instant;
 use pst_obs::json::Json;
 
 use crate::hash::content_hash;
+use crate::metrics::LiveMetrics;
 use crate::proto::{
     error_response, ok_response, overloaded_response, ErrorCode, Method, Request, RequestInput,
 };
@@ -70,6 +71,9 @@ pub struct SharedSession {
     draining: AtomicBool,
     /// Serializes snapshot writes and provides unique tmp suffixes.
     snapshot_seq: Mutex<u64>,
+    /// Windowed per-method/per-shard series and the slowlog ring;
+    /// `None` when `--metrics-window-ms 0` disabled live telemetry.
+    live: Option<Mutex<LiveMetrics>>,
 }
 
 fn lock<'a, T>(mutex: &'a Mutex<T>) -> MutexGuard<'a, T> {
@@ -100,6 +104,14 @@ impl SharedSession {
         let shards = (0..shard_count)
             .map(|_| Mutex::new(Session::new(shard_config.clone())))
             .collect();
+        let live = (config.metrics_window_ms > 0).then(|| {
+            Mutex::new(LiveMetrics::new(
+                config.metrics_window_ms,
+                config.metrics_windows,
+                config.slowlog_capacity,
+                shard_count,
+            ))
+        });
         let mut shared = SharedSession {
             shards,
             config,
@@ -112,6 +124,7 @@ impl SharedSession {
             restored: 0,
             draining: AtomicBool::new(false),
             snapshot_seq: Mutex::new(0),
+            live,
         };
         shared.restore_snapshot();
         shared
@@ -165,6 +178,7 @@ impl SharedSession {
             line: error_response(id, code, message).to_string(),
             shutdown: false,
             drop_conn: false,
+            outcome: None,
         }
     }
 
@@ -210,6 +224,7 @@ impl SharedSession {
                     line: ok_response(&req.id, None, None, nanos, result).to_string(),
                     shutdown: true,
                     drop_conn: false,
+                    outcome: None,
                 }
             }
             Method::Drain => {
@@ -224,6 +239,7 @@ impl SharedSession {
                     line: ok_response(&req.id, None, None, nanos, result).to_string(),
                     shutdown: true,
                     drop_conn: false,
+                    outcome: None,
                 }
             }
             Method::Stats => {
@@ -232,9 +248,87 @@ impl SharedSession {
                     line: ok_response(&req.id, None, None, nanos, self.stats_json()).to_string(),
                     shutdown: false,
                     drop_conn: false,
+                    outcome: None,
                 }
             }
+            Method::Metrics => self.metrics_reply(&req, started),
+            Method::Slowlog => self.slowlog_reply(&req, started),
             _ => self.handle_analysis(&req, started),
+        }
+    }
+
+    /// The `metrics` RPC: windowed JSON by default, Prometheus-style
+    /// text (as a `body` string field) on `"format": "text"`.
+    fn metrics_reply(&self, req: &Request, started: Instant) -> crate::session::Reply {
+        let Some(live) = &self.live else {
+            return self.error_reply(
+                &req.id,
+                ErrorCode::Unsupported,
+                "live telemetry is disabled (--metrics-window-ms 0)",
+            );
+        };
+        let result = match req.format.as_deref() {
+            None | Some("json") => lock(live).to_json(),
+            Some("text") => Json::obj([
+                ("format", Json::Str("text".to_string())),
+                ("body", Json::Str(self.render_metrics_text())),
+            ]),
+            Some(other) => {
+                return self.error_reply(
+                    &req.id,
+                    ErrorCode::InvalidRequest,
+                    &format!("unknown metrics format `{other}` (expected `json` or `text`)"),
+                )
+            }
+        };
+        let nanos = started.elapsed().as_nanos() as u64;
+        crate::session::Reply {
+            line: ok_response(&req.id, None, None, nanos, result).to_string(),
+            shutdown: false,
+            drop_conn: false,
+            outcome: None,
+        }
+    }
+
+    /// The `slowlog` RPC: the top-K slowest requests, phase-attributed.
+    fn slowlog_reply(&self, req: &Request, started: Instant) -> crate::session::Reply {
+        let Some(live) = &self.live else {
+            return self.error_reply(
+                &req.id,
+                ErrorCode::Unsupported,
+                "live telemetry is disabled (--metrics-window-ms 0)",
+            );
+        };
+        let result = lock(live).slowlog_json();
+        let nanos = started.elapsed().as_nanos() as u64;
+        crate::session::Reply {
+            line: ok_response(&req.id, None, None, nanos, result).to_string(),
+            shutdown: false,
+            drop_conn: false,
+            outcome: None,
+        }
+    }
+
+    /// The one-shot HTTP responder's body (`--metrics-listen`): every
+    /// live family plus the daemon-wide counters and gauges. Works —
+    /// reduced to the daemon-wide families — even when live telemetry
+    /// is disabled.
+    pub fn render_metrics_text(&self) -> String {
+        let counters = [
+            ("pst_serve_shed_total", self.shed.load(Ordering::SeqCst)),
+            (
+                "pst_serve_conn_errors_total",
+                self.conn_errors.load(Ordering::SeqCst),
+            ),
+        ];
+        let gauges = [
+            ("pst_serve_in_flight", self.in_flight() as u64),
+            ("pst_serve_workers", self.shards.len() as u64),
+            ("pst_serve_draining", u64::from(self.is_draining())),
+        ];
+        match &self.live {
+            Some(live) => lock(live).render_text(&counters, &gauges),
+            None => crate::metrics::render_extra_only(&counters, &gauges),
         }
     }
 
@@ -251,6 +345,7 @@ impl SharedSession {
                 .to_string(),
                 shutdown: false,
                 drop_conn: false,
+                outcome: None,
             };
         }
         // Admission gate: claim a slot optimistically, release and shed
@@ -275,11 +370,28 @@ impl SharedSession {
                 .to_string(),
                 shutdown: false,
                 drop_conn: false,
+                outcome: None,
             };
         }
         let _slot = InFlightGuard(&self.in_flight);
         let shard = self.shard_of(&req.input);
         let reply = lock(&self.shards[shard]).handle_request(req, started);
+
+        // Fold the request into the live series (and, past the
+        // threshold, the journal) before the reply leaves the daemon.
+        if let (Some(live), Some(outcome)) = (&self.live, reply.outcome.as_ref()) {
+            lock(live).record(outcome, shard);
+            let threshold_nanos = self.config.slowlog_ms.saturating_mul(1_000_000);
+            if self.config.slowlog_ms > 0 && outcome.total_nanos >= threshold_nanos {
+                pst_obs::counter!("serve_slow_requests");
+                pst_obs::journal::emit(pst_obs::journal::Event::SlowRequest {
+                    method: outcome.method.to_string(),
+                    unit: outcome.unit.clone(),
+                    total_nanos: outcome.total_nanos,
+                    compute_nanos: outcome.compute_nanos,
+                });
+            }
+        }
 
         let admitted = self.admitted.fetch_add(1, Ordering::SeqCst) + 1;
         if self.config.snapshot_every > 0 && admitted.is_multiple_of(self.config.snapshot_every) {
@@ -307,6 +419,8 @@ impl SharedSession {
         let mut panics = 0u64;
         let mut quarantined = 0u64;
         let mut stats = crate::cache::CacheStats::default();
+        let mut hot = pst_obs::Histogram::new();
+        let mut cold = pst_obs::Histogram::new();
         for shard in &self.shards {
             let s = lock(shard);
             let (e, b, _tick, cs) = s.cache_snapshot_stats();
@@ -318,6 +432,7 @@ impl SharedSession {
             stats.insertions += cs.insertions;
             panics += s.contained_panics();
             quarantined += s.quarantined_units();
+            s.merge_latency_into(&mut hot, &mut cold);
         }
         let cfg = self.config.cache;
         Json::obj([
@@ -338,6 +453,10 @@ impl SharedSession {
                 "max_request_bytes",
                 Json::UInt(self.config.max_request_bytes as u64),
             ),
+            ("serve_hot_p50_nanos", Json::UInt(hot.quantile(0.5))),
+            ("serve_hot_p99_nanos", Json::UInt(hot.quantile(0.99))),
+            ("serve_cold_p50_nanos", Json::UInt(cold.quantile(0.5))),
+            ("serve_cold_p99_nanos", Json::UInt(cold.quantile(0.99))),
             (
                 "cache",
                 Json::obj([

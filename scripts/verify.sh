@@ -178,6 +178,15 @@ assert daemon.poll() is None, f"{fault}: daemon died during the batch"
 sock.sendall(b'{"id":99,"method":"stats"}\n')
 stats = json.loads(reader.readline())
 assert stats["ok"], (fault, stats)
+if fault == "slow":
+    # The slowlog must have captured the injected stalls and attributed
+    # them to the inject phase, not to compute.
+    sock.sendall(b'{"id":101,"method":"slowlog"}\n')
+    slow = json.loads(reader.readline())
+    assert slow["ok"], (fault, slow)
+    stalls = [e for e in slow["result"]["entries"]
+              if e["phases"]["inject_nanos"] >= 40_000_000]
+    assert stalls, (fault, slow["result"]["entries"])
 sock.sendall(b'{"id":100,"method":"shutdown"}\n')
 json.loads(reader.readline())
 assert daemon.wait(timeout=10) == 0, f"{fault}: unclean exit"
@@ -450,6 +459,153 @@ echo "$cold" | head -1 | grep -q '"cached":false' \
     || { echo "FAIL: truncated snapshot should mean a cold start"; exit 1; }
 echo "snapshot OK: warm restart hits, truncation degrades to cold start"
 
+echo "== smoke: pst serve live telemetry (metrics, exposition, slowlog, pst top) =="
+# A TCP daemon with a 100ms window and an HTTP scrape endpoint: the
+# metrics RPC must report per-method windowed series, the text
+# exposition must be well-typed with monotone lifetime counters across
+# two scrapes, the windowed quantiles must decay once traffic stops,
+# the slowlog must come back ordered and phase-attributed, and
+# `pst top --once --format json` must snapshot the same daemon.
+python3 - <<'EOF'
+import json, socket, subprocess, time
+cmd = ["./target/release/pst", "serve", "--listen", "127.0.0.1:0",
+       "--metrics-listen", "127.0.0.1:0", "--metrics-window-ms", "100",
+       "--workers", "2"]
+daemon = subprocess.Popen(cmd, stdout=subprocess.PIPE,
+                          stderr=subprocess.DEVNULL, text=True)
+addr = daemon.stdout.readline().strip().rsplit(" ", 1)[1]
+maddr = daemon.stdout.readline().strip().rsplit(" ", 1)[1]
+host, port = addr.rsplit(":", 1)
+mhost, mport = maddr.rsplit(":", 1)
+
+sock = socket.create_connection((host, int(port)), timeout=10)
+sock.settimeout(10)
+reader = sock.makefile("r")
+def ask(obj):
+    sock.sendall((json.dumps(obj) + "\n").encode())
+    return json.loads(reader.readline())
+
+for i in range(6):
+    rep = ask({"id": i, "method": "pst",
+               "source": "fn f(n) { s = 0; while (n > 0) "
+                         "{ s = s + n; n = n - 1; } return s; }"})
+    assert rep["ok"], rep
+
+m1 = ask({"id": 90, "method": "metrics"})
+assert m1["ok"], m1
+pst1 = m1["result"]["methods"]["pst"]
+assert pst1["requests_total"] == 6, pst1
+assert pst1["window"]["requests"] == 6, pst1
+assert pst1["window"]["cache_hits"] == 5, pst1
+assert pst1["window"]["p99_nanos"] > 0, pst1
+
+def scrape():
+    ms = socket.create_connection((mhost, int(mport)), timeout=10)
+    ms.settimeout(10)
+    ms.sendall(b"GET /metrics HTTP/1.0\r\n\r\n")
+    data = b""
+    while True:
+        chunk = ms.recv(65536)
+        if not chunk:
+            break
+        data += chunk
+    ms.close()
+    head, _, body = data.decode().partition("\r\n\r\n")
+    assert head.startswith("HTTP/1.0 200 OK"), head
+    assert "text/plain; version=0.0.4" in head, head
+    return body
+
+def parse_expo(body):
+    types, samples = {}, {}
+    for line in body.splitlines():
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(" ")
+            types[name] = kind
+        elif line:
+            key, _, value = line.rpartition(" ")
+            samples[key] = int(value)
+    return types, samples
+
+t1, s1 = parse_expo(scrape())
+for fam, kind in [("pst_serve_requests_total", "counter"),
+                  ("pst_serve_errors_total", "counter"),
+                  ("pst_serve_cache_hits_total", "counter"),
+                  ("pst_serve_latency_nanos", "summary"),
+                  ("pst_serve_shard_requests_total", "counter"),
+                  ("pst_serve_shed_total", "counter"),
+                  ("pst_serve_conn_errors_total", "counter"),
+                  ("pst_serve_in_flight", "gauge"),
+                  ("pst_serve_workers", "gauge"),
+                  ("pst_serve_draining", "gauge")]:
+    assert t1.get(fam) == kind, (fam, t1)
+
+rep = ask({"id": 91, "method": "pst", "source": "fn g(n) { return n; }"})
+assert rep["ok"], rep
+_, s2 = parse_expo(scrape())
+monotone = [k for k in s1
+            if k.split("{")[0].endswith(("_total", "_sum", "_count"))]
+assert monotone, s1
+for k in monotone:
+    assert s2.get(k, 0) >= s1[k], (k, s1[k], s2.get(k))
+key = 'pst_serve_requests_total{method="pst"}'
+assert s2[key] == s1[key] + 1 == 7, (s1[key], s2[key])
+
+# Quantiles come from the windowed ring: once traffic stops and the
+# ring's horizon passes, the window empties while totals persist.
+time.sleep(1.2)
+m2 = ask({"id": 92, "method": "metrics"})
+pst2 = m2["result"]["methods"]["pst"]
+assert pst2["requests_total"] == 7, pst2
+assert pst2["window"]["requests"] == 0, pst2
+assert pst2["window"]["p99_nanos"] == 0, pst2
+
+sl = ask({"id": 93, "method": "slowlog"})
+assert sl["ok"], sl
+entries = sl["result"]["entries"]
+assert entries, sl
+totals = [e["total_nanos"] for e in entries]
+assert totals == sorted(totals, reverse=True), totals
+for e in entries:
+    assert e["total_nanos"] >= e["phases"]["compute_nanos"], e
+
+top = subprocess.run(["./target/release/pst", "top", "--addr", addr,
+                      "--once", "--format", "json"],
+                     capture_output=True, text=True, timeout=30)
+assert top.returncode == 0, top.stderr
+snap = json.loads(top.stdout)
+assert snap["metrics"]["methods"]["pst"]["requests_total"] == 7, snap
+assert snap["stats"]["workers"] == 2, snap
+
+ask({"id": 99, "method": "shutdown"})
+assert daemon.wait(timeout=10) == 0, "unclean exit"
+print("live telemetry OK: typed+monotone exposition, window decay,",
+      "ordered slowlog,", len(entries), "entries, top snapshot")
+EOF
+
+echo "== gate: every counter/histogram name is documented =="
+# Metric names drift silently: a new counter!() lands, the docs don't.
+# Grep every counter!/histogram! literal out of non-test source (cut at
+# the first test-module attribute, strip comment lines so doc examples
+# don't count) and require each name to appear in docs/OBSERVABILITY.md.
+python3 - <<'EOF'
+import re, pathlib
+names = {}
+for p in sorted(pathlib.Path("crates").glob("*/src/**/*.rs")):
+    text = p.read_text()
+    m = re.search(r'#\[cfg\([^)]*test', text)
+    if m:
+        text = text[:m.start()]
+    code = "\n".join(l for l in text.splitlines()
+                     if not l.lstrip().startswith("//"))
+    for m in re.finditer(r'(?:counter|histogram)!\(\s*"([a-z0-9_]+)"', code):
+        names.setdefault(m.group(1), str(p))
+doc = pathlib.Path("docs/OBSERVABILITY.md").read_text()
+missing = {n: f for n, f in names.items() if n not in doc}
+assert not missing, \
+    f"metric names missing from docs/OBSERVABILITY.md: {missing}"
+print(f"metric-name gate OK: {len(names)} names, all documented")
+EOF
+
 echo "== smoke: structured event journal (JSONL schema) =="
 # A journaled quick bench must emit a well-formed JSONL stream bracketed
 # by run_start/run_end, with one trace id and contiguous sequence numbers.
@@ -468,7 +624,8 @@ for i, r in enumerate(records):
     assert r["trace"] == records[0]["trace"], r
     assert r["level"] in ("info", "warn", "error"), r
     assert r["type"] in ("run_start", "run_end", "unit_summary",
-                         "lint_finding", "fuzz_crash", "bench_verdict"), r
+                         "lint_finding", "fuzz_crash", "bench_verdict",
+                         "slow_request"), r
 assert records[0]["type"] == "run_start", records[0]
 assert records[0]["data"]["command"] == "bench", records[0]
 assert records[-1]["type"] == "run_end", records[-1]
